@@ -1,0 +1,416 @@
+// Package repro_test holds the benchmark harness: one testing.B bench
+// per paper table/figure (see DESIGN.md's experiment index), plus the
+// ablation benches for the design choices DESIGN.md calls out. Run:
+//
+//	go test -bench=. -benchmem
+//
+// Reported custom metrics carry the paper-facing numbers (ratios,
+// round-trip costs); EXPERIMENTS.md records a full run.
+package repro_test
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/arch"
+	"repro/internal/biaslock"
+	"repro/internal/core"
+	"repro/internal/litmus"
+	"repro/internal/packetproc"
+	"repro/internal/programs"
+	"repro/internal/rwlock"
+	"repro/internal/sched"
+	"repro/internal/tso"
+	"repro/internal/workloads"
+)
+
+// --- §1: the serial Dekker slowdown (simulator cycles) ---------------
+
+func BenchmarkDekkerSerialSim(b *testing.B) {
+	variants := []programs.DekkerVariant{
+		programs.DekkerNoFence, programs.DekkerMfence, programs.DekkerLmfence,
+	}
+	const iters = 5000
+	for _, v := range variants {
+		b.Run(v.String(), func(b *testing.B) {
+			var cycles int64
+			for i := 0; i < b.N; i++ {
+				m := tso.NewMachine(arch.DefaultConfig(), programs.DekkerLoop(v, iters, 3))
+				c, err := tso.NewRunner(m).RunProc(0)
+				if err != nil {
+					b.Fatal(err)
+				}
+				cycles = c
+			}
+			b.ReportMetric(float64(cycles)/iters, "cycles/iter")
+		})
+	}
+}
+
+// BenchmarkDekkerSerialReal measures the real-goroutine primary fast
+// path per fence mode (the paper's 4-7x claim, Go edition).
+func BenchmarkDekkerSerialReal(b *testing.B) {
+	for _, mode := range []core.Mode{core.ModeNoFence, core.ModeSymmetric, core.ModeAsymmetricHW} {
+		b.Run(mode.String(), func(b *testing.B) {
+			d := core.NewDekker(mode, core.DefaultCosts())
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				d.PrimaryEnter()
+				d.PrimaryExit()
+			}
+		})
+	}
+}
+
+// --- Section 4: the model checker (theorem verification cost) --------
+
+func BenchmarkTheoremsDekkerLmfence(b *testing.B) {
+	cfg := arch.DefaultConfig()
+	cfg.Procs = 2
+	cfg.MemWords = 16
+	cfg.StoreBufferDepth = 4
+	p0, p1 := programs.DekkerPair(programs.DekkerLmfence)
+	build := func() *tso.Machine { return tso.NewMachine(cfg, p0, p1) }
+	var states int
+	for i := 0; i < b.N; i++ {
+		res := litmus.Explore(build, litmus.Options{Properties: []litmus.Property{litmus.MutualExclusion}})
+		if res.Violations != 0 {
+			b.Fatal("mutual exclusion violated")
+		}
+		states = res.States
+	}
+	b.ReportMetric(float64(states), "states")
+}
+
+// --- Fig. 5(a): serial ACilk-5 / Cilk-5, one sub-bench per benchmark --
+
+func fig5Bench(b *testing.B, parallel bool) {
+	procs := 1
+	if parallel {
+		procs = 4
+	}
+	for _, spec := range workloads.All() {
+		spec := spec
+		for _, mode := range []core.Mode{core.ModeSymmetric, core.ModeAsymmetricSW} {
+			name := spec.Name + "/cilk5"
+			if mode.Asymmetric() {
+				name = spec.Name + "/acilk5"
+			}
+			b.Run(name, func(b *testing.B) {
+				var spawns, fences, signals uint64
+				for i := 0; i < b.N; i++ {
+					inst := spec.Make(workloads.ScaleTest)
+					rt := sched.New(procs, mode, core.DefaultCosts())
+					rt.Run(inst.Root)
+					if err := inst.Verify(); err != nil {
+						b.Fatal(err)
+					}
+					s := rt.Stats()
+					spawns, fences, signals = s.Spawns, s.Fences, s.Signals
+				}
+				b.ReportMetric(float64(spawns), "spawns")
+				b.ReportMetric(float64(fences), "fences")
+				b.ReportMetric(float64(signals), "signals")
+			})
+		}
+	}
+}
+
+func BenchmarkFig5aSerial(b *testing.B)   { fig5Bench(b, false) }
+func BenchmarkFig5bParallel(b *testing.B) { fig5Bench(b, true) }
+
+// --- Fig. 6: lock read throughput --------------------------------------
+
+func lockBench(b *testing.B, l *rwlock.Lock, threads, ratio int) {
+	var arr [4]int64
+	var stop atomic.Bool
+	var reads atomic.Int64
+	writeEvery := ratio / threads
+	if writeEvery <= 0 {
+		writeEvery = 1
+	}
+	var wg sync.WaitGroup
+	for t := 0; t < threads; t++ {
+		r := l.NewReader()
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			local := int64(0)
+			var sink int64
+			for n := 0; !stop.Load(); n++ {
+				if n%writeEvery == writeEvery-1 {
+					r.LockWrite()
+					for j := range arr {
+						arr[j]++
+					}
+					r.UnlockWrite()
+					continue
+				}
+				r.Lock()
+				for j := range arr {
+					sink += arr[j]
+				}
+				r.Unlock()
+				local++
+			}
+			reads.Add(local)
+			_ = sink
+		}()
+	}
+	// Let the clients run for the benchmark's duration: b.N units of
+	// 100us each, so `-benchtime` scales the measurement window.
+	b.ResetTimer()
+	time.Sleep(time.Duration(b.N) * 100 * time.Microsecond)
+	b.StopTimer()
+	stop.Store(true)
+	wg.Wait()
+	elapsed := time.Duration(b.N) * 100 * time.Microsecond
+	b.ReportMetric(float64(reads.Load())/elapsed.Seconds(), "reads/s")
+}
+
+func fig6Bench(b *testing.B, heuristic bool) {
+	for _, ratio := range []int{300, 10000} {
+		for _, threads := range []int{2, 8} {
+			for _, variant := range []string{"srw", "arw"} {
+				name := fmt.Sprintf("%dto1/%dthreads/%s", ratio, threads, variant)
+				b.Run(name, func(b *testing.B) {
+					var l *rwlock.Lock
+					if variant == "srw" {
+						l = rwlock.New(core.ModeSymmetric, core.DefaultCosts())
+					} else if heuristic {
+						l = rwlock.New(core.ModeAsymmetricSW, core.DefaultCosts(), rwlock.WithWaitingHeuristic(0))
+					} else {
+						l = rwlock.New(core.ModeAsymmetricSW, core.DefaultCosts())
+					}
+					lockBench(b, l, threads, ratio)
+				})
+			}
+		}
+	}
+}
+
+func BenchmarkFig6aARW(b *testing.B)     { fig6Bench(b, false) }
+func BenchmarkFig6bARWPlus(b *testing.B) { fig6Bench(b, true) }
+
+// --- §5 overhead: serialization round trips ----------------------------
+
+func BenchmarkRoundTrip(b *testing.B) {
+	for _, mode := range []core.Mode{core.ModeAsymmetricSW, core.ModeAsymmetricHW} {
+		b.Run(mode.String(), func(b *testing.B) {
+			f := core.NewLocationFence(mode, core.DefaultCosts())
+			stop := make(chan struct{})
+			var wg sync.WaitGroup
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					select {
+					case <-stop:
+						return
+					default:
+						f.Poll()
+						runtime.Gosched() // keep the handshake live on single-CPU hosts
+					}
+				}
+			}()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				f.Serialize()
+			}
+			b.StopTimer()
+			close(stop)
+			wg.Wait()
+		})
+	}
+}
+
+// BenchmarkRoundTripSim measures the LE/ST round trip on the simulator
+// (the paper's ~150-cycle claim).
+func BenchmarkRoundTripSim(b *testing.B) {
+	const iters = 500
+	var perBreak float64
+	for i := 0; i < b.N; i++ {
+		cfg := arch.DefaultConfig()
+		m := tso.NewMachine(cfg,
+			programs.RoundTripPrimary(iters),
+			programs.RoundTripSecondary(iters))
+		if _, err := tso.NewRunner(m).Run(); err != nil {
+			b.Fatal(err)
+		}
+		breaks := m.Procs[0].Stats.LinkBreaks
+		if breaks == 0 {
+			b.Fatal("no links broken")
+		}
+		perBreak = float64(m.Procs[1].Clock) / float64(breaks)
+	}
+	b.ReportMetric(perBreak, "secondary-cycles/break")
+}
+
+// --- Ablations (DESIGN.md) ---------------------------------------------
+
+// Ablation 1: store-buffer depth — the mfence drain cost grows with
+// occupancy, so deeper buffers make program-based fences dearer.
+func BenchmarkAblationStoreBufferDepth(b *testing.B) {
+	for _, depth := range []int{2, 8, 32} {
+		b.Run(fmt.Sprintf("depth%d", depth), func(b *testing.B) {
+			var cycles int64
+			const iters = 5000
+			for i := 0; i < b.N; i++ {
+				cfg := arch.DefaultConfig()
+				cfg.StoreBufferDepth = depth
+				m := tso.NewMachine(cfg, programs.DekkerLoop(programs.DekkerMfence, iters, 6))
+				c, err := tso.NewRunner(m).RunProc(0)
+				if err != nil {
+					b.Fatal(err)
+				}
+				cycles = c
+			}
+			b.ReportMetric(float64(cycles)/iters, "cycles/iter")
+		})
+	}
+}
+
+// Ablation 2: the ARW+ spin budget — too small degenerates to ARW
+// (signals), too large delays writers.
+func BenchmarkAblationSpinBudget(b *testing.B) {
+	for _, budget := range []int{16, 512, 16384} {
+		b.Run(fmt.Sprintf("budget%d", budget), func(b *testing.B) {
+			l := rwlock.New(core.ModeAsymmetricSW, core.DefaultCosts(), rwlock.WithWaitingHeuristic(budget))
+			lockBench(b, l, 4, 1000)
+			b.ReportMetric(float64(l.Stats.SignalsSent.Load()), "signals")
+		})
+	}
+}
+
+// Ablation 3: signal round-trip cost sweep — where asymmetric
+// synchronization stops paying (the paper's core argument: 150-cycle
+// LE/ST wins where 10,000-cycle signals lose).
+func BenchmarkAblationSignalCost(b *testing.B) {
+	for _, rt := range []int{150, 2000, 10000, 50000} {
+		b.Run(fmt.Sprintf("cost%d", rt), func(b *testing.B) {
+			cost := core.DefaultCosts()
+			cost.SignalRoundTrip = rt
+			spec, err := workloads.ByName("fib")
+			if err != nil {
+				b.Fatal(err)
+			}
+			for i := 0; i < b.N; i++ {
+				inst := spec.Make(workloads.ScaleTest)
+				rtm := sched.New(4, core.ModeAsymmetricSW, cost)
+				rtm.Run(inst.Root)
+				if err := inst.Verify(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// Ablation 4: the double-flush corner — back-to-back l-mfences with
+// different guarded locations force an extra store-buffer flush
+// (single-link hardware), vs same-location re-arming which is free.
+func BenchmarkAblationSecondLmfence(b *testing.B) {
+	build := func(sameAddr bool) *tso.Program {
+		second := programs.AddrL2
+		if sameAddr {
+			second = programs.AddrL1
+		}
+		bb := tso.NewBuilder("double")
+		bb.LoadI(programs.RegCounter, 2000)
+		bb.Label("top")
+		bb.Lmfence(programs.AddrL1, 1, programs.RegScratch)
+		bb.Lmfence(second, 1, programs.RegScratch)
+		bb.AddI(programs.RegCounter, programs.RegCounter, -1)
+		bb.Bne(programs.RegCounter, 0, "top")
+		bb.Halt()
+		return bb.Build()
+	}
+	for _, same := range []bool{true, false} {
+		name := "different-location"
+		if same {
+			name = "same-location"
+		}
+		b.Run(name, func(b *testing.B) {
+			var cycles int64
+			for i := 0; i < b.N; i++ {
+				m := tso.NewMachine(arch.DefaultConfig(), build(same))
+				c, err := tso.NewRunner(m).RunProc(0)
+				if err != nil {
+					b.Fatal(err)
+				}
+				cycles = c
+			}
+			b.ReportMetric(float64(cycles)/2000, "cycles/iter")
+		})
+	}
+}
+
+// Ablation 5: steal-poll granularity — how often the asymmetric victim
+// checks its mailbox trades victim overhead against thief latency.
+func BenchmarkAblationPollInterval(b *testing.B) {
+	spec, err := workloads.ByName("fib")
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, k := range []int{1, 16, 256} {
+		b.Run(fmt.Sprintf("every%d", k), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				inst := spec.Make(workloads.ScaleTest)
+				rt := sched.New(2, core.ModeAsymmetricHW, core.DefaultCosts(), sched.WithPollInterval(k))
+				rt.Run(inst.Root)
+				if err := inst.Verify(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkBiasedLock measures the bias holder's fast path per fence
+// mode (the Java-monitor motivation of the paper's introduction).
+func BenchmarkBiasedLock(b *testing.B) {
+	for _, mode := range []core.Mode{core.ModeSymmetric, core.ModeAsymmetricSW, core.ModeAsymmetricHW} {
+		b.Run(mode.String(), func(b *testing.B) {
+			m := biaslock.New(mode, core.DefaultCosts())
+			o := m.NewOwner()
+			if !o.ClaimBias() {
+				b.Fatal("claim failed")
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				o.Lock()
+				o.Unlock()
+			}
+		})
+	}
+}
+
+// BenchmarkPacketProc measures the packet-processing application (the
+// paper's fourth motivating example) per fence mode at 95% locality.
+func BenchmarkPacketProc(b *testing.B) {
+	for _, mode := range []core.Mode{core.ModeSymmetric, core.ModeAsymmetricSW, core.ModeAsymmetricHW} {
+		b.Run(mode.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				e, err := packetproc.NewEngine(packetproc.Config{
+					Handlers:          2,
+					PacketsPerHandler: 5000,
+					LocalityPermille:  950,
+					Mode:              mode,
+					Cost:              core.DefaultCosts(),
+					Seed:              7,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				st := e.Run()
+				if st.TotalCounts != st.Packets {
+					b.Fatal("conservation violated")
+				}
+			}
+		})
+	}
+}

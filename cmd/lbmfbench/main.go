@@ -1,0 +1,199 @@
+// Command lbmfbench regenerates the experiments of "Location-Based
+// Memory Fences" (SPAA 2011) and prints paper-style tables.
+//
+// Usage:
+//
+//	lbmfbench -exp all
+//	lbmfbench -exp fig5a -scale medium -reps 10
+//	lbmfbench -exp fig6b -dur 10s -threads 1,2,4,8,16
+//	lbmfbench -exp dekker
+//	lbmfbench -exp overhead
+//	lbmfbench -exp theorems
+//	lbmfbench -exp fig4
+//
+// Experiments: dekker (§1 serial slowdown), fig4 (benchmark table),
+// fig5a / fig5b (ACilk-5 vs Cilk-5, serial / parallel), fig6a / fig6b
+// (ARW / ARW+ vs SRW read throughput), overhead (§5 round-trip costs),
+// theorems (Section 4, machine-checked).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/harness"
+	"repro/internal/stats"
+	"repro/internal/workloads"
+)
+
+func main() {
+	var (
+		exp     = flag.String("exp", "all", "experiment: dekker|fig4|fig5a|fig5b|fig6a|fig6b|overhead|theorems|ablation|packetproc|all")
+		scale   = flag.String("scale", "small", "workload scale: test|small|medium|paper")
+		reps    = flag.Int("reps", 0, "repetitions per measurement (0 = default)")
+		procs   = flag.Int("procs", 0, "workers for parallel runs (0 = default)")
+		dur     = flag.Duration("dur", 0, "duration per fig6 cell (0 = default)")
+		threads = flag.String("threads", "", "comma-separated fig6 thread counts")
+		ratios  = flag.String("ratios", "", "comma-separated fig6 read:write ratios")
+		swMode  = flag.Bool("sw", true, "use the software-prototype cost profile for asymmetric runs (false = projected LE/ST hardware)")
+		jsonOut = flag.String("json", "", "write structured results to this JSON file")
+	)
+	flag.Parse()
+
+	opt := harness.Defaults()
+	switch *scale {
+	case "test":
+		opt.Scale = workloads.ScaleTest
+	case "small":
+		opt.Scale = workloads.ScaleSmall
+	case "medium":
+		opt.Scale = workloads.ScaleMedium
+	case "paper":
+		opt.Scale = workloads.ScalePaper
+	default:
+		fatal("unknown -scale %q", *scale)
+	}
+	if *reps > 0 {
+		opt.Reps = *reps
+	}
+	if *procs > 0 {
+		opt.Procs = *procs
+	}
+	if *dur > 0 {
+		opt.CellDuration = *dur
+	}
+	if *threads != "" {
+		opt.ThreadCounts = parseInts(*threads)
+	}
+	if *ratios != "" {
+		opt.ReadWriteRatios = parseInts(*ratios)
+	}
+	asymMode := core.ModeAsymmetricSW
+	if !*swMode {
+		asymMode = core.ModeAsymmetricHW
+	}
+
+	results := map[string]any{}
+	record := func(name string, v any) {
+		if *jsonOut != "" {
+			results[name] = v
+		}
+	}
+
+	run := func(name string) {
+		switch name {
+		case "dekker":
+			res, err := harness.RunDekker(opt)
+			check(err)
+			record(name, res)
+			fmt.Println(res.Table())
+		case "fig4":
+			printFig4()
+		case "fig5a":
+			res, err := harness.RunFig5(opt, false, asymMode)
+			check(err)
+			record(name, res)
+			fmt.Println(res.Table())
+		case "fig5b":
+			res, err := harness.RunFig5(opt, true, asymMode)
+			check(err)
+			record(name, res)
+			fmt.Println(res.Table())
+		case "fig6a":
+			res, err := harness.RunFig6(opt, false, asymMode)
+			check(err)
+			record(name, res)
+			fmt.Println(res.Table())
+		case "fig6b":
+			res, err := harness.RunFig6(opt, true, asymMode)
+			check(err)
+			record(name, res)
+			fmt.Println(res.Table())
+		case "overhead":
+			res, err := harness.RunOverhead(opt)
+			check(err)
+			record(name, res)
+			fmt.Println(res.Table())
+		case "ablation":
+			res, err := harness.RunAblations(opt)
+			check(err)
+			record(name, res)
+			for _, t := range res.Tables() {
+				fmt.Println(t)
+			}
+		case "packetproc":
+			res, err := harness.RunPacketProc(opt)
+			check(err)
+			record(name, res)
+			fmt.Println(res.Table())
+		case "theorems":
+			res := harness.RunTheorems()
+			record(name, res)
+			fmt.Println(res.Table())
+			if !res.AllPass() {
+				fatal("theorem checks FAILED")
+			}
+		default:
+			fatal("unknown experiment %q", name)
+		}
+	}
+
+	start := time.Now()
+	if *exp == "all" {
+		for _, name := range []string{"theorems", "dekker", "overhead", "fig4", "fig5a", "fig5b", "fig6a", "fig6b", "ablation", "packetproc"} {
+			run(name)
+		}
+	} else {
+		run(*exp)
+	}
+	if *jsonOut != "" {
+		writeJSON(*jsonOut, results)
+	}
+	fmt.Printf("total: %v\n", time.Since(start).Round(time.Millisecond))
+}
+
+// writeJSON persists the structured experiment results.
+func writeJSON(path string, results map[string]any) {
+	data, err := json.MarshalIndent(results, "", "  ")
+	check(err)
+	check(os.WriteFile(path, data, 0o644))
+	fmt.Printf("wrote %s\n", path)
+}
+
+func printFig4() {
+	t := stats.NewTable("Fig. 4: the 12 benchmark applications",
+		"benchmark", "paper input", "description")
+	for _, s := range workloads.All() {
+		t.AddRow(s.Name, s.PaperInput, s.Description)
+	}
+	fmt.Println(t)
+}
+
+func parseInts(s string) []int {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			fatal("bad integer list %q: %v", s, err)
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
+func check(err error) {
+	if err != nil {
+		fatal("%v", err)
+	}
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "lbmfbench: "+format+"\n", args...)
+	os.Exit(1)
+}

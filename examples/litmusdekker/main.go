@@ -1,0 +1,69 @@
+// Litmusdekker: machine-check the Dekker protocol in its three fence
+// disciplines over every TSO interleaving, and print the counterexample
+// that breaks the unfenced variant — the store-buffer reordering that
+// motivates the whole paper.
+//
+// Run with:
+//
+//	go run ./examples/litmusdekker
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/arch"
+	"repro/internal/litmus"
+	"repro/internal/programs"
+	"repro/internal/tso"
+)
+
+func main() {
+	cfg := arch.DefaultConfig()
+	cfg.Procs = 2
+	cfg.MemWords = 16
+	cfg.StoreBufferDepth = 4
+
+	for _, v := range []programs.DekkerVariant{
+		programs.DekkerNoFence,
+		programs.DekkerMfence,
+		programs.DekkerLmfence,
+		programs.DekkerLmfenceMirrored,
+	} {
+		p0, p1 := programs.DekkerPair(v)
+		build := func() *tso.Machine { return tso.NewMachine(cfg, p0, p1) }
+		res := litmus.Explore(build, litmus.Options{
+			Properties: []litmus.Property{litmus.MutualExclusion},
+		})
+		verdict := "mutual exclusion HOLDS"
+		if res.Violations > 0 {
+			verdict = fmt.Sprintf("mutual exclusion VIOLATED (%d states)", res.Violations)
+		}
+		fmt.Printf("dekker-%-18s %6d states  %4d outcomes  -> %s\n",
+			v, res.States, len(res.Outcomes), verdict)
+
+		if v == programs.DekkerNoFence && res.Violations > 0 {
+			fmt.Println("\n  counterexample (the load commits while the flag store sits in the store buffer):")
+			for _, line := range splitLines(litmus.FormatTrace(build, res.ViolationTrace)) {
+				fmt.Println("    " + line)
+			}
+			fmt.Println()
+		}
+	}
+	fmt.Println("\nTheorem 7 (machine-checked): the asymmetric Dekker protocol with")
+	fmt.Println("l-mfence admits no interleaving with both threads in the critical section.")
+}
+
+func splitLines(s string) []string {
+	var out []string
+	start := 0
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\n' {
+			out = append(out, s[start:i])
+			start = i + 1
+		}
+	}
+	if start < len(s) {
+		out = append(out, s[start:])
+	}
+	return out
+}

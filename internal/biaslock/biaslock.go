@@ -1,0 +1,279 @@
+// Package biaslock implements a biased (reservation) lock, the
+// motivating application family of the paper's introduction and related
+// work: Java monitors with biased locking, where the bias-holding
+// thread (the primary) acquires and releases the lock far more often
+// than any revoker (secondary).
+//
+// The bias holder's fast path is the asymmetric Dekker protocol with a
+// location-based memory fence: raise the in-use flag (the guarded
+// location), check for revocation — no program-based fence. A thread
+// that wants the lock but does not hold the bias first revokes the
+// bias: it raises the revoke flag, "signals" the holder to serialize
+// (paying the signal or LE/ST round-trip cost of the configured mode —
+// in Go the Dekker correctness itself comes from the sequentially
+// consistent atomics, so the signal is deliverable even to an idle
+// holder, exactly like the POSIX signal in the paper's prototype),
+// waits for the holder to leave its critical section, and converts the
+// lock to a conventional shared lock. The lock can be re-biased to its
+// most frequent user, as the HotSpot-style schemes in the paper's
+// related work do.
+package biaslock
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/signals"
+)
+
+// Stats counts lock events.
+type Stats struct {
+	FastAcquires   atomic.Uint64 // biased fast-path acquisitions
+	SharedAcquires atomic.Uint64 // acquisitions through the shared slow path
+	Revocations    atomic.Uint64 // bias revocations performed
+	Rebias         atomic.Uint64 // times the lock was re-biased
+	SignalsSent    atomic.Uint64 // serialization round trips paid by revokers
+}
+
+// Owner is a per-goroutine handle. Goroutines must acquire the lock
+// through their own handle so the lock can tell the bias holder apart.
+type Owner struct {
+	m  *BiasedMutex
+	id uint64
+}
+
+// ID reports the owner's identity (nonzero).
+func (o *Owner) ID() uint64 { return o.id }
+
+// BiasedMutex is a mutual-exclusion lock biased toward one owner.
+type BiasedMutex struct {
+	mode core.Mode
+	cost core.CostProfile
+
+	// biasedTo holds the owner id the lock is currently biased to;
+	// 0 means unbiased (shared mode).
+	biasedTo atomic.Uint64
+
+	// inUse is the guarded location: the bias holder raises it on its
+	// fast path (the l-mfence store of Fig. 3(a)).
+	_     [8]uint64
+	inUse atomic.Int64
+	_     [8]uint64
+
+	// revoke is raised by a revoker; the holder checks it after raising
+	// inUse (the Dekker read).
+	revoke atomic.Int64
+	_      [8]uint64
+
+	// shared is the conventional lock used after revocation.
+	shared sync.Mutex
+
+	// revMu serializes revokers (secondaries compete first).
+	revMu sync.Mutex
+
+	fenceWord atomic.Uint64
+
+	// rebiasThreshold: after this many consecutive shared acquisitions
+	// by the same owner, the lock re-biases to it. 0 disables re-biasing.
+	rebiasThreshold int
+	lastOwner       uint64 // guarded by shared
+	streak          int    // guarded by shared
+
+	nextID atomic.Uint64
+
+	Stats Stats
+}
+
+// Option configures a BiasedMutex.
+type Option func(*BiasedMutex)
+
+// WithRebias enables re-biasing after n consecutive shared acquisitions
+// by the same owner (n <= 0 picks 64).
+func WithRebias(n int) Option {
+	return func(m *BiasedMutex) {
+		if n <= 0 {
+			n = 64
+		}
+		m.rebiasThreshold = n
+	}
+}
+
+// New builds a biased mutex with the given fence mode for the holder's
+// fast path.
+func New(mode core.Mode, cost core.CostProfile, opts ...Option) *BiasedMutex {
+	m := &BiasedMutex{mode: mode, cost: cost}
+	for _, o := range opts {
+		o(m)
+	}
+	return m
+}
+
+// NewOwner registers a goroutine with the lock.
+func (m *BiasedMutex) NewOwner() *Owner {
+	return &Owner{m: m, id: m.nextID.Add(1)}
+}
+
+// fence is the program-based fence the symmetric configuration pays on
+// the holder's fast path.
+func (m *BiasedMutex) fence() {
+	for i := 0; i < m.cost.FencePenaltyOps; i++ {
+		m.fenceWord.Add(1)
+	}
+	if m.cost.FencePenaltySpins > 0 {
+		signals.Spin(m.cost.FencePenaltySpins)
+	}
+}
+
+// signalCost is the revoker's serialization round-trip price.
+func (m *BiasedMutex) signalCost() int {
+	switch m.mode {
+	case core.ModeAsymmetricSW:
+		return m.cost.SignalRoundTrip
+	case core.ModeAsymmetricHW:
+		return m.cost.HWRoundTrip
+	default:
+		return 0
+	}
+}
+
+// Lock acquires the mutex through o.
+func (o *Owner) Lock() {
+	m := o.m
+	for {
+		bias := m.biasedTo.Load()
+		if bias == o.id {
+			// Biased fast path: the asymmetric Dekker entry. With a
+			// location-based fence the store below carries no fence;
+			// the revoke check is the Dekker read.
+			m.inUse.Store(1)
+			if m.mode == core.ModeSymmetric {
+				m.fence()
+			}
+			if m.revoke.Load() == 0 && m.biasedTo.Load() == o.id {
+				m.Stats.FastAcquires.Add(1)
+				return
+			}
+			// A revoker is active: retreat, wait out the revocation,
+			// and fall through to the shared path.
+			m.inUse.Store(0)
+			for m.revoke.Load() != 0 {
+				runtime.Gosched()
+			}
+			continue
+		}
+		if bias != 0 {
+			m.revokeBias(bias)
+			continue
+		}
+		// Unbiased: shared slow path.
+		m.shared.Lock()
+		if m.biasedTo.Load() != 0 {
+			// Someone re-biased between our check and the lock; retry.
+			m.shared.Unlock()
+			continue
+		}
+		m.Stats.SharedAcquires.Add(1)
+		m.maybeRebias(o)
+		return
+	}
+}
+
+// TryLock makes one attempt without blocking on a revocation or the
+// shared mutex. It reports whether the lock was acquired.
+func (o *Owner) TryLock() bool {
+	m := o.m
+	if m.biasedTo.Load() == o.id {
+		m.inUse.Store(1)
+		if m.mode == core.ModeSymmetric {
+			m.fence()
+		}
+		if m.revoke.Load() == 0 && m.biasedTo.Load() == o.id {
+			m.Stats.FastAcquires.Add(1)
+			return true
+		}
+		m.inUse.Store(0)
+		return false
+	}
+	if m.biasedTo.Load() != 0 {
+		return false
+	}
+	if !m.shared.TryLock() {
+		return false
+	}
+	if m.biasedTo.Load() != 0 {
+		m.shared.Unlock()
+		return false
+	}
+	m.Stats.SharedAcquires.Add(1)
+	m.maybeRebias(o)
+	return true
+}
+
+// maybeRebias re-biases the lock to o after a streak of shared
+// acquisitions. Called with m.shared held; the new bias takes effect at
+// the corresponding Unlock.
+func (m *BiasedMutex) maybeRebias(o *Owner) {
+	if m.rebiasThreshold == 0 {
+		return
+	}
+	if m.lastOwner == o.id {
+		m.streak++
+	} else {
+		m.lastOwner = o.id
+		m.streak = 1
+	}
+	if m.streak >= m.rebiasThreshold {
+		m.streak = 0
+		m.biasedTo.Store(o.id)
+		m.Stats.Rebias.Add(1)
+	}
+}
+
+// revokeBias converts the lock from biased to shared: raise the revoke
+// flag, pay the serialization round trip (the location-based fence's
+// secondary side), wait until the holder is out of its critical
+// section, and clear the bias.
+func (m *BiasedMutex) revokeBias(bias uint64) {
+	m.revMu.Lock()
+	defer m.revMu.Unlock()
+	if m.biasedTo.Load() != bias {
+		return // someone else already revoked (or re-biased)
+	}
+	m.revoke.Store(1)
+	if m.mode == core.ModeSymmetric {
+		m.fence()
+	} else if c := m.signalCost(); c > 0 {
+		signals.Spin(c) // deliver the "signal" that serializes the holder
+		m.Stats.SignalsSent.Add(1)
+	}
+	// Dekker: our revoke flag is visible before we read inUse, and the
+	// holder raises inUse before reading revoke, so either the holder
+	// retreated or we observe inUse==1 and wait it out here.
+	for m.inUse.Load() != 0 {
+		runtime.Gosched()
+	}
+	m.biasedTo.Store(0)
+	m.revoke.Store(0)
+	m.Stats.Revocations.Add(1)
+}
+
+// Unlock releases the mutex.
+func (o *Owner) Unlock() {
+	m := o.m
+	if m.biasedTo.Load() == o.id && m.inUse.Load() == 1 {
+		m.inUse.Store(0)
+		return
+	}
+	m.shared.Unlock()
+}
+
+// Biased reports the owner id the lock is biased to (0 = unbiased).
+func (m *BiasedMutex) Biased() uint64 { return m.biasedTo.Load() }
+
+// ClaimBias biases an unbiased lock to o (the "first locker becomes the
+// holder" initialization). It reports whether the claim succeeded.
+func (o *Owner) ClaimBias() bool {
+	return o.m.biasedTo.CompareAndSwap(0, o.id)
+}

@@ -1,0 +1,235 @@
+package biaslock
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+)
+
+func modes() []core.Mode {
+	return []core.Mode{core.ModeSymmetric, core.ModeAsymmetricSW, core.ModeAsymmetricHW}
+}
+
+func TestClaimAndFastPath(t *testing.T) {
+	for _, mode := range modes() {
+		t.Run(mode.String(), func(t *testing.T) {
+			m := New(mode, core.ZeroCosts())
+			o := m.NewOwner()
+			if !o.ClaimBias() {
+				t.Fatal("claim on fresh lock failed")
+			}
+			if o.ClaimBias() {
+				t.Fatal("second claim succeeded")
+			}
+			for i := 0; i < 100; i++ {
+				o.Lock()
+				o.Unlock()
+			}
+			if got := m.Stats.FastAcquires.Load(); got != 100 {
+				t.Errorf("fast acquires = %d, want 100", got)
+			}
+			if m.Stats.Revocations.Load() != 0 {
+				t.Error("spurious revocation")
+			}
+		})
+	}
+}
+
+func TestRevocationByOtherOwner(t *testing.T) {
+	for _, mode := range modes() {
+		t.Run(mode.String(), func(t *testing.T) {
+			cost := core.ZeroCosts()
+			cost.SignalRoundTrip = 10
+			cost.HWRoundTrip = 5
+			m := New(mode, cost)
+			holder := m.NewOwner()
+			other := m.NewOwner()
+			holder.ClaimBias()
+			holder.Lock()
+			holder.Unlock()
+
+			other.Lock() // must revoke and take the shared path
+			if m.Biased() != 0 {
+				t.Error("bias survived revocation")
+			}
+			other.Unlock()
+			if m.Stats.Revocations.Load() != 1 {
+				t.Errorf("revocations = %d, want 1", m.Stats.Revocations.Load())
+			}
+			if mode.Asymmetric() && m.Stats.SignalsSent.Load() != 1 {
+				t.Errorf("signals = %d, want 1", m.Stats.SignalsSent.Load())
+			}
+			// The former holder now uses the shared path too.
+			holder.Lock()
+			holder.Unlock()
+			if m.Stats.SharedAcquires.Load() < 2 {
+				t.Errorf("shared acquires = %d", m.Stats.SharedAcquires.Load())
+			}
+		})
+	}
+}
+
+func TestRevocationWaitsForHolderCS(t *testing.T) {
+	m := New(core.ModeAsymmetricHW, core.ZeroCosts())
+	holder := m.NewOwner()
+	other := m.NewOwner()
+	holder.ClaimBias()
+	holder.Lock() // in CS via the fast path
+
+	acquired := make(chan struct{})
+	go func() {
+		other.Lock()
+		close(acquired)
+		other.Unlock()
+	}()
+	select {
+	case <-acquired:
+		t.Fatal("revoker entered while the holder was inside its critical section")
+	case <-time.After(20 * time.Millisecond):
+	}
+	holder.Unlock()
+	select {
+	case <-acquired:
+	case <-time.After(2 * time.Second):
+		t.Fatal("revoker never entered after the holder left")
+	}
+}
+
+func TestRevokeIdleHolderDoesNotHang(t *testing.T) {
+	// The holder claimed the bias and went idle; a revoker must still
+	// make progress (the signal is deliverable to an idle primary).
+	m := New(core.ModeAsymmetricSW, core.DefaultCosts())
+	holder := m.NewOwner()
+	other := m.NewOwner()
+	holder.ClaimBias()
+
+	done := make(chan struct{})
+	go func() {
+		other.Lock()
+		other.Unlock()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("revocation of an idle holder hung")
+	}
+}
+
+func TestMutualExclusionUnderContention(t *testing.T) {
+	for _, mode := range modes() {
+		t.Run(mode.String(), func(t *testing.T) {
+			m := New(mode, core.ZeroCosts(), WithRebias(16))
+			var depth atomic.Int32
+			var bad atomic.Int32
+			var wg sync.WaitGroup
+			const goroutines = 4
+			const iters = 3000
+			for g := 0; g < goroutines; g++ {
+				o := m.NewOwner()
+				if g == 0 {
+					o.ClaimBias()
+				}
+				wg.Add(1)
+				go func(g int) {
+					defer wg.Done()
+					n := iters
+					if g != 0 {
+						n = iters / 10 // asymmetric access pattern
+					}
+					for i := 0; i < n; i++ {
+						o.Lock()
+						if depth.Add(1) != 1 {
+							bad.Add(1)
+						}
+						depth.Add(-1)
+						o.Unlock()
+					}
+				}(g)
+			}
+			wg.Wait()
+			if bad.Load() != 0 {
+				t.Errorf("%d mutual-exclusion violations", bad.Load())
+			}
+		})
+	}
+}
+
+func TestRebias(t *testing.T) {
+	m := New(core.ModeAsymmetricHW, core.ZeroCosts(), WithRebias(8))
+	a := m.NewOwner()
+	b := m.NewOwner()
+	a.ClaimBias()
+	a.Lock()
+	a.Unlock()
+	b.Lock() // revokes a's bias
+	b.Unlock()
+	if m.Biased() != 0 {
+		t.Fatal("bias not cleared")
+	}
+	// b acquires repeatedly through the shared path; after the streak
+	// threshold the lock re-biases to b.
+	for i := 0; i < 8; i++ {
+		b.Lock()
+		b.Unlock()
+	}
+	if m.Biased() != b.ID() {
+		t.Errorf("lock biased to %d, want %d", m.Biased(), b.ID())
+	}
+	if m.Stats.Rebias.Load() != 1 {
+		t.Errorf("rebias count = %d", m.Stats.Rebias.Load())
+	}
+	// And b's subsequent acquisitions take the fast path.
+	before := m.Stats.FastAcquires.Load()
+	b.Lock()
+	b.Unlock()
+	if m.Stats.FastAcquires.Load() != before+1 {
+		t.Error("re-biased owner not on the fast path")
+	}
+}
+
+func TestTryLock(t *testing.T) {
+	m := New(core.ModeAsymmetricHW, core.ZeroCosts())
+	a := m.NewOwner()
+	b := m.NewOwner()
+	a.ClaimBias()
+	if !a.TryLock() {
+		t.Fatal("holder TryLock failed on free lock")
+	}
+	if b.TryLock() {
+		t.Fatal("TryLock succeeded while biased to another owner")
+	}
+	a.Unlock()
+	if !a.TryLock() {
+		t.Fatal("holder TryLock failed after release")
+	}
+	a.Unlock()
+}
+
+func TestFastPathCheaperThanSymmetric(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing comparison")
+	}
+	const iters = 300_000
+	run := func(mode core.Mode) time.Duration {
+		m := New(mode, core.DefaultCosts())
+		o := m.NewOwner()
+		o.ClaimBias()
+		start := time.Now()
+		for i := 0; i < iters; i++ {
+			o.Lock()
+			o.Unlock()
+		}
+		return time.Since(start)
+	}
+	sym := run(core.ModeSymmetric)
+	asym := run(core.ModeAsymmetricHW)
+	if asym >= sym {
+		t.Errorf("asymmetric fast path not faster: sym=%v asym=%v", sym, asym)
+	}
+	t.Logf("biased fast path: symmetric=%v asymmetric=%v (%.2fx)",
+		sym, asym, float64(sym)/float64(asym))
+}

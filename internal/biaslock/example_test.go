@@ -1,0 +1,31 @@
+package biaslock_test
+
+import (
+	"fmt"
+
+	"repro/internal/biaslock"
+	"repro/internal/core"
+)
+
+// Example_biasedLock shows the reservation pattern: the first owner
+// claims the bias and locks fence-free; a second owner revokes the bias
+// (paying the serialization round trip) and converts the lock to its
+// shared mode.
+func Example_biasedLock() {
+	m := biaslock.New(core.ModeAsymmetricHW, core.DefaultCosts())
+	holder := m.NewOwner()
+	other := m.NewOwner()
+
+	holder.ClaimBias()
+	for i := 0; i < 1000; i++ {
+		holder.Lock() // biased fast path: no program-based fence
+		holder.Unlock()
+	}
+
+	other.Lock() // revokes the bias
+	other.Unlock()
+
+	fmt.Printf("fast=%d revocations=%d biased-now=%v\n",
+		m.Stats.FastAcquires.Load(), m.Stats.Revocations.Load(), m.Biased() != 0)
+	// Output: fast=1000 revocations=1 biased-now=false
+}

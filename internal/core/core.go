@@ -1,0 +1,244 @@
+// Package core is the Go-native realization of the paper's primary
+// contribution: the location-based memory fence (l-mfence) and the
+// asymmetric Dekker protocol built on it.
+//
+// A LocationFence guards stores that one distinguished goroutine (the
+// "primary") makes to a location that other goroutines (the
+// "secondaries") occasionally read. With a traditional program-based
+// fence the primary pays full serialization cost on every store, even
+// when nobody is looking. With a location-based fence the primary's
+// store is cheap, and a secondary that wants to read the location first
+// executes Serialize, remotely forcing the primary to serialize — paying
+// the communication cost only when synchronization actually happens.
+//
+// # Fence modes
+//
+// Go's sync/atomic offers only sequentially consistent operations, so a
+// portable Go program cannot literally emit the cheaper unfenced store
+// the paper's primary uses, nor the LE/ST hardware the paper proposes.
+// The package therefore separates the *protocol* (real, race-free,
+// memory-model-sound handshakes between goroutines) from the *cost
+// model* (injected cycle-calibrated delays that recreate the price gaps
+// the paper measures):
+//
+//   - ModeSymmetric — the baseline: every guarded store is followed by a
+//     program-based full fence (real serializing read-modify-write
+//     operations plus a calibrated penalty). Secondaries read directly.
+//   - ModeAsymmetricSW — the paper's software prototype: guarded stores
+//     are bare; a secondary's Serialize performs a mailbox round trip
+//     with the ~10,000-cycle signal cost charged to the secondary and a
+//     handler cost charged to the primary.
+//   - ModeAsymmetricHW — the projected LE/ST hardware: same protocol,
+//     but the round trip costs ~150 cycles and the primary pays nothing
+//     beyond its store-buffer flush.
+//   - ModeNoFence — no ordering discipline at all; only meaningful for
+//     measuring the fence-free upper bound on the primary's speed.
+//
+// All modes use the same underlying atomics, so measured differences
+// between modes come only from the modelled costs and the handshake
+// structure — which is exactly the comparison the paper's evaluation
+// makes.
+package core
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"repro/internal/signals"
+)
+
+// Mode selects the fence discipline of a LocationFence.
+type Mode int
+
+const (
+	// ModeNoFence applies no ordering discipline (broken for Dekker on
+	// real TSO hardware; here it bounds the fence-free fast path).
+	ModeNoFence Mode = iota
+	// ModeSymmetric uses a program-based full fence on every guarded
+	// store (the traditional Dekker discipline).
+	ModeSymmetric
+	// ModeAsymmetricSW is the signal-based software prototype of
+	// l-mfence.
+	ModeAsymmetricSW
+	// ModeAsymmetricHW is the projected LE/ST hardware l-mfence.
+	ModeAsymmetricHW
+)
+
+// Modes lists all fence modes in presentation order.
+var Modes = []Mode{ModeNoFence, ModeSymmetric, ModeAsymmetricSW, ModeAsymmetricHW}
+
+func (m Mode) String() string {
+	switch m {
+	case ModeNoFence:
+		return "nofence"
+	case ModeSymmetric:
+		return "symmetric"
+	case ModeAsymmetricSW:
+		return "asym-sw"
+	case ModeAsymmetricHW:
+		return "asym-hw"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// Asymmetric reports whether the mode uses the location-based handshake.
+func (m Mode) Asymmetric() bool {
+	return m == ModeAsymmetricSW || m == ModeAsymmetricHW
+}
+
+// CostProfile calibrates the modelled costs, in units of signals.Spin
+// iterations (roughly a cycle each) and serializing operations.
+type CostProfile struct {
+	// FencePenaltySpins is charged to the primary at every symmetric
+	// fence point, on top of FencePenaltyOps real serializing RMWs. The
+	// default models an mfence draining a partially full store buffer
+	// (~100 cycles), matching the 4-7x serial Dekker slowdown of §1 for
+	// a critical section touching a few locations.
+	FencePenaltySpins int
+
+	// FencePenaltyOps is the number of real (uncontended, private-word)
+	// atomic read-modify-write operations executed per symmetric fence.
+	FencePenaltyOps int
+
+	// SignalRoundTrip is charged to a secondary per software-prototype
+	// serialization round trip (~10,000 cycles of kernel crossings).
+	SignalRoundTrip int
+
+	// SignalHandler is charged to the primary per handled signal (the
+	// user-defined handler runs on the primary in the prototype).
+	SignalHandler int
+
+	// HWRoundTrip is charged to a secondary per projected-hardware
+	// round trip (~150 cycles: controller messages plus the primary's
+	// store-buffer flush).
+	HWRoundTrip int
+}
+
+// DefaultCosts returns the calibration used throughout the experiments,
+// derived from the paper's published numbers for its Opteron testbed.
+func DefaultCosts() CostProfile {
+	return CostProfile{
+		FencePenaltySpins: 100,
+		FencePenaltyOps:   4,
+		SignalRoundTrip:   10000,
+		SignalHandler:     2000,
+		HWRoundTrip:       150,
+	}
+}
+
+// ZeroCosts disables all modelled costs; the remaining differences
+// between modes are only the real handshake and atomic operations.
+func ZeroCosts() CostProfile { return CostProfile{FencePenaltyOps: 1} }
+
+// LocationFence guards the stores a primary goroutine makes to locations
+// it owns. One LocationFence serves one primary; any number of
+// secondaries may Serialize against it.
+type LocationFence struct {
+	mode Mode
+	cost CostProfile
+
+	mbox signals.Mailbox
+
+	// fenceWord is the private target of the symmetric mode's real
+	// serializing RMWs; padded to its own cache line so fence penalties
+	// of different primaries never contend.
+	_         [8]uint64
+	fenceWord atomic.Uint64
+	_         [8]uint64
+}
+
+// NewLocationFence builds a fence for the given mode and cost profile.
+func NewLocationFence(mode Mode, cost CostProfile) *LocationFence {
+	f := &LocationFence{mode: mode, cost: cost}
+	switch mode {
+	case ModeAsymmetricSW:
+		f.mbox.RequesterDelay = cost.SignalRoundTrip
+		f.mbox.PrimaryDelay = cost.SignalHandler
+	case ModeAsymmetricHW:
+		f.mbox.RequesterDelay = cost.HWRoundTrip
+		f.mbox.PrimaryDelay = 0
+	}
+	return f
+}
+
+// Mode reports the fence's discipline.
+func (f *LocationFence) Mode() Mode { return f.mode }
+
+// fence executes the program-based full fence: real serializing RMWs on
+// a private word plus the calibrated drain penalty.
+func (f *LocationFence) fence() {
+	for i := 0; i < f.cost.FencePenaltyOps; i++ {
+		f.fenceWord.Add(1)
+	}
+	if f.cost.FencePenaltySpins > 0 {
+		signals.Spin(f.cost.FencePenaltySpins)
+	}
+}
+
+// Store performs the guarded store — the l-mfence(loc, v) of Fig. 3(a).
+// In symmetric mode it is store-then-fence; in asymmetric modes it is
+// the bare store followed by a poll point (the poll is the cheap
+// "LEBit branch" analogue: one atomic load, predictable branch).
+func (f *LocationFence) Store(loc *atomic.Int64, v int64) {
+	loc.Store(v)
+	switch f.mode {
+	case ModeSymmetric:
+		f.fence()
+	case ModeAsymmetricSW, ModeAsymmetricHW:
+		f.mbox.Poll()
+	}
+}
+
+// Poll is an explicit primary poll point for protocols that want finer
+// poll granularity than one per guarded store. It reports whether a
+// serialization request was handled.
+func (f *LocationFence) Poll() bool {
+	if !f.mode.Asymmetric() {
+		return false
+	}
+	return f.mbox.Poll()
+}
+
+// Close marks the primary as departed, releasing present and future
+// Serialize callers.
+func (f *LocationFence) Close() { f.mbox.Close() }
+
+// Serialize is the secondary-side operation: after it returns, every
+// guarded store the primary issued before its acknowledging poll is
+// visible to the caller. In symmetric mode it is free — the primary
+// already fenced every store.
+func (f *LocationFence) Serialize() {
+	if !f.mode.Asymmetric() {
+		return
+	}
+	f.mbox.Serialize()
+}
+
+// SerializeWith is Serialize for callers that are themselves primaries
+// of another fence: onWait (typically the caller's own Poll) runs while
+// waiting, so that mutual serialization between two primaries cannot
+// deadlock.
+func (f *LocationFence) SerializeWith(onWait func()) {
+	if !f.mode.Asymmetric() {
+		return
+	}
+	f.mbox.SerializeWith(onWait)
+}
+
+// TrySerialize is Serialize with the ARW+ waiting heuristic: spin up to
+// budget iterations hoping the primary acknowledges at a natural poll
+// point before charging the signal cost. It reports whether the
+// heuristic avoided the signal.
+func (f *LocationFence) TrySerialize(budget int) bool {
+	if !f.mode.Asymmetric() {
+		return true
+	}
+	return f.mbox.TrySerialize(budget)
+}
+
+// Stats reports handshake counts: round trips initiated by secondaries
+// and requests handled by the primary.
+func (f *LocationFence) Stats() (requests, handled uint64) {
+	return f.mbox.Requests.Load(), f.mbox.Handled.Load()
+}

@@ -1,0 +1,163 @@
+package core
+
+import (
+	"runtime"
+	"sync/atomic"
+
+	"repro/internal/signals"
+)
+
+// Dekker is the asymmetric Dekker protocol of Fig. 3(a) between one
+// primary goroutine and any number of secondaries (secondaries first
+// compete among themselves for the right to engage the primary, as in
+// the augmented protocol the paper describes for biased locks and
+// work-stealing).
+//
+// The primary's side is biased: on conflict the secondary retreats and
+// the primary proceeds, so the primary's fast path is as short as the
+// fence mode allows. Secondaries can therefore starve under a primary
+// that never releases; the protocols built on this (deque steals, write
+// locks) all have naturally quiescing primaries.
+type Dekker struct {
+	fence *LocationFence
+
+	_  [8]uint64
+	l1 atomic.Int64 // the primary's flag: the guarded location
+	_  [8]uint64
+	l2 atomic.Int64 // the (winning) secondary's flag
+	_  [8]uint64
+
+	secFenceWord atomic.Uint64
+	_            [8]uint64
+
+	// secMu serializes secondaries. Like the mailbox's internal lock it
+	// is a polling spin lock: a secondary queueing here may itself be
+	// the primary of another Dekker instance and must keep servicing
+	// its own serialization requests, or rings of parties entering each
+	// other's critical sections deadlock.
+	secMu atomic.Int32
+
+	cost CostProfile
+}
+
+func (d *Dekker) secLock(onWait func()) {
+	for !d.secMu.CompareAndSwap(0, 1) {
+		if onWait != nil {
+			onWait()
+		}
+		runtime.Gosched()
+	}
+}
+
+func (d *Dekker) secUnlock() { d.secMu.Store(0) }
+
+// NewDekker builds a Dekker protocol instance with the given fence mode
+// for the primary. The secondary always uses a program-based full fence,
+// as the paper recommends (an l-mfence on the secondary would make the
+// primary wait for the secondary's store buffer).
+func NewDekker(mode Mode, cost CostProfile) *Dekker {
+	return &Dekker{fence: NewLocationFence(mode, cost), cost: cost}
+}
+
+// Fence returns the primary's location fence (for stats and Close).
+func (d *Dekker) Fence() *LocationFence { return d.fence }
+
+// secFence is the secondary's program-based mfence (line J2).
+func (d *Dekker) secFence() {
+	if d.fence.mode == ModeNoFence {
+		return
+	}
+	for i := 0; i < d.cost.FencePenaltyOps; i++ {
+		d.secFenceWord.Add(1)
+	}
+	if d.cost.FencePenaltySpins > 0 {
+		signals.Spin(d.cost.FencePenaltySpins)
+	}
+}
+
+// PrimaryTryEnter attempts one uncontended entry (lines K1-K2): guarded
+// store of the flag, then read the secondary flag. It returns true on
+// success; on failure the primary's flag is left raised, and the caller
+// should either spin via PrimaryEnter semantics or call PrimaryBackoff.
+func (d *Dekker) PrimaryTryEnter() bool {
+	d.fence.Store(&d.l1, 1) // l-mfence(&L1, 1)
+	return d.l2.Load() == 0
+}
+
+// PrimaryBackoff lowers the primary's flag after a failed try.
+func (d *Dekker) PrimaryBackoff() {
+	d.l1.Store(0)
+	d.fence.Poll()
+}
+
+// PrimaryEnter acquires the critical section for the primary, spinning
+// (with poll points, so secondaries' serialization requests stay
+// serviced) until the secondary flag clears. The protocol is biased:
+// the primary keeps its flag raised while waiting, forcing conflicting
+// secondaries to retreat.
+func (d *Dekker) PrimaryEnter() {
+	d.fence.Store(&d.l1, 1)
+	for d.l2.Load() != 0 {
+		d.fence.Poll()
+		runtime.Gosched()
+	}
+}
+
+// PrimaryExit releases the critical section (line K6).
+func (d *Dekker) PrimaryExit() {
+	d.l1.Store(0)
+	d.fence.Poll()
+}
+
+// SecondaryEnter acquires the critical section for a secondary: compete
+// for the right to synchronize, raise the flag, fence, force the primary
+// to serialize, and read the primary's flag (lines J1-J3); on conflict,
+// retreat and wait for the primary to leave.
+func (d *Dekker) SecondaryEnter() { d.SecondaryEnterWith(nil) }
+
+// SecondaryEnterWith is SecondaryEnter for callers that are themselves
+// primaries elsewhere: onWait (typically the caller's own poll) runs in
+// every wait loop, so two parties entering each other's critical
+// sections cannot deadlock on mutual serialization.
+func (d *Dekker) SecondaryEnterWith(onWait func()) {
+	d.secLock(onWait)
+	for {
+		d.l2.Store(1)                 // J1
+		d.secFence()                  // J2: mfence
+		d.fence.SerializeWith(onWait) // location-based: force the primary's store to complete
+		if d.l1.Load() == 0 {         // J3
+			return // in CS; secMu held until SecondaryExit
+		}
+		// Conflict: the biased protocol retreats the secondary.
+		d.l2.Store(0)
+		for d.l1.Load() != 0 {
+			if onWait != nil {
+				onWait()
+			}
+			runtime.Gosched()
+		}
+	}
+}
+
+// SecondaryTryEnter makes one attempt without retreat-waiting, using the
+// waiting-heuristic serialization with the given spin budget. It returns
+// whether the critical section was entered; on false the caller holds
+// nothing.
+func (d *Dekker) SecondaryTryEnter(spinBudget int) bool {
+	d.secLock(nil)
+	d.l2.Store(1)
+	d.secFence()
+	d.fence.TrySerialize(spinBudget)
+	if d.l1.Load() == 0 {
+		return true
+	}
+	d.l2.Store(0)
+	d.secUnlock()
+	return false
+}
+
+// SecondaryExit releases the critical section (line J7).
+func (d *Dekker) SecondaryExit() {
+	d.l2.Store(0)
+	d.secUnlock()
+}

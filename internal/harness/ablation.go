@@ -1,0 +1,235 @@
+package harness
+
+import (
+	"fmt"
+
+	"repro/internal/arch"
+	"repro/internal/core"
+	"repro/internal/programs"
+	"repro/internal/rwlock"
+	"repro/internal/sched"
+	"repro/internal/stats"
+	"repro/internal/tso"
+	"repro/internal/workloads"
+)
+
+// AblationResult carries the design-choice sweeps DESIGN.md calls out.
+type AblationResult struct {
+	// StoreBufferDepth: simulator cycles per fenced Dekker iteration as
+	// the buffer deepens (the mfence pays per-entry drain).
+	StoreBufferDepth map[int]float64
+
+	// SignalCost: parallel fib runtime (asym / symmetric) as the
+	// serialization round-trip cost sweeps from LE/ST-class to
+	// signal-class — the paper's core economic argument.
+	SignalCost map[int]float64
+
+	// SpinBudget: ARW+ signals sent per write as the waiting-heuristic
+	// window sweeps.
+	SpinBudget map[int]float64
+
+	// PollInterval: parallel fib runtime (normalized to interval 1) as
+	// the victim's poll granularity coarsens.
+	PollInterval map[int]float64
+
+	// DoubleFlush: simulator cycles per iteration for back-to-back
+	// l-mfences, same-location vs different-location (the single-link
+	// flush rule), plus the different-location cost when the hardware
+	// has two link register pairs (the heavier design the paper's
+	// related work contrasts with).
+	DoubleFlushSame, DoubleFlushDifferent, DoubleFlushTwoLinks float64
+}
+
+// RunAblations executes all five ablation sweeps.
+func RunAblations(opt Options) (*AblationResult, error) {
+	res := &AblationResult{
+		StoreBufferDepth: map[int]float64{},
+		SignalCost:       map[int]float64{},
+		SpinBudget:       map[int]float64{},
+		PollInterval:     map[int]float64{},
+	}
+
+	// 1. Store-buffer depth vs mfence cost (simulator): a burst of
+	// stores immediately before the fence, so the fence drains whatever
+	// the buffer could hold. Occupancy — and hence the program-based
+	// fence's price — grows with depth until the burst fits.
+	const simIters = 5000
+	for _, depth := range []int{2, 4, 8, 16, 32} {
+		b := tso.NewBuilder("burst")
+		b.LoadI(programs.RegCounter, simIters)
+		b.Label("top")
+		for a := 0; a < 16; a++ {
+			b.StoreI(programs.AddrCS0+arch.Addr(a%8), arch.Word(a))
+		}
+		b.Mfence()
+		b.AddI(programs.RegCounter, programs.RegCounter, -1)
+		b.Bne(programs.RegCounter, 0, "top")
+		b.Halt()
+		cfg := arch.DefaultConfig()
+		cfg.StoreBufferDepth = depth
+		cfg.Cost = simCostModel(opt.Cost)
+		m := tso.NewMachine(cfg, b.Build())
+		cycles, err := tso.NewRunner(m).RunProc(0)
+		if err != nil {
+			return nil, err
+		}
+		res.StoreBufferDepth[depth] = float64(cycles) / simIters
+	}
+
+	// 2. Signal-cost sweep: the ARW lock's writer pays one round trip
+	// per registered reader, so its read throughput (relative to SRW)
+	// falls as the round-trip cost sweeps from LE/ST-class to
+	// signal-class — the crossover that motivates the hardware.
+	for _, rtc := range []int{150, 1000, 10000, 50000} {
+		cost := opt.Cost
+		cost.SignalRoundTrip = rtc
+		arw := rwlock.New(core.ModeAsymmetricSW, cost)
+		arwTput := lockThroughput(arw, 4, 1000, opt.CellDuration/2)
+		srw := rwlock.New(core.ModeSymmetric, cost)
+		srwTput := lockThroughput(srw, 4, 1000, opt.CellDuration/2)
+		if srwTput > 0 {
+			res.SignalCost[rtc] = arwTput / srwTput
+		}
+	}
+
+	// 3. ARW+ spin budget vs signals sent: long read sections keep
+	// readers inside the lock at intent time, so a short window falls
+	// back to signals while a long one collects acknowledgements.
+	for _, budget := range []int{16, 256, 4096, 65536} {
+		l := rwlock.New(core.ModeAsymmetricSW, opt.Cost, rwlock.WithWaitingHeuristic(budget))
+		lockThroughputWork(l, 4, 400, opt.CellDuration/2, 3000)
+		writes := l.Stats.Writes.Load()
+		if writes == 0 {
+			writes = 1
+		}
+		res.SpinBudget[budget] = float64(l.Stats.SignalsSent.Load()) / float64(writes)
+	}
+
+	// Shared timing helper for the poll-interval sweep below.
+	spec, err := workloads.ByName("fib")
+	if err != nil {
+		return nil, err
+	}
+	timeRun := func(mode core.Mode, cost core.CostProfile, runOpts ...sched.RuntimeOption) (float64, error) {
+		best := 0.0
+		for r := 0; r < opt.Reps; r++ {
+			inst := spec.Make(opt.Scale)
+			rt := sched.New(opt.Procs, mode, cost, runOpts...)
+			secs := stats.MeasureSeconds(1, func() { rt.Run(inst.Root) })
+			if err := inst.Verify(); err != nil {
+				return 0, err
+			}
+			if r == 0 || secs[0] < best {
+				best = secs[0] // min-of-reps: robust to scheduler noise
+			}
+		}
+		return best, nil
+	}
+
+	// 4. Poll interval.
+	base := 0.0
+	for _, k := range []int{1, 4, 16, 64, 256} {
+		sec, err := timeRun(core.ModeAsymmetricHW, opt.Cost, sched.WithPollInterval(k))
+		if err != nil {
+			return nil, err
+		}
+		if k == 1 {
+			base = sec
+		}
+		res.PollInterval[k] = sec / base
+	}
+
+	// 5. Second-l-mfence flush rule, including the two-link hardware
+	// variant that avoids the flush.
+	double := func(same bool, links int) (float64, error) {
+		second := programs.AddrL2
+		if same {
+			second = programs.AddrL1
+		}
+		b := tso.NewBuilder("double")
+		b.LoadI(programs.RegCounter, 2000)
+		b.Label("top")
+		b.Lmfence(programs.AddrL1, 1, programs.RegScratch)
+		b.Lmfence(second, 1, programs.RegScratch)
+		b.AddI(programs.RegCounter, programs.RegCounter, -1)
+		b.Bne(programs.RegCounter, 0, "top")
+		b.Halt()
+		cfg := arch.DefaultConfig()
+		cfg.Cost = simCostModel(opt.Cost)
+		cfg.Links = links
+		m := tso.NewMachine(cfg, b.Build())
+		cycles, err := tso.NewRunner(m).RunProc(0)
+		if err != nil {
+			return 0, err
+		}
+		return float64(cycles) / 2000, nil
+	}
+	if res.DoubleFlushSame, err = double(true, 1); err != nil {
+		return nil, err
+	}
+	if res.DoubleFlushDifferent, err = double(false, 1); err != nil {
+		return nil, err
+	}
+	if res.DoubleFlushTwoLinks, err = double(false, 2); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// Tables renders the five sweeps.
+func (r *AblationResult) Tables() []*stats.Table {
+	var out []*stats.Table
+
+	t := stats.NewTable("Ablation 1: store-buffer depth vs fenced-Dekker cost (simulator)",
+		"depth", "cycles/iter")
+	for _, d := range []int{2, 4, 8, 16, 32} {
+		if v, ok := r.StoreBufferDepth[d]; ok {
+			t.AddRow(d, v)
+		}
+	}
+	t.AddNote("two regimes: shallow buffers stall the store burst (per-store drain waits);")
+	t.AddNote("deep buffers hold the whole burst and pay it all at the fence — either way")
+	t.AddNote("the program-based fence price tracks occupancy, which l-mfence avoids")
+	out = append(out, t)
+
+	t = stats.NewTable("Ablation 2: serialization round-trip cost vs ARW/SRW read throughput",
+		"round-trip cycles", "normalized throughput")
+	for _, c := range []int{150, 1000, 10000, 50000} {
+		if v, ok := r.SignalCost[c]; ok {
+			t.AddRow(c, v)
+		}
+	}
+	t.AddNote("the paper's economics: LE/ST-class costs keep the asymmetric lock ahead;")
+	t.AddNote("signal-class costs erode and eventually invert the benefit")
+	out = append(out, t)
+
+	t = stats.NewTable("Ablation 3: ARW+ spin budget vs signals per write",
+		"budget", "signals/write")
+	for _, b := range []int{16, 256, 4096, 65536} {
+		if v, ok := r.SpinBudget[b]; ok {
+			t.AddRow(b, v)
+		}
+	}
+	t.AddNote("a larger window lets readers acknowledge at natural poll points")
+	out = append(out, t)
+
+	t = stats.NewTable("Ablation 4: victim poll granularity vs parallel fib (normalized to every-op)",
+		"poll every k ops", "relative runtime")
+	for _, k := range []int{1, 4, 16, 64, 256} {
+		if v, ok := r.PollInterval[k]; ok {
+			t.AddRow(k, v)
+		}
+	}
+	out = append(out, t)
+
+	t = stats.NewTable("Ablation 5: back-to-back l-mfence (single-link flush rule, simulator)",
+		"second l-mfence", "cycles/iter")
+	t.AddRow("same location", r.DoubleFlushSame)
+	t.AddRow("different location, 1 link", r.DoubleFlushDifferent)
+	t.AddRow("different location, 2 links", r.DoubleFlushTwoLinks)
+	t.AddNote(fmt.Sprintf("the single-link flush costs %+.1f cycles/iter; a second link pair",
+		r.DoubleFlushDifferent-r.DoubleFlushSame))
+	t.AddNote("recovers it, at the hardware cost the paper's design deliberately avoids")
+	out = append(out, t)
+	return out
+}

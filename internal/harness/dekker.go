@@ -1,0 +1,114 @@
+package harness
+
+import (
+	"fmt"
+
+	"repro/internal/arch"
+	"repro/internal/core"
+	"repro/internal/programs"
+	"repro/internal/stats"
+	"repro/internal/tso"
+)
+
+// DekkerRow is one fence discipline's serial Dekker cost.
+type DekkerRow struct {
+	Variant        string
+	CyclesPerIter  float64 // simulator cycles per acquire/release iteration
+	SlowdownVsNone float64 // relative to the unfenced loop
+	RealNsPerIter  float64 // real-goroutine nanoseconds per iteration
+	RealSlowdown   float64
+}
+
+// DekkerResult reproduces the introduction's claim: a thread running
+// alone and executing the Dekker protocol with an mfence runs 4-7x
+// slower than without, while the location-based fence is nearly free.
+type DekkerResult struct {
+	Rows []DekkerRow
+}
+
+// RunDekker measures the serial Dekker loop on the cycle-accurate
+// simulator and with real goroutines.
+func RunDekker(opt Options) (*DekkerResult, error) {
+	simIters := opt.DekkerIters
+	if simIters > 50_000 {
+		simIters = 50_000 // the simulator interprets; keep runs snappy
+	}
+	const csWork = 3 // "a few memory locations in the critical section"
+
+	simCycles := func(v programs.DekkerVariant) (float64, error) {
+		cfg := arch.DefaultConfig()
+		cfg.Cost = simCostModel(opt.Cost)
+		m := tso.NewMachine(cfg, programs.DekkerLoop(v, simIters, csWork))
+		cycles, err := tso.NewRunner(m).RunProc(0)
+		if err != nil {
+			return 0, fmt.Errorf("harness: dekker %v: %w", v, err)
+		}
+		return float64(cycles) / float64(simIters), nil
+	}
+
+	realNs := func(mode core.Mode) float64 {
+		d := core.NewDekker(mode, opt.Cost)
+		secs := stats.MeasureSeconds(1, func() {
+			for i := 0; i < opt.DekkerIters; i++ {
+				d.PrimaryEnter()
+				d.PrimaryExit()
+			}
+		})
+		return secs[0] * 1e9 / float64(opt.DekkerIters)
+	}
+
+	type variant struct {
+		name string
+		sim  programs.DekkerVariant
+		real core.Mode
+	}
+	vs := []variant{
+		{"no fence", programs.DekkerNoFence, core.ModeNoFence},
+		{"mfence", programs.DekkerMfence, core.ModeSymmetric},
+		{"l-mfence", programs.DekkerLmfence, core.ModeAsymmetricHW},
+	}
+
+	res := &DekkerResult{}
+	var baseSim, baseReal float64
+	for i, v := range vs {
+		cyc, err := simCycles(v.sim)
+		if err != nil {
+			return nil, err
+		}
+		ns := realNs(v.real)
+		if i == 0 {
+			baseSim, baseReal = cyc, ns
+		}
+		res.Rows = append(res.Rows, DekkerRow{
+			Variant:        v.name,
+			CyclesPerIter:  cyc,
+			SlowdownVsNone: cyc / baseSim,
+			RealNsPerIter:  ns,
+			RealSlowdown:   ns / baseReal,
+		})
+	}
+	return res, nil
+}
+
+// Table renders the result in the style of the paper's §1 discussion.
+func (r *DekkerResult) Table() *stats.Table {
+	t := stats.NewTable(
+		"Serial Dekker protocol, primary running alone (§1: mfence is 4-7x slower)",
+		"fence", "sim cycles/iter", "sim slowdown", "real ns/iter", "real slowdown")
+	for _, row := range r.Rows {
+		t.AddRow(row.Variant, row.CyclesPerIter, row.SlowdownVsNone,
+			row.RealNsPerIter, row.RealSlowdown)
+	}
+	t.AddNote("paper: Dekker with mfence runs 4-7x slower than without when running alone")
+	t.AddNote("paper: l-mfence overhead when running alone is negligible")
+	return t
+}
+
+// simCostModel translates the goroutine-level cost profile into the
+// simulator's cycle model so the two layers stay calibrated together.
+func simCostModel(c core.CostProfile) arch.CostModel {
+	m := arch.DefaultCostModel()
+	m.SignalRoundTrip = int64(c.SignalRoundTrip)
+	m.LESTRoundTrip = int64(c.HWRoundTrip)
+	return m
+}

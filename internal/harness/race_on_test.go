@@ -1,0 +1,8 @@
+//go:build race
+
+package harness
+
+// raceEnabled reports whether the race detector is active; timing-ratio
+// assertions are skipped under it (instrumentation distorts the very
+// costs the experiments measure).
+const raceEnabled = true

@@ -1,0 +1,231 @@
+package litmus
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/arch"
+	"repro/internal/programs"
+	"repro/internal/tso"
+)
+
+// CatalogTest is one named litmus test with its expected classification
+// under the TSO/PO ordering principles of Section 2. The relation
+// between the four principles and the tests:
+//
+//	Principle 1 (R-R kept in order)      — MP's reader, CoRR
+//	Principle 2 (W not before older R)   — LB
+//	Principle 3 (W-W kept in order)      — MP's writer, 2+2W
+//	Principle 4 (R may pass older W)     — SB (the one *allowed* relaxation)
+//
+// plus the store-atomicity TSO adds on top (writes reach the coherent
+// cache in one global order) — IRIW.
+type CatalogTest struct {
+	Name string
+	// Doc is a one-line description including the litmus shape.
+	Doc string
+	// Build constructs the programs, one per processor.
+	Build func() []*tso.Program
+	// Relaxed reports whether an outcome is the "relaxed" one the test
+	// probes for.
+	Relaxed func(Outcome) bool
+	// AllowedUnderTSO states whether the relaxed outcome must be
+	// reachable (true) or forbidden (false) on this machine.
+	AllowedUnderTSO bool
+}
+
+// frag formats an outcome fragment matcher: proc, then "rK=V" pairs.
+func has(o Outcome, proc int, frags ...string) bool {
+	s := procSection(string(o), proc)
+	if s == "" {
+		return false
+	}
+	for _, f := range frags {
+		if !strings.Contains(s, f) {
+			return false
+		}
+	}
+	return true
+}
+
+// Catalog returns the litmus-test suite. Addresses: x=AddrX, y=AddrY.
+func Catalog() []CatalogTest {
+	b := func(name string) *tso.Builder { return tso.NewBuilder(name) }
+	x, y := programs.AddrX, programs.AddrY
+
+	return []CatalogTest{
+		{
+			Name: "SB",
+			Doc:  "store buffering: P0{x=1;r0=y} P1{y=1;r0=x}; r0==0 twice ALLOWED (Principle 4)",
+			Build: func() []*tso.Program {
+				return []*tso.Program{
+					b("sb0").StoreI(x, 1).Load(0, y).Halt().Build(),
+					b("sb1").StoreI(y, 1).Load(0, x).Halt().Build(),
+				}
+			},
+			Relaxed: func(o Outcome) bool {
+				return has(o, 0, "r0=0") && has(o, 1, "r0=0")
+			},
+			AllowedUnderTSO: true,
+		},
+		{
+			Name: "SB+mfence",
+			Doc:  "SB with mfence between store and load on both sides; forbidden",
+			Build: func() []*tso.Program {
+				return []*tso.Program{
+					b("sbf0").StoreI(x, 1).Mfence().Load(0, y).Halt().Build(),
+					b("sbf1").StoreI(y, 1).Mfence().Load(0, x).Halt().Build(),
+				}
+			},
+			Relaxed: func(o Outcome) bool {
+				return has(o, 0, "r0=0") && has(o, 1, "r0=0")
+			},
+			AllowedUnderTSO: false,
+		},
+		{
+			Name: "SB+lmfence",
+			Doc:  "SB with l-mfence on P0 (primary) and mfence on P1; forbidden (Theorem 4)",
+			Build: func() []*tso.Program {
+				return []*tso.Program{
+					b("sbl0").Lmfence(x, 1, programs.RegScratch).Load(0, y).Halt().Build(),
+					b("sbl1").StoreI(y, 1).Mfence().Load(0, x).Halt().Build(),
+				}
+			},
+			Relaxed: func(o Outcome) bool {
+				return has(o, 0, "r0=0") && has(o, 1, "r0=0")
+			},
+			AllowedUnderTSO: false,
+		},
+		{
+			Name: "MP",
+			Doc:  "message passing: P0{x=1;y=1} P1{r1=y;r2=x}; r1==1,r2==0 forbidden (Principles 1+3)",
+			Build: func() []*tso.Program {
+				return []*tso.Program{
+					b("mp0").StoreI(x, 1).StoreI(y, 1).Halt().Build(),
+					b("mp1").Load(1, y).Load(2, x).Halt().Build(),
+				}
+			},
+			Relaxed: func(o Outcome) bool {
+				return has(o, 1, "r1=1", "r2=0")
+			},
+			AllowedUnderTSO: false,
+		},
+		{
+			Name: "LB",
+			Doc:  "load buffering: P0{r1=x;y=1} P1{r1=y;x=1}; r1==1 twice forbidden (Principle 2)",
+			Build: func() []*tso.Program {
+				return []*tso.Program{
+					b("lb0").Load(1, x).StoreI(y, 1).Halt().Build(),
+					b("lb1").Load(1, y).StoreI(x, 1).Halt().Build(),
+				}
+			},
+			Relaxed: func(o Outcome) bool {
+				return has(o, 0, "r1=1") && has(o, 1, "r1=1")
+			},
+			AllowedUnderTSO: false,
+		},
+		{
+			Name: "2+2W",
+			Doc:  "P0{x=1;y=2} P1{y=1;x=2}; final x==1,y==1 forbidden (Principle 3 + coherence)",
+			Build: func() []*tso.Program {
+				// Read back the final values after a fence, on both procs.
+				return []*tso.Program{
+					b("w0").StoreI(x, 1).StoreI(y, 2).Mfence().Load(1, x).Load(2, y).Halt().Build(),
+					b("w1").StoreI(y, 1).StoreI(x, 2).Mfence().Load(1, x).Load(2, y).Halt().Build(),
+				}
+			},
+			Relaxed: func(o Outcome) bool {
+				// Both writers finished (fenced) and then both observe the
+				// *older* write of each location surviving: x==1 && y==1
+				// seen identically by both.
+				return has(o, 0, "r1=1", "r2=1") && has(o, 1, "r1=1", "r2=1")
+			},
+			AllowedUnderTSO: false,
+		},
+		{
+			Name: "CoRR",
+			Doc:  "coherence of read-read: P0{x=1;x=2} P1{r1=x;r2=x}; r1==2,r2==1 forbidden",
+			Build: func() []*tso.Program {
+				return []*tso.Program{
+					b("co0").StoreI(x, 1).StoreI(x, 2).Halt().Build(),
+					b("co1").Load(1, x).Load(2, x).Halt().Build(),
+				}
+			},
+			Relaxed: func(o Outcome) bool {
+				return has(o, 1, "r1=2", "r2=1")
+			},
+			AllowedUnderTSO: false,
+		},
+		{
+			Name: "WRC",
+			Doc:  "write-to-read causality: P0{x=1} P1{r1=x;y=1} P2{r1=y;r2=x}; P1 sees x, P2 sees y but not x — forbidden",
+			Build: func() []*tso.Program {
+				return []*tso.Program{
+					b("wrc0").StoreI(x, 1).Halt().Build(),
+					b("wrc1").Load(1, x).StoreI(y, 1).Halt().Build(),
+					b("wrc2").Load(1, y).Load(2, x).Halt().Build(),
+				}
+			},
+			Relaxed: func(o Outcome) bool {
+				return has(o, 1, "r1=1") && has(o, 2, "r1=1", "r2=0")
+			},
+			AllowedUnderTSO: false,
+		},
+		{
+			Name: "RWC",
+			Doc:  "read-to-write causality: P0{x=1} P1{r1=x;r2=y} P2{y=1;r1=x}; P1 sees x but not y while P2's read passes its y store — ALLOWED (P2's store buffering)",
+			Build: func() []*tso.Program {
+				return []*tso.Program{
+					b("rwc0").StoreI(x, 1).Halt().Build(),
+					b("rwc1").Load(1, x).Load(2, y).Halt().Build(),
+					b("rwc2").StoreI(y, 1).Load(1, x).Halt().Build(),
+				}
+			},
+			Relaxed: func(o Outcome) bool {
+				return has(o, 1, "r1=1", "r2=0") && has(o, 2, "r1=0")
+			},
+			AllowedUnderTSO: true,
+		},
+		{
+			Name: "IRIW",
+			Doc:  "independent reads of independent writes: readers must agree on the write order (TSO store atomicity)",
+			Build: func() []*tso.Program {
+				return []*tso.Program{
+					b("iriw-w0").StoreI(x, 1).Halt().Build(),
+					b("iriw-w1").StoreI(y, 1).Halt().Build(),
+					b("iriw-r0").Load(1, x).Load(2, y).Halt().Build(),
+					b("iriw-r1").Load(1, y).Load(2, x).Halt().Build(),
+				}
+			},
+			Relaxed: func(o Outcome) bool {
+				// Reader 2 saw x before y; reader 3 saw y before x.
+				return has(o, 2, "r1=1", "r2=0") && has(o, 3, "r1=1", "r2=0")
+			},
+			AllowedUnderTSO: false,
+		},
+	}
+}
+
+// RunCatalogTest explores one catalog entry and reports whether the
+// machine classified it as expected.
+func RunCatalogTest(t CatalogTest) (Result, error) {
+	progs := t.Build()
+	cfg := arch.DefaultConfig()
+	cfg.Procs = len(progs)
+	cfg.MemWords = 16
+	cfg.StoreBufferDepth = 4
+	build := func() *tso.Machine { return tso.NewMachine(cfg, progs...) }
+	res := Explore(build, Options{})
+	if res.Truncated {
+		return res, fmt.Errorf("litmus: %s truncated at %d states", t.Name, res.States)
+	}
+	if res.Deadlocks > 0 {
+		return res, fmt.Errorf("litmus: %s deadlocked %d times", t.Name, res.Deadlocks)
+	}
+	reached := res.CountOutcomes(func(o Outcome) bool { return t.Relaxed(o) }) > 0
+	if reached != t.AllowedUnderTSO {
+		return res, fmt.Errorf("litmus: %s relaxed outcome reachable=%v, want %v",
+			t.Name, reached, t.AllowedUnderTSO)
+	}
+	return res, nil
+}

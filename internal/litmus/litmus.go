@@ -1,0 +1,333 @@
+// Package litmus is an exhaustive-interleaving model checker for the
+// simulated TSO machine. It machine-checks the correctness results of
+// Section 4 of "Location-Based Memory Fences" on bounded programs:
+// Theorem 4 (the LE/ST mechanism implements the l-mfence specification)
+// via litmus tests over reachable outcomes, and Theorem 7 (the asymmetric
+// Dekker protocol with l-mfence is mutually exclusive) via critical-
+// section overlap detection on every reachable state.
+//
+// The operational semantics being explored has two transition kinds per
+// processor: committing the next instruction, and draining the oldest
+// store-buffer entry ("whenever the system bus is available" — i.e., at
+// any time). Exploring all interleavings of those transitions covers
+// every reordering TSO permits.
+package litmus
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/arch"
+	"repro/internal/tso"
+)
+
+// ActionKind distinguishes the two transition kinds.
+type ActionKind uint8
+
+const (
+	// Exec commits the processor's next instruction.
+	Exec ActionKind = iota
+	// Drain completes the processor's oldest buffered store.
+	Drain
+)
+
+func (k ActionKind) String() string {
+	if k == Exec {
+		return "exec"
+	}
+	return "drain"
+}
+
+// Action is one transition of one processor.
+type Action struct {
+	Proc arch.ProcID
+	Kind ActionKind
+}
+
+func (a Action) String() string {
+	return fmt.Sprintf("%v:%v", a.Proc, a.Kind)
+}
+
+// Property is checked on every reachable state; returning a non-nil error
+// marks the state (and the run) as violating.
+type Property func(m *tso.Machine) error
+
+// MutualExclusion fails on any state where two processors are inside
+// their critical sections simultaneously.
+func MutualExclusion(m *tso.Machine) error {
+	if m.CSViolation {
+		return fmt.Errorf("mutual exclusion violated")
+	}
+	return nil
+}
+
+// Outcome is the canonical summary of a quiesced final state: each
+// processor's registers of interest.
+type Outcome string
+
+// OutcomeRegs selects which registers an outcome records.
+var OutcomeRegs = []tso.Reg{0, 1, 2, 6}
+
+func outcomeOf(m *tso.Machine) Outcome {
+	var sb strings.Builder
+	for i, p := range m.Procs {
+		if p.Prog == nil {
+			continue
+		}
+		if i > 0 {
+			sb.WriteByte(' ')
+		}
+		fmt.Fprintf(&sb, "P%d[", i)
+		for j, r := range OutcomeRegs {
+			if j > 0 {
+				sb.WriteByte(',')
+			}
+			fmt.Fprintf(&sb, "r%d=%d", r, p.Regs[r])
+		}
+		sb.WriteByte(']')
+	}
+	return Outcome(sb.String())
+}
+
+// Options configures an exploration.
+type Options struct {
+	// Properties are invariants checked at every reachable state.
+	Properties []Property
+
+	// MaxStates aborts runaway explorations; 0 means DefaultMaxStates.
+	MaxStates int
+
+	// StopAtFirstViolation ends the search once one violating trace is
+	// found (the trace is still recorded).
+	StopAtFirstViolation bool
+
+	// SequentialConsistency explores the machine under SC semantics:
+	// every store completes (drains to the coherent cache) immediately
+	// after it commits, so no store-buffer reordering is observable.
+	// Used as the reference model in differential tests — TSO outcomes
+	// must be a superset of SC outcomes, and fully fenced programs must
+	// coincide with SC.
+	SequentialConsistency bool
+}
+
+// DefaultMaxStates bounds the explored state count.
+const DefaultMaxStates = 2_000_000
+
+// Result summarizes an exploration.
+type Result struct {
+	// States is the number of distinct states visited.
+	States int
+	// Transitions is the number of transitions taken.
+	Transitions int
+	// Truncated is set when MaxStates was hit; conclusions are then only
+	// valid for the explored prefix.
+	Truncated bool
+	// Violations counts states where a property failed.
+	Violations int
+	// FirstViolation describes the first property failure.
+	FirstViolation error
+	// ViolationTrace is the action sequence reaching the first violation.
+	ViolationTrace []Action
+	// Outcomes maps each quiesced final state's outcome to the number of
+	// distinct final states producing it.
+	Outcomes map[Outcome]int
+	// Deadlocks counts non-quiesced states with no enabled action (a
+	// processor blocked forever, e.g. store into a full buffer with
+	// nothing draining — cannot happen since Drain is always enabled when
+	// the buffer is non-empty, but the checker verifies that).
+	Deadlocks int
+}
+
+// HasOutcome reports whether an outcome matching all the given "rK=V"
+// fragments for the given processor was observed, e.g.
+// r.HasOutcome(0, "r6=1").
+func (r *Result) HasOutcome(proc int, frags ...string) bool {
+	for o := range r.Outcomes {
+		section := procSection(string(o), proc)
+		if section == "" {
+			continue
+		}
+		all := true
+		for _, f := range frags {
+			if !strings.Contains(section, f) {
+				all = false
+				break
+			}
+		}
+		if all {
+			return true
+		}
+	}
+	return false
+}
+
+// CountOutcomes returns how many distinct outcomes satisfy pred.
+func (r *Result) CountOutcomes(pred func(Outcome) bool) int {
+	n := 0
+	for o := range r.Outcomes {
+		if pred(o) {
+			n++
+		}
+	}
+	return n
+}
+
+func procSection(outcome string, proc int) string {
+	tag := fmt.Sprintf("P%d[", proc)
+	i := strings.Index(outcome, tag)
+	if i < 0 {
+		return ""
+	}
+	j := strings.Index(outcome[i:], "]")
+	if j < 0 {
+		return ""
+	}
+	return outcome[i : i+j+1]
+}
+
+// SortedOutcomes returns the outcomes in deterministic order, for
+// printing.
+func (r *Result) SortedOutcomes() []Outcome {
+	out := make([]Outcome, 0, len(r.Outcomes))
+	for o := range r.Outcomes {
+		out = append(out, o)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+type frame struct {
+	m     *tso.Machine
+	trace []Action
+}
+
+// Explore runs a depth-first search over all interleavings of the machine
+// produced by build. The builder is invoked once; the search clones
+// states as it forks.
+func Explore(build func() *tso.Machine, opts Options) Result {
+	maxStates := opts.MaxStates
+	if maxStates == 0 {
+		maxStates = DefaultMaxStates
+	}
+	res := Result{Outcomes: make(map[Outcome]int)}
+	visited := make(map[string]struct{})
+
+	root := build()
+	stack := []frame{{m: root}}
+	buf := make([]byte, 0, 256)
+
+	for len(stack) > 0 {
+		f := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		m := f.m
+
+		buf = m.Fingerprint(buf[:0])
+		key := string(buf)
+		if _, seen := visited[key]; seen {
+			continue
+		}
+		if res.States >= maxStates {
+			res.Truncated = true
+			break
+		}
+		visited[key] = struct{}{}
+		res.States++
+
+		violated := false
+		for _, prop := range opts.Properties {
+			if err := prop(m); err != nil {
+				res.Violations++
+				violated = true
+				if res.FirstViolation == nil {
+					res.FirstViolation = err
+					res.ViolationTrace = append([]Action(nil), f.trace...)
+				}
+				break
+			}
+		}
+		if violated && opts.StopAtFirstViolation {
+			return res
+		}
+
+		enabled := enabledActions(m, opts.SequentialConsistency)
+		if len(enabled) == 0 {
+			if m.Quiesced() {
+				res.Outcomes[outcomeOf(m)]++
+			} else {
+				res.Deadlocks++
+			}
+			continue
+		}
+		for _, a := range enabled {
+			child := m.Clone()
+			apply(child, a, opts.SequentialConsistency)
+			res.Transitions++
+			tr := make([]Action, len(f.trace)+1)
+			copy(tr, f.trace)
+			tr[len(f.trace)] = a
+			stack = append(stack, frame{m: child, trace: tr})
+		}
+	}
+	return res
+}
+
+func enabledActions(m *tso.Machine, sc bool) []Action {
+	var out []Action
+	for i := range m.Procs {
+		p := arch.ProcID(i)
+		if m.CanExec(p) {
+			out = append(out, Action{Proc: p, Kind: Exec})
+		}
+		if !sc && m.CanDrain(p) {
+			out = append(out, Action{Proc: p, Kind: Drain})
+		}
+	}
+	return out
+}
+
+func apply(m *tso.Machine, a Action, sc bool) {
+	switch a.Kind {
+	case Exec:
+		m.ExecStep(a.Proc)
+		if sc {
+			// SC semantics: the store (if any) becomes globally visible
+			// atomically with its commit.
+			for m.CanDrain(a.Proc) {
+				m.DrainStep(a.Proc)
+			}
+		}
+	case Drain:
+		m.DrainStep(a.Proc)
+	}
+}
+
+// Replay applies a recorded trace to a fresh machine from build,
+// returning the resulting machine. Used to render violation traces.
+func Replay(build func() *tso.Machine, trace []Action) *tso.Machine {
+	m := build()
+	for _, a := range trace {
+		apply(m, a, false)
+	}
+	return m
+}
+
+// FormatTrace renders a trace with the instruction each exec step
+// committed, for human inspection of counterexamples.
+func FormatTrace(build func() *tso.Machine, trace []Action) string {
+	m := build()
+	var sb strings.Builder
+	for i, a := range trace {
+		switch a.Kind {
+		case Exec:
+			p := m.Procs[a.Proc]
+			in := p.Prog.Instrs[p.PC]
+			fmt.Fprintf(&sb, "%3d. %v exec  %v\n", i, a.Proc, in)
+		case Drain:
+			e, _ := m.Procs[a.Proc].SB.Oldest()
+			fmt.Fprintf(&sb, "%3d. %v drain [0x%x]=%d\n", i, a.Proc, uint32(e.Addr), int64(e.Val))
+		}
+		apply(m, a, false)
+	}
+	return sb.String()
+}

@@ -1,0 +1,654 @@
+// Package mesi implements a snooping MESI cache-coherence protocol over a
+// single shared bus, at the granularity the paper needs: one word per
+// cache line, private caches per processor, and writeback on downgrade.
+//
+// Beyond textbook MESI, the package provides the *guard* hook the LE/ST
+// mechanism of "Location-Based Memory Fences" requires: each cache
+// controller can be armed to watch one address (the l-mfence's guarded
+// location). Whenever servicing a remote request — or a local eviction —
+// would downgrade or invalidate the watched line, the controller first
+// notifies its processor (a synchronous callback that flushes the store
+// buffer and clears the link) and only then lets the coherence action
+// proceed. This is precisely the "cache controller waits for the
+// processor's reply" protocol of Section 3.
+package mesi
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/arch"
+)
+
+// State is a MESI cache-line state.
+type State uint8
+
+// The coherence states. Invalid is the zero value so absent lines read
+// as Invalid naturally. Owned exists only under the MOESI protocol
+// flavour; Exclusive never appears under MSI.
+const (
+	Invalid State = iota
+	Shared
+	Exclusive
+	Modified
+	Owned
+)
+
+func (s State) String() string {
+	switch s {
+	case Invalid:
+		return "I"
+	case Shared:
+		return "S"
+	case Exclusive:
+		return "E"
+	case Modified:
+		return "M"
+	case Owned:
+		return "O"
+	default:
+		return fmt.Sprintf("State(%d)", uint8(s))
+	}
+}
+
+// dirty reports whether the state holds data newer than memory.
+func (s State) dirty() bool { return s == Modified || s == Owned }
+
+// GuardReason tells a guard handler why its link is being broken.
+type GuardReason uint8
+
+const (
+	// GuardDowngrade: a remote read needs the line in Shared state.
+	GuardDowngrade GuardReason = iota
+	// GuardInvalidate: a remote write (or read-exclusive) needs the line
+	// gone from this cache.
+	GuardInvalidate
+	// GuardEvict: the local cache is evicting the line for capacity.
+	GuardEvict
+)
+
+func (r GuardReason) String() string {
+	switch r {
+	case GuardDowngrade:
+		return "downgrade"
+	case GuardInvalidate:
+		return "invalidate"
+	case GuardEvict:
+		return "evict"
+	default:
+		return fmt.Sprintf("GuardReason(%d)", uint8(r))
+	}
+}
+
+// GuardHandler is invoked by a cache controller, with the guard already
+// disarmed, before the coherence action that breaks the link proceeds.
+// The handler is expected to complete the processor's pending stores
+// (flush its store buffer); the controller resumes once it returns, so
+// the requesting processor then observes the most up-to-date value.
+type GuardHandler func(addr arch.Addr, reason GuardReason)
+
+// Stats counts coherence events, for traces and experiment reporting.
+type Stats struct {
+	BusReads          uint64 // BusRd transactions (load misses)
+	BusReadXs         uint64 // BusRdX transactions (store/LE misses)
+	BusUpgrades       uint64 // S -> M upgrades
+	CacheToCache      uint64 // transfers serviced by a peer cache
+	MemoryFetches     uint64 // transfers serviced by memory
+	Writebacks        uint64 // M lines written back to memory
+	Invalidations     uint64 // lines invalidated by remote requests
+	Downgrades        uint64 // M/E lines downgraded to S
+	Evictions         uint64 // capacity evictions
+	GuardBreaks       uint64 // guard handlers fired
+	GuardBreaksRemote uint64 // fired due to remote traffic (not eviction)
+}
+
+type line struct {
+	state State
+	val   arch.Word
+	// lastUse orders lines for LRU eviction. It never enters state
+	// fingerprints (the model checker runs with eviction disabled).
+	lastUse uint64
+}
+
+type cache struct {
+	lines    map[arch.Addr]*line
+	capacity int // 0 means unbounded (model-checking mode)
+
+	// guards is the set of addresses this controller watches on behalf
+	// of armed LE/ST links. The paper's baseline hardware has exactly
+	// one LEBit/LEAddr pair, so the set holds at most one entry there;
+	// the multi-link design-space variant (arch.Config.Links > 1) arms
+	// several.
+	guards  map[arch.Addr]struct{}
+	handler GuardHandler
+}
+
+// System is the coherent memory system: flat memory plus one cache per
+// processor, all hanging off one logical bus. System is not safe for
+// concurrent use; the simulator drives it from a single goroutine.
+type System struct {
+	cfg     arch.Config
+	mem     []arch.Word
+	caches  []*cache
+	useTick uint64
+	stats   Stats
+}
+
+// NewSystem builds a coherent system for cfg. Caches are unbounded unless
+// a positive capacity is set via SetCacheCapacity; unbounded caches keep
+// the model checker's state space finite and deterministic.
+func NewSystem(cfg arch.Config) *System {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	s := &System{
+		cfg:    cfg,
+		mem:    make([]arch.Word, cfg.MemWords),
+		caches: make([]*cache, cfg.Procs),
+	}
+	for i := range s.caches {
+		s.caches[i] = &cache{lines: make(map[arch.Addr]*line)}
+	}
+	return s
+}
+
+// Procs reports the number of processors in the system.
+func (s *System) Procs() int { return len(s.caches) }
+
+// Stats returns a copy of the event counters.
+func (s *System) Stats() Stats { return s.stats }
+
+// ResetStats zeroes the event counters.
+func (s *System) ResetStats() { s.stats = Stats{} }
+
+// SetCacheCapacity bounds processor p's cache to n lines (LRU eviction).
+// n <= 0 makes it unbounded again.
+func (s *System) SetCacheCapacity(p arch.ProcID, n int) {
+	s.cacheOf(p).capacity = n
+}
+
+// SetGuardHandler installs the callback invoked when p's guard breaks.
+func (s *System) SetGuardHandler(p arch.ProcID, h GuardHandler) {
+	s.cacheOf(p).handler = h
+}
+
+// ArmGuard starts watching addr on behalf of processor p. The caller
+// (the LE/ST logic) enforces the link-capacity and flush-before-rearm
+// rules the paper specifies.
+func (s *System) ArmGuard(p arch.ProcID, addr arch.Addr) {
+	c := s.cacheOf(p)
+	if c.guards == nil {
+		c.guards = make(map[arch.Addr]struct{}, 2)
+	}
+	c.guards[addr] = struct{}{}
+}
+
+// DisarmGuard stops watching addr. Safe to call when not armed.
+func (s *System) DisarmGuard(p arch.ProcID, addr arch.Addr) {
+	delete(s.cacheOf(p).guards, addr)
+}
+
+// DisarmAllGuards stops watching everything (context switch, interrupt).
+func (s *System) DisarmAllGuards(p arch.ProcID) {
+	c := s.cacheOf(p)
+	for a := range c.guards {
+		delete(c.guards, a)
+	}
+}
+
+// Guarded reports whether p's controller watches addr.
+func (s *System) Guarded(p arch.ProcID, addr arch.Addr) bool {
+	_, ok := s.cacheOf(p).guards[addr]
+	return ok
+}
+
+// GuardArmed reports whether p's controller is watching any address and,
+// if so, the lowest such address (unique in the paper's single-link
+// hardware).
+func (s *System) GuardArmed(p arch.ProcID) (arch.Addr, bool) {
+	c := s.cacheOf(p)
+	if len(c.guards) == 0 {
+		return 0, false
+	}
+	first := true
+	var lo arch.Addr
+	for a := range c.guards {
+		if first || a < lo {
+			lo, first = a, false
+		}
+	}
+	return lo, true
+}
+
+func (s *System) cacheOf(p arch.ProcID) *cache {
+	if int(p) < 0 || int(p) >= len(s.caches) {
+		panic(fmt.Sprintf("mesi: invalid processor %v", p))
+	}
+	return s.caches[p]
+}
+
+func (s *System) checkAddr(addr arch.Addr) {
+	if int(addr) >= len(s.mem) {
+		panic(fmt.Sprintf("mesi: address 0x%x out of range (mem %d words)", uint32(addr), len(s.mem)))
+	}
+}
+
+// breakGuardIfWatched fires p's guard handler if p is watching addr.
+// The guard is disarmed before the handler runs, both to match the paper
+// ("the processor clears the LEBit and LEAddr, flushes the store buffer,
+// and replies") and to bound recursion when handlers trigger more
+// coherence traffic.
+func (s *System) breakGuardIfWatched(p arch.ProcID, addr arch.Addr, reason GuardReason) {
+	c := s.caches[p]
+	if _, watched := c.guards[addr]; !watched {
+		return
+	}
+	delete(c.guards, addr)
+	s.stats.GuardBreaks++
+	if reason != GuardEvict {
+		s.stats.GuardBreaksRemote++
+	}
+	if c.handler != nil {
+		c.handler(addr, reason)
+	}
+}
+
+// touch refreshes LRU state and evicts if the cache is over capacity.
+func (s *System) touch(p arch.ProcID, addr arch.Addr, ln *line) {
+	s.useTick++
+	ln.lastUse = s.useTick
+	c := s.caches[p]
+	if c.capacity <= 0 || len(c.lines) <= c.capacity {
+		return
+	}
+	// Evict the least recently used line other than addr.
+	var victim arch.Addr
+	var victimLine *line
+	first := true
+	for a, l := range c.lines {
+		if a == addr {
+			continue
+		}
+		if first || l.lastUse < victimLine.lastUse {
+			victim, victimLine, first = a, l, false
+		}
+	}
+	if first {
+		return // only the protected line present; nothing to evict
+	}
+	s.evict(p, victim, victimLine)
+}
+
+func (s *System) evict(p arch.ProcID, addr arch.Addr, ln *line) {
+	s.breakGuardIfWatched(p, addr, GuardEvict)
+	if ln.state.dirty() {
+		s.mem[addr] = ln.val
+		s.stats.Writebacks++
+	}
+	delete(s.caches[p].lines, addr)
+	s.stats.Evictions++
+}
+
+// Read performs a coherent load by processor p. It returns the value and
+// the cycle cost under the system's cost model. After Read the line is in
+// p's cache in Shared or Exclusive state (Exclusive when no peer held a
+// copy), which is the "committed read" condition of Section 2.
+func (s *System) Read(p arch.ProcID, addr arch.Addr) (arch.Word, int64) {
+	s.checkAddr(addr)
+	c := s.cacheOf(p)
+	if ln, ok := c.lines[addr]; ok && ln.state != Invalid {
+		s.touch(p, addr, ln)
+		return ln.val, s.cfg.Cost.L1Hit
+	}
+
+	// Miss: BusRd. Peers holding the line downgrade to Shared; an M peer
+	// supplies the data and writes back.
+	s.stats.BusReads++
+	val, fromCache := s.snoopForRead(p, addr)
+	cost := s.cfg.Cost.MemAccess
+	if fromCache {
+		cost = s.cfg.Cost.CacheTransfer
+	}
+	state := Shared
+	// MSI has no Exclusive state: clean lines are always Shared.
+	if s.cfg.Protocol != arch.MSI && !s.anyPeerHolds(p, addr) {
+		state = Exclusive
+	}
+	ln := &line{state: state, val: val}
+	c.lines[addr] = ln
+	s.touch(p, addr, ln)
+	return val, cost
+}
+
+// exclusiveGrant is the state LE leaves a clean line in: Exclusive where
+// the protocol has it, Modified under MSI (which has no clean-exclusive
+// state — the paper's "adapted to MSI" variant).
+func (s *System) exclusiveGrant() State {
+	if s.cfg.Protocol == arch.MSI {
+		return Modified
+	}
+	return Exclusive
+}
+
+// ReadExclusive performs the paper's LE (load-exclusive): a load that
+// leaves the line in p's cache exclusively (Exclusive, or Modified when
+// the line was already dirty or the protocol is MSI), with every peer
+// copy invalidated.
+func (s *System) ReadExclusive(p arch.ProcID, addr arch.Addr) (arch.Word, int64) {
+	s.checkAddr(addr)
+	c := s.cacheOf(p)
+	if ln, ok := c.lines[addr]; ok && (ln.state == Exclusive || ln.state == Modified) {
+		s.touch(p, addr, ln)
+		return ln.val, s.cfg.Cost.L1Hit
+	}
+	if ln, ok := c.lines[addr]; ok && ln.state == Owned {
+		// MOESI: an Owned line is dirty but shareable; upgrade by
+		// invalidating peers, staying dirty (Modified).
+		s.stats.BusUpgrades++
+		s.snoopForWrite(p, addr)
+		ln.state = Modified
+		s.touch(p, addr, ln)
+		return ln.val, s.cfg.Cost.CacheTransfer
+	}
+
+	s.stats.BusReadXs++
+	val, fromCache := s.snoopForWrite(p, addr)
+	cost := s.cfg.Cost.MemAccess
+	if fromCache {
+		cost = s.cfg.Cost.CacheTransfer
+	}
+	if ln, ok := c.lines[addr]; ok && ln.state == Shared {
+		// We already had the data; the bus transaction only invalidated
+		// peers (BusUpgr). Keep our value.
+		val = ln.val
+		cost = s.cfg.Cost.CacheTransfer
+		s.stats.BusUpgrades++
+		ln.state = s.exclusiveGrant()
+		s.touch(p, addr, ln)
+		return val, cost
+	}
+	ln := &line{state: s.exclusiveGrant(), val: val}
+	c.lines[addr] = ln
+	s.touch(p, addr, ln)
+	return val, cost
+}
+
+// Write performs a coherent store *completion* by processor p: it gains
+// Exclusive ownership of the line (invalidating peers) and deposits val,
+// leaving the line Modified. This is the moment a store becomes globally
+// visible; the TSO machine calls it when draining store-buffer entries.
+func (s *System) Write(p arch.ProcID, addr arch.Addr, val arch.Word) int64 {
+	s.checkAddr(addr)
+	c := s.cacheOf(p)
+	if ln, ok := c.lines[addr]; ok {
+		switch ln.state {
+		case Modified, Exclusive:
+			ln.state = Modified
+			ln.val = val
+			s.touch(p, addr, ln)
+			return s.cfg.Cost.L1Hit
+		case Shared, Owned:
+			// BusUpgr: invalidate peers, no data transfer needed (an
+			// Owned line may have Shared peers under MOESI).
+			s.stats.BusUpgrades++
+			s.snoopForWrite(p, addr)
+			ln.state = Modified
+			ln.val = val
+			s.touch(p, addr, ln)
+			return s.cfg.Cost.CacheTransfer
+		}
+	}
+	s.stats.BusReadXs++
+	_, fromCache := s.snoopForWrite(p, addr)
+	cost := s.cfg.Cost.MemAccess
+	if fromCache {
+		cost = s.cfg.Cost.CacheTransfer
+	}
+	ln := &line{state: Modified, val: val}
+	c.lines[addr] = ln
+	s.touch(p, addr, ln)
+	return cost
+}
+
+// snoopForRead services a BusRd issued by requester: peers downgrade to
+// Shared (M peers write back and supply data). It returns the freshest
+// value and whether a peer cache supplied it.
+func (s *System) snoopForRead(requester arch.ProcID, addr arch.Addr) (arch.Word, bool) {
+	val := s.mem[addr]
+	fromCache := false
+	for pid, c := range s.caches {
+		p := arch.ProcID(pid)
+		if p == requester {
+			continue
+		}
+		ln, ok := c.lines[addr]
+		if !ok || ln.state == Invalid {
+			continue
+		}
+		// The peer's controller must consult its guard before honouring
+		// the downgrade.
+		s.breakGuardIfWatched(p, addr, GuardDowngrade)
+		// The guard handler may have completed stores, changing the
+		// line's state/value; re-read it.
+		ln, ok = c.lines[addr]
+		if !ok || ln.state == Invalid {
+			continue
+		}
+		switch ln.state {
+		case Modified:
+			val = ln.val
+			fromCache = true
+			if s.cfg.Protocol == arch.MOESI {
+				// MOESI: stay dirty as Owned, supply data, skip the
+				// memory writeback.
+				ln.state = Owned
+			} else {
+				s.mem[addr] = ln.val
+				s.stats.Writebacks++
+				ln.state = Shared
+			}
+			s.stats.Downgrades++
+		case Owned:
+			// Already dirty-shared: supply data, stay Owned.
+			val = ln.val
+			fromCache = true
+		case Exclusive:
+			val = ln.val
+			fromCache = true
+			ln.state = Shared
+			s.stats.Downgrades++
+		case Shared:
+			val = ln.val
+			fromCache = true
+		}
+	}
+	return val, fromCache
+}
+
+// snoopForWrite services a BusRdX/BusUpgr issued by requester: peers
+// invalidate their copies (M peers write back first). It returns the
+// freshest value and whether a peer cache supplied it.
+func (s *System) snoopForWrite(requester arch.ProcID, addr arch.Addr) (arch.Word, bool) {
+	val := s.mem[addr]
+	fromCache := false
+	for pid, c := range s.caches {
+		p := arch.ProcID(pid)
+		if p == requester {
+			continue
+		}
+		ln, ok := c.lines[addr]
+		if !ok || ln.state == Invalid {
+			continue
+		}
+		s.breakGuardIfWatched(p, addr, GuardInvalidate)
+		ln, ok = c.lines[addr]
+		if !ok || ln.state == Invalid {
+			continue
+		}
+		if ln.state.dirty() {
+			s.mem[addr] = ln.val
+			s.stats.Writebacks++
+			val = ln.val
+			fromCache = true
+		} else {
+			val = ln.val
+			fromCache = true
+		}
+		delete(c.lines, addr)
+		s.stats.Invalidations++
+	}
+	return val, fromCache
+}
+
+func (s *System) anyPeerHolds(p arch.ProcID, addr arch.Addr) bool {
+	for pid, c := range s.caches {
+		if arch.ProcID(pid) == p {
+			continue
+		}
+		if ln, ok := c.lines[addr]; ok && ln.state != Invalid {
+			return true
+		}
+	}
+	return false
+}
+
+// StateOf reports the MESI state of addr in p's cache.
+func (s *System) StateOf(p arch.ProcID, addr arch.Addr) State {
+	if ln, ok := s.cacheOf(p).lines[addr]; ok {
+		return ln.state
+	}
+	return Invalid
+}
+
+// CoherentValue returns the globally visible value of addr: the copy in a
+// dirty (Modified or Owned) cache if one exists, otherwise memory. This
+// is what a brand-new processor would observe; tests and invariant
+// checks use it.
+func (s *System) CoherentValue(addr arch.Addr) arch.Word {
+	s.checkAddr(addr)
+	for _, c := range s.caches {
+		if ln, ok := c.lines[addr]; ok && ln.state.dirty() {
+			return ln.val
+		}
+	}
+	return s.mem[addr]
+}
+
+// MemValue returns the value in backing memory, ignoring caches. Only
+// tests should care.
+func (s *System) MemValue(addr arch.Addr) arch.Word {
+	s.checkAddr(addr)
+	return s.mem[addr]
+}
+
+// CheckInvariants validates the single-writer/multiple-reader discipline:
+// at most one cache holds a line in M or E, and if any cache holds it
+// M/E no other cache holds it at all. It returns a descriptive error on
+// violation; the property-based tests call it after random operation
+// sequences.
+func (s *System) CheckInvariants() error {
+	for a := 0; a < len(s.mem); a++ {
+		addr := arch.Addr(a)
+		exclusiveOwners := 0 // M or E: no other copy may exist
+		dirtyOwners := 0     // M or O: at most one
+		holders := 0
+		for _, c := range s.caches {
+			ln, ok := c.lines[addr]
+			if !ok || ln.state == Invalid {
+				continue
+			}
+			holders++
+			switch ln.state {
+			case Modified:
+				exclusiveOwners++
+				dirtyOwners++
+			case Exclusive:
+				if s.cfg.Protocol == arch.MSI {
+					return fmt.Errorf("mesi: Exclusive state under MSI at 0x%x", uint32(addr))
+				}
+				exclusiveOwners++
+			case Owned:
+				if s.cfg.Protocol != arch.MOESI {
+					return fmt.Errorf("mesi: Owned state under %v at 0x%x", s.cfg.Protocol, uint32(addr))
+				}
+				dirtyOwners++
+			}
+		}
+		if exclusiveOwners > 1 || dirtyOwners > 1 {
+			return fmt.Errorf("mesi: %d exclusive / %d dirty owners of 0x%x",
+				exclusiveOwners, dirtyOwners, uint32(addr))
+		}
+		if exclusiveOwners == 1 && holders > 1 {
+			return fmt.Errorf("mesi: line 0x%x held M/E but shared by %d caches", uint32(addr), holders)
+		}
+	}
+	return nil
+}
+
+// Clone deep-copies the system, minus guard handlers (which close over a
+// particular machine); the model checker re-installs handlers after
+// cloning.
+func (s *System) Clone() *System {
+	ns := &System{
+		cfg:     s.cfg,
+		mem:     make([]arch.Word, len(s.mem)),
+		caches:  make([]*cache, len(s.caches)),
+		useTick: s.useTick,
+		stats:   s.stats,
+	}
+	copy(ns.mem, s.mem)
+	for i, c := range s.caches {
+		nc := &cache{
+			lines:    make(map[arch.Addr]*line, len(c.lines)),
+			capacity: c.capacity,
+			// handler intentionally not copied
+		}
+		if len(c.guards) > 0 {
+			nc.guards = make(map[arch.Addr]struct{}, len(c.guards))
+			for a := range c.guards {
+				nc.guards[a] = struct{}{}
+			}
+		}
+		for a, l := range c.lines {
+			cp := *l
+			nc.lines[a] = &cp
+		}
+		ns.caches[i] = nc
+	}
+	return ns
+}
+
+// Fingerprint appends a canonical encoding of the coherence-visible state
+// (memory, plus per-cache sorted line states/values and guard registers)
+// to dst. LRU tick values are excluded so that states differing only in
+// access history hash identically.
+func (s *System) Fingerprint(dst []byte) []byte {
+	for _, w := range s.mem {
+		dst = append(dst, byte(w), byte(w>>8), byte(w>>16), byte(w>>24))
+	}
+	for _, c := range s.caches {
+		addrs := make([]arch.Addr, 0, len(c.lines))
+		for a, l := range c.lines {
+			if l.state != Invalid {
+				addrs = append(addrs, a)
+			}
+		}
+		sort.Slice(addrs, func(i, j int) bool { return addrs[i] < addrs[j] })
+		dst = append(dst, byte(len(addrs)))
+		for _, a := range addrs {
+			l := c.lines[a]
+			dst = append(dst, byte(a), byte(a>>8), byte(l.state),
+				byte(l.val), byte(l.val>>8), byte(l.val>>16), byte(l.val>>24))
+		}
+		garr := make([]arch.Addr, 0, len(c.guards))
+		for a := range c.guards {
+			garr = append(garr, a)
+		}
+		sort.Slice(garr, func(i, j int) bool { return garr[i] < garr[j] })
+		dst = append(dst, byte(len(garr)))
+		for _, a := range garr {
+			dst = append(dst, byte(a), byte(a>>8))
+		}
+	}
+	return dst
+}

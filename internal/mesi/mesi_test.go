@@ -1,0 +1,348 @@
+package mesi
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/arch"
+)
+
+func newSys(procs int) *System {
+	cfg := arch.DefaultConfig()
+	cfg.Procs = procs
+	return NewSystem(cfg)
+}
+
+func TestColdReadIsExclusive(t *testing.T) {
+	s := newSys(2)
+	v, _ := s.Read(0, 5)
+	if v != 0 {
+		t.Errorf("cold read = %d, want 0", v)
+	}
+	if st := s.StateOf(0, 5); st != Exclusive {
+		t.Errorf("state after sole read = %v, want E", st)
+	}
+}
+
+func TestSecondReaderSharesLine(t *testing.T) {
+	s := newSys(2)
+	s.Read(0, 5)
+	s.Read(1, 5)
+	if st := s.StateOf(0, 5); st != Shared {
+		t.Errorf("P0 state = %v, want S", st)
+	}
+	if st := s.StateOf(1, 5); st != Shared {
+		t.Errorf("P1 state = %v, want S", st)
+	}
+}
+
+func TestWriteMakesModifiedAndInvalidatesPeers(t *testing.T) {
+	s := newSys(3)
+	s.Read(1, 7)
+	s.Read(2, 7)
+	s.Write(0, 7, 42)
+	if st := s.StateOf(0, 7); st != Modified {
+		t.Errorf("writer state = %v, want M", st)
+	}
+	for _, p := range []arch.ProcID{1, 2} {
+		if st := s.StateOf(p, 7); st != Invalid {
+			t.Errorf("peer %v state = %v, want I", p, st)
+		}
+	}
+	if got := s.CoherentValue(7); got != 42 {
+		t.Errorf("coherent value = %d, want 42", got)
+	}
+}
+
+func TestReadAfterRemoteWriteSeesNewValueAndWritesBack(t *testing.T) {
+	s := newSys(2)
+	s.Write(0, 3, 99)
+	v, _ := s.Read(1, 3)
+	if v != 99 {
+		t.Errorf("remote read = %d, want 99", v)
+	}
+	if st := s.StateOf(0, 3); st != Shared {
+		t.Errorf("former owner state = %v, want S", st)
+	}
+	if got := s.MemValue(3); got != 99 {
+		t.Errorf("memory not written back: %d", got)
+	}
+}
+
+func TestReadExclusiveInvalidatesPeersAndGrantsE(t *testing.T) {
+	s := newSys(2)
+	s.Write(1, 4, 7) // P1 owns M
+	v, _ := s.ReadExclusive(0, 4)
+	if v != 7 {
+		t.Errorf("LE value = %d, want 7", v)
+	}
+	if st := s.StateOf(0, 4); st != Exclusive {
+		t.Errorf("LE state = %v, want E", st)
+	}
+	if st := s.StateOf(1, 4); st != Invalid {
+		t.Errorf("peer state = %v, want I", st)
+	}
+}
+
+func TestReadExclusivePreservesModified(t *testing.T) {
+	s := newSys(2)
+	s.Write(0, 4, 7)
+	if _, cost := s.ReadExclusive(0, 4); cost != arch.DefaultCostModel().L1Hit {
+		t.Errorf("LE on own M line should be an L1 hit, cost=%d", cost)
+	}
+	if st := s.StateOf(0, 4); st != Modified {
+		t.Errorf("LE downgraded own M line to %v", st)
+	}
+}
+
+func TestSharedUpgradeOnWrite(t *testing.T) {
+	s := newSys(2)
+	s.Read(0, 9)
+	s.Read(1, 9) // both S
+	before := s.Stats().BusUpgrades
+	s.Write(0, 9, 5)
+	if s.Stats().BusUpgrades != before+1 {
+		t.Error("S->M write did not use BusUpgr")
+	}
+	if st := s.StateOf(1, 9); st != Invalid {
+		t.Errorf("peer not invalidated on upgrade: %v", st)
+	}
+}
+
+func TestCostsFollowServiceSource(t *testing.T) {
+	cm := arch.DefaultCostModel()
+	s := newSys(2)
+	if _, c := s.Read(0, 1); c != cm.MemAccess {
+		t.Errorf("cold miss cost = %d, want %d", c, cm.MemAccess)
+	}
+	if _, c := s.Read(0, 1); c != cm.L1Hit {
+		t.Errorf("hit cost = %d, want %d", c, cm.L1Hit)
+	}
+	s.Write(0, 2, 1)
+	if _, c := s.Read(1, 2); c != cm.CacheTransfer {
+		t.Errorf("cache-to-cache cost = %d, want %d", c, cm.CacheTransfer)
+	}
+}
+
+func TestGuardFiresOnRemoteRead(t *testing.T) {
+	s := newSys(2)
+	s.ReadExclusive(0, 8)
+	s.ArmGuard(0, 8)
+	var fired []GuardReason
+	s.SetGuardHandler(0, func(addr arch.Addr, r GuardReason) {
+		if addr != 8 {
+			t.Errorf("guard addr = %d, want 8", addr)
+		}
+		fired = append(fired, r)
+	})
+	s.Read(1, 8)
+	if len(fired) != 1 || fired[0] != GuardDowngrade {
+		t.Fatalf("guard fired %v, want one downgrade", fired)
+	}
+	if _, armed := s.GuardArmed(0); armed {
+		t.Error("guard still armed after break")
+	}
+}
+
+func TestGuardFiresOnRemoteWrite(t *testing.T) {
+	s := newSys(2)
+	s.ReadExclusive(0, 8)
+	s.ArmGuard(0, 8)
+	var reason GuardReason
+	n := 0
+	s.SetGuardHandler(0, func(_ arch.Addr, r GuardReason) { reason = r; n++ })
+	s.Write(1, 8, 1)
+	if n != 1 || reason != GuardInvalidate {
+		t.Fatalf("guard fired %d times with %v, want 1 invalidate", n, reason)
+	}
+}
+
+func TestGuardHandlerRunsBeforeRequesterSeesValue(t *testing.T) {
+	// The requester must observe the value the guard handler publishes
+	// (the handler models the store-buffer flush).
+	s := newSys(2)
+	s.ReadExclusive(0, 8) // P0 arms after LE; pending store val=77 "in buffer"
+	s.ArmGuard(0, 8)
+	s.SetGuardHandler(0, func(addr arch.Addr, _ GuardReason) {
+		s.Write(0, addr, 77) // flush completes the store
+	})
+	v, _ := s.Read(1, 8)
+	if v != 77 {
+		t.Errorf("requester read %d, want 77 (flushed value)", v)
+	}
+}
+
+func TestGuardDoesNotFireForOwnAccess(t *testing.T) {
+	s := newSys(2)
+	s.ReadExclusive(0, 8)
+	s.ArmGuard(0, 8)
+	fired := false
+	s.SetGuardHandler(0, func(arch.Addr, GuardReason) { fired = true })
+	s.Read(0, 8)
+	s.Write(0, 8, 3)
+	if fired {
+		t.Error("guard fired for the guarding processor's own access")
+	}
+	if _, armed := s.GuardArmed(0); !armed {
+		t.Error("own access disarmed the guard")
+	}
+}
+
+func TestGuardDoesNotFireForOtherAddresses(t *testing.T) {
+	s := newSys(2)
+	s.ReadExclusive(0, 8)
+	s.ArmGuard(0, 8)
+	fired := false
+	s.SetGuardHandler(0, func(arch.Addr, GuardReason) { fired = true })
+	s.Read(1, 9)
+	s.Write(1, 10, 1)
+	if fired {
+		t.Error("guard fired for unrelated address")
+	}
+}
+
+func TestGuardFiresOnEviction(t *testing.T) {
+	s := newSys(1)
+	s.SetCacheCapacity(0, 2)
+	s.ReadExclusive(0, 1)
+	s.ArmGuard(0, 1)
+	var reason GuardReason
+	n := 0
+	s.SetGuardHandler(0, func(_ arch.Addr, r GuardReason) { reason = r; n++ })
+	// Fill the cache past capacity; address 1 becomes LRU and is evicted.
+	s.Read(0, 2)
+	s.Read(0, 3)
+	s.Read(0, 4)
+	if n != 1 || reason != GuardEvict {
+		t.Fatalf("guard fired %d times with %v, want 1 evict", n, reason)
+	}
+	if st := s.StateOf(0, 1); st != Invalid {
+		t.Errorf("guarded line not evicted: %v", st)
+	}
+}
+
+func TestEvictionWritesBackModified(t *testing.T) {
+	s := newSys(1)
+	s.SetCacheCapacity(0, 1)
+	s.Write(0, 1, 11)
+	s.Read(0, 2) // evicts line 1
+	if got := s.MemValue(1); got != 11 {
+		t.Errorf("modified line lost on eviction: mem=%d", got)
+	}
+}
+
+func TestDisarmGuard(t *testing.T) {
+	s := newSys(2)
+	s.ReadExclusive(0, 8)
+	s.ArmGuard(0, 8)
+	s.DisarmGuard(0, 8)
+	fired := false
+	s.SetGuardHandler(0, func(arch.Addr, GuardReason) { fired = true })
+	s.Read(1, 8)
+	if fired {
+		t.Error("disarmed guard fired")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	s := newSys(2)
+	s.Write(0, 1, 5)
+	c := s.Clone()
+	s.Write(1, 1, 9)
+	if got := c.CoherentValue(1); got != 5 {
+		t.Errorf("clone sees post-clone write: %d", got)
+	}
+	if st := c.StateOf(0, 1); st != Modified {
+		t.Errorf("clone lost cache state: %v", st)
+	}
+}
+
+func TestFingerprintStability(t *testing.T) {
+	build := func() *System {
+		s := newSys(2)
+		s.Write(0, 1, 5)
+		s.Read(1, 2)
+		s.ArmGuard(0, 1)
+		return s
+	}
+	a, b := build(), build()
+	if string(a.Fingerprint(nil)) != string(b.Fingerprint(nil)) {
+		t.Error("identical construction produced different fingerprints")
+	}
+	b.DisarmGuard(0, 1)
+	if string(a.Fingerprint(nil)) == string(b.Fingerprint(nil)) {
+		t.Error("fingerprint ignores guard state")
+	}
+}
+
+func TestInvariantsHoldUnderRandomTraffic(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s := newSys(4)
+		for i := 0; i < 200; i++ {
+			p := arch.ProcID(rng.Intn(4))
+			addr := arch.Addr(rng.Intn(8))
+			switch rng.Intn(3) {
+			case 0:
+				s.Read(p, addr)
+			case 1:
+				s.Write(p, addr, arch.Word(rng.Intn(100)))
+			case 2:
+				s.ReadExclusive(p, addr)
+			}
+			if err := s.CheckInvariants(); err != nil {
+				t.Logf("seed %d step %d: %v", seed, i, err)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: a read always observes the last completed write to the
+// address, regardless of which processor performed either.
+func TestReadsObserveLastWrite(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s := newSys(3)
+		last := map[arch.Addr]arch.Word{}
+		for i := 0; i < 150; i++ {
+			p := arch.ProcID(rng.Intn(3))
+			addr := arch.Addr(rng.Intn(6))
+			if rng.Intn(2) == 0 {
+				v := arch.Word(rng.Intn(1000))
+				s.Write(p, addr, v)
+				last[addr] = v
+			} else {
+				got, _ := s.Read(p, addr)
+				if got != last[addr] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStateStrings(t *testing.T) {
+	cases := map[State]string{Invalid: "I", Shared: "S", Exclusive: "E", Modified: "M"}
+	for st, want := range cases {
+		if st.String() != want {
+			t.Errorf("%d.String() = %q, want %q", st, st.String(), want)
+		}
+	}
+	for r, want := range map[GuardReason]string{
+		GuardDowngrade: "downgrade", GuardInvalidate: "invalidate", GuardEvict: "evict",
+	} {
+		if r.String() != want {
+			t.Errorf("GuardReason %d = %q, want %q", r, r.String(), want)
+		}
+	}
+}

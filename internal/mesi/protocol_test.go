@@ -1,0 +1,210 @@
+package mesi
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/arch"
+)
+
+func newSysProto(procs int, proto arch.Protocol) *System {
+	cfg := arch.DefaultConfig()
+	cfg.Procs = procs
+	cfg.Protocol = proto
+	return NewSystem(cfg)
+}
+
+func TestMSIHasNoExclusiveState(t *testing.T) {
+	s := newSysProto(2, arch.MSI)
+	s.Read(0, 5)
+	if st := s.StateOf(0, 5); st != Shared {
+		t.Errorf("MSI sole read state = %v, want S", st)
+	}
+}
+
+func TestMSILEGrantsModified(t *testing.T) {
+	s := newSysProto(2, arch.MSI)
+	s.Read(1, 5) // peer has it Shared
+	v, _ := s.ReadExclusive(0, 5)
+	if v != 0 {
+		t.Errorf("LE value = %d", v)
+	}
+	if st := s.StateOf(0, 5); st != Modified {
+		t.Errorf("MSI LE state = %v, want M (no E under MSI)", st)
+	}
+	if st := s.StateOf(1, 5); st != Invalid {
+		t.Errorf("peer state = %v, want I", st)
+	}
+}
+
+func TestMOESIRemoteReadCreatesOwned(t *testing.T) {
+	s := newSysProto(2, arch.MOESI)
+	s.Write(0, 5, 42)
+	wbBefore := s.Stats().Writebacks
+	v, _ := s.Read(1, 5)
+	if v != 42 {
+		t.Errorf("remote read = %d, want 42", v)
+	}
+	if st := s.StateOf(0, 5); st != Owned {
+		t.Errorf("former M state = %v, want O", st)
+	}
+	if st := s.StateOf(1, 5); st != Shared {
+		t.Errorf("reader state = %v, want S", st)
+	}
+	if s.Stats().Writebacks != wbBefore {
+		t.Error("MOESI wrote back to memory on M->O downgrade")
+	}
+	if got := s.MemValue(5); got == 42 {
+		t.Error("memory updated despite Owned supplying the data")
+	}
+	if got := s.CoherentValue(5); got != 42 {
+		t.Errorf("coherent value = %d, want 42 (from O copy)", got)
+	}
+}
+
+func TestMOESIOwnedSuppliesFurtherReaders(t *testing.T) {
+	s := newSysProto(3, arch.MOESI)
+	s.Write(0, 5, 7)
+	s.Read(1, 5) // M -> O
+	v, cost := s.Read(2, 5)
+	if v != 7 {
+		t.Errorf("third reader = %d, want 7", v)
+	}
+	if cost != arch.DefaultCostModel().CacheTransfer {
+		t.Errorf("O-supplied read cost = %d, want cache transfer", cost)
+	}
+	if st := s.StateOf(0, 5); st != Owned {
+		t.Errorf("owner state = %v, want O", st)
+	}
+}
+
+func TestMOESIWriteFromOwnedUpgrades(t *testing.T) {
+	s := newSysProto(2, arch.MOESI)
+	s.Write(0, 5, 1)
+	s.Read(1, 5) // P0: O, P1: S
+	s.Write(0, 5, 2)
+	if st := s.StateOf(0, 5); st != Modified {
+		t.Errorf("writer state = %v, want M", st)
+	}
+	if st := s.StateOf(1, 5); st != Invalid {
+		t.Errorf("peer state = %v, want I", st)
+	}
+	if got := s.CoherentValue(5); got != 2 {
+		t.Errorf("coherent = %d, want 2", got)
+	}
+}
+
+func TestMOESILEFromOwnedStaysDirty(t *testing.T) {
+	s := newSysProto(2, arch.MOESI)
+	s.Write(0, 5, 9)
+	s.Read(1, 5) // P0: O
+	v, _ := s.ReadExclusive(0, 5)
+	if v != 9 {
+		t.Errorf("LE value = %d, want 9", v)
+	}
+	if st := s.StateOf(0, 5); st != Modified {
+		t.Errorf("LE-from-O state = %v, want M (dirtiness must survive)", st)
+	}
+	// Evicting now must write back (the data exists nowhere else).
+	s.SetCacheCapacity(0, 1)
+	s.Read(0, 6)
+	if got := s.MemValue(5); got != 9 {
+		t.Errorf("dirty data lost on eviction: mem = %d", got)
+	}
+}
+
+func TestMOESIEvictionOfOwnedWritesBack(t *testing.T) {
+	s := newSysProto(2, arch.MOESI)
+	s.Write(0, 5, 11)
+	s.Read(1, 5) // P0: O
+	s.SetCacheCapacity(0, 1)
+	s.Read(0, 6) // evicts the O line
+	if got := s.MemValue(5); got != 11 {
+		t.Errorf("O eviction lost data: mem = %d", got)
+	}
+}
+
+func TestGuardWorksUnderAllProtocols(t *testing.T) {
+	for _, proto := range []arch.Protocol{arch.MESI, arch.MSI, arch.MOESI} {
+		t.Run(proto.String(), func(t *testing.T) {
+			s := newSysProto(2, proto)
+			s.ReadExclusive(0, 8)
+			s.ArmGuard(0, 8)
+			fired := 0
+			s.SetGuardHandler(0, func(addr arch.Addr, r GuardReason) {
+				fired++
+				s.Write(0, addr, 55) // the flush
+			})
+			v, _ := s.Read(1, 8)
+			if fired != 1 {
+				t.Fatalf("guard fired %d times", fired)
+			}
+			if v != 55 {
+				t.Errorf("requester read %d, want 55 (flush-before-reply)", v)
+			}
+		})
+	}
+}
+
+func TestInvariantsHoldUnderAllProtocols(t *testing.T) {
+	for _, proto := range []arch.Protocol{arch.MESI, arch.MSI, arch.MOESI} {
+		proto := proto
+		t.Run(proto.String(), func(t *testing.T) {
+			f := func(seed int64) bool {
+				rng := rand.New(rand.NewSource(seed))
+				s := newSysProto(4, proto)
+				for i := 0; i < 200; i++ {
+					p := arch.ProcID(rng.Intn(4))
+					addr := arch.Addr(rng.Intn(8))
+					switch rng.Intn(3) {
+					case 0:
+						s.Read(p, addr)
+					case 1:
+						s.Write(p, addr, arch.Word(rng.Intn(100)))
+					case 2:
+						s.ReadExclusive(p, addr)
+					}
+					if err := s.CheckInvariants(); err != nil {
+						t.Logf("seed %d step %d: %v", seed, i, err)
+						return false
+					}
+				}
+				return true
+			}
+			if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+				t.Error(err)
+			}
+		})
+	}
+}
+
+// Reads must observe the last completed write under every protocol —
+// MOESI's skipped writebacks must never surface stale memory.
+func TestReadsObserveLastWriteAllProtocols(t *testing.T) {
+	for _, proto := range []arch.Protocol{arch.MESI, arch.MSI, arch.MOESI} {
+		proto := proto
+		t.Run(proto.String(), func(t *testing.T) {
+			f := func(seed int64) bool {
+				rng := rand.New(rand.NewSource(seed))
+				s := newSysProto(3, proto)
+				last := map[arch.Addr]arch.Word{}
+				for i := 0; i < 150; i++ {
+					p := arch.ProcID(rng.Intn(3))
+					addr := arch.Addr(rng.Intn(6))
+					if rng.Intn(2) == 0 {
+						v := arch.Word(rng.Intn(1000))
+						s.Write(p, addr, v)
+						last[addr] = v
+					} else if got, _ := s.Read(p, addr); got != last[addr] {
+						return false
+					}
+				}
+				return true
+			}
+			if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+				t.Error(err)
+			}
+		})
+	}
+}

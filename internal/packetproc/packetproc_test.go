@@ -1,0 +1,135 @@
+package packetproc
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/core"
+)
+
+func cfg(mode core.Mode, handlers, packets, locality int) Config {
+	return Config{
+		Handlers:          handlers,
+		PacketsPerHandler: packets,
+		LocalityPermille:  locality,
+		Mode:              mode,
+		Cost:              core.ZeroCosts(),
+		Seed:              42,
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := cfg(core.ModeSymmetric, 2, 10, 900).Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Config{
+		cfg(core.ModeSymmetric, 0, 10, 900),
+		cfg(core.ModeSymmetric, 2, -1, 900),
+		cfg(core.ModeSymmetric, 2, 10, 1001),
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("config %d validated", i)
+		}
+	}
+}
+
+func TestNoPacketLossAllModes(t *testing.T) {
+	for _, mode := range []core.Mode{core.ModeSymmetric, core.ModeAsymmetricSW, core.ModeAsymmetricHW} {
+		t.Run(mode.String(), func(t *testing.T) {
+			e, err := NewEngine(cfg(mode, 3, 4000, 900))
+			if err != nil {
+				t.Fatal(err)
+			}
+			st := e.Run()
+			if st.Packets != 3*4000 {
+				t.Errorf("packets = %d, want %d", st.Packets, 3*4000)
+			}
+			if st.TotalCounts != st.Packets {
+				t.Errorf("counts = %d, packets = %d: updates lost or duplicated",
+					st.TotalCounts, st.Packets)
+			}
+			if st.RemoteOps == 0 {
+				t.Error("no cross-thread updates at 90% locality")
+			}
+			if st.LocalOps <= st.RemoteOps {
+				t.Error("locality bias ineffective")
+			}
+		})
+	}
+}
+
+func TestSingleHandlerIsAllLocal(t *testing.T) {
+	e, err := NewEngine(cfg(core.ModeAsymmetricHW, 1, 1000, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := e.Run()
+	if st.RemoteOps != 0 {
+		t.Errorf("single handler performed %d remote ops", st.RemoteOps)
+	}
+	if st.TotalCounts != 1000 {
+		t.Errorf("counts = %d", st.TotalCounts)
+	}
+}
+
+func TestZeroLocalityAllRemote(t *testing.T) {
+	e, err := NewEngine(cfg(core.ModeAsymmetricHW, 2, 500, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan Stats)
+	go func() { done <- e.Run() }()
+	select {
+	case st := <-done:
+		if st.LocalOps != 0 {
+			t.Errorf("local ops = %d at zero locality", st.LocalOps)
+		}
+		if st.TotalCounts != 1000 {
+			t.Errorf("counts = %d", st.TotalCounts)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("all-remote traffic deadlocked (mutual serialization)")
+	}
+}
+
+func TestSerializationsHappenAsymmetric(t *testing.T) {
+	e, err := NewEngine(cfg(core.ModeAsymmetricSW, 2, 2000, 500))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Run()
+	var handled uint64
+	for _, tb := range e.Tables() {
+		_, h := tb.Serializations()
+		handled += h
+	}
+	if handled == 0 {
+		t.Error("no serialization round trips despite remote traffic")
+	}
+}
+
+// Property: conservation holds for arbitrary small configurations.
+func TestQuickConservation(t *testing.T) {
+	f := func(handlers, packets, locality uint8, modeSel uint8, seed uint64) bool {
+		h := 1 + int(handlers%4)
+		p := int(packets) * 2
+		loc := int(locality) * 4 // 0..1020, clamp
+		if loc > 1000 {
+			loc = 1000
+		}
+		mode := []core.Mode{core.ModeSymmetric, core.ModeAsymmetricSW, core.ModeAsymmetricHW}[modeSel%3]
+		c := cfg(mode, h, p, loc)
+		c.Seed = seed
+		e, err := NewEngine(c)
+		if err != nil {
+			return false
+		}
+		st := e.Run()
+		return st.Packets == uint64(h*p) && st.TotalCounts == st.Packets
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,167 @@
+package programs
+
+import (
+	"repro/internal/arch"
+	"repro/internal/tso"
+)
+
+// This file encodes the other classic mutual-exclusion algorithms the
+// paper's introduction cites — Peterson [22] and Lamport's bakery [18] —
+// as single-shot protocol attempts for the model checker. Like the
+// Dekker protocol of Fig. 1, all of them rely on the Dekker duality
+// (write own flag, read the other's) and are therefore broken by TSO's
+// store buffering unless a fence separates the write from the read.
+//
+// Fence placement for the l-mfence variants follows from Definition 2
+// plus one rule the model checker enforced on us: EVERY location of
+// mine that the peer's protocol reads must be covered by its own
+// l-mfence, because serialization is triggered by the peer touching the
+// *guarded* location — a store to an unguarded location can linger in
+// the buffer invisibly even though a later guarded store was "fenced".
+// For Peterson the peer reads flag[i] and turn; guarding turn (the last
+// store) suffices since flag[i] precedes it in the FIFO buffer and the
+// peer reads turn before acting. Turn is multi-writer — the paper's
+// single-writer usage guidance concerns atomicity, which the protocol
+// does not need; both threads guarding turn also means each thread's LE
+// breaks the other's link, serializing them against each other. For the
+// bakery the peer reads num[i] in its doorway and choosing[i]/num[i] in
+// its wait section, so choosing[i] and num[i] are each guarded.
+//
+// Two naive placements are MODEL-CHECKED BROKEN and preserved in the
+// git history of this file: guarding only Peterson's flag lets the turn
+// store escape, and re-arming choosing[i] instead of guarding the
+// bakery ticket lets a peer compute a ticket from a stale num[i] — both
+// are instances of the hazard the paper flags with "threads ... need to
+// ... be careful as to where to place the l-mfence and which memory
+// location to guard".
+
+// Memory layout for the classic protocols.
+const (
+	AddrFlag0 arch.Addr = 8  // Peterson flag[0] / bakery choosing[0]
+	AddrFlag1 arch.Addr = 9  // Peterson flag[1] / bakery choosing[1]
+	AddrTurn  arch.Addr = 10 // Peterson turn
+	AddrNum0  arch.Addr = 11 // bakery num[0]
+	AddrNum1  arch.Addr = 12 // bakery num[1]
+)
+
+// petersonThread encodes one single-shot Peterson attempt for thread i.
+// RegFlag (r6) is set to 1 if the thread entered its critical section.
+func petersonThread(i int, v DekkerVariant) *tso.Program {
+	self, other := AddrFlag0, AddrFlag1
+	if i == 1 {
+		self, other = AddrFlag1, AddrFlag0
+	}
+	j := arch.Word(1 - i)
+
+	b := tso.NewBuilder("peterson-" + v.String())
+	switch v {
+	case DekkerLmfence, DekkerLmfenceMirrored:
+		// Guard the LAST store before the reads — the turn hand-over.
+		// The flag write ahead of it in the FIFO buffer is published by
+		// the same link break or fallback fence.
+		b.StoreI(self, 1)
+		b.Lmfence(AddrTurn, j, RegScratch)
+	case DekkerMfence:
+		b.StoreI(self, 1)
+		b.StoreI(AddrTurn, j)
+		b.Mfence()
+	default: // DekkerNoFence
+		b.StoreI(self, 1)
+		b.StoreI(AddrTurn, j)
+	}
+	b.Load(RegObs, other).
+		Beq(RegObs, 0, "enter"). // peer not interested
+		Load(1, AddrTurn).
+		Bne(1, j, "enter"). // turn handed back to us
+		Jmp("skip").
+		Label("enter").
+		CSEnter().
+		LoadI(RegFlag, 1).
+		CSExit().
+		Label("skip").
+		StoreI(self, 0).
+		Halt()
+	return b.Build()
+}
+
+// PetersonPair returns both single-shot Peterson threads under the given
+// fence discipline (the Lmfence variants are mirrored: Peterson is
+// symmetric, so both threads guard their own flag).
+func PetersonPair(v DekkerVariant) (*tso.Program, *tso.Program) {
+	return petersonThread(0, v), petersonThread(1, v)
+}
+
+// bakeryThread encodes one single-shot bakery attempt for thread i.
+// Registers: r2 = own ticket, r3/r4 = peer observations.
+func bakeryThread(i int, v DekkerVariant) *tso.Program {
+	selfChoosing, otherChoosing := AddrFlag0, AddrFlag1
+	selfNum, otherNum := AddrNum0, AddrNum1
+	if i == 1 {
+		selfChoosing, otherChoosing = AddrFlag1, AddrFlag0
+		selfNum, otherNum = AddrNum1, AddrNum0
+	}
+
+	b := tso.NewBuilder("bakery-" + v.String())
+	// Doorway: choosing[i]=1; num[i]=num[j]+1; choosing[i]=0. TSO needs
+	// two serialization points: choosing[i]=1 must be visible before the
+	// ticket read, and num[i] before the wait-section reads.
+	switch v {
+	case DekkerLmfence, DekkerLmfenceMirrored:
+		// The peer reads BOTH of this thread's locations: num[i] in its
+		// doorway (to compute the ticket) and choosing[i]/num[i] in its
+		// wait section. Each read must trigger serialization, so each
+		// write is its own l-mfence: first choosing[i], then the ticket.
+		// On single-link hardware the second (different-location)
+		// l-mfence forces the flush that completes choosing[i]=1; with
+		// two links both guards stay armed and no flush is needed — the
+		// model checker verifies both configurations.
+		b.Lmfence(selfChoosing, 1, RegScratch)
+		b.Load(2, otherNum)
+		b.AddI(2, 2, 1)
+		b.LmfenceReg(selfNum, 2, RegScratch)
+		b.StoreI(selfChoosing, 0)
+	case DekkerMfence:
+		b.StoreI(selfChoosing, 1)
+		b.Mfence()
+		b.Load(2, otherNum)
+		b.AddI(2, 2, 1)
+		b.Store(selfNum, 2)
+		b.StoreI(selfChoosing, 0)
+		b.Mfence()
+	default: // DekkerNoFence
+		b.StoreI(selfChoosing, 1)
+		b.Load(2, otherNum)
+		b.AddI(2, 2, 1)
+		b.Store(selfNum, 2)
+		b.StoreI(selfChoosing, 0)
+	}
+	// Wait section, single-shot: bail out (skip) instead of spinning.
+	b.Load(3, otherChoosing).
+		Bne(3, 0, "skip"). // peer mid-doorway: conservative skip
+		Load(4, otherNum).
+		Beq(4, 0, "enter"). // peer not competing
+		// Enter iff (num[i], i) < (num[j], j): numbers first, id breaks ties.
+		Blt(2, 4, "enter")
+	if i == 0 {
+		// Equal tickets favour thread 0: enter on a tie, skip otherwise.
+		b.Sub(5, 2, 4).
+			Bne(5, 0, "skip"). // num[i] > num[j]
+			Jmp("enter")       // tie: thread 0 wins
+	} else {
+		b.Jmp("skip") // thread 1 loses ties and greater tickets
+	}
+	b.Label("enter").
+		CSEnter().
+		LoadI(RegFlag, 1).
+		CSExit().
+		Label("skip").
+		StoreI(selfNum, 0).
+		Halt()
+	return b.Build()
+}
+
+// BakeryPair returns both single-shot bakery threads under the given
+// fence discipline.
+func BakeryPair(v DekkerVariant) (*tso.Program, *tso.Program) {
+	return bakeryThread(0, v), bakeryThread(1, v)
+}

@@ -1,0 +1,47 @@
+package rwlock_test
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/rwlock"
+)
+
+// Example_arwPlus runs the reader-biased ARW+ lock: readers pay no
+// fence on their fast path; a writer publishes its intent and readers
+// acknowledge at their natural poll points, avoiding signals entirely.
+func Example_arwPlus() {
+	l := rwlock.New(core.ModeAsymmetricSW, core.DefaultCosts(),
+		rwlock.WithWaitingHeuristic(0))
+
+	var data [4]int64
+	var wg sync.WaitGroup
+	for i := 0; i < 3; i++ {
+		r := l.NewReader()
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var sink int64
+			for n := 0; n < 5000; n++ {
+				r.Lock()
+				for _, v := range data {
+					sink += v
+				}
+				r.Unlock()
+			}
+			_ = sink
+		}()
+	}
+	w := l.NewReader() // a reader that occasionally turns writer
+	for n := 0; n < 20; n++ {
+		w.LockWrite()
+		for i := range data {
+			data[i]++
+		}
+		w.UnlockWrite()
+	}
+	wg.Wait()
+	fmt.Println(data[0] == 20 && l.Stats.Writes.Load() == 20)
+	// Output: true
+}

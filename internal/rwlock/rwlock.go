@@ -1,0 +1,320 @@
+// Package rwlock implements the reader-biased multiple-readers single-
+// writer locks of the paper's second evaluation application:
+//
+//   - SRW — the symmetric baseline: every read acquire executes a
+//     program-based full fence between raising the reader's flag and
+//     checking for a writer (the classic Dekker discipline).
+//   - ARW — the asymmetric lock: readers are primaries with per-reader
+//     Dekker slots and pay no fence; a writer (secondary) engages each
+//     registered reader in the augmented Dekker protocol, paying one
+//     signal round trip per reader, one by one — the serializing
+//     bottleneck the paper observes in Fig. 6(a).
+//   - ARW+ — ARW with the waiting heuristic: the writer first publishes
+//     its intent and spin-waits for readers to acknowledge at their
+//     natural poll points (lock acquire/release); it signals only the
+//     readers that stay silent — Fig. 6(b).
+//
+// All three are one type configured by fence mode and heuristic flag, so
+// the protocol code paths shared between them really are shared.
+package rwlock
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/signals"
+)
+
+// DefaultSpinBudget is the ARW+ waiting-heuristic window, in spin
+// iterations, before unacknowledged readers are signaled.
+const DefaultSpinBudget = 4096
+
+// Stats counts lock events.
+type Stats struct {
+	Reads       atomic.Uint64 // read acquisitions
+	Writes      atomic.Uint64 // write acquisitions
+	SignalsSent atomic.Uint64 // signal round trips paid by writers
+	AcksInTime  atomic.Uint64 // readers satisfied within the heuristic window
+	Retreats    atomic.Uint64 // reader conflict retreats
+}
+
+// slot is one registered reader's Dekker flag, padded to avoid false
+// sharing between readers.
+type slot struct {
+	_         [8]uint64
+	state     atomic.Int32 // 1 while its reader is inside a read section
+	ackEpoch  atomic.Uint64
+	_         [6]uint64
+	fenceWord atomic.Uint64
+	_         [7]uint64
+}
+
+// Lock is a multiple-readers single-writer lock biased toward readers.
+// Construct with New; register each reader goroutine with NewReader.
+type Lock struct {
+	mode      core.Mode
+	cost      core.CostProfile
+	heuristic bool
+	budget    int
+
+	intent atomic.Int32  // a writer wants (or holds) the lock
+	epoch  atomic.Uint64 // write-lock generation, for acknowledgements
+
+	writeMu sync.Mutex // writers compete here
+
+	// writerFence is the private target of the symmetric writer's
+	// program-based fence.
+	_           [8]uint64
+	writerFence atomic.Uint64
+	_           [7]uint64
+
+	regMu sync.Mutex
+	slots []*slot
+
+	Stats Stats
+}
+
+// Option configures a Lock.
+type Option func(*Lock)
+
+// WithWaitingHeuristic enables the ARW+ behaviour with the given spin
+// budget (<= 0 selects DefaultSpinBudget).
+func WithWaitingHeuristic(budget int) Option {
+	return func(l *Lock) {
+		l.heuristic = true
+		if budget <= 0 {
+			budget = DefaultSpinBudget
+		}
+		l.budget = budget
+	}
+}
+
+// New builds a lock. ModeSymmetric yields the SRW baseline;
+// ModeAsymmetricSW/HW yield the ARW lock with the corresponding
+// round-trip cost, and WithWaitingHeuristic upgrades it to ARW+.
+func New(mode core.Mode, cost core.CostProfile, opts ...Option) *Lock {
+	l := &Lock{mode: mode, cost: cost}
+	for _, o := range opts {
+		o(l)
+	}
+	return l
+}
+
+// Variant names the configured design, for reports.
+func (l *Lock) Variant() string {
+	switch {
+	case !l.mode.Asymmetric():
+		return "SRW"
+	case l.heuristic:
+		return "ARW+"
+	default:
+		return "ARW"
+	}
+}
+
+// Reader is one registered reader's handle. A Reader is owned by a
+// single goroutine.
+type Reader struct {
+	l *Lock
+	s *slot
+}
+
+// NewReader registers a reader with the lock.
+func (l *Lock) NewReader() *Reader {
+	s := &slot{}
+	l.regMu.Lock()
+	l.slots = append(l.slots, s)
+	l.regMu.Unlock()
+	return &Reader{l: l, s: s}
+}
+
+// fence is the program-based full fence the SRW reader pays on every
+// acquire.
+func (l *Lock) fence(w *atomic.Uint64) {
+	for i := 0; i < l.cost.FencePenaltyOps; i++ {
+		w.Add(1)
+	}
+	if l.cost.FencePenaltySpins > 0 {
+		signals.Spin(l.cost.FencePenaltySpins)
+	}
+}
+
+// ackIntent acknowledges the pending writer intent, if any — the
+// reader's poll point.
+func (r *Reader) ackIntent() {
+	l := r.l
+	if !l.mode.Asymmetric() {
+		return
+	}
+	if l.intent.Load() == 0 {
+		return
+	}
+	e := l.epoch.Load()
+	if r.s.ackEpoch.Load() != e {
+		r.s.ackEpoch.Store(e)
+	}
+}
+
+// Lock acquires the read lock. The fast path — no writer around — is:
+// raise the slot flag, (SRW only) fence, check the writer flag.
+func (r *Reader) Lock() {
+	l := r.l
+	for {
+		r.s.state.Store(1) // the guarded location (L1 of Fig. 3(a))
+		if !l.mode.Asymmetric() {
+			l.fence(&r.s.fenceWord) // program-based mfence
+		}
+		if l.intent.Load() == 0 {
+			l.Stats.Reads.Add(1)
+			return
+		}
+		// Conflict: the reader (primary) retreats in favour of the
+		// writer, acknowledging its intent.
+		r.s.state.Store(0)
+		r.ackIntent()
+		l.Stats.Retreats.Add(1)
+		for l.intent.Load() != 0 {
+			runtime.Gosched()
+		}
+	}
+}
+
+// Unlock releases the read lock. Releasing is also a natural poll point:
+// a reader leaving its read section acknowledges a waiting writer.
+func (r *Reader) Unlock() {
+	r.s.state.Store(0)
+	r.ackIntent()
+}
+
+// Lock acquires the write lock, engaging every registered reader.
+func (l *Lock) Lock() { l.lockWrite(nil) }
+
+// LockAsReader acquires the write lock on behalf of a goroutine that is
+// itself a registered reader (the paper's "from time to time, a reader
+// turns into a writer"); its own slot is skipped.
+func (r *Reader) LockWrite() { r.l.lockWrite(r.s) }
+
+// UnlockWrite releases a write lock taken with LockWrite.
+func (r *Reader) UnlockWrite() { r.l.Unlock() }
+
+func (l *Lock) lockWrite(self *slot) {
+	l.writeMu.Lock()
+	l.epoch.Add(1)
+	l.intent.Store(1)
+	if !l.mode.Asymmetric() {
+		l.fence(&l.writerFence)
+	}
+
+	l.regMu.Lock()
+	slots := make([]*slot, len(l.slots))
+	copy(slots, l.slots)
+	l.regMu.Unlock()
+
+	if l.mode.Asymmetric() && l.heuristic {
+		l.waitHeuristic(slots, self)
+	} else {
+		l.waitEach(slots, self)
+	}
+	l.Stats.Writes.Add(1)
+}
+
+// waitEach is the ARW (and SRW) writer wait: visit readers one by one;
+// in asymmetric mode each visit costs a full signal round trip, which is
+// exactly the serializing bottleneck of Fig. 6(a). (The SRW writer pays
+// no signals: its readers fenced already.)
+func (l *Lock) waitEach(slots []*slot, self *slot) {
+	delay := l.roundTripCost()
+	for _, s := range slots {
+		if s == self {
+			continue
+		}
+		if delay > 0 {
+			signals.Spin(delay) // deliver the "signal"
+			l.Stats.SignalsSent.Add(1)
+		}
+		for s.state.Load() != 0 {
+			runtime.Gosched()
+		}
+	}
+}
+
+// waitHeuristic is the ARW+ writer wait: spin for the budget hoping the
+// readers acknowledge at their own poll points; signal only the silent
+// ones.
+func (l *Lock) waitHeuristic(slots []*slot, self *slot) {
+	e := l.epoch.Load()
+	satisfied := func(s *slot) bool {
+		return s.ackEpoch.Load() == e || s.state.Load() == 0
+	}
+	pendingCount := func() int {
+		n := 0
+		for _, s := range slots {
+			if s != self && !satisfied(s) {
+				n++
+			}
+		}
+		return n
+	}
+	for i := 0; i < l.budget; i++ {
+		if pendingCount() == 0 {
+			for _, s := range slots {
+				if s != self {
+					l.Stats.AcksInTime.Add(1)
+				}
+			}
+			return
+		}
+		if i%64 == 63 {
+			runtime.Gosched()
+		}
+	}
+	// Budget expired: signal the stragglers.
+	delay := l.roundTripCost()
+	for _, s := range slots {
+		if s == self {
+			continue
+		}
+		if satisfied(s) {
+			l.Stats.AcksInTime.Add(1)
+			continue
+		}
+		if delay > 0 {
+			signals.Spin(delay)
+			l.Stats.SignalsSent.Add(1)
+		}
+		for !satisfied(s) {
+			runtime.Gosched()
+		}
+	}
+}
+
+func (l *Lock) roundTripCost() int {
+	switch l.mode {
+	case core.ModeAsymmetricSW:
+		return l.cost.SignalRoundTrip
+	case core.ModeAsymmetricHW:
+		return l.cost.HWRoundTrip
+	default:
+		return 0
+	}
+}
+
+// Unlock releases the write lock.
+func (l *Lock) Unlock() {
+	l.intent.Store(0)
+	l.writeMu.Unlock()
+}
+
+// validate is used by tests: a Lock must have at least one registered
+// reader before a symmetric writer can fence against slot 0.
+func (l *Lock) validate() error {
+	l.regMu.Lock()
+	defer l.regMu.Unlock()
+	if len(l.slots) == 0 {
+		return fmt.Errorf("rwlock: no registered readers")
+	}
+	return nil
+}

@@ -1,0 +1,38 @@
+package sched_test
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/sched"
+)
+
+// Example_forkJoin computes a parallel sum with the work-stealing
+// runtime under the location-based fence discipline: victims pop their
+// deques without program-based fences; thieves pay the steal round trip.
+func Example_forkJoin() {
+	rt := sched.New(4, core.ModeAsymmetricHW, core.DefaultCosts())
+
+	var sum func(w *sched.Worker, lo, hi int) int
+	sum = func(w *sched.Worker, lo, hi int) int {
+		if hi-lo <= 1000 {
+			total := 0
+			for i := lo; i < hi; i++ {
+				total += i
+			}
+			return total
+		}
+		mid := (lo + hi) / 2
+		var left, right int
+		w.Do(
+			func(w *sched.Worker) { left = sum(w, lo, mid) },
+			func(w *sched.Worker) { right = sum(w, mid, hi) },
+		)
+		return left + right
+	}
+
+	var total int
+	rt.Run(func(w *sched.Worker) { total = sum(w, 0, 100_000) })
+	fmt.Println(total)
+	// Output: 4999950000
+}

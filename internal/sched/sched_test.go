@@ -1,0 +1,418 @@
+package sched
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+)
+
+func allModes() []core.Mode {
+	return []core.Mode{core.ModeNoFence, core.ModeSymmetric, core.ModeAsymmetricSW, core.ModeAsymmetricHW}
+}
+
+func fib(w *Worker, n int, out *int64) {
+	if n < 2 {
+		*out = int64(n)
+		return
+	}
+	var a, b int64
+	w.Do(
+		func(w *Worker) { fib(w, n-1, &a) },
+		func(w *Worker) { fib(w, n-2, &b) },
+	)
+	*out = a + b
+}
+
+func TestRunSingleWorker(t *testing.T) {
+	for _, mode := range allModes() {
+		t.Run(mode.String(), func(t *testing.T) {
+			rt := New(1, mode, core.ZeroCosts())
+			var got int64
+			rt.Run(func(w *Worker) { fib(w, 15, &got) })
+			if got != 610 {
+				t.Errorf("fib(15) = %d, want 610", got)
+			}
+		})
+	}
+}
+
+func TestRunMultiWorker(t *testing.T) {
+	for _, mode := range allModes() {
+		t.Run(mode.String(), func(t *testing.T) {
+			rt := New(4, mode, core.ZeroCosts())
+			var got int64
+			rt.Run(func(w *Worker) { fib(w, 20, &got) })
+			if got != 6765 {
+				t.Errorf("fib(20) = %d, want 6765", got)
+			}
+			s := rt.Stats()
+			if s.Spawns == 0 || s.Tasks == 0 {
+				t.Errorf("no scheduling activity recorded: %+v", s)
+			}
+		})
+	}
+}
+
+func TestStealsActuallyHappen(t *testing.T) {
+	// Force a steal structurally (robust on single-CPU machines where
+	// the root may otherwise finish before thieves get scheduled): the
+	// inline child spins — polling, as blocking user code must — until
+	// a thief runs the stolen sibling.
+	for _, mode := range []core.Mode{core.ModeSymmetric, core.ModeAsymmetricSW, core.ModeAsymmetricHW} {
+		t.Run(mode.String(), func(t *testing.T) {
+			rt := New(4, mode, core.ZeroCosts())
+			var flag atomic.Int32
+			rt.Run(func(w *Worker) {
+				w.Do(
+					func(w *Worker) { // runs inline on worker 0
+						for flag.Load() == 0 {
+							w.Poll()
+							runtime.Gosched()
+						}
+					},
+					func(w *Worker) { flag.Store(1) }, // must be stolen
+				)
+			})
+			if rt.Stats().Steals == 0 {
+				t.Error("no successful steals recorded")
+			}
+			if mode.Asymmetric() && rt.Stats().Signals == 0 {
+				t.Error("asymmetric mode recorded no serialization round trips")
+			}
+			if mode == core.ModeSymmetric && rt.Stats().Fences == 0 {
+				t.Error("symmetric mode recorded no fences")
+			}
+		})
+	}
+}
+
+func TestDoZeroAndOne(t *testing.T) {
+	rt := New(1, core.ModeSymmetric, core.ZeroCosts())
+	ran := false
+	rt.Run(func(w *Worker) {
+		w.Do()
+		w.Do(func(w *Worker) { ran = true })
+	})
+	if !ran {
+		t.Error("Do with one function did not run it")
+	}
+}
+
+func TestDoManyFunctions(t *testing.T) {
+	rt := New(3, core.ModeAsymmetricHW, core.ZeroCosts())
+	var counter atomic.Int64
+	rt.Run(func(w *Worker) {
+		fns := make([]func(*Worker), 16)
+		for i := range fns {
+			fns[i] = func(w *Worker) { counter.Add(1) }
+		}
+		w.Do(fns...)
+	})
+	if counter.Load() != 16 {
+		t.Errorf("ran %d of 16 tasks", counter.Load())
+	}
+}
+
+func TestNestedDoDepth(t *testing.T) {
+	// Deep nesting: every level spawns, exercising the sync helping path.
+	var depth func(w *Worker, d int) int
+	depth = func(w *Worker, d int) int {
+		if d == 0 {
+			return 0
+		}
+		var a, b int
+		w.Do(
+			func(w *Worker) { a = depth(w, d-1) },
+			func(w *Worker) { b = depth(w, d-1) },
+		)
+		if a > b {
+			return a + 1
+		}
+		return b + 1
+	}
+	rt := New(2, core.ModeAsymmetricSW, core.ZeroCosts())
+	var got int
+	rt.Run(func(w *Worker) { got = depth(w, 12) })
+	if got != 12 {
+		t.Errorf("depth = %d, want 12", got)
+	}
+}
+
+func TestWorkerIdentity(t *testing.T) {
+	rt := New(3, core.ModeSymmetric, core.ZeroCosts())
+	rt.Run(func(w *Worker) {
+		if w.ID() != 0 {
+			t.Errorf("root worker ID = %d", w.ID())
+		}
+		if w.NumWorkers() != 3 {
+			t.Errorf("NumWorkers = %d", w.NumWorkers())
+		}
+	})
+}
+
+func TestRuntimeSingleUse(t *testing.T) {
+	rt := New(1, core.ModeSymmetric, core.ZeroCosts())
+	rt.Run(func(w *Worker) {})
+	defer func() {
+		if recover() == nil {
+			t.Error("second Run did not panic")
+		}
+	}()
+	rt.Run(func(w *Worker) {})
+}
+
+func TestNewPanicsOnZeroWorkers(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("New(0) did not panic")
+		}
+	}()
+	New(0, core.ModeSymmetric, core.ZeroCosts())
+}
+
+// Property: fork-join results match the sequential computation for
+// arbitrary small trees, in every mode.
+func TestQuickSumTree(t *testing.T) {
+	f := func(leaves []int8, workers uint8, modeSel uint8) bool {
+		if len(leaves) == 0 {
+			return true
+		}
+		if len(leaves) > 64 {
+			leaves = leaves[:64]
+		}
+		p := int(workers%4) + 1
+		mode := allModes()[modeSel%4]
+		var want int64
+		for _, v := range leaves {
+			want += int64(v)
+		}
+		var sum func(w *Worker, xs []int8) int64
+		sum = func(w *Worker, xs []int8) int64 {
+			if len(xs) == 1 {
+				return int64(xs[0])
+			}
+			mid := len(xs) / 2
+			var a, b int64
+			w.Do(
+				func(w *Worker) { a = sum(w, xs[:mid]) },
+				func(w *Worker) { b = sum(w, xs[mid:]) },
+			)
+			return a + b
+		}
+		rt := New(p, mode, core.ZeroCosts())
+		var got int64
+		rt.Run(func(w *Worker) { got = sum(w, leaves) })
+		return got == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// --- deque unit tests (driven directly, no runtime) -------------------
+
+func mkTask(id int, sink *[]int) *task {
+	j := new(atomic.Int32)
+	j.Store(1)
+	return &task{fn: func(*Worker) { *sink = append(*sink, id) }, join: j}
+}
+
+func TestSymDequeLIFOForOwner(t *testing.T) {
+	var st WorkerStats
+	d := newSymDeque(core.ZeroCosts(), &st)
+	var sink []int
+	for i := 0; i < 5; i++ {
+		d.pushBottom(mkTask(i, &sink))
+	}
+	if d.size() != 5 {
+		t.Fatalf("size = %d", d.size())
+	}
+	for i := 4; i >= 0; i-- {
+		tk := d.popBottom()
+		if tk == nil {
+			t.Fatalf("pop %d returned nil", i)
+		}
+		tk.fn(nil)
+	}
+	if d.popBottom() != nil {
+		t.Error("pop from empty deque returned a task")
+	}
+	want := []int{4, 3, 2, 1, 0}
+	for i := range want {
+		if sink[i] != want[i] {
+			t.Fatalf("pop order %v, want %v", sink, want)
+		}
+	}
+}
+
+func TestSymDequeStealFIFO(t *testing.T) {
+	var st WorkerStats
+	d := newSymDeque(core.ZeroCosts(), &st)
+	var sink []int
+	for i := 0; i < 3; i++ {
+		d.pushBottom(mkTask(i, &sink))
+	}
+	for i := 0; i < 3; i++ {
+		tk := d.stealTop(nil)
+		if tk == nil {
+			t.Fatalf("steal %d returned nil", i)
+		}
+		tk.fn(nil)
+	}
+	if d.stealTop(nil) != nil {
+		t.Error("steal from empty deque returned a task")
+	}
+	want := []int{0, 1, 2}
+	for i := range want {
+		if sink[i] != want[i] {
+			t.Fatalf("steal order %v, want %v", sink, want)
+		}
+	}
+}
+
+func TestAsymDequeOwnerOps(t *testing.T) {
+	var st WorkerStats
+	d := newAsymDeque(core.ModeAsymmetricHW, core.ZeroCosts(), &st)
+	var sink []int
+	for i := 0; i < 4; i++ {
+		d.pushBottom(mkTask(i, &sink))
+	}
+	tk := d.popBottom()
+	tk.fn(nil)
+	if sink[0] != 3 {
+		t.Errorf("asym pop returned %d, want 3 (LIFO)", sink[0])
+	}
+}
+
+func TestAsymDequeStealViaDelegation(t *testing.T) {
+	var st WorkerStats
+	d := newAsymDeque(core.ModeAsymmetricHW, core.ZeroCosts(), &st)
+	var sink []int
+	d.pushBottom(mkTask(0, &sink))
+	d.pushBottom(mkTask(1, &sink))
+
+	got := make(chan *task)
+	go func() { got <- d.stealTop(nil) }()
+	// Owner polls until the request is served.
+	var tk *task
+	for tk == nil {
+		d.poll()
+		select {
+		case tk = <-got:
+		default:
+		}
+	}
+	if tk == nil {
+		t.Fatal("steal returned nil with work available")
+	}
+	tk.fn(nil)
+	if sink[0] != 0 {
+		t.Errorf("steal delegated %d, want 0 (oldest)", sink[0])
+	}
+	if st.StealsServed != 1 || st.Signals != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+	if d.size() != 1 {
+		t.Errorf("size after steal = %d, want 1", d.size())
+	}
+}
+
+func TestAsymDequeStealEmptyReturnsNil(t *testing.T) {
+	var st WorkerStats
+	d := newAsymDeque(core.ModeAsymmetricHW, core.ZeroCosts(), &st)
+	got := make(chan *task)
+	go func() { got <- d.stealTop(nil) }()
+	var tk *task
+	for {
+		d.poll()
+		select {
+		case tk = <-got:
+		default:
+			continue
+		}
+		break
+	}
+	if tk != nil {
+		t.Error("steal from empty deque returned a task")
+	}
+}
+
+func TestAsymDequeCloseFailsSteals(t *testing.T) {
+	var st WorkerStats
+	d := newAsymDeque(core.ModeAsymmetricSW, core.ZeroCosts(), &st)
+	d.close()
+	if d.stealTop(nil) != nil {
+		t.Error("steal after close returned a task")
+	}
+}
+
+func TestWithPollIntervalStillServesThieves(t *testing.T) {
+	rt := New(2, core.ModeAsymmetricHW, core.ZeroCosts(), WithPollInterval(64))
+	var flag atomic.Int32
+	rt.Run(func(w *Worker) {
+		w.Do(
+			func(w *Worker) {
+				for flag.Load() == 0 {
+					w.Poll() // explicit poll bypasses the rate limit
+					runtime.Gosched()
+				}
+			},
+			func(w *Worker) { flag.Store(1) },
+		)
+	})
+	if rt.Stats().Steals == 0 {
+		t.Error("no steals with a coarse poll interval")
+	}
+}
+
+func TestWithPollIntervalClampsToOne(t *testing.T) {
+	rt := New(1, core.ModeAsymmetricHW, core.ZeroCosts(), WithPollInterval(0))
+	if rt.pollInterval != 1 {
+		t.Errorf("pollInterval = %d, want clamped to 1", rt.pollInterval)
+	}
+	var got int64
+	rt.Run(func(w *Worker) { fib(w, 10, &got) })
+	if got != 55 {
+		t.Errorf("fib(10) = %d", got)
+	}
+}
+
+// The ring indices grow without bound; push/pop cycles well past the
+// capacity must wrap correctly in both deque implementations.
+func TestDequeRingWraparound(t *testing.T) {
+	var st WorkerStats
+	for _, d := range []deque{
+		newSymDeque(core.ZeroCosts(), &st),
+		newAsymDeque(core.ModeAsymmetricHW, core.ZeroCosts(), &st),
+	} {
+		var sink []int
+		for round := 0; round < dequeCapacity+500; round++ {
+			d.pushBottom(mkTask(round, &sink))
+			d.pushBottom(mkTask(round, &sink))
+			if d.popBottom() == nil || d.popBottom() == nil {
+				t.Fatalf("round %d: pop lost a task", round)
+			}
+		}
+		if d.size() != 0 {
+			t.Fatalf("size = %d after balanced rounds", d.size())
+		}
+	}
+}
+
+// Pushing past capacity must fail loudly, not corrupt the ring.
+func TestDequeOverflowPanics(t *testing.T) {
+	var st WorkerStats
+	d := newAsymDeque(core.ModeAsymmetricHW, core.ZeroCosts(), &st)
+	defer func() {
+		if recover() == nil {
+			t.Error("overflow did not panic")
+		}
+	}()
+	var sink []int
+	for i := 0; i <= dequeCapacity; i++ {
+		d.pushBottom(mkTask(i, &sink))
+	}
+}

@@ -1,0 +1,208 @@
+// Package signals is the goroutine-level substitute for the POSIX-signal
+// mechanism in the paper's software prototype of l-mfence.
+//
+// The prototype's contract (Section 5): before the secondary thread reads
+// a variable written by the primary, it must cause the primary to
+// serialize, and may proceed only after the primary has done so. With
+// POSIX signals the secondary interrupts the primary; the interrupt
+// flushes the store buffer and the handler acknowledges. Goroutines
+// cannot be interrupted, so we use the polling variant the paper itself
+// employs for the ARW+ lock's waiting heuristic: the secondary posts a
+// serialization request into the primary's Mailbox, and the primary
+// acknowledges at its next poll point (every acknowledgement in Go's
+// memory model is a release/acquire edge, which is the serialization the
+// prototype needs).
+//
+// The latency gap between a real signal (~10,000 cycles of kernel
+// crossings) and the proposed LE/ST hardware (~150 cycles) is modelled by
+// an injectable delay charged to the requester per round trip.
+package signals
+
+import (
+	"runtime"
+	"sync/atomic"
+)
+
+// Spin burns roughly n ns-scale iterations of CPU without yielding.
+// Experiments use it to inject modelled costs (signal kernel crossings,
+// simulated fence drains) into real executions.
+func Spin(n int) {
+	var s uint64
+	for i := 0; i < n; i++ {
+		s += uint64(i) ^ (s << 1)
+	}
+	spinSink(s)
+}
+
+// spinSink keeps the spin loop's work observable so the compiler cannot
+// delete it.
+//
+//go:noinline
+func spinSink(uint64) {}
+
+// Mailbox carries serialization requests from secondaries to one primary.
+// The zero value is ready to use.
+//
+// The primary calls Poll (cheap: one atomic load on the fast path) at its
+// protocol boundaries. Secondaries call Request and then WaitAck, or the
+// combined Serialize. Multiple secondaries are serialized by an internal
+// mutex, mirroring the augmented Dekker protocol in which secondaries
+// first compete for the right to synchronize with the primary.
+type Mailbox struct {
+	req    atomic.Uint64 // bumped by a secondary to request serialization
+	ack    atomic.Uint64 // set to req by the primary after serializing
+	closed atomic.Bool   // primary is gone; serialization is vacuous
+
+	// mu serializes secondaries. It is a polling spin lock rather than a
+	// sync.Mutex: a parked waiter cannot run its onWait callback, and a
+	// secondary that is itself the primary of another mailbox must keep
+	// answering its own requests while queueing here, or rings of
+	// mutually serializing parties deadlock.
+	mu atomic.Int32
+
+	// RequesterDelay is injected (via Spin) into every round trip on the
+	// secondary's side, modelling signal delivery cost. Zero for the
+	// projected-hardware profile.
+	RequesterDelay int
+
+	// PrimaryDelay is injected on the primary's side when it handles a
+	// request, modelling the signal-handler kernel crossings that stall
+	// the primary in the software prototype (the paper notes the
+	// primary "must handle the signal ... while the secondary waits").
+	PrimaryDelay int
+
+	// Handled counts requests the primary has acknowledged.
+	Handled atomic.Uint64
+	// Requests counts round trips secondaries have initiated.
+	Requests atomic.Uint64
+
+	// spinFn lets tests observe injected delays; nil means Spin.
+	spinFn func(int)
+}
+
+func (m *Mailbox) spin(n int) {
+	if m.spinFn != nil {
+		m.spinFn(n)
+		return
+	}
+	Spin(n)
+}
+
+func (m *Mailbox) lockWith(onWait func()) {
+	for !m.mu.CompareAndSwap(0, 1) {
+		if onWait != nil {
+			onWait()
+		}
+		runtime.Gosched()
+	}
+}
+
+func (m *Mailbox) unlock() { m.mu.Store(0) }
+
+// Poll is the primary's poll point. If a serialization request is
+// pending, the primary performs the serialization (the atomic store
+// below publishes everything the primary did before this point) and
+// acknowledges. It reports whether a request was handled.
+//
+// The fast path — no request pending — is a single atomic load and a
+// predictable branch, which is the "negligible overhead when running
+// alone" property the paper claims for both the prototype and LE/ST.
+func (m *Mailbox) Poll() bool {
+	r := m.req.Load()
+	if r == m.ack.Load() {
+		return false
+	}
+	if m.PrimaryDelay > 0 {
+		m.spin(m.PrimaryDelay)
+	}
+	m.ack.Store(r)
+	m.Handled.Add(1)
+	return true
+}
+
+// Pending reports whether a request awaits acknowledgement. Primaries may
+// use it to check without acknowledging.
+func (m *Mailbox) Pending() bool {
+	return m.req.Load() != m.ack.Load()
+}
+
+// Close marks the primary as departed. Outstanding and future Serialize
+// calls return immediately: goroutine termination plus the closed flag's
+// release/acquire edge already orders the primary's writes before the
+// secondary's reads.
+func (m *Mailbox) Close() { m.closed.Store(true) }
+
+// Closed reports whether the primary has departed.
+func (m *Mailbox) Closed() bool { return m.closed.Load() }
+
+// Serialize performs one full round trip: request serialization from the
+// primary and spin until it acknowledges (or the mailbox closes). On
+// return, every write the primary issued before its acknowledging Poll is
+// visible to the caller.
+func (m *Mailbox) Serialize() { m.SerializeWith(nil) }
+
+// SerializeWith is Serialize with a callback invoked while waiting.
+// Callers that are themselves primaries of another mailbox MUST pass
+// their own Poll here: two parties serializing against each other would
+// otherwise deadlock, each waiting for the other's poll.
+func (m *Mailbox) SerializeWith(onWait func()) {
+	if m.closed.Load() {
+		return
+	}
+	m.lockWith(onWait)
+	defer m.unlock()
+	if m.RequesterDelay > 0 {
+		m.spin(m.RequesterDelay)
+	}
+	target := m.req.Add(1)
+	m.Requests.Add(1)
+	for m.ack.Load() < target {
+		if m.closed.Load() {
+			return
+		}
+		if onWait != nil {
+			onWait()
+		}
+		runtime.Gosched()
+	}
+}
+
+// TrySerialize is the waiting-heuristic variant (the ARW+ lock): it
+// requests serialization and spins for at most spinBudget iterations
+// waiting for the primary to acknowledge on its own. If the primary
+// acknowledges in time it returns true having paid no signal cost;
+// otherwise it falls back to the full (delay-charged) wait and returns
+// false.
+func (m *Mailbox) TrySerialize(spinBudget int) bool {
+	if m.closed.Load() {
+		return true
+	}
+	m.lockWith(nil)
+	defer m.unlock()
+	target := m.req.Add(1)
+	m.Requests.Add(1)
+	for i := 0; i < spinBudget; i++ {
+		if m.ack.Load() >= target {
+			return true
+		}
+		if m.closed.Load() {
+			return true
+		}
+		// Yield periodically so the heuristic works even when the
+		// primary shares this CPU (GOMAXPROCS may be 1).
+		if i%64 == 63 {
+			runtime.Gosched()
+		}
+	}
+	// Heuristic failed; this is where the prototype sends the signal.
+	if m.RequesterDelay > 0 {
+		m.spin(m.RequesterDelay)
+	}
+	for m.ack.Load() < target {
+		if m.closed.Load() {
+			return false
+		}
+		runtime.Gosched()
+	}
+	return false
+}

@@ -1,0 +1,179 @@
+// Package stats provides the small statistical and table-rendering
+// helpers the experiment harness uses to report paper-style results:
+// repeated-measurement summaries (the paper reports means of 10 runs
+// with <3% standard deviation) and fixed-width text tables mirroring the
+// figures.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Sample summarizes repeated measurements.
+type Sample struct {
+	N      int
+	Mean   float64
+	StdDev float64
+	Min    float64
+	Max    float64
+	Median float64
+}
+
+// Summarize computes a Sample over xs. It panics on empty input: a
+// summary of nothing is a harness bug, not a data point.
+func Summarize(xs []float64) Sample {
+	if len(xs) == 0 {
+		panic("stats: Summarize of empty slice")
+	}
+	s := Sample{N: len(xs), Min: xs[0], Max: xs[0]}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+		if x < s.Min {
+			s.Min = x
+		}
+		if x > s.Max {
+			s.Max = x
+		}
+	}
+	s.Mean = sum / float64(len(xs))
+	var ss float64
+	for _, x := range xs {
+		d := x - s.Mean
+		ss += d * d
+	}
+	if len(xs) > 1 {
+		s.StdDev = math.Sqrt(ss / float64(len(xs)-1))
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	mid := len(sorted) / 2
+	if len(sorted)%2 == 1 {
+		s.Median = sorted[mid]
+	} else {
+		s.Median = (sorted[mid-1] + sorted[mid]) / 2
+	}
+	return s
+}
+
+// RelStdDev is the coefficient of variation (stddev / mean); the paper
+// reports runs with under 3%.
+func (s Sample) RelStdDev() float64 {
+	if s.Mean == 0 {
+		return 0
+	}
+	return s.StdDev / math.Abs(s.Mean)
+}
+
+// Durations converts time.Durations to float64 seconds for Summarize.
+func Durations(ds []time.Duration) []float64 {
+	out := make([]float64, len(ds))
+	for i, d := range ds {
+		out[i] = d.Seconds()
+	}
+	return out
+}
+
+// MeasureSeconds runs f reps times and returns the per-run wall-clock
+// seconds.
+func MeasureSeconds(reps int, f func()) []float64 {
+	out := make([]float64, reps)
+	for i := range out {
+		start := time.Now()
+		f()
+		out[i] = time.Since(start).Seconds()
+	}
+	return out
+}
+
+// Table renders fixed-width text tables in the style of the paper's
+// figures.
+type Table struct {
+	Title   string
+	Columns []string
+	rows    [][]string
+	notes   []string
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, columns ...string) *Table {
+	return &Table{Title: title, Columns: columns}
+}
+
+// AddRow appends a row; values are rendered with %v, floats with %.3f.
+func (t *Table) AddRow(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.3f", v)
+		case float32:
+			row[i] = fmt.Sprintf("%.3f", v)
+		case time.Duration:
+			row[i] = v.Round(time.Microsecond).String()
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// AddNote appends a footnote printed below the table.
+func (t *Table) AddNote(format string, args ...any) {
+	t.notes = append(t.notes, fmt.Sprintf(format, args...))
+}
+
+// Rows reports how many data rows the table has.
+func (t *Table) Rows() int { return len(t.rows) }
+
+// Cell returns the rendered cell at (row, col), for tests.
+func (t *Table) Cell(row, col int) string { return t.rows[row][col] }
+
+// String renders the table.
+func (t *Table) String() string {
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var sb strings.Builder
+	if t.Title != "" {
+		sb.WriteString(t.Title)
+		sb.WriteByte('\n')
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			fmt.Fprintf(&sb, "%-*s", widths[i], c)
+		}
+		sb.WriteByte('\n')
+	}
+	line(t.Columns)
+	total := 0
+	for _, w := range widths {
+		total += w + 2
+	}
+	sb.WriteString(strings.Repeat("-", total-2))
+	sb.WriteByte('\n')
+	for _, row := range t.rows {
+		line(row)
+	}
+	for _, n := range t.notes {
+		sb.WriteString("  note: ")
+		sb.WriteString(n)
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}

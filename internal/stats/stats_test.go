@@ -1,0 +1,117 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestSummarizeBasics(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4})
+	if s.N != 4 || s.Mean != 2.5 || s.Min != 1 || s.Max != 4 {
+		t.Errorf("summary = %+v", s)
+	}
+	if s.Median != 2.5 {
+		t.Errorf("median = %f", s.Median)
+	}
+	want := math.Sqrt((2.25 + 0.25 + 0.25 + 2.25) / 3)
+	if math.Abs(s.StdDev-want) > 1e-12 {
+		t.Errorf("stddev = %f, want %f", s.StdDev, want)
+	}
+}
+
+func TestSummarizeSingle(t *testing.T) {
+	s := Summarize([]float64{7})
+	if s.StdDev != 0 || s.Median != 7 || s.Mean != 7 {
+		t.Errorf("single-point summary = %+v", s)
+	}
+}
+
+func TestSummarizeOddMedian(t *testing.T) {
+	if m := Summarize([]float64{9, 1, 5}).Median; m != 5 {
+		t.Errorf("median = %f, want 5", m)
+	}
+}
+
+func TestSummarizeEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("empty Summarize did not panic")
+		}
+	}()
+	Summarize(nil)
+}
+
+func TestRelStdDev(t *testing.T) {
+	s := Sample{Mean: 10, StdDev: 0.2}
+	if got := s.RelStdDev(); math.Abs(got-0.02) > 1e-12 {
+		t.Errorf("RelStdDev = %f", got)
+	}
+	if (Sample{Mean: 0, StdDev: 1}).RelStdDev() != 0 {
+		t.Error("zero-mean RelStdDev should be 0")
+	}
+}
+
+func TestDurations(t *testing.T) {
+	ds := Durations([]time.Duration{time.Second, 500 * time.Millisecond})
+	if ds[0] != 1 || ds[1] != 0.5 {
+		t.Errorf("Durations = %v", ds)
+	}
+}
+
+func TestMeasureSeconds(t *testing.T) {
+	n := 0
+	xs := MeasureSeconds(3, func() { n++ })
+	if len(xs) != 3 || n != 3 {
+		t.Errorf("reps: len=%d n=%d", len(xs), n)
+	}
+	for _, x := range xs {
+		if x < 0 {
+			t.Error("negative duration")
+		}
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tab := NewTable("Title", "name", "value")
+	tab.AddRow("alpha", 1.23456)
+	tab.AddRow("b", 42)
+	tab.AddRow("c", 3*time.Millisecond)
+	tab.AddNote("a note with %d", 7)
+	out := tab.String()
+	for _, want := range []string{"Title", "name", "value", "alpha", "1.235", "42", "3ms", "note: a note with 7"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table missing %q:\n%s", want, out)
+		}
+	}
+	if tab.Rows() != 3 {
+		t.Errorf("Rows = %d", tab.Rows())
+	}
+	if tab.Cell(0, 0) != "alpha" || tab.Cell(1, 1) != "42" {
+		t.Error("Cell accessor wrong")
+	}
+}
+
+// Property: min <= median <= max and min <= mean <= max.
+func TestQuickSummarizeBounds(t *testing.T) {
+	f := func(xs []float64) bool {
+		clean := xs[:0]
+		for _, x := range xs {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) && math.Abs(x) < 1e15 {
+				clean = append(clean, x)
+			}
+		}
+		if len(clean) == 0 {
+			return true
+		}
+		s := Summarize(clean)
+		return s.Min <= s.Median+1e-9 && s.Median <= s.Max+1e-9 &&
+			s.Min <= s.Mean+1e-6*math.Abs(s.Mean)+1e-9 &&
+			s.Mean <= s.Max+1e-6*math.Abs(s.Mean)+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

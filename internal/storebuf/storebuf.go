@@ -1,0 +1,161 @@
+// Package storebuf implements the per-processor FIFO store buffer that
+// gives the simulated machine its Total-Store-Order behaviour.
+//
+// A write issued by a processor is "committed" into the store buffer
+// (visible only to the issuing processor, via store-buffer forwarding)
+// and later "completed" when the entry is flushed, in FIFO order, to the
+// cache — at which point the coherence protocol makes it globally
+// visible. Reads with a target address present in the buffer are serviced
+// by the newest matching entry instead of the cache, which is what keeps
+// a processor from observing its own reordering (Section 2 of the paper).
+package storebuf
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/arch"
+)
+
+// Entry is one committed-but-incomplete store.
+type Entry struct {
+	Addr arch.Addr
+	Val  arch.Word
+	// Seq is a monotonically increasing sequence number assigned at
+	// commit time; it lets observers (tests, traces) reason about FIFO
+	// order explicitly.
+	Seq uint64
+}
+
+// Buffer is a bounded FIFO store buffer. The zero value is not usable;
+// construct with New.
+type Buffer struct {
+	entries []Entry
+	cap     int
+	nextSeq uint64
+}
+
+// New returns an empty buffer with the given capacity. Capacity must be
+// positive.
+func New(capacity int) *Buffer {
+	if capacity <= 0 {
+		panic(fmt.Sprintf("storebuf: capacity must be positive, got %d", capacity))
+	}
+	return &Buffer{cap: capacity}
+}
+
+// Len reports the number of committed stores awaiting completion.
+func (b *Buffer) Len() int { return len(b.entries) }
+
+// Cap reports the buffer capacity.
+func (b *Buffer) Cap() int { return b.cap }
+
+// Empty reports whether no stores are pending.
+func (b *Buffer) Empty() bool { return len(b.entries) == 0 }
+
+// Full reports whether a Push would exceed capacity.
+func (b *Buffer) Full() bool { return len(b.entries) >= b.cap }
+
+// Push commits a store into the buffer. It panics if the buffer is full:
+// the machine model must drain the oldest entry first, and making that an
+// explicit step keeps the operational semantics honest.
+func (b *Buffer) Push(addr arch.Addr, val arch.Word) Entry {
+	if b.Full() {
+		panic("storebuf: push into full buffer (machine must drain first)")
+	}
+	e := Entry{Addr: addr, Val: val, Seq: b.nextSeq}
+	b.nextSeq++
+	b.entries = append(b.entries, e)
+	return e
+}
+
+// Lookup implements store-buffer forwarding: it returns the value of the
+// newest pending store to addr, if any. The boolean reports whether a
+// forwardable entry exists.
+func (b *Buffer) Lookup(addr arch.Addr) (arch.Word, bool) {
+	for i := len(b.entries) - 1; i >= 0; i-- {
+		if b.entries[i].Addr == addr {
+			return b.entries[i].Val, true
+		}
+	}
+	return 0, false
+}
+
+// Contains reports whether any pending store targets addr.
+func (b *Buffer) Contains(addr arch.Addr) bool {
+	_, ok := b.Lookup(addr)
+	return ok
+}
+
+// Oldest returns the entry that a drain step would complete next. The
+// boolean is false when the buffer is empty.
+func (b *Buffer) Oldest() (Entry, bool) {
+	if len(b.entries) == 0 {
+		return Entry{}, false
+	}
+	return b.entries[0], true
+}
+
+// Pop removes and returns the oldest entry. It panics on an empty buffer;
+// callers use Oldest/Empty to gate the drain step.
+func (b *Buffer) Pop() Entry {
+	if len(b.entries) == 0 {
+		panic("storebuf: pop from empty buffer")
+	}
+	e := b.entries[0]
+	// Shift rather than re-slice so the backing array does not pin old
+	// entries and capacity stays bounded for long simulations.
+	copy(b.entries, b.entries[1:])
+	b.entries = b.entries[:len(b.entries)-1]
+	return e
+}
+
+// Entries returns a copy of the pending stores in FIFO order. Intended
+// for tests, traces, and state hashing in the model checker.
+func (b *Buffer) Entries() []Entry {
+	out := make([]Entry, len(b.entries))
+	copy(out, b.entries)
+	return out
+}
+
+// Clone returns a deep copy of the buffer. The model checker forks
+// machine states, so cloning must not share backing storage.
+func (b *Buffer) Clone() *Buffer {
+	nb := &Buffer{
+		entries: make([]Entry, len(b.entries)),
+		cap:     b.cap,
+		nextSeq: b.nextSeq,
+	}
+	copy(nb.entries, b.entries)
+	return nb
+}
+
+// Fingerprint appends a canonical encoding of the buffer contents to dst
+// for use in hashed state signatures. Sequence numbers are deliberately
+// excluded: two states that differ only in how many stores ever passed
+// through the buffer are behaviourally identical.
+func (b *Buffer) Fingerprint(dst []byte) []byte {
+	dst = append(dst, byte(len(b.entries)))
+	for _, e := range b.entries {
+		dst = append(dst,
+			byte(e.Addr), byte(e.Addr>>8), byte(e.Addr>>16), byte(e.Addr>>24),
+			byte(e.Val), byte(e.Val>>8), byte(e.Val>>16), byte(e.Val>>24),
+			byte(e.Val>>32), byte(e.Val>>40), byte(e.Val>>48), byte(e.Val>>56),
+		)
+	}
+	return dst
+}
+
+// String renders the buffer oldest-first, e.g. "[0x10=1 0x14=2]".
+func (b *Buffer) String() string {
+	var sb strings.Builder
+	sb.WriteByte('[')
+	for i, e := range b.entries {
+		if i > 0 {
+			sb.WriteByte(' ')
+		}
+		fmt.Fprintf(&sb, "0x%x=%d", uint32(e.Addr), int64(e.Val))
+	}
+	sb.WriteByte(']')
+	return sb.String()
+}

@@ -1,0 +1,240 @@
+package storebuf
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/arch"
+)
+
+func TestNewPanicsOnNonPositiveCapacity(t *testing.T) {
+	for _, c := range []int{0, -1, -100} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("New(%d) did not panic", c)
+				}
+			}()
+			New(c)
+		}()
+	}
+}
+
+func TestPushPopFIFO(t *testing.T) {
+	b := New(4)
+	b.Push(1, 10)
+	b.Push(2, 20)
+	b.Push(3, 30)
+	if b.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", b.Len())
+	}
+	for i, want := range []arch.Word{10, 20, 30} {
+		e := b.Pop()
+		if e.Val != want {
+			t.Errorf("pop %d: val = %d, want %d", i, e.Val, want)
+		}
+	}
+	if !b.Empty() {
+		t.Error("buffer should be empty after draining")
+	}
+}
+
+func TestForwardingReturnsNewestEntry(t *testing.T) {
+	b := New(8)
+	b.Push(5, 1)
+	b.Push(6, 2)
+	b.Push(5, 3) // newer store to same address
+	v, ok := b.Lookup(5)
+	if !ok || v != 3 {
+		t.Errorf("Lookup(5) = %d,%v; want 3,true", v, ok)
+	}
+	v, ok = b.Lookup(6)
+	if !ok || v != 2 {
+		t.Errorf("Lookup(6) = %d,%v; want 2,true", v, ok)
+	}
+	if _, ok := b.Lookup(7); ok {
+		t.Error("Lookup(7) found a phantom entry")
+	}
+}
+
+func TestContains(t *testing.T) {
+	b := New(2)
+	if b.Contains(9) {
+		t.Error("empty buffer claims to contain 9")
+	}
+	b.Push(9, 42)
+	if !b.Contains(9) {
+		t.Error("buffer lost entry for 9")
+	}
+	b.Pop()
+	if b.Contains(9) {
+		t.Error("drained entry still reported present")
+	}
+}
+
+func TestFullAndPushPanic(t *testing.T) {
+	b := New(2)
+	b.Push(1, 1)
+	b.Push(2, 2)
+	if !b.Full() {
+		t.Fatal("buffer with cap 2 and 2 entries not Full")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("push into full buffer did not panic")
+		}
+	}()
+	b.Push(3, 3)
+}
+
+func TestPopEmptyPanics(t *testing.T) {
+	b := New(1)
+	defer func() {
+		if recover() == nil {
+			t.Error("pop from empty buffer did not panic")
+		}
+	}()
+	b.Pop()
+}
+
+func TestOldest(t *testing.T) {
+	b := New(3)
+	if _, ok := b.Oldest(); ok {
+		t.Error("Oldest on empty buffer returned ok")
+	}
+	b.Push(1, 100)
+	b.Push(2, 200)
+	e, ok := b.Oldest()
+	if !ok || e.Addr != 1 || e.Val != 100 {
+		t.Errorf("Oldest = %+v,%v; want addr=1 val=100", e, ok)
+	}
+	// Oldest must not consume.
+	if b.Len() != 2 {
+		t.Errorf("Oldest consumed an entry: len=%d", b.Len())
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	b := New(4)
+	b.Push(1, 1)
+	b.Push(2, 2)
+	c := b.Clone()
+	b.Pop()
+	b.Push(3, 3)
+	if c.Len() != 2 {
+		t.Fatalf("clone len = %d, want 2", c.Len())
+	}
+	e, _ := c.Oldest()
+	if e.Addr != 1 {
+		t.Errorf("clone oldest addr = %d, want 1", e.Addr)
+	}
+	if c.Contains(3) {
+		t.Error("clone sees entry pushed after cloning")
+	}
+}
+
+func TestEntriesIsACopy(t *testing.T) {
+	b := New(4)
+	b.Push(1, 1)
+	es := b.Entries()
+	es[0].Val = 999
+	if v, _ := b.Lookup(1); v != 1 {
+		t.Error("mutating Entries() result corrupted the buffer")
+	}
+}
+
+func TestSeqNumbersMonotonic(t *testing.T) {
+	b := New(4)
+	e1 := b.Push(1, 1)
+	e2 := b.Push(1, 2)
+	b.Pop()
+	e3 := b.Push(1, 3)
+	if !(e1.Seq < e2.Seq && e2.Seq < e3.Seq) {
+		t.Errorf("sequence numbers not monotonic: %d %d %d", e1.Seq, e2.Seq, e3.Seq)
+	}
+}
+
+func TestFingerprintIgnoresSeq(t *testing.T) {
+	a := New(4)
+	a.Push(1, 7)
+	b := New(4)
+	b.Push(9, 9) // advance seq counter
+	b.Pop()
+	b.Push(1, 7)
+	fa := string(a.Fingerprint(nil))
+	fb := string(b.Fingerprint(nil))
+	if fa != fb {
+		t.Error("fingerprint distinguishes states differing only in seq history")
+	}
+}
+
+func TestFingerprintDistinguishesContents(t *testing.T) {
+	a := New(4)
+	a.Push(1, 7)
+	b := New(4)
+	b.Push(1, 8)
+	if string(a.Fingerprint(nil)) == string(b.Fingerprint(nil)) {
+		t.Error("fingerprint collides for different values")
+	}
+	c := New(4)
+	c.Push(2, 7)
+	if string(a.Fingerprint(nil)) == string(c.Fingerprint(nil)) {
+		t.Error("fingerprint collides for different addresses")
+	}
+}
+
+func TestString(t *testing.T) {
+	b := New(4)
+	if got := b.String(); got != "[]" {
+		t.Errorf("empty String = %q", got)
+	}
+	b.Push(0x10, 1)
+	b.Push(0x14, 2)
+	if got := b.String(); got != "[0x10=1 0x14=2]" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+// Property: after any sequence of pushes (within capacity), popping
+// returns values in push order, and Lookup always returns the
+// most-recently pushed value for its address.
+func TestQuickFIFOAndForwarding(t *testing.T) {
+	f := func(vals []int16, addrs []uint8) bool {
+		n := len(vals)
+		if len(addrs) < n {
+			n = len(addrs)
+		}
+		if n > 16 {
+			n = 16
+		}
+		b := New(16)
+		latest := map[arch.Addr]arch.Word{}
+		type pv struct {
+			a arch.Addr
+			v arch.Word
+		}
+		var order []pv
+		for i := 0; i < n; i++ {
+			a := arch.Addr(addrs[i] % 4) // few addresses → collisions likely
+			v := arch.Word(vals[i])
+			b.Push(a, v)
+			latest[a] = v
+			order = append(order, pv{a, v})
+		}
+		for a, want := range latest {
+			if got, ok := b.Lookup(a); !ok || got != want {
+				return false
+			}
+		}
+		for _, want := range order {
+			e := b.Pop()
+			if e.Addr != want.a || e.Val != want.v {
+				return false
+			}
+		}
+		return b.Empty()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,347 @@
+// Package tso implements the simulated multiprocessor of "Location-Based
+// Memory Fences": a machine whose processors execute a small register
+// instruction set, commit instructions in order, buffer stores in
+// per-processor FIFO store buffers (giving Total-Store-Order / Processor-
+// Order reordering), keep caches coherent with MESI, and support both the
+// ordinary mfence and the paper's LE/ST location-based memory fence.
+//
+// Two consumers drive the machine: the timing runner in this package
+// (cycle-cost experiments) and the exhaustive-interleaving model checker
+// in internal/litmus (correctness theorems).
+package tso
+
+import (
+	"fmt"
+
+	"repro/internal/arch"
+)
+
+// Reg names one of a processor's general-purpose registers.
+type Reg uint8
+
+// NumRegs is the number of general-purpose registers per processor.
+const NumRegs = 8
+
+// Op is an opcode of the simulated instruction set.
+type Op uint8
+
+// The instruction set. Memory operands are direct word addresses, which
+// is all the paper's protocols need. The OpLinkBegin/OpLE/OpStoreLinked/
+// OpLinkBranch quadruple is the literal translation of l-mfence from
+// Fig. 3(b); Program.Lmfence emits it.
+const (
+	// OpNop does nothing.
+	OpNop Op = iota
+
+	// OpLoadI: Rd <- Imm.
+	OpLoadI
+
+	// OpLoad: Rd <- mem[Addr]. Serviced by store-buffer forwarding when a
+	// pending store to Addr exists, otherwise by the coherent cache.
+	OpLoad
+
+	// OpLoadIdx: Rd <- mem[Addr + Ra]. Register-indexed load for array
+	// workloads.
+	OpLoadIdx
+
+	// OpStore: mem[Addr] <- Ra. Commits into the store buffer.
+	OpStore
+
+	// OpStoreI: mem[Addr] <- Imm. Commits into the store buffer.
+	OpStoreI
+
+	// OpStoreIdx: mem[Addr + Ra] <- Rb.
+	OpStoreIdx
+
+	// OpAdd: Rd <- Ra + Rb.
+	OpAdd
+
+	// OpAddI: Rd <- Ra + Imm.
+	OpAddI
+
+	// OpSub: Rd <- Ra - Rb.
+	OpSub
+
+	// OpBeq: if Ra == Imm, jump to Target.
+	OpBeq
+
+	// OpBne: if Ra != Imm, jump to Target.
+	OpBne
+
+	// OpBlt: if Ra < Rb, jump to Target.
+	OpBlt
+
+	// OpJmp: unconditional jump to Target.
+	OpJmp
+
+	// OpMfence: stall until the store buffer drains; all prior stores
+	// become globally visible before the next instruction commits.
+	OpMfence
+
+	// OpLinkBegin begins an l-mfence: if a link for a *different* address
+	// is still in effect, the processor first flushes its store buffer
+	// and clears that link (the paper's one-link-per-processor rule);
+	// then it sets LEBit <- 1 and LEAddr <- Addr (lines K1.1-K1.2).
+	OpLinkBegin
+
+	// OpLE is the new load-exclusive instruction: load mem[Addr]
+	// obtaining the line in Exclusive state, and arm the cache
+	// controller's guard (line K1.3). The loaded value goes to Rd so
+	// programs may observe it, though l-mfence discards it.
+	OpLE
+
+	// OpStoreLinked: mem[Addr] <- Imm, committing into the store buffer;
+	// this is the store S the l-mfence is associated with (line K1.4).
+	OpStoreLinked
+
+	// OpStoreLinkedReg: mem[Addr] <- Ra, the register-valued guarded
+	// store (used when the published value is computed, e.g. a bakery
+	// ticket).
+	OpStoreLinkedReg
+
+	// OpLinkBranch: if LEBit == 0 (the link broke before the store
+	// committed), execute an mfence; otherwise continue (lines
+	// K1.5-K1.7).
+	OpLinkBranch
+
+	// OpCSEnter / OpCSExit bracket a critical section so that checkers
+	// and traces can detect mutual-exclusion violations.
+	OpCSEnter
+	OpCSExit
+
+	// OpHalt stops the processor.
+	OpHalt
+)
+
+var opNames = map[Op]string{
+	OpNop: "nop", OpLoadI: "loadi", OpLoad: "load", OpLoadIdx: "loadidx",
+	OpStore: "store", OpStoreI: "storei", OpStoreIdx: "storeidx",
+	OpAdd: "add", OpAddI: "addi", OpSub: "sub",
+	OpBeq: "beq", OpBne: "bne", OpBlt: "blt", OpJmp: "jmp",
+	OpMfence:    "mfence",
+	OpLinkBegin: "linkbegin", OpLE: "le", OpStoreLinked: "st.linked",
+	OpStoreLinkedReg: "st.linked.r",
+	OpLinkBranch:     "linkbranch",
+	OpCSEnter:        "cs.enter", OpCSExit: "cs.exit",
+	OpHalt: "halt",
+}
+
+func (o Op) String() string {
+	if n, ok := opNames[o]; ok {
+		return n
+	}
+	return fmt.Sprintf("Op(%d)", uint8(o))
+}
+
+// IsStore reports whether executing the op commits an entry into the
+// store buffer (and therefore requires buffer space).
+func (o Op) IsStore() bool {
+	switch o {
+	case OpStore, OpStoreI, OpStoreIdx, OpStoreLinked, OpStoreLinkedReg:
+		return true
+	}
+	return false
+}
+
+// Instr is one decoded instruction.
+type Instr struct {
+	Op     Op
+	Rd     Reg       // destination register
+	Ra, Rb Reg       // source registers
+	Imm    arch.Word // immediate operand
+	Addr   arch.Addr // memory operand
+	Target int       // resolved branch target (instruction index)
+	label  string    // unresolved branch target, fixed by Build
+	// Note annotates traces (e.g. the K-line from Fig. 3(b)).
+	Note string
+}
+
+func (in Instr) String() string {
+	switch in.Op {
+	case OpLoadI:
+		return fmt.Sprintf("%s r%d, %d", in.Op, in.Rd, in.Imm)
+	case OpLoad:
+		return fmt.Sprintf("%s r%d, [0x%x]", in.Op, in.Rd, uint32(in.Addr))
+	case OpLoadIdx:
+		return fmt.Sprintf("%s r%d, [0x%x+r%d]", in.Op, in.Rd, uint32(in.Addr), in.Ra)
+	case OpStore:
+		return fmt.Sprintf("%s [0x%x], r%d", in.Op, uint32(in.Addr), in.Ra)
+	case OpStoreI, OpStoreLinked:
+		return fmt.Sprintf("%s [0x%x], %d", in.Op, uint32(in.Addr), in.Imm)
+	case OpStoreIdx:
+		return fmt.Sprintf("%s [0x%x+r%d], r%d", in.Op, uint32(in.Addr), in.Ra, in.Rb)
+	case OpStoreLinkedReg:
+		return fmt.Sprintf("%s [0x%x], r%d", in.Op, uint32(in.Addr), in.Ra)
+	case OpAdd, OpSub:
+		return fmt.Sprintf("%s r%d, r%d, r%d", in.Op, in.Rd, in.Ra, in.Rb)
+	case OpAddI:
+		return fmt.Sprintf("%s r%d, r%d, %d", in.Op, in.Rd, in.Ra, in.Imm)
+	case OpBeq, OpBne:
+		return fmt.Sprintf("%s r%d, %d, @%d", in.Op, in.Ra, in.Imm, in.Target)
+	case OpBlt:
+		return fmt.Sprintf("%s r%d, r%d, @%d", in.Op, in.Ra, in.Rb, in.Target)
+	case OpJmp:
+		return fmt.Sprintf("%s @%d", in.Op, in.Target)
+	case OpLinkBegin, OpLE:
+		return fmt.Sprintf("%s [0x%x]", in.Op, uint32(in.Addr))
+	default:
+		return in.Op.String()
+	}
+}
+
+// Program is an immutable instruction sequence produced by a Builder.
+type Program struct {
+	Name   string
+	Instrs []Instr
+}
+
+// Builder assembles a Program. Methods return the builder for chaining.
+type Builder struct {
+	name    string
+	instrs  []Instr
+	labels  map[string]int
+	pending bool // at least one unresolved label reference exists
+}
+
+// NewBuilder starts a program named name.
+func NewBuilder(name string) *Builder {
+	return &Builder{name: name, labels: make(map[string]int)}
+}
+
+func (b *Builder) emit(in Instr) *Builder {
+	b.instrs = append(b.instrs, in)
+	return b
+}
+
+// Label binds name to the next instruction's index.
+func (b *Builder) Label(name string) *Builder {
+	if _, dup := b.labels[name]; dup {
+		panic(fmt.Sprintf("tso: duplicate label %q in %q", name, b.name))
+	}
+	b.labels[name] = len(b.instrs)
+	return b
+}
+
+// Nop emits a no-op.
+func (b *Builder) Nop() *Builder { return b.emit(Instr{Op: OpNop}) }
+
+// LoadI emits Rd <- imm.
+func (b *Builder) LoadI(rd Reg, imm arch.Word) *Builder {
+	return b.emit(Instr{Op: OpLoadI, Rd: rd, Imm: imm})
+}
+
+// Load emits Rd <- mem[addr].
+func (b *Builder) Load(rd Reg, addr arch.Addr) *Builder {
+	return b.emit(Instr{Op: OpLoad, Rd: rd, Addr: addr})
+}
+
+// LoadIdx emits Rd <- mem[addr + Ra].
+func (b *Builder) LoadIdx(rd Reg, addr arch.Addr, ra Reg) *Builder {
+	return b.emit(Instr{Op: OpLoadIdx, Rd: rd, Addr: addr, Ra: ra})
+}
+
+// Store emits mem[addr] <- Ra.
+func (b *Builder) Store(addr arch.Addr, ra Reg) *Builder {
+	return b.emit(Instr{Op: OpStore, Addr: addr, Ra: ra})
+}
+
+// StoreI emits mem[addr] <- imm.
+func (b *Builder) StoreI(addr arch.Addr, imm arch.Word) *Builder {
+	return b.emit(Instr{Op: OpStoreI, Addr: addr, Imm: imm})
+}
+
+// StoreIdx emits mem[addr + Ra] <- Rb.
+func (b *Builder) StoreIdx(addr arch.Addr, ra, rb Reg) *Builder {
+	return b.emit(Instr{Op: OpStoreIdx, Addr: addr, Ra: ra, Rb: rb})
+}
+
+// Add emits Rd <- Ra + Rb.
+func (b *Builder) Add(rd, ra, rb Reg) *Builder {
+	return b.emit(Instr{Op: OpAdd, Rd: rd, Ra: ra, Rb: rb})
+}
+
+// AddI emits Rd <- Ra + imm.
+func (b *Builder) AddI(rd, ra Reg, imm arch.Word) *Builder {
+	return b.emit(Instr{Op: OpAddI, Rd: rd, Ra: ra, Imm: imm})
+}
+
+// Sub emits Rd <- Ra - Rb.
+func (b *Builder) Sub(rd, ra, rb Reg) *Builder {
+	return b.emit(Instr{Op: OpSub, Rd: rd, Ra: ra, Rb: rb})
+}
+
+// Blt emits: if Ra < Rb, jump to label.
+func (b *Builder) Blt(ra, rb Reg, label string) *Builder {
+	b.pending = true
+	return b.emit(Instr{Op: OpBlt, Ra: ra, Rb: rb, label: label})
+}
+
+// Beq emits: if Ra == imm, jump to label.
+func (b *Builder) Beq(ra Reg, imm arch.Word, label string) *Builder {
+	b.pending = true
+	return b.emit(Instr{Op: OpBeq, Ra: ra, Imm: imm, label: label})
+}
+
+// Bne emits: if Ra != imm, jump to label.
+func (b *Builder) Bne(ra Reg, imm arch.Word, label string) *Builder {
+	b.pending = true
+	return b.emit(Instr{Op: OpBne, Ra: ra, Imm: imm, label: label})
+}
+
+// Jmp emits an unconditional jump to label.
+func (b *Builder) Jmp(label string) *Builder {
+	b.pending = true
+	return b.emit(Instr{Op: OpJmp, label: label})
+}
+
+// Mfence emits a full memory fence.
+func (b *Builder) Mfence() *Builder { return b.emit(Instr{Op: OpMfence}) }
+
+// CSEnter / CSExit bracket a critical section.
+func (b *Builder) CSEnter() *Builder { return b.emit(Instr{Op: OpCSEnter}) }
+
+// CSExit marks leaving the critical section.
+func (b *Builder) CSExit() *Builder { return b.emit(Instr{Op: OpCSExit}) }
+
+// Halt stops the processor.
+func (b *Builder) Halt() *Builder { return b.emit(Instr{Op: OpHalt}) }
+
+// Lmfence emits the l-mfence(addr, imm) translation of Fig. 3(b): arm the
+// link registers, load-exclusive the guarded location, commit the store,
+// and fall back to a full mfence if the link broke before the store
+// committed. The scratch register rd receives the LE-loaded value.
+func (b *Builder) Lmfence(addr arch.Addr, imm arch.Word, rd Reg) *Builder {
+	b.emit(Instr{Op: OpLinkBegin, Addr: addr, Note: "K1.1-2: LEBit<-1, LEAddr<-&l"})
+	b.emit(Instr{Op: OpLE, Rd: rd, Addr: addr, Note: "K1.3: LE &l (Exclusive)"})
+	b.emit(Instr{Op: OpStoreLinked, Addr: addr, Imm: imm, Note: "K1.4: ST [&l]<-v"})
+	b.emit(Instr{Op: OpLinkBranch, Note: "K1.5-7: BNQ LEBit,0,DONE; MFENCE"})
+	return b
+}
+
+// LmfenceReg is Lmfence with a register-valued store: l-mfence(addr, Ra).
+// The scratch register rd receives the LE-loaded value.
+func (b *Builder) LmfenceReg(addr arch.Addr, ra, rd Reg) *Builder {
+	b.emit(Instr{Op: OpLinkBegin, Addr: addr, Note: "K1.1-2: LEBit<-1, LEAddr<-&l"})
+	b.emit(Instr{Op: OpLE, Rd: rd, Addr: addr, Note: "K1.3: LE &l (Exclusive)"})
+	b.emit(Instr{Op: OpStoreLinkedReg, Addr: addr, Ra: ra, Note: "K1.4: ST [&l]<-Ra"})
+	b.emit(Instr{Op: OpLinkBranch, Note: "K1.5-7: BNQ LEBit,0,DONE; MFENCE"})
+	return b
+}
+
+// Build resolves labels and returns the finished program.
+func (b *Builder) Build() *Program {
+	instrs := make([]Instr, len(b.instrs))
+	copy(instrs, b.instrs)
+	for i := range instrs {
+		if instrs[i].label == "" {
+			continue
+		}
+		tgt, ok := b.labels[instrs[i].label]
+		if !ok {
+			panic(fmt.Sprintf("tso: undefined label %q in %q", instrs[i].label, b.name))
+		}
+		instrs[i].Target = tgt
+		instrs[i].label = ""
+	}
+	return &Program{Name: b.name, Instrs: instrs}
+}

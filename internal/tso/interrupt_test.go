@@ -1,0 +1,53 @@
+package tso
+
+import (
+	"testing"
+)
+
+func TestInterruptDrainsStoreBuffer(t *testing.T) {
+	p := NewBuilder("i").StoreI(1, 5).StoreI(2, 6).Halt().Build()
+	m := NewMachine(cfg(1), p)
+	m.ExecStep(0)
+	m.ExecStep(0)
+	if m.Procs[0].SB.Len() != 2 {
+		t.Fatalf("setup: SB len = %d", m.Procs[0].SB.Len())
+	}
+	m.Interrupt(0)
+	if !m.Procs[0].SB.Empty() {
+		t.Error("interrupt did not drain the store buffer")
+	}
+	if m.Mem(1) != 5 || m.Mem(2) != 6 {
+		t.Error("drained stores not globally visible")
+	}
+}
+
+func TestInterruptClearsLink(t *testing.T) {
+	p := NewBuilder("il").Lmfence(5, 1, 7).Halt().Build()
+	m := NewMachine(cfg(2), p)
+	for i := 0; i < 4; i++ {
+		m.ExecStep(0)
+	}
+	if !m.Procs[0].LEBit {
+		t.Fatal("setup: link not armed")
+	}
+	m.Interrupt(0)
+	if m.Procs[0].LEBit {
+		t.Error("interrupt left LEBit set")
+	}
+	if _, armed := m.Sys.GuardArmed(0); armed {
+		t.Error("interrupt left the cache guard armed")
+	}
+	if m.Mem(5) != 1 {
+		t.Error("guarded store not completed by interrupt")
+	}
+}
+
+func TestInterruptOnIdleProcIsHarmless(t *testing.T) {
+	p := NewBuilder("idle").Halt().Build()
+	m := NewMachine(cfg(1), p)
+	m.ExecStep(0)
+	m.Interrupt(0) // empty buffer, no link: must not panic
+	if !m.Procs[0].SB.Empty() {
+		t.Error("idle interrupt corrupted state")
+	}
+}

@@ -1,0 +1,113 @@
+package tso
+
+import (
+	"testing"
+
+	"repro/internal/arch"
+)
+
+func cfgLinks(procs, links int) arch.Config {
+	c := arch.DefaultConfig()
+	c.Procs = procs
+	c.Links = links
+	return c
+}
+
+func TestMultiLinkTwoLmfencesKeepBothArmed(t *testing.T) {
+	p := NewBuilder("two").
+		Lmfence(5, 1, 7).
+		Lmfence(6, 2, 7).
+		Halt().
+		Build()
+	m := NewMachine(cfgLinks(1, 2), p)
+	for i := 0; i < 8; i++ { // both l-mfence sequences
+		m.ExecStep(0)
+	}
+	if m.Procs[0].SB.Len() != 2 {
+		t.Fatalf("SB len = %d, want 2 (no forced flush with 2 links)", m.Procs[0].SB.Len())
+	}
+	if m.Procs[0].Stats.Flushes != 0 {
+		t.Errorf("flushes = %d, want 0", m.Procs[0].Stats.Flushes)
+	}
+	if !m.Sys.Guarded(0, 5) || !m.Sys.Guarded(0, 6) {
+		t.Error("both locations should be guarded")
+	}
+	// Draining clears each link as its store completes.
+	m.DrainStep(0)
+	if m.Sys.Guarded(0, 5) {
+		t.Error("link for 5 survived its store's completion")
+	}
+	if !m.Sys.Guarded(0, 6) {
+		t.Error("link for 6 cleared too early")
+	}
+	m.DrainStep(0)
+	if m.Sys.Guarded(0, 6) {
+		t.Error("link for 6 survived its store's completion")
+	}
+}
+
+func TestMultiLinkCapacityForcesFlush(t *testing.T) {
+	p := NewBuilder("three").
+		Lmfence(5, 1, 7).
+		Lmfence(6, 2, 7).
+		Lmfence(7, 3, 7).
+		Halt().
+		Build()
+	m := NewMachine(cfgLinks(1, 2), p)
+	for i := 0; i < 8; i++ {
+		m.ExecStep(0)
+	}
+	if m.Procs[0].Stats.Flushes != 0 {
+		t.Fatal("flush before capacity exceeded")
+	}
+	m.ExecStep(0) // third LinkBegin: capacity 2 exceeded -> flush
+	if m.Procs[0].Stats.Flushes != 1 {
+		t.Errorf("flushes = %d, want 1 at third l-mfence", m.Procs[0].Stats.Flushes)
+	}
+	if m.Mem(5) != 1 || m.Mem(6) != 2 {
+		t.Error("capacity flush did not complete earlier guarded stores")
+	}
+}
+
+func TestMultiLinkRemoteBreakOnlyDropsThatLink(t *testing.T) {
+	p0 := NewBuilder("pri").Lmfence(5, 1, 7).Lmfence(6, 2, 7).Halt().Build()
+	p1 := NewBuilder("sec").Load(0, 5).Halt().Build()
+	m := NewMachine(cfgLinks(2, 2), p0, p1)
+	for i := 0; i < 8; i++ {
+		m.ExecStep(0)
+	}
+	m.ExecStep(1) // secondary reads location 5: breaks that link, flushes
+	if m.Procs[1].Regs[0] != 1 {
+		t.Errorf("secondary read %d, want 1", m.Procs[1].Regs[0])
+	}
+	if m.Sys.Guarded(0, 5) {
+		t.Error("broken link still armed")
+	}
+	// The flush completed the store to 6 as well, which clears its link
+	// (natural completion), so no link should survive — but the current
+	// LEBit tracked location 6 and must have been cleared by the drain.
+	if m.Procs[0].LEBit {
+		t.Error("LEBit set after its guarded store completed in the flush")
+	}
+	if m.Procs[0].SB.Len() != 0 {
+		t.Error("flush incomplete")
+	}
+}
+
+func TestSingleLinkBehaviourUnchanged(t *testing.T) {
+	// With Links=1 (or 0), the second different-location l-mfence must
+	// flush, exactly as before the multi-link extension.
+	for _, links := range []int{0, 1} {
+		p := NewBuilder("two").Lmfence(5, 1, 7).Lmfence(6, 2, 7).Halt().Build()
+		m := NewMachine(cfgLinks(1, links), p)
+		for i := 0; i < 5; i++ { // first l-mfence + second LinkBegin
+			m.ExecStep(0)
+		}
+		if m.Procs[0].Stats.Flushes != 1 {
+			t.Errorf("links=%d: flushes = %d, want 1", links, m.Procs[0].Stats.Flushes)
+		}
+		if m.Mem(5) != 1 {
+			t.Errorf("links=%d: first guarded store not completed", links)
+		}
+	}
+}

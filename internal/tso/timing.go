@@ -1,0 +1,160 @@
+package tso
+
+import (
+	"fmt"
+
+	"repro/internal/arch"
+)
+
+// DrainWindow is the number of cycles a committed store lingers in the
+// buffer before the background drain engine completes it, when nothing
+// else (fence, full buffer, link break) forces it out earlier. It models
+// the store buffer flushing the oldest entry "whenever the system bus is
+// available".
+const DrainWindow = 30
+
+// Runner executes a machine in timing mode: processors advance in local-
+// clock order, each instruction charges its cycle cost, and store buffers
+// drain in the background. Background drains are free for the issuing
+// processor (store completion is off its critical path), which is exactly
+// why the paper's primary thread wants to avoid fences: an mfence turns
+// that free background work into a synchronous stall.
+type Runner struct {
+	M *Machine
+
+	// commitClock[p] holds, aligned with the store buffer FIFO, the local
+	// clock at which each pending store committed.
+	commitClock [][]int64
+
+	// MaxSteps bounds the run; 0 means DefaultMaxSteps.
+	MaxSteps int
+}
+
+// DefaultMaxSteps bounds timing runs against livelock (the simplified
+// Dekker protocol can livelock by design; the paper notes this).
+const DefaultMaxSteps = 50_000_000
+
+// NewRunner wraps m for timing execution.
+func NewRunner(m *Machine) *Runner {
+	r := &Runner{M: m, commitClock: make([][]int64, len(m.Procs))}
+	return r
+}
+
+// backgroundDrain completes stores older than DrainWindow for p, free of
+// charge to p's clock.
+func (r *Runner) backgroundDrain(p *Proc) {
+	// Remote guard breaks may have flushed p's buffer behind our back
+	// (another processor's access triggers p's link-break handler), so
+	// reconcile the ledger before trusting it.
+	r.syncCommitClocks(p)
+	cc := r.commitClock[p.ID]
+	for len(cc) > 0 && !p.SB.Empty() && p.Clock-cc[0] >= DrainWindow {
+		r.M.DrainStep(p.ID)
+		cc = cc[1:]
+	}
+	r.commitClock[p.ID] = cc
+}
+
+// syncCommitClocks reconciles the commit-clock ledger with the actual
+// buffer after operations (fence, link break) that flushed entries out
+// from under us.
+func (r *Runner) syncCommitClocks(p *Proc) {
+	n := p.SB.Len()
+	cc := r.commitClock[p.ID]
+	if len(cc) > n {
+		r.commitClock[p.ID] = cc[len(cc)-n:]
+	}
+}
+
+// step advances processor p by one instruction, maintaining drain
+// bookkeeping and cross-processor guard-break charges.
+func (r *Runner) step(p *Proc) {
+	r.backgroundDrain(p)
+
+	// A store into a full buffer stalls until the oldest entry completes.
+	in := p.Prog.Instrs[p.PC]
+	for in.Op.IsStore() && p.SB.Full() {
+		p.Clock += r.M.Cfg.Cost.StoreBufferDrainPerEntry
+		r.M.DrainStep(p.ID)
+		if cc := r.commitClock[p.ID]; len(cc) > 0 {
+			r.commitClock[p.ID] = cc[1:]
+		}
+		r.syncCommitClocks(p)
+	}
+
+	before := p.SB.Len()
+	cost := r.M.ExecStep(p.ID)
+	p.Clock += cost
+	// Charge the requester for any remote link its access broke: the
+	// LE/ST round trip (two cache controllers exchanging messages plus
+	// the primary's flush) lands on the secondary thread.
+	if n := r.M.RemoteGuardBreaks(); n > 0 {
+		p.Clock += int64(n) * r.M.Cfg.Cost.LESTRoundTrip
+	}
+	if p.SB.Len() > before {
+		r.commitClock[p.ID] = append(r.commitClock[p.ID], p.Clock)
+	}
+	r.syncCommitClocks(p)
+}
+
+// Run executes until every processor halts (or MaxSteps is hit, which
+// returns an error). It returns the final clock of the slowest processor.
+func (r *Runner) Run() (int64, error) {
+	limit := r.MaxSteps
+	if limit == 0 {
+		limit = DefaultMaxSteps
+	}
+	for steps := 0; ; steps++ {
+		if steps >= limit {
+			return 0, fmt.Errorf("tso: run exceeded %d steps (livelock?)", limit)
+		}
+		// Advance the non-halted processor with the smallest local clock,
+		// approximating concurrent execution.
+		var next *Proc
+		for _, p := range r.M.Procs {
+			if p.Halted {
+				continue
+			}
+			if next == nil || p.Clock < next.Clock {
+				next = p
+			}
+		}
+		if next == nil {
+			break
+		}
+		r.step(next)
+	}
+	// Final quiesce: complete all outstanding stores.
+	var maxClock int64
+	for _, p := range r.M.Procs {
+		for !p.SB.Empty() {
+			r.M.DrainStep(p.ID)
+		}
+		r.commitClock[p.ID] = nil
+		if p.Clock > maxClock {
+			maxClock = p.Clock
+		}
+	}
+	return maxClock, nil
+}
+
+// RunProc executes a single processor to completion, ignoring the others
+// (they must be halted). Used for serial-execution experiments.
+func (r *Runner) RunProc(pid arch.ProcID) (int64, error) {
+	p := r.M.Procs[pid]
+	limit := r.MaxSteps
+	if limit == 0 {
+		limit = DefaultMaxSteps
+	}
+	for steps := 0; !p.Halted; steps++ {
+		if steps >= limit {
+			return 0, fmt.Errorf("tso: proc %v exceeded %d steps", pid, limit)
+		}
+		r.step(p)
+	}
+	for !p.SB.Empty() {
+		r.M.DrainStep(pid)
+	}
+	r.commitClock[pid] = nil
+	return p.Clock, nil
+}

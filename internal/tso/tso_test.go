@@ -1,0 +1,435 @@
+package tso
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/arch"
+)
+
+func cfg(procs int) arch.Config {
+	c := arch.DefaultConfig()
+	c.Procs = procs
+	return c
+}
+
+func run(t *testing.T, m *Machine) {
+	t.Helper()
+	r := NewRunner(m)
+	if _, err := r.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBuilderResolvesLabels(t *testing.T) {
+	p := NewBuilder("loop").
+		LoadI(0, 3).
+		Label("top").
+		AddI(0, 0, -1).
+		Bne(0, 0, "top").
+		Halt().
+		Build()
+	if p.Instrs[2].Target != 1 {
+		t.Errorf("branch target = %d, want 1", p.Instrs[2].Target)
+	}
+}
+
+func TestBuilderPanicsOnUndefinedLabel(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("undefined label did not panic")
+		}
+	}()
+	NewBuilder("bad").Jmp("nowhere").Build()
+}
+
+func TestBuilderPanicsOnDuplicateLabel(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate label did not panic")
+		}
+	}()
+	NewBuilder("bad").Label("x").Label("x")
+}
+
+func TestArithmeticAndBranches(t *testing.T) {
+	p := NewBuilder("arith").
+		LoadI(0, 5).
+		LoadI(1, 7).
+		Add(2, 0, 1).   // r2 = 12
+		AddI(3, 2, -2). // r3 = 10
+		Beq(3, 10, "skip").
+		LoadI(4, 99). // skipped
+		Label("skip").
+		Halt().
+		Build()
+	m := NewMachine(cfg(1), p)
+	run(t, m)
+	pr := m.Procs[0]
+	if pr.Regs[2] != 12 || pr.Regs[3] != 10 {
+		t.Errorf("regs = %v", pr.Regs)
+	}
+	if pr.Regs[4] != 0 {
+		t.Error("Beq did not skip")
+	}
+}
+
+func TestStoreLoadRoundTrip(t *testing.T) {
+	p := NewBuilder("sl").
+		StoreI(4, 42).
+		Load(0, 4). // forwarded from store buffer
+		Halt().
+		Build()
+	m := NewMachine(cfg(1), p)
+	run(t, m)
+	if m.Procs[0].Regs[0] != 42 {
+		t.Errorf("load got %d, want 42 (forwarding)", m.Procs[0].Regs[0])
+	}
+	if m.Mem(4) != 42 {
+		t.Errorf("mem = %d after quiesce, want 42", m.Mem(4))
+	}
+}
+
+func TestIndexedAccess(t *testing.T) {
+	p := NewBuilder("idx").
+		LoadI(0, 2).       // index
+		LoadI(1, 7).       // value
+		StoreIdx(8, 0, 1). // mem[10] = 7
+		LoadIdx(2, 8, 0).  // r2 = mem[10]
+		Halt().
+		Build()
+	m := NewMachine(cfg(1), p)
+	run(t, m)
+	if m.Procs[0].Regs[2] != 7 {
+		t.Errorf("indexed load = %d, want 7", m.Procs[0].Regs[2])
+	}
+	if m.Mem(10) != 7 {
+		t.Errorf("mem[10] = %d, want 7", m.Mem(10))
+	}
+}
+
+// The store-buffer litmus: a load may commit while an older store to a
+// different address is still buffered, so another processor can observe
+// the classic r1==0 && r2==0 outcome — but only until the buffers drain.
+func TestStoreBufferingVisibleToModel(t *testing.T) {
+	// P0: x=1; r0=y.   P1: y=1; r0=x.
+	p0 := NewBuilder("p0").StoreI(0, 1).Load(0, 1).Halt().Build()
+	p1 := NewBuilder("p1").StoreI(1, 1).Load(0, 0).Halt().Build()
+	m := NewMachine(cfg(2), p0, p1)
+	// Drive by hand: both stores commit, both loads execute before any
+	// drain. Loads must read 0 (the reordering the paper describes).
+	m.ExecStep(0) // P0: x=1 buffered
+	m.ExecStep(1) // P1: y=1 buffered
+	m.ExecStep(0) // P0: r0 = y -> 0
+	m.ExecStep(1) // P1: r0 = x -> 0
+	if m.Procs[0].Regs[0] != 0 || m.Procs[1].Regs[0] != 0 {
+		t.Errorf("store buffering not observed: r0s = %d,%d",
+			m.Procs[0].Regs[0], m.Procs[1].Regs[0])
+	}
+	// After draining, memory is globally consistent.
+	m.DrainStep(0)
+	m.DrainStep(1)
+	if m.Mem(0) != 1 || m.Mem(1) != 1 {
+		t.Error("drained stores not visible")
+	}
+}
+
+func TestMfenceForcesVisibility(t *testing.T) {
+	p0 := NewBuilder("p0").StoreI(0, 1).Mfence().Halt().Build()
+	m := NewMachine(cfg(2), p0)
+	m.ExecStep(0) // store buffered
+	if m.Mem(0) != 0 {
+		t.Fatal("store visible before drain")
+	}
+	m.ExecStep(0) // mfence drains
+	if m.Mem(0) != 1 {
+		t.Error("mfence did not complete the store")
+	}
+	if !m.Procs[0].SB.Empty() {
+		t.Error("store buffer not empty after mfence")
+	}
+	if m.Procs[0].Stats.Mfences != 1 || m.Procs[0].Stats.Flushes != 1 {
+		t.Errorf("stats = %+v", m.Procs[0].Stats)
+	}
+}
+
+func TestSameAddressForwardingPreventsReordering(t *testing.T) {
+	// Principle 4's exception: a read is not reordered with an older
+	// write to the same address, because forwarding services it.
+	p := NewBuilder("fwd").StoreI(3, 9).Load(0, 3).Halt().Build()
+	m := NewMachine(cfg(1), p)
+	m.ExecStep(0)
+	m.ExecStep(0)
+	if m.Procs[0].Regs[0] != 9 {
+		t.Errorf("read of own buffered store = %d, want 9", m.Procs[0].Regs[0])
+	}
+}
+
+func TestLmfenceLinkLifecycleUncontended(t *testing.T) {
+	p := NewBuilder("lm").Lmfence(5, 1, 7).Halt().Build()
+	m := NewMachine(cfg(2), p)
+	m.ExecStep(0) // LinkBegin
+	pr := m.Procs[0]
+	if !pr.LEBit || pr.LEAddr != 5 {
+		t.Fatalf("link registers not set: LEBit=%v LEAddr=%d", pr.LEBit, pr.LEAddr)
+	}
+	m.ExecStep(0) // LE
+	if a, armed := m.Sys.GuardArmed(0); !armed || a != 5 {
+		t.Fatalf("guard not armed after LE: %d %v", a, armed)
+	}
+	m.ExecStep(0) // StoreLinked
+	m.ExecStep(0) // LinkBranch: link intact, no fence
+	if pr.Stats.LinkFallback != 0 || pr.Stats.Mfences != 0 {
+		t.Errorf("uncontended l-mfence fell back: %+v", pr.Stats)
+	}
+	if pr.SB.Empty() {
+		t.Error("uncontended l-mfence flushed the buffer")
+	}
+	// Natural completion of the guarded store clears the link.
+	m.DrainStep(0)
+	if pr.LEBit {
+		t.Error("LEBit still set after guarded store completed")
+	}
+	if _, armed := m.Sys.GuardArmed(0); armed {
+		t.Error("guard still armed after guarded store completed")
+	}
+}
+
+func TestLmfenceRemoteReadBreaksLinkAndFlushes(t *testing.T) {
+	p0 := NewBuilder("primary").Lmfence(5, 1, 7).Halt().Build()
+	p1 := NewBuilder("secondary").Load(0, 5).Halt().Build()
+	m := NewMachine(cfg(2), p0, p1)
+	for i := 0; i < 4; i++ {
+		m.ExecStep(0) // run the whole l-mfence; store stays buffered
+	}
+	if m.Procs[0].SB.Empty() {
+		t.Fatal("setup: store should be buffered")
+	}
+	m.ExecStep(1) // secondary reads the guarded location
+	if got := m.Procs[1].Regs[0]; got != 1 {
+		t.Errorf("secondary read %d, want 1 (flush-before-reply)", got)
+	}
+	if m.Procs[0].LEBit {
+		t.Error("link survived a remote read")
+	}
+	if !m.Procs[0].SB.Empty() {
+		t.Error("primary store buffer not flushed on link break")
+	}
+	if m.Procs[0].Stats.LinkBreaks != 1 {
+		t.Errorf("LinkBreaks = %d, want 1", m.Procs[0].Stats.LinkBreaks)
+	}
+	if m.RemoteGuardBreaks() != 1 {
+		t.Errorf("RemoteGuardBreaks = %d, want 1", m.RemoteGuardBreaks())
+	}
+}
+
+func TestLmfenceLinkBrokenBeforeStoreFallsBackToMfence(t *testing.T) {
+	p0 := NewBuilder("primary").Lmfence(5, 1, 7).Halt().Build()
+	p1 := NewBuilder("secondary").Load(0, 5).Halt().Build()
+	m := NewMachine(cfg(2), p0, p1)
+	m.ExecStep(0) // LinkBegin
+	m.ExecStep(0) // LE (guard armed)
+	m.ExecStep(1) // secondary's read breaks the link before ST commits
+	if m.Procs[0].LEBit {
+		t.Fatal("link should be broken")
+	}
+	m.ExecStep(0) // StoreLinked (commits with broken link)
+	m.ExecStep(0) // LinkBranch: LEBit==0 -> mfence
+	pr := m.Procs[0]
+	if pr.Stats.LinkFallback != 1 {
+		t.Errorf("LinkFallback = %d, want 1", pr.Stats.LinkFallback)
+	}
+	if !pr.SB.Empty() {
+		t.Error("fallback mfence did not flush")
+	}
+	if m.Mem(5) != 1 {
+		t.Errorf("mem = %d, want 1", m.Mem(5))
+	}
+}
+
+func TestSecondLmfenceDifferentAddressFlushesFirst(t *testing.T) {
+	p := NewBuilder("two").
+		Lmfence(5, 1, 7).
+		Lmfence(6, 2, 7).
+		Halt().
+		Build()
+	m := NewMachine(cfg(1), p)
+	for i := 0; i < 4; i++ {
+		m.ExecStep(0) // first l-mfence, store to 5 buffered
+	}
+	if m.Procs[0].SB.Len() != 1 {
+		t.Fatalf("setup: want 1 buffered store, got %d", m.Procs[0].SB.Len())
+	}
+	m.ExecStep(0) // second LinkBegin must flush the first store
+	if m.Mem(5) != 1 {
+		t.Error("first guarded store not completed by second l-mfence")
+	}
+	if !m.Procs[0].SB.Empty() {
+		t.Error("buffer not flushed at second LinkBegin")
+	}
+	for i := 0; i < 3; i++ {
+		m.ExecStep(0)
+	}
+	if m.Procs[0].LEAddr != 6 || !m.Procs[0].LEBit {
+		t.Error("second link not established")
+	}
+}
+
+func TestSecondLmfenceSameAddressKeepsBuffer(t *testing.T) {
+	p := NewBuilder("same").
+		Lmfence(5, 1, 7).
+		Lmfence(5, 2, 7).
+		Halt().
+		Build()
+	m := NewMachine(cfg(1), p)
+	for i := 0; i < 5; i++ { // first l-mfence + second LinkBegin
+		m.ExecStep(0)
+	}
+	if m.Procs[0].SB.Empty() {
+		t.Error("same-address re-arm flushed the buffer")
+	}
+	if m.Procs[0].Stats.Flushes != 0 {
+		t.Errorf("Flushes = %d, want 0", m.Procs[0].Stats.Flushes)
+	}
+}
+
+func TestCSViolationDetection(t *testing.T) {
+	p0 := NewBuilder("a").CSEnter().CSExit().Halt().Build()
+	p1 := NewBuilder("b").CSEnter().CSExit().Halt().Build()
+	m := NewMachine(cfg(2), p0, p1)
+	m.ExecStep(0)
+	if m.CSViolation {
+		t.Fatal("violation before overlap")
+	}
+	m.ExecStep(1) // both now in CS
+	if !m.CSViolation {
+		t.Error("overlapping critical sections not detected")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	p := NewBuilder("c").StoreI(1, 5).Lmfence(2, 9, 7).Halt().Build()
+	m := NewMachine(cfg(2), p)
+	m.ExecStep(0)
+	m.ExecStep(0)
+	m.ExecStep(0) // LE: guard armed
+	c := m.Clone()
+	// Advancing the original must not affect the clone.
+	m.ExecStep(0)
+	m.ExecStep(0)
+	m.DrainStep(0)
+	if c.Procs[0].PC != 3 {
+		t.Errorf("clone PC = %d, want 3", c.Procs[0].PC)
+	}
+	if c.Procs[0].SB.Len() != 1 {
+		t.Errorf("clone SB len = %d, want 1", c.Procs[0].SB.Len())
+	}
+	if a, armed := c.Sys.GuardArmed(0); !armed || a != 2 {
+		t.Error("clone lost armed guard")
+	}
+	// Clone's guard handler must act on the clone's proc.
+	c.ExecStep(0) // StoreLinked on clone
+	c.Procs[1].Prog = NewBuilder("r").Load(0, 2).Halt().Build()
+	c.Procs[1].Halted = false
+	c.ExecStep(1)
+	if c.Procs[0].LEBit {
+		t.Error("clone's guard handler did not clear clone's LEBit")
+	}
+	if m.Procs[0].Stats.LinkBreaks != 0 {
+		t.Error("clone's guard handler leaked into original")
+	}
+}
+
+func TestFingerprintSeparatesStates(t *testing.T) {
+	p := NewBuilder("f").StoreI(1, 5).Halt().Build()
+	m1 := NewMachine(cfg(2), p)
+	m2 := NewMachine(cfg(2), p)
+	if string(m1.Fingerprint(nil)) != string(m2.Fingerprint(nil)) {
+		t.Error("identical fresh machines fingerprint differently")
+	}
+	m1.ExecStep(0)
+	if string(m1.Fingerprint(nil)) == string(m2.Fingerprint(nil)) {
+		t.Error("fingerprint blind to executed store")
+	}
+	m2.ExecStep(0)
+	if string(m1.Fingerprint(nil)) != string(m2.Fingerprint(nil)) {
+		t.Error("same-history machines fingerprint differently")
+	}
+	m1.DrainStep(0)
+	if string(m1.Fingerprint(nil)) == string(m2.Fingerprint(nil)) {
+		t.Error("fingerprint blind to drain")
+	}
+}
+
+func TestRunnerSerialProgram(t *testing.T) {
+	b := NewBuilder("loop").LoadI(0, 100).Label("top")
+	b.StoreI(2, 1).AddI(0, 0, -1).Bne(0, 0, "top").Halt()
+	m := NewMachine(cfg(1), b.Build())
+	r := NewRunner(m)
+	cycles, err := r.RunProc(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cycles <= 0 {
+		t.Error("no cycles charged")
+	}
+	if m.Mem(2) != 1 {
+		t.Errorf("mem[2] = %d", m.Mem(2))
+	}
+	if got := m.Procs[0].Stats.Stores; got != 100 {
+		t.Errorf("stores = %d, want 100", got)
+	}
+}
+
+func TestRunnerMfenceCostsMoreThanPlainStore(t *testing.T) {
+	const iters = 200
+	build := func(fence bool) *Program {
+		b := NewBuilder("d").LoadI(0, iters).Label("top")
+		b.StoreI(2, 1)
+		if fence {
+			b.Mfence()
+		}
+		b.Load(1, 3).AddI(0, 0, -1).Bne(0, 0, "top").Halt()
+		return b.Build()
+	}
+	runOne := func(p *Program) int64 {
+		m := NewMachine(cfg(1), p)
+		c, err := NewRunner(m).RunProc(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c
+	}
+	plain := runOne(build(false))
+	fenced := runOne(build(true))
+	ratio := float64(fenced) / float64(plain)
+	if ratio < 2 {
+		t.Errorf("mfence loop only %.2fx slower than plain (want >=2x)", ratio)
+	}
+}
+
+func TestRunnerMaxStepsGuard(t *testing.T) {
+	p := NewBuilder("spin").Label("top").Jmp("top").Halt().Build()
+	m := NewMachine(cfg(1), p)
+	r := NewRunner(m)
+	r.MaxSteps = 1000
+	if _, err := r.Run(); err == nil {
+		t.Error("infinite loop did not trip MaxSteps")
+	}
+}
+
+func TestInstrStringsCover(t *testing.T) {
+	b := NewBuilder("s").
+		Nop().LoadI(1, 2).Load(1, 3).LoadIdx(1, 3, 2).
+		Store(3, 1).StoreI(3, 9).StoreIdx(3, 1, 2).
+		Add(1, 2, 3).AddI(1, 2, 5).
+		Label("l").Beq(1, 0, "l").Bne(1, 0, "l").Jmp("l").
+		Mfence().Lmfence(4, 1, 7).CSEnter().CSExit().Halt()
+	p := b.Build()
+	for _, in := range p.Instrs {
+		s := in.String()
+		if s == "" || strings.HasPrefix(s, "Op(") {
+			t.Errorf("bad String for %v: %q", in.Op, s)
+		}
+	}
+}

@@ -1,0 +1,163 @@
+package workloads
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/sched"
+)
+
+// choleskyInstance is block-recursive Cholesky factorization of a
+// symmetric positive-definite matrix (Fig. 4 input: 4000/40000 — a
+// 4000x4000 sparse matrix with 40000 nonzeros in the original; we use a
+// dense SPD matrix, which exercises the same block recursion and spawn
+// pattern).
+type choleskyInstance struct {
+	a    *matrix // lower triangle receives L
+	orig *matrix
+}
+
+// NewCholesky builds the cholesky benchmark.
+func NewCholesky(s Scale) Instance {
+	n := map[Scale]int{ScaleTest: 96, ScaleSmall: 160, ScaleMedium: 320, ScalePaper: 4000}[s]
+	a := spdMatrix(n, 9)
+	return &choleskyInstance{a: a, orig: a.clone()}
+}
+
+func (c *choleskyInstance) Root(w *sched.Worker) { cholPar(w, viewOf(c.a)) }
+
+// cholSeqKernel factors a small SPD block in place (lower triangle).
+func cholSeqKernel(a view) {
+	for k := 0; k < a.n; k++ {
+		d := math.Sqrt(a.at(k, k))
+		a.set(k, k, d)
+		for i := k + 1; i < a.n; i++ {
+			a.set(i, k, a.at(i, k)/d)
+		}
+		for j := k + 1; j < a.n; j++ {
+			ajk := a.at(j, k)
+			if ajk == 0 {
+				continue
+			}
+			for i := j; i < a.n; i++ {
+				a.set(i, j, a.at(i, j)-a.at(i, k)*ajk)
+			}
+		}
+	}
+}
+
+// lowerTransSolveRight solves X * L^T = B in place on B (B := B * L^-T),
+// with L lower triangular with explicit diagonal. Row blocks of B are
+// independent and solved in parallel.
+func lowerTransSolveRight(w *sched.Worker, b, l view) {
+	if b.n > denseGrain {
+		h := b.n / 2
+		w.Do(
+			func(w *sched.Worker) { lowerTransSolveRight(w, b.sub(0, 0, h, b.m), l) },
+			func(w *sched.Worker) { lowerTransSolveRight(w, b.sub(h, 0, b.n-h, b.m), l) },
+		)
+		return
+	}
+	if l.n <= denseGrain {
+		// Column j of X depends on columns < j: x_ij = (b_ij - sum_{k<j}
+		// x_ik * l_jk) / l_jj.
+		for i := 0; i < b.n; i++ {
+			brow := b.row(i)
+			for j := 0; j < l.n; j++ {
+				s := brow[j]
+				lrow := l.row(j)
+				for k := 0; k < j; k++ {
+					s -= brow[k] * lrow[k]
+				}
+				brow[j] = s / lrow[j]
+			}
+		}
+		return
+	}
+	h := l.n / 2
+	l11 := l.sub(0, 0, h, h)
+	l21 := l.sub(h, 0, l.n-h, h)
+	l22 := l.sub(h, h, l.n-h, l.n-h)
+	b1 := b.sub(0, 0, b.n, h)
+	b2 := b.sub(0, h, b.n, b.m-h)
+	lowerTransSolveRight(w, b1, l11)
+	// X2 * L22^T = B2 - X1 * L21^T: subtract X1 * L21^T.
+	matmulTransBPar(w, b2, b1, l21, true)
+	lowerTransSolveRight(w, b2, l22)
+}
+
+// matmulTransBPar computes c += a * b^T (or -= when sub), parallel over
+// c's row blocks.
+func matmulTransBPar(w *sched.Worker, c, a, b view, sub bool) {
+	if c.n > denseGrain {
+		h := c.n / 2
+		w.Do(
+			func(w *sched.Worker) { matmulTransBPar(w, c.sub(0, 0, h, c.m), a.sub(0, 0, h, a.m), b, sub) },
+			func(w *sched.Worker) { matmulTransBPar(w, c.sub(h, 0, c.n-h, c.m), a.sub(h, 0, a.n-h, a.m), b, sub) },
+		)
+		return
+	}
+	sign := 1.0
+	if sub {
+		sign = -1
+	}
+	for i := 0; i < c.n; i++ {
+		arow := a.row(i)
+		crow := c.row(i)
+		for j := 0; j < c.m; j++ {
+			brow := b.row(j)
+			s := 0.0
+			for k := range arow {
+				s += arow[k] * brow[k]
+			}
+			crow[j] += sign * s
+		}
+	}
+}
+
+// cholPar factors the SPD view in place (lower triangle holds L).
+func cholPar(w *sched.Worker, a view) {
+	if a.n <= denseGrain {
+		cholSeqKernel(a)
+		return
+	}
+	h := a.n / 2
+	a11 := a.sub(0, 0, h, h)
+	a21 := a.sub(h, 0, a.n-h, h)
+	a22 := a.sub(h, h, a.n-h, a.n-h)
+	cholPar(w, a11)
+	lowerTransSolveRight(w, a21, a11)       // A21 := A21 * L11^-T
+	matmulTransBPar(w, a22, a21, a21, true) // A22 -= A21 * A21^T
+	cholPar(w, a22)
+}
+
+func (c *choleskyInstance) Verify() error {
+	n := c.a.n
+	lm := newMatrix(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j <= i; j++ {
+			lm.set(i, j, c.a.at(i, j))
+		}
+	}
+	lt := newMatrix(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			lt.set(i, j, lm.at(j, i))
+		}
+	}
+	prod := matmulNaive(lm, lt)
+	// Compare only the lower triangle (the upper was scratch).
+	worst := 0.0
+	for i := 0; i < n; i++ {
+		for j := 0; j <= i; j++ {
+			d := math.Abs(prod.at(i, j) - c.orig.at(i, j))
+			if d > worst {
+				worst = d
+			}
+		}
+	}
+	if worst > 1e-6*float64(n) {
+		return fmt.Errorf("cholesky: reconstruction error %g", worst)
+	}
+	return nil
+}

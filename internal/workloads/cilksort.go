@@ -1,0 +1,105 @@
+package workloads
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/sched"
+)
+
+// cilksortInstance is the parallel merge sort of Fig. 4: recursive
+// four-way split with a parallel merge, coarsened to a sequential sort
+// below a grain size (Cilk-5's cilksort coarsens the same way).
+type cilksortInstance struct {
+	data []int64
+	sum  uint64 // checksum of the input, for permutation verification
+}
+
+// NewCilksort builds the cilksort benchmark (Fig. 4 input: 10^8).
+func NewCilksort(s Scale) Instance {
+	n := map[Scale]int{ScaleTest: 1 << 12, ScaleSmall: 1 << 15, ScaleMedium: 1 << 18, ScalePaper: 100_000_000}[s]
+	rng := xorshift64(42)
+	data := make([]int64, n)
+	var sum uint64
+	for i := range data {
+		data[i] = int64(rng.next() >> 1)
+		sum += uint64(data[i]) * 31
+	}
+	return &cilksortInstance{data: data, sum: sum}
+}
+
+const (
+	sortGrain  = 1024 // below this, sort sequentially
+	mergeGrain = 2048 // below this, merge sequentially
+)
+
+func (c *cilksortInstance) Root(w *sched.Worker) {
+	tmp := make([]int64, len(c.data))
+	mergeSortPar(w, c.data, tmp)
+}
+
+// mergeSortPar sorts a in place using tmp as scratch, spawning the two
+// halves and then merging them in parallel.
+func mergeSortPar(w *sched.Worker, a, tmp []int64) {
+	if len(a) <= sortGrain {
+		sort.Slice(a, func(i, j int) bool { return a[i] < a[j] })
+		return
+	}
+	mid := len(a) / 2
+	w.Do(
+		func(w *sched.Worker) { mergeSortPar(w, a[:mid], tmp[:mid]) },
+		func(w *sched.Worker) { mergeSortPar(w, a[mid:], tmp[mid:]) },
+	)
+	mergePar(w, a[:mid], a[mid:], tmp)
+	copy(a, tmp)
+}
+
+// mergePar merges sorted x and y into out (len(out) == len(x)+len(y)),
+// splitting the larger input at its median and binary-searching the
+// split point in the other — Cilk's parallel merge.
+func mergePar(w *sched.Worker, x, y, out []int64) {
+	if len(x)+len(y) <= mergeGrain {
+		mergeSeq(x, y, out)
+		return
+	}
+	if len(x) < len(y) {
+		x, y = y, x
+	}
+	mx := len(x) / 2
+	pivot := x[mx]
+	my := sort.Search(len(y), func(i int) bool { return y[i] >= pivot })
+	w.Do(
+		func(w *sched.Worker) { mergePar(w, x[:mx], y[:my], out[:mx+my]) },
+		func(w *sched.Worker) { mergePar(w, x[mx:], y[my:], out[mx+my:]) },
+	)
+}
+
+func mergeSeq(x, y, out []int64) {
+	i, j, k := 0, 0, 0
+	for i < len(x) && j < len(y) {
+		if x[i] <= y[j] {
+			out[k] = x[i]
+			i++
+		} else {
+			out[k] = y[j]
+			j++
+		}
+		k++
+	}
+	copy(out[k:], x[i:])
+	copy(out[k+len(x)-i:], y[j:])
+}
+
+func (c *cilksortInstance) Verify() error {
+	var sum uint64
+	for i, v := range c.data {
+		if i > 0 && c.data[i-1] > v {
+			return fmt.Errorf("cilksort: out of order at %d: %d > %d", i, c.data[i-1], v)
+		}
+		sum += uint64(v) * 31
+	}
+	if sum != c.sum {
+		return fmt.Errorf("cilksort: output is not a permutation of the input")
+	}
+	return nil
+}

@@ -1,0 +1,257 @@
+package workloads
+
+import (
+	"fmt"
+
+	"repro/internal/sched"
+)
+
+// view is a strided window into a row-major matrix; the block-recursive
+// kernels below (shared by matmul, rectmul, strassen, lu, and cholesky)
+// operate on views so submatrices need no copying.
+type view struct {
+	a      []float64
+	stride int
+	n, m   int // rows, cols
+}
+
+func viewOf(mt *matrix) view { return view{a: mt.a, stride: mt.m, n: mt.n, m: mt.m} }
+
+func (v view) at(i, j int) float64     { return v.a[i*v.stride+j] }
+func (v view) set(i, j int, x float64) { v.a[i*v.stride+j] = x }
+func (v view) row(i int) []float64     { return v.a[i*v.stride : i*v.stride+v.m] }
+func (v view) sub(i0, j0, n, m int) view {
+	return view{a: v.a[i0*v.stride+j0:], stride: v.stride, n: n, m: m}
+}
+
+// quadrants splits a view into four blocks at (rn, cm).
+func (v view) quadrants(rn, cm int) (v11, v12, v21, v22 view) {
+	v11 = v.sub(0, 0, rn, cm)
+	v12 = v.sub(0, cm, rn, v.m-cm)
+	v21 = v.sub(rn, 0, v.n-rn, cm)
+	v22 = v.sub(rn, cm, v.n-rn, v.m-cm)
+	return
+}
+
+const denseGrain = 32 // leaf block size for all dense kernels
+
+// matmulKernel computes c += a*b (or c -= a*b when sub) sequentially.
+func matmulKernel(c, a, b view, sub bool) {
+	sign := 1.0
+	if sub {
+		sign = -1
+	}
+	for i := 0; i < a.n; i++ {
+		arow := a.row(i)
+		crow := c.row(i)
+		for k := 0; k < a.m; k++ {
+			s := sign * arow[k]
+			if s == 0 {
+				continue
+			}
+			brow := b.row(k)
+			for j := range brow {
+				crow[j] += s * brow[j]
+			}
+		}
+	}
+}
+
+// matmulPar computes c += a*b (c -= a*b when sub) by divide and conquer:
+// splits of c's rows or columns run in parallel; splits of the shared k
+// dimension run sequentially (both halves update all of c).
+func matmulPar(w *sched.Worker, c, a, b view, sub bool) {
+	n, m, k := c.n, c.m, a.m
+	if n <= denseGrain && m <= denseGrain && k <= denseGrain {
+		matmulKernel(c, a, b, sub)
+		return
+	}
+	switch {
+	case n >= m && n >= k: // split rows of c (and a)
+		h := n / 2
+		w.Do(
+			func(w *sched.Worker) { matmulPar(w, c.sub(0, 0, h, m), a.sub(0, 0, h, k), b, sub) },
+			func(w *sched.Worker) { matmulPar(w, c.sub(h, 0, n-h, m), a.sub(h, 0, n-h, k), b, sub) },
+		)
+	case m >= k: // split cols of c (and b)
+		h := m / 2
+		w.Do(
+			func(w *sched.Worker) { matmulPar(w, c.sub(0, 0, n, h), a, b.sub(0, 0, k, h), sub) },
+			func(w *sched.Worker) { matmulPar(w, c.sub(0, h, n, m-h), a, b.sub(0, h, k, m-h), sub) },
+		)
+	default: // split k: sequential (both halves write all of c)
+		h := k / 2
+		matmulPar(w, c, a.sub(0, 0, n, h), b.sub(0, 0, h, m), sub)
+		matmulPar(w, c, a.sub(0, h, n, k-h), b.sub(h, 0, k-h, m), sub)
+	}
+}
+
+// --- matmul ------------------------------------------------------------
+
+type matmulInstance struct {
+	a, b, c *matrix
+}
+
+// NewMatmul builds the square matrix-multiply benchmark (Fig. 4: 2048).
+func NewMatmul(s Scale) Instance {
+	n := map[Scale]int{ScaleTest: 80, ScaleSmall: 160, ScaleMedium: 448, ScalePaper: 2048}[s]
+	return &matmulInstance{
+		a: randomMatrix(n, n, 1),
+		b: randomMatrix(n, n, 2),
+		c: newMatrix(n, n),
+	}
+}
+
+func (m *matmulInstance) Root(w *sched.Worker) {
+	matmulPar(w, viewOf(m.c), viewOf(m.a), viewOf(m.b), false)
+}
+
+func (m *matmulInstance) Verify() error {
+	want := matmulNaive(m.a, m.b)
+	if d := maxAbsDiff(m.c, want); d > 1e-9*float64(m.a.n) {
+		return fmt.Errorf("matmul: max error %g", d)
+	}
+	return nil
+}
+
+// --- rectmul -----------------------------------------------------------
+
+type rectmulInstance struct {
+	a, b, c *matrix
+}
+
+// NewRectmul builds the rectangular matrix-multiply benchmark (Fig. 4:
+// 4096): a tall-times-wide product whose inner dimension dominates.
+func NewRectmul(s Scale) Instance {
+	n := map[Scale]int{ScaleTest: 48, ScaleSmall: 96, ScaleMedium: 256, ScalePaper: 1024}[s]
+	k := 4 * n
+	return &rectmulInstance{
+		a: randomMatrix(n, k, 3),
+		b: randomMatrix(k, n, 4),
+		c: newMatrix(n, n),
+	}
+}
+
+func (m *rectmulInstance) Root(w *sched.Worker) {
+	matmulPar(w, viewOf(m.c), viewOf(m.a), viewOf(m.b), false)
+}
+
+func (m *rectmulInstance) Verify() error {
+	want := matmulNaive(m.a, m.b)
+	if d := maxAbsDiff(m.c, want); d > 1e-9*float64(m.a.m) {
+		return fmt.Errorf("rectmul: max error %g", d)
+	}
+	return nil
+}
+
+// --- strassen ----------------------------------------------------------
+
+type strassenInstance struct {
+	a, b, c *matrix
+}
+
+// NewStrassen builds the Strassen multiply benchmark (Fig. 4: 4096).
+// Sizes are powers of two so the seven-product recursion needs no
+// padding.
+func NewStrassen(s Scale) Instance {
+	n := map[Scale]int{ScaleTest: 128, ScaleSmall: 256, ScaleMedium: 512, ScalePaper: 4096}[s]
+	return &strassenInstance{
+		a: randomMatrix(n, n, 5),
+		b: randomMatrix(n, n, 6),
+		c: newMatrix(n, n),
+	}
+}
+
+const strassenThreshold = 64 // below this, fall back to the standard product
+
+func (m *strassenInstance) Root(w *sched.Worker) {
+	strassenPar(w, viewOf(m.c), viewOf(m.a), viewOf(m.b))
+}
+
+// addInto computes dst = x + y elementwise (dst may alias neither input).
+func addInto(dst, x, y view) {
+	for i := 0; i < dst.n; i++ {
+		d, xr, yr := dst.row(i), x.row(i), y.row(i)
+		for j := range d {
+			d[j] = xr[j] + yr[j]
+		}
+	}
+}
+
+// subInto computes dst = x - y elementwise.
+func subInto(dst, x, y view) {
+	for i := 0; i < dst.n; i++ {
+		d, xr, yr := dst.row(i), x.row(i), y.row(i)
+		for j := range d {
+			d[j] = xr[j] - yr[j]
+		}
+	}
+}
+
+// strassenPar computes c = a*b (c initially zero) with Strassen's seven
+// recursive products, all spawned in parallel.
+func strassenPar(w *sched.Worker, c, a, b view) {
+	n := a.n
+	if n <= strassenThreshold {
+		matmulKernel(c, a, b, false)
+		return
+	}
+	h := n / 2
+	a11, a12, a21, a22 := a.quadrants(h, h)
+	b11, b12, b21, b22 := b.quadrants(h, h)
+	c11, c12, c21, c22 := c.quadrants(h, h)
+
+	// Temporaries: seven products and the input combinations.
+	fresh := func() view { return viewOf(newMatrix(h, h)) }
+	m1, m2, m3, m4, m5, m6, m7 := fresh(), fresh(), fresh(), fresh(), fresh(), fresh(), fresh()
+
+	prod := func(dst view, mkA func(view), mkB func(view)) func(*sched.Worker) {
+		return func(w *sched.Worker) {
+			ta, tb := fresh(), fresh()
+			mkA(ta)
+			mkB(tb)
+			strassenPar(w, dst, ta, tb)
+		}
+	}
+	copyInto := func(src view) func(view) {
+		return func(dst view) {
+			for i := 0; i < dst.n; i++ {
+				copy(dst.row(i), src.row(i))
+			}
+		}
+	}
+	sum := func(x, y view) func(view) { return func(d view) { addInto(d, x, y) } }
+	diff := func(x, y view) func(view) { return func(d view) { subInto(d, x, y) } }
+
+	w.Do(
+		prod(m1, sum(a11, a22), sum(b11, b22)),
+		prod(m2, sum(a21, a22), copyInto(b11)),
+		prod(m3, copyInto(a11), diff(b12, b22)),
+		prod(m4, copyInto(a22), diff(b21, b11)),
+		prod(m5, sum(a11, a12), copyInto(b22)),
+		prod(m6, diff(a21, a11), sum(b11, b12)),
+		prod(m7, diff(a12, a22), sum(b21, b22)),
+	)
+
+	// C11 = M1 + M4 - M5 + M7;  C12 = M3 + M5
+	// C21 = M2 + M4;            C22 = M1 - M2 + M3 + M6
+	for i := 0; i < h; i++ {
+		r1, r2, r3, r4 := m1.row(i), m2.row(i), m3.row(i), m4.row(i)
+		r5, r6, r7 := m5.row(i), m6.row(i), m7.row(i)
+		o11, o12, o21, o22 := c11.row(i), c12.row(i), c21.row(i), c22.row(i)
+		for j := 0; j < h; j++ {
+			o11[j] = r1[j] + r4[j] - r5[j] + r7[j]
+			o12[j] = r3[j] + r5[j]
+			o21[j] = r2[j] + r4[j]
+			o22[j] = r1[j] - r2[j] + r3[j] + r6[j]
+		}
+	}
+}
+
+func (m *strassenInstance) Verify() error {
+	want := matmulNaive(m.a, m.b)
+	if d := maxAbsDiff(m.c, want); d > 1e-7*float64(m.a.n) {
+		return fmt.Errorf("strassen: max error %g", d)
+	}
+	return nil
+}

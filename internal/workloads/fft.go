@@ -1,0 +1,131 @@
+package workloads
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+
+	"repro/internal/sched"
+)
+
+// fftInstance computes a complex FFT with parallel recursive
+// Cooley-Tukey (Fig. 4 input: 2^26 points). Verification runs the
+// inverse transform and compares with the original signal.
+type fftInstance struct {
+	n        int
+	original []complex128
+	data     []complex128
+}
+
+// NewFFT builds the fft benchmark.
+func NewFFT(s Scale) Instance {
+	logn := map[Scale]int{ScaleTest: 10, ScaleSmall: 13, ScaleMedium: 17, ScalePaper: 26}[s]
+	n := 1 << logn
+	rng := xorshift64(7)
+	data := make([]complex128, n)
+	for i := range data {
+		data[i] = complex(rng.float()-0.5, rng.float()-0.5)
+	}
+	orig := make([]complex128, n)
+	copy(orig, data)
+	return &fftInstance{n: n, original: orig, data: data}
+}
+
+const fftGrain = 256 // below this, recurse sequentially
+
+func (f *fftInstance) Root(w *sched.Worker) {
+	scratch := make([]complex128, f.n)
+	fftPar(w, f.data, scratch, false)
+}
+
+// fftPar performs an in-place decimation-in-time FFT on a, using scratch
+// of the same length. invert selects the inverse transform (without the
+// 1/n normalization, applied by the caller).
+func fftPar(w *sched.Worker, a, scratch []complex128, invert bool) {
+	n := len(a)
+	if n == 1 {
+		return
+	}
+	half := n / 2
+	even, odd := scratch[:half], scratch[half:]
+	for i := 0; i < half; i++ {
+		even[i] = a[2*i]
+		odd[i] = a[2*i+1]
+	}
+	copy(a[:half], even)
+	copy(a[half:], odd)
+	sub := func(lo, hi []complex128) func(*sched.Worker) {
+		return func(w *sched.Worker) { fftPar(w, lo, hi, invert) }
+	}
+	if n > fftGrain {
+		w.Do(
+			sub(a[:half], scratch[:half]),
+			sub(a[half:], scratch[half:]),
+		)
+	} else {
+		fftPar(w, a[:half], scratch[:half], invert)
+		fftPar(w, a[half:], scratch[half:], invert)
+	}
+	ang := 2 * math.Pi / float64(n)
+	if invert {
+		ang = -ang
+	}
+	wn := cmplx.Exp(complex(0, ang))
+	wk := complex(1, 0)
+	for k := 0; k < half; k++ {
+		t := wk * a[half+k]
+		a[half+k] = a[k] - t
+		a[k] = a[k] + t
+		wk *= wn
+	}
+}
+
+func (f *fftInstance) Verify() error {
+	// Inverse-transform the output and compare against the original.
+	scratch := make([]complex128, f.n)
+	inv := make([]complex128, f.n)
+	copy(inv, f.data)
+	fftSeq(inv, scratch, true)
+	scale := 1 / float64(f.n)
+	worst := 0.0
+	for i := range inv {
+		d := cmplx.Abs(inv[i]*complex(scale, 0) - f.original[i])
+		if d > worst {
+			worst = d
+		}
+	}
+	if worst > 1e-6 {
+		return fmt.Errorf("fft: round-trip error %g", worst)
+	}
+	return nil
+}
+
+// fftSeq is the sequential reference used by Verify.
+func fftSeq(a, scratch []complex128, invert bool) {
+	n := len(a)
+	if n == 1 {
+		return
+	}
+	half := n / 2
+	even, odd := scratch[:half], scratch[half:]
+	for i := 0; i < half; i++ {
+		even[i] = a[2*i]
+		odd[i] = a[2*i+1]
+	}
+	copy(a[:half], even)
+	copy(a[half:], odd)
+	fftSeq(a[:half], scratch[:half], invert)
+	fftSeq(a[half:], scratch[half:], invert)
+	ang := 2 * math.Pi / float64(n)
+	if invert {
+		ang = -ang
+	}
+	wn := cmplx.Exp(complex(0, ang))
+	wk := complex(1, 0)
+	for k := 0; k < half; k++ {
+		t := wk * a[half+k]
+		a[half+k] = a[k] - t
+		a[k] = a[k] + t
+		wk *= wn
+	}
+}

@@ -1,0 +1,107 @@
+package workloads
+
+import (
+	"fmt"
+
+	"repro/internal/sched"
+)
+
+// fibInstance computes Fibonacci numbers with one spawn per recursive
+// call, deliberately uncoarsened: the paper uses fib to measure raw
+// spawn overhead, so the ratio of work to fences is minimal.
+type fibInstance struct {
+	n      int
+	result int64
+}
+
+// NewFib builds the fib benchmark (Fig. 4 input: 42).
+func NewFib(s Scale) Instance {
+	n := map[Scale]int{ScaleTest: 18, ScaleSmall: 23, ScaleMedium: 28, ScalePaper: 42}[s]
+	return &fibInstance{n: n}
+}
+
+func fibPar(w *sched.Worker, n int, out *int64) {
+	if n < 2 {
+		*out = int64(n)
+		return
+	}
+	var a, b int64
+	w.Do(
+		func(w *sched.Worker) { fibPar(w, n-1, &a) },
+		func(w *sched.Worker) { fibPar(w, n-2, &b) },
+	)
+	*out = a + b
+}
+
+func (f *fibInstance) Root(w *sched.Worker) { fibPar(w, f.n, &f.result) }
+
+func fibSeq(n int) int64 {
+	a, b := int64(0), int64(1)
+	for i := 0; i < n; i++ {
+		a, b = b, a+b
+	}
+	return a
+}
+
+func (f *fibInstance) Verify() error {
+	if want := fibSeq(f.n); f.result != want {
+		return fmt.Errorf("fib(%d) = %d, want %d", f.n, f.result, want)
+	}
+	return nil
+}
+
+// fibxInstance is Fig. 4's fibx: a skewed recursion alternating between
+// a large subproblem (n-1) and a small one (n-gap), producing extreme
+// imbalance — lots of tiny stealable tasks next to one long spine.
+type fibxInstance struct {
+	n, gap int
+	result int64
+}
+
+// NewFibx builds the fibx benchmark (Fig. 4 input: 280 with gap 40).
+func NewFibx(s Scale) Instance {
+	switch s {
+	case ScaleTest:
+		return &fibxInstance{n: 40, gap: 10}
+	case ScaleSmall:
+		return &fibxInstance{n: 70, gap: 14}
+	case ScaleMedium:
+		return &fibxInstance{n: 120, gap: 20}
+	default:
+		return &fibxInstance{n: 280, gap: 40}
+	}
+}
+
+func fibxPar(w *sched.Worker, n, gap int, out *int64) {
+	if n < gap {
+		*out = 1
+		return
+	}
+	var a, b int64
+	w.Do(
+		func(w *sched.Worker) { fibxPar(w, n-1, gap, &a) },
+		func(w *sched.Worker) { fibxPar(w, n-gap, gap, &b) },
+	)
+	*out = a + b
+}
+
+func (f *fibxInstance) Root(w *sched.Worker) { fibxPar(w, f.n, f.gap, &f.result) }
+
+func fibxSeq(n, gap int) int64 {
+	vals := make([]int64, n+1)
+	for i := 0; i <= n; i++ {
+		if i < gap {
+			vals[i] = 1
+		} else {
+			vals[i] = vals[i-1] + vals[i-gap]
+		}
+	}
+	return vals[n]
+}
+
+func (f *fibxInstance) Verify() error {
+	if want := fibxSeq(f.n, f.gap); f.result != want {
+		return fmt.Errorf("fibx(%d,%d) = %d, want %d", f.n, f.gap, f.result, want)
+	}
+	return nil
+}

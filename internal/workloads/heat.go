@@ -1,0 +1,107 @@
+package workloads
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/sched"
+)
+
+// heatInstance is Jacobi heat diffusion on a 2D grid (Fig. 4 input:
+// 2048x500, i.e. a 2048-wide grid for 500 timesteps). Each timestep
+// recursively splits the row range; the per-row work is tiny, so the
+// benchmark has a low work-to-fence ratio — the paper's explanation for
+// heat being the workload hurt most by the software prototype's
+// communication cost.
+type heatInstance struct {
+	nx, ny, steps int
+	grid, next    []float64
+	checksum      float64 // sequential-reference checksum
+}
+
+// NewHeat builds the heat benchmark.
+func NewHeat(s Scale) Instance {
+	var nx, steps int
+	switch s {
+	case ScaleTest:
+		nx, steps = 64, 16
+	case ScaleSmall:
+		nx, steps = 128, 40
+	case ScaleMedium:
+		nx, steps = 512, 100
+	default:
+		nx, steps = 2048, 500
+	}
+	ny := nx / 2
+	h := &heatInstance{nx: nx, ny: ny, steps: steps,
+		grid: make([]float64, nx*ny), next: make([]float64, nx*ny)}
+	// Hot stripe initial condition.
+	for j := 0; j < ny; j++ {
+		h.grid[(nx/2)*ny+j] = 100
+	}
+	// Compute the reference checksum sequentially on a copy.
+	ref := make([]float64, nx*ny)
+	tmp := make([]float64, nx*ny)
+	copy(ref, h.grid)
+	for t := 0; t < steps; t++ {
+		heatStepRows(ref, tmp, nx, ny, 1, nx-1)
+		ref, tmp = tmp, ref
+	}
+	for _, v := range ref {
+		h.checksum += v * v
+	}
+	return h
+}
+
+const heatGrain = 16 // rows per leaf task
+
+// heatStepRows applies one Jacobi step to rows [lo, hi) of src into dst.
+func heatStepRows(src, dst []float64, nx, ny, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		row := src[i*ny:]
+		up := src[(i-1)*ny:]
+		down := src[(i+1)*ny:]
+		out := dst[i*ny:]
+		out[0] = row[0]
+		out[ny-1] = row[ny-1]
+		for j := 1; j < ny-1; j++ {
+			out[j] = 0.25 * (up[j] + down[j] + row[j-1] + row[j+1])
+		}
+	}
+}
+
+func heatStepPar(w *sched.Worker, src, dst []float64, nx, ny, lo, hi int) {
+	if hi-lo <= heatGrain {
+		heatStepRows(src, dst, nx, ny, lo, hi)
+		return
+	}
+	mid := (lo + hi) / 2
+	w.Do(
+		func(w *sched.Worker) { heatStepPar(w, src, dst, nx, ny, lo, mid) },
+		func(w *sched.Worker) { heatStepPar(w, src, dst, nx, ny, mid, hi) },
+	)
+}
+
+func (h *heatInstance) Root(w *sched.Worker) {
+	src, dst := h.grid, h.next
+	for t := 0; t < h.steps; t++ {
+		// Boundary rows copy through.
+		copy(dst[:h.ny], src[:h.ny])
+		copy(dst[(h.nx-1)*h.ny:], src[(h.nx-1)*h.ny:])
+		heatStepPar(w, src, dst, h.nx, h.ny, 1, h.nx-1)
+		src, dst = dst, src
+	}
+	h.grid = src
+	h.next = dst
+}
+
+func (h *heatInstance) Verify() error {
+	var sum float64
+	for _, v := range h.grid {
+		sum += v * v
+	}
+	if math.Abs(sum-h.checksum) > 1e-6*(1+math.Abs(h.checksum)) {
+		return fmt.Errorf("heat: checksum %g, want %g", sum, h.checksum)
+	}
+	return nil
+}

@@ -1,0 +1,116 @@
+package workloads
+
+import (
+	"fmt"
+	"sort"
+	"sync/atomic"
+
+	"repro/internal/sched"
+)
+
+// knapsackInstance is the recursive branch-and-bound 0/1 knapsack of the
+// Cilk-5 suite (Fig. 4 input: 32 items). Each decision spawns the
+// include/exclude branches; a shared best-so-far bound (atomic, read
+// racily as in the original) prunes the tree, so the spawn structure is
+// irregular and fine-grained — like fib, it stresses spawn overhead.
+type knapsackInstance struct {
+	weights, values []int
+	capacity        int
+	best            atomic.Int64
+}
+
+// NewKnapsack builds the knapsack benchmark.
+func NewKnapsack(s Scale) Instance {
+	n := map[Scale]int{ScaleTest: 16, ScaleSmall: 20, ScaleMedium: 26, ScalePaper: 32}[s]
+	rng := xorshift64(11)
+	k := &knapsackInstance{
+		weights: make([]int, n),
+		values:  make([]int, n),
+	}
+	total := 0
+	for i := 0; i < n; i++ {
+		k.weights[i] = 1 + rng.intn(40)
+		k.values[i] = 1 + rng.intn(100)
+		total += k.weights[i]
+	}
+	k.capacity = total / 2
+	// Sort by value density, which is what makes the bound effective
+	// (and what the Cilk benchmark does).
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool {
+		return k.values[idx[a]]*k.weights[idx[b]] > k.values[idx[b]]*k.weights[idx[a]]
+	})
+	w2 := make([]int, n)
+	v2 := make([]int, n)
+	for i, j := range idx {
+		w2[i], v2[i] = k.weights[j], k.values[j]
+	}
+	k.weights, k.values = w2, v2
+	return k
+}
+
+const knapsackSerialDepth = 8 // below this many remaining items, no spawns
+
+// bound is the fractional-relaxation upper bound from item i with
+// remaining capacity cap and accumulated value val.
+func (k *knapsackInstance) bound(i, cap, val int) float64 {
+	b := float64(val)
+	for ; i < len(k.weights) && cap > 0; i++ {
+		if k.weights[i] <= cap {
+			cap -= k.weights[i]
+			b += float64(k.values[i])
+		} else {
+			b += float64(k.values[i]) * float64(cap) / float64(k.weights[i])
+			cap = 0
+		}
+	}
+	return b
+}
+
+func (k *knapsackInstance) search(w *sched.Worker, i, cap, val int) {
+	if best := k.best.Load(); float64(best) >= k.bound(i, cap, val) {
+		return // pruned
+	}
+	if i == len(k.weights) || cap == 0 {
+		for {
+			best := k.best.Load()
+			if int64(val) <= best || k.best.CompareAndSwap(best, int64(val)) {
+				return
+			}
+		}
+	}
+	include := func(w *sched.Worker) {
+		if k.weights[i] <= cap {
+			k.search(w, i+1, cap-k.weights[i], val+k.values[i])
+		}
+	}
+	exclude := func(w *sched.Worker) { k.search(w, i+1, cap, val) }
+	if len(k.weights)-i <= knapsackSerialDepth {
+		include(w)
+		exclude(w)
+		return
+	}
+	w.Do(include, exclude)
+}
+
+func (k *knapsackInstance) Root(w *sched.Worker) { k.search(w, 0, k.capacity, 0) }
+
+// Verify checks the branch-and-bound answer against a dynamic program.
+func (k *knapsackInstance) Verify() error {
+	dp := make([]int64, k.capacity+1)
+	for i := range k.weights {
+		wi, vi := k.weights[i], int64(k.values[i])
+		for c := k.capacity; c >= wi; c-- {
+			if dp[c-wi]+vi > dp[c] {
+				dp[c] = dp[c-wi] + vi
+			}
+		}
+	}
+	if got := k.best.Load(); got != dp[k.capacity] {
+		return fmt.Errorf("knapsack: best = %d, want %d", got, dp[k.capacity])
+	}
+	return nil
+}

@@ -1,0 +1,158 @@
+package workloads
+
+import (
+	"fmt"
+
+	"repro/internal/sched"
+)
+
+// luInstance is block-recursive LU decomposition without pivoting
+// (Fig. 4 input: 4096). The input is made diagonally dominant so the
+// pivot-free factorization is numerically stable, as the Cilk benchmark
+// assumes.
+type luInstance struct {
+	a    *matrix // factored in place: unit-lower L below, U on/above diag
+	orig *matrix
+}
+
+// NewLU builds the lu benchmark.
+func NewLU(s Scale) Instance {
+	n := map[Scale]int{ScaleTest: 64, ScaleSmall: 128, ScaleMedium: 384, ScalePaper: 4096}[s]
+	a := randomMatrix(n, n, 8)
+	for i := 0; i < n; i++ {
+		a.set(i, i, a.at(i, i)+float64(n)) // diagonal dominance
+	}
+	return &luInstance{a: a, orig: a.clone()}
+}
+
+func (l *luInstance) Root(w *sched.Worker) { luPar(w, viewOf(l.a)) }
+
+// luSeqKernel factors a small block in place.
+func luSeqKernel(a view) {
+	for k := 0; k < a.n; k++ {
+		pivot := a.at(k, k)
+		for i := k + 1; i < a.n; i++ {
+			lik := a.at(i, k) / pivot
+			a.set(i, k, lik)
+			arow := a.row(i)
+			krow := a.row(k)
+			for j := k + 1; j < a.m; j++ {
+				arow[j] -= lik * krow[j]
+			}
+		}
+	}
+}
+
+// lowerSolveUnit solves L*X = B in place on B, where L is unit lower
+// triangular (diagonal implicitly 1, taken from a factored block).
+// Column blocks of B are independent and solved in parallel.
+func lowerSolveUnit(w *sched.Worker, l, b view) {
+	if b.m > denseGrain {
+		h := b.m / 2
+		w.Do(
+			func(w *sched.Worker) { lowerSolveUnit(w, l, b.sub(0, 0, b.n, h)) },
+			func(w *sched.Worker) { lowerSolveUnit(w, l, b.sub(0, h, b.n, b.m-h)) },
+		)
+		return
+	}
+	if l.n <= denseGrain {
+		for i := 1; i < l.n; i++ {
+			brow := b.row(i)
+			for k := 0; k < i; k++ {
+				lik := l.at(i, k)
+				if lik == 0 {
+					continue
+				}
+				krow := b.row(k)
+				for j := range brow {
+					brow[j] -= lik * krow[j]
+				}
+			}
+		}
+		return
+	}
+	h := l.n / 2
+	l11 := l.sub(0, 0, h, h)
+	l21 := l.sub(h, 0, l.n-h, h)
+	l22 := l.sub(h, h, l.n-h, l.n-h)
+	b1 := b.sub(0, 0, h, b.m)
+	b2 := b.sub(h, 0, b.n-h, b.m)
+	lowerSolveUnit(w, l11, b1)
+	matmulPar(w, b2, l21, b1, true) // B2 -= L21*X1
+	lowerSolveUnit(w, l22, b2)
+}
+
+// upperSolveRight solves X*U = B in place on B, where U is upper
+// triangular with explicit diagonal. Row blocks of B are independent.
+func upperSolveRight(w *sched.Worker, b, u view) {
+	if b.n > denseGrain {
+		h := b.n / 2
+		w.Do(
+			func(w *sched.Worker) { upperSolveRight(w, b.sub(0, 0, h, b.m), u) },
+			func(w *sched.Worker) { upperSolveRight(w, b.sub(h, 0, b.n-h, b.m), u) },
+		)
+		return
+	}
+	if u.n <= denseGrain {
+		for i := 0; i < b.n; i++ {
+			brow := b.row(i)
+			for j := 0; j < u.n; j++ {
+				x := brow[j] / u.at(j, j)
+				brow[j] = x
+				if x != 0 {
+					for k := j + 1; k < u.n; k++ {
+						brow[k] -= x * u.at(j, k)
+					}
+				}
+			}
+		}
+		return
+	}
+	h := u.n / 2
+	u11 := u.sub(0, 0, h, h)
+	u12 := u.sub(0, h, h, u.n-h)
+	u22 := u.sub(h, h, u.n-h, u.n-h)
+	b1 := b.sub(0, 0, b.n, h)
+	b2 := b.sub(0, h, b.n, b.m-h)
+	upperSolveRight(w, b1, u11)
+	matmulPar(w, b2, b1, u12, true) // B2 -= X1*U12
+	upperSolveRight(w, b2, u22)
+}
+
+// luPar factors a in place: A = L*U with unit-lower L.
+func luPar(w *sched.Worker, a view) {
+	if a.n <= denseGrain {
+		luSeqKernel(a)
+		return
+	}
+	h := a.n / 2
+	a11, a12, a21, a22 := a.quadrants(h, h)
+	luPar(w, a11)
+	w.Do(
+		func(w *sched.Worker) { lowerSolveUnit(w, a11, a12) },
+		func(w *sched.Worker) { upperSolveRight(w, a21, a11) },
+	)
+	matmulPar(w, a22, a21, a12, true) // Schur complement
+	luPar(w, a22)
+}
+
+func (l *luInstance) Verify() error {
+	n := l.a.n
+	// Reconstruct L*U and compare with the original matrix.
+	lm := newMatrix(n, n)
+	um := newMatrix(n, n)
+	for i := 0; i < n; i++ {
+		lm.set(i, i, 1)
+		for j := 0; j < i; j++ {
+			lm.set(i, j, l.a.at(i, j))
+		}
+		for j := i; j < n; j++ {
+			um.set(i, j, l.a.at(i, j))
+		}
+	}
+	prod := matmulNaive(lm, um)
+	if d := maxAbsDiff(prod, l.orig); d > 1e-6*float64(n) {
+		return fmt.Errorf("lu: reconstruction error %g", d)
+	}
+	return nil
+}

@@ -1,0 +1,90 @@
+package workloads
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"repro/internal/sched"
+)
+
+// nqueensInstance counts the placements of N non-attacking queens
+// (Fig. 4 input: 14) with one spawn per first-row branch and recursive
+// spawning down to a serial depth, mirroring the Cilk-5 benchmark.
+type nqueensInstance struct {
+	n     int
+	count atomic.Int64
+}
+
+// knownQueens holds the classical solution counts for verification.
+var knownQueens = map[int]int64{
+	4: 2, 5: 10, 6: 4, 7: 40, 8: 92, 9: 352, 10: 724,
+	11: 2680, 12: 14200, 13: 73712, 14: 365596,
+}
+
+// NewNQueens builds the nqueens benchmark.
+func NewNQueens(s Scale) Instance {
+	n := map[Scale]int{ScaleTest: 8, ScaleSmall: 10, ScaleMedium: 12, ScalePaper: 14}[s]
+	return &nqueensInstance{n: n}
+}
+
+const nqueensSerialDepth = 3 // spawn only in the top rows
+
+// board packs the attacked-columns/diagonals state into bitmasks.
+type board struct {
+	cols, diag1, diag2 uint64
+}
+
+func (n *nqueensInstance) place(w *sched.Worker, row int, b board) {
+	if row == n.n {
+		n.count.Add(1)
+		return
+	}
+	free := ^(b.cols | b.diag1 | b.diag2) & ((1 << n.n) - 1)
+	if row < nqueensSerialDepth {
+		var fns []func(*sched.Worker)
+		for m := free; m != 0; m &= m - 1 {
+			bit := m & -m
+			nb := board{
+				cols:  b.cols | bit,
+				diag1: (b.diag1 | bit) << 1,
+				diag2: (b.diag2 | bit) >> 1,
+			}
+			fns = append(fns, func(w *sched.Worker) { n.place(w, row+1, nb) })
+		}
+		w.Do(fns...)
+		return
+	}
+	n.count.Add(n.placeSeq(row, b))
+}
+
+// placeSeq finishes the subtree without spawning or touching the shared
+// counter until the subtotal is known.
+func (n *nqueensInstance) placeSeq(row int, b board) int64 {
+	if row == n.n {
+		return 1
+	}
+	var total int64
+	free := ^(b.cols | b.diag1 | b.diag2) & ((1 << n.n) - 1)
+	for m := free; m != 0; m &= m - 1 {
+		bit := m & -m
+		total += n.placeSeq(row+1, board{
+			cols:  b.cols | bit,
+			diag1: (b.diag1 | bit) << 1,
+			diag2: (b.diag2 | bit) >> 1,
+		})
+	}
+	return total
+}
+
+func (n *nqueensInstance) Root(w *sched.Worker) { n.place(w, 0, board{}) }
+
+func (n *nqueensInstance) Verify() error {
+	want, ok := knownQueens[n.n]
+	if !ok {
+		return fmt.Errorf("nqueens: no reference count for n=%d", n.n)
+	}
+	if got := n.count.Load(); got != want {
+		return fmt.Errorf("nqueens(%d) = %d, want %d", n.n, got, want)
+	}
+	return nil
+}

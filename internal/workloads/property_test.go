@@ -1,0 +1,187 @@
+package workloads
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+	"repro/internal/sched"
+)
+
+// runOn executes fn on a small runtime (the property tests exercise the
+// kernels through the same scheduler the benchmarks use).
+func runOn(workers int, fn func(*sched.Worker)) {
+	rt := sched.New(workers, core.ModeAsymmetricHW, core.ZeroCosts())
+	rt.Run(fn)
+}
+
+// Property: the parallel divide-and-conquer matmul matches the naive
+// product for arbitrary (small) shapes and seeds.
+func TestQuickMatmulParMatchesNaive(t *testing.T) {
+	f := func(n8, m8, k8 uint8, seed uint64) bool {
+		n := 1 + int(n8%40)
+		m := 1 + int(m8%40)
+		k := 1 + int(k8%40)
+		a := randomMatrix(n, k, seed|1)
+		b := randomMatrix(k, m, seed|2)
+		c := newMatrix(n, m)
+		runOn(2, func(w *sched.Worker) {
+			matmulPar(w, viewOf(c), viewOf(a), viewOf(b), false)
+		})
+		want := matmulNaive(a, b)
+		return maxAbsDiff(c, want) < 1e-9*float64(k+1)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: subtractive accumulation (the Schur-complement path) is the
+// exact inverse of additive accumulation.
+func TestQuickMatmulSubInverts(t *testing.T) {
+	f := func(n8 uint8, seed uint64) bool {
+		n := 1 + int(n8%32)
+		a := randomMatrix(n, n, seed|1)
+		b := randomMatrix(n, n, seed|2)
+		c := newMatrix(n, n)
+		runOn(1, func(w *sched.Worker) {
+			matmulPar(w, viewOf(c), viewOf(a), viewOf(b), false)
+			matmulPar(w, viewOf(c), viewOf(a), viewOf(b), true)
+		})
+		return maxAbsDiff(c, newMatrix(n, n)) < 1e-9*float64(n+1)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the parallel merge produces the same sequence as appending
+// and sorting, for arbitrary sorted inputs.
+func TestQuickMergeParMatchesSort(t *testing.T) {
+	f := func(xs, ys []int16) bool {
+		x := make([]int64, len(xs))
+		for i, v := range xs {
+			x[i] = int64(v)
+		}
+		y := make([]int64, len(ys))
+		for i, v := range ys {
+			y[i] = int64(v)
+		}
+		sort.Slice(x, func(i, j int) bool { return x[i] < x[j] })
+		sort.Slice(y, func(i, j int) bool { return y[i] < y[j] })
+		out := make([]int64, len(x)+len(y))
+		runOn(2, func(w *sched.Worker) { mergePar(w, x, y, out) })
+
+		want := append(append([]int64{}, x...), y...)
+		sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+		for i := range want {
+			if out[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: LU reconstruction holds for arbitrary diagonally dominant
+// matrices, whichever worker count ran it.
+func TestQuickLUReconstructs(t *testing.T) {
+	f := func(n8 uint8, seed uint64, workers uint8) bool {
+		n := 4 + int(n8%60)
+		a := randomMatrix(n, n, seed)
+		for i := 0; i < n; i++ {
+			a.set(i, i, a.at(i, i)+float64(n))
+		}
+		orig := a.clone()
+		runOn(1+int(workers%3), func(w *sched.Worker) { luPar(w, viewOf(a)) })
+
+		lm := newMatrix(n, n)
+		um := newMatrix(n, n)
+		for i := 0; i < n; i++ {
+			lm.set(i, i, 1)
+			for j := 0; j < i; j++ {
+				lm.set(i, j, a.at(i, j))
+			}
+			for j := i; j < n; j++ {
+				um.set(i, j, a.at(i, j))
+			}
+		}
+		return maxAbsDiff(matmulNaive(lm, um), orig) < 1e-6*float64(n)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Cholesky reconstruction holds for arbitrary SPD matrices.
+func TestQuickCholeskyReconstructs(t *testing.T) {
+	f := func(n8 uint8, seed uint64) bool {
+		n := 4 + int(n8%48)
+		a := spdMatrix(n, seed)
+		orig := a.clone()
+		runOn(2, func(w *sched.Worker) { cholPar(w, viewOf(a)) })
+		// L * L^T must equal the original, on the lower triangle.
+		for i := 0; i < n; i++ {
+			for j := 0; j <= i; j++ {
+				s := 0.0
+				for k := 0; k <= j; k++ {
+					s += a.at(i, k) * a.at(j, k)
+				}
+				if math.Abs(s-orig.at(i, j)) > 1e-6*float64(n) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the parallel FFT inverts exactly (round trip to within
+// floating-point tolerance) for arbitrary power-of-two sizes.
+func TestQuickFFTRoundTrip(t *testing.T) {
+	f := func(logn8 uint8, seed uint64) bool {
+		logn := 1 + int(logn8%9)
+		n := 1 << logn
+		rng := xorshift64(seed | 1)
+		data := make([]complex128, n)
+		orig := make([]complex128, n)
+		for i := range data {
+			data[i] = complex(rng.float()-0.5, rng.float()-0.5)
+			orig[i] = data[i]
+		}
+		scratch := make([]complex128, n)
+		runOn(2, func(w *sched.Worker) { fftPar(w, data, scratch, false) })
+		fftSeq(data, scratch, true)
+		for i := range data {
+			d := data[i]*complex(1/float64(n), 0) - orig[i]
+			if math.Hypot(real(d), imag(d)) > 1e-7 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: nqueens sequential subtree counting is permutation-stable —
+// the parallel spawning variant and the sequential one agree for all
+// small boards.
+func TestQuickNQueensAgree(t *testing.T) {
+	for n := 4; n <= 9; n++ {
+		inst := &nqueensInstance{n: n}
+		runOn(3, inst.Root)
+		if want := knownQueens[n]; inst.count.Load() != want {
+			t.Errorf("nqueens(%d) = %d, want %d", n, inst.count.Load(), want)
+		}
+	}
+}

@@ -1,0 +1,224 @@
+// Package workloads implements the twelve Cilk benchmarks of Fig. 4 of
+// "Location-Based Memory Fences" on top of the work-stealing runtime in
+// internal/sched. Each workload builds a fresh Instance for a scale,
+// runs its root function on the runtime, and can verify its own result,
+// so the experiment harness can both time and validate every benchmark.
+//
+// Paper inputs (Fig. 4) are preserved as the Paper scale; Small and
+// Medium scales shrink the inputs so the full suite runs in CI while
+// keeping each benchmark's spawn structure intact.
+package workloads
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/sched"
+)
+
+// Scale selects an input size.
+type Scale int
+
+const (
+	// ScaleTest is for unit tests: fractions of a second sequentially.
+	ScaleTest Scale = iota
+	// ScaleSmall is for quick experiment runs.
+	ScaleSmall
+	// ScaleMedium approximates the paper's work-per-fence ratios at a
+	// laptop-friendly duration.
+	ScaleMedium
+	// ScalePaper is the input printed in Fig. 4 (expensive).
+	ScalePaper
+)
+
+func (s Scale) String() string {
+	switch s {
+	case ScaleTest:
+		return "test"
+	case ScaleSmall:
+		return "small"
+	case ScaleMedium:
+		return "medium"
+	case ScalePaper:
+		return "paper"
+	default:
+		return fmt.Sprintf("Scale(%d)", int(s))
+	}
+}
+
+// Instance is one ready-to-run benchmark instance. Run may be invoked
+// exactly once; Verify afterwards checks the computed result.
+type Instance interface {
+	// Root is the function handed to Runtime.Run.
+	Root(w *sched.Worker)
+	// Verify checks the result; nil means the computation was correct.
+	Verify() error
+}
+
+// Spec describes one benchmark of Fig. 4.
+type Spec struct {
+	// Name is the benchmark's Fig. 4 name.
+	Name string
+	// Description matches Fig. 4's description column.
+	Description string
+	// PaperInput is Fig. 4's input column, verbatim.
+	PaperInput string
+	// Make builds a fresh instance at the given scale.
+	Make func(s Scale) Instance
+}
+
+// registry holds the specs in Fig. 4 order.
+var registry = []Spec{
+	{"cholesky", "Cholesky factorization", "4000/40000", NewCholesky},
+	{"cilksort", "Parallel merge sort", "10^8", NewCilksort},
+	{"fft", "Fast Fourier transform", "2^26", NewFFT},
+	{"fib", "Recursive Fibonacci", "42", NewFib},
+	{"fibx", "Alternate between fib(n-1) and fib(n-40)", "280", NewFibx},
+	{"heat", "Jacobi heat diffusion", "2048x500", NewHeat},
+	{"knapsack", "Recursive knapsack", "32", NewKnapsack},
+	{"lu", "LU-decomposition", "4096", NewLU},
+	{"matmul", "Matrix multiply", "2048", NewMatmul},
+	{"nqueens", "Count ways to place N queens", "14", NewNQueens},
+	{"rectmul", "Rectangular matrix multiply", "4096", NewRectmul},
+	{"strassen", "Strassen matrix multiply", "4096", NewStrassen},
+}
+
+// All returns the twelve benchmark specs in Fig. 4 order.
+func All() []Spec {
+	out := make([]Spec, len(registry))
+	copy(out, registry)
+	return out
+}
+
+// ByName returns the spec with the given name.
+func ByName(name string) (Spec, error) {
+	i := sort.Search(len(registry), func(i int) bool { return registry[i].Name >= name })
+	if i < len(registry) && registry[i].Name == name {
+		return registry[i], nil
+	}
+	return Spec{}, fmt.Errorf("workloads: unknown benchmark %q", name)
+}
+
+// Names returns the benchmark names in Fig. 4 order.
+func Names() []string {
+	out := make([]string, len(registry))
+	for i, s := range registry {
+		out[i] = s.Name
+	}
+	return out
+}
+
+// --- shared helpers ----------------------------------------------------
+
+// xorshift64 is a tiny deterministic generator for reproducible inputs.
+type xorshift64 uint64
+
+func (x *xorshift64) next() uint64 {
+	v := uint64(*x)
+	if v == 0 {
+		v = 0x9e3779b97f4a7c15
+	}
+	v ^= v << 13
+	v ^= v >> 7
+	v ^= v << 17
+	*x = xorshift64(v)
+	return v
+}
+
+func (x *xorshift64) float() float64 {
+	return float64(x.next()>>11) / float64(1<<53)
+}
+
+func (x *xorshift64) intn(n int) int {
+	return int(x.next() % uint64(n))
+}
+
+// matrix is a dense row-major matrix.
+type matrix struct {
+	n, m int // rows, cols
+	a    []float64
+}
+
+func newMatrix(n, m int) *matrix {
+	return &matrix{n: n, m: m, a: make([]float64, n*m)}
+}
+
+func (mt *matrix) at(i, j int) float64     { return mt.a[i*mt.m+j] }
+func (mt *matrix) set(i, j int, v float64) { mt.a[i*mt.m+j] = v }
+
+func (mt *matrix) clone() *matrix {
+	c := newMatrix(mt.n, mt.m)
+	copy(c.a, mt.a)
+	return c
+}
+
+// randomMatrix fills an n x m matrix with values in [0, 1).
+func randomMatrix(n, m int, seed uint64) *matrix {
+	rng := xorshift64(seed)
+	mt := newMatrix(n, m)
+	for i := range mt.a {
+		mt.a[i] = rng.float()
+	}
+	return mt
+}
+
+// spdMatrix builds a symmetric positive-definite n x n matrix
+// (A = B*Bt + n*I), suitable for Cholesky.
+func spdMatrix(n int, seed uint64) *matrix {
+	b := randomMatrix(n, n, seed)
+	a := newMatrix(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j <= i; j++ {
+			s := 0.0
+			for k := 0; k < n; k++ {
+				s += b.at(i, k) * b.at(j, k)
+			}
+			if i == j {
+				s += float64(n)
+			}
+			a.set(i, j, s)
+			a.set(j, i, s)
+		}
+	}
+	return a
+}
+
+// matmulNaive computes C = A*B sequentially (reference implementation).
+func matmulNaive(a, b *matrix) *matrix {
+	if a.m != b.n {
+		panic("workloads: dimension mismatch")
+	}
+	c := newMatrix(a.n, b.m)
+	for i := 0; i < a.n; i++ {
+		for k := 0; k < a.m; k++ {
+			aik := a.at(i, k)
+			if aik == 0 {
+				continue
+			}
+			row := b.a[k*b.m : (k+1)*b.m]
+			out := c.a[i*c.m : (i+1)*c.m]
+			for j, v := range row {
+				out[j] += aik * v
+			}
+		}
+	}
+	return c
+}
+
+// maxAbsDiff returns the largest absolute elementwise difference.
+func maxAbsDiff(a, b *matrix) float64 {
+	if a.n != b.n || a.m != b.m {
+		return 1e300
+	}
+	d := 0.0
+	for i := range a.a {
+		v := a.a[i] - b.a[i]
+		if v < 0 {
+			v = -v
+		}
+		if v > d {
+			d = v
+		}
+	}
+	return d
+}

@@ -1,0 +1,194 @@
+package workloads
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/sched"
+)
+
+// TestAllBenchmarksVerifySerial runs every Fig. 4 benchmark at test
+// scale on one worker and validates its result.
+func TestAllBenchmarksVerifySerial(t *testing.T) {
+	for _, spec := range All() {
+		t.Run(spec.Name, func(t *testing.T) {
+			inst := spec.Make(ScaleTest)
+			rt := sched.New(1, core.ModeAsymmetricHW, core.ZeroCosts())
+			rt.Run(inst.Root)
+			if err := inst.Verify(); err != nil {
+				t.Error(err)
+			}
+		})
+	}
+}
+
+// TestAllBenchmarksVerifyParallel runs every benchmark with 4 workers in
+// both fence disciplines and validates results (the scheduler must not
+// corrupt any computation regardless of stealing).
+func TestAllBenchmarksVerifyParallel(t *testing.T) {
+	for _, mode := range []core.Mode{core.ModeSymmetric, core.ModeAsymmetricSW} {
+		for _, spec := range All() {
+			t.Run(mode.String()+"/"+spec.Name, func(t *testing.T) {
+				inst := spec.Make(ScaleTest)
+				rt := sched.New(4, mode, core.ZeroCosts())
+				rt.Run(inst.Root)
+				if err := inst.Verify(); err != nil {
+					t.Error(err)
+				}
+			})
+		}
+	}
+}
+
+func TestRegistryShape(t *testing.T) {
+	specs := All()
+	if len(specs) != 12 {
+		t.Fatalf("registry has %d benchmarks, want 12 (Fig. 4)", len(specs))
+	}
+	names := Names()
+	wantOrder := []string{"cholesky", "cilksort", "fft", "fib", "fibx", "heat",
+		"knapsack", "lu", "matmul", "nqueens", "rectmul", "strassen"}
+	for i, n := range wantOrder {
+		if names[i] != n {
+			t.Errorf("names[%d] = %q, want %q", i, names[i], n)
+		}
+	}
+	for _, spec := range specs {
+		if spec.Description == "" || spec.PaperInput == "" {
+			t.Errorf("%s: missing Fig. 4 metadata", spec.Name)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	s, err := ByName("fib")
+	if err != nil || s.Name != "fib" {
+		t.Errorf("ByName(fib) = %v, %v", s.Name, err)
+	}
+	if _, err := ByName("nonesuch"); err == nil {
+		t.Error("ByName(nonesuch) did not error")
+	}
+}
+
+func TestScaleStrings(t *testing.T) {
+	for s, want := range map[Scale]string{
+		ScaleTest: "test", ScaleSmall: "small", ScaleMedium: "medium", ScalePaper: "paper",
+	} {
+		if s.String() != want {
+			t.Errorf("%d.String() = %q", s, s.String())
+		}
+	}
+}
+
+// Verification must actually discriminate: corrupt each benchmark's
+// result and check Verify fails. (Guards against vacuous validators.)
+func TestVerifyCatchesCorruption(t *testing.T) {
+	cases := []struct {
+		name    string
+		corrupt func(Instance)
+	}{
+		{"fib", func(i Instance) { i.(*fibInstance).result++ }},
+		{"fibx", func(i Instance) { i.(*fibxInstance).result++ }},
+		{"cilksort", func(i Instance) {
+			c := i.(*cilksortInstance)
+			if len(c.data) > 1 {
+				c.data[0], c.data[1] = c.data[1]+1, c.data[0]
+			}
+		}},
+		{"fft", func(i Instance) { f := i.(*fftInstance); f.data[0] += 1 }},
+		{"heat", func(i Instance) { h := i.(*heatInstance); h.grid[0] += 10 }},
+		{"knapsack", func(i Instance) { i.(*knapsackInstance).best.Add(1) }},
+		{"lu", func(i Instance) { l := i.(*luInstance); l.a.a[0] += 1 }},
+		{"matmul", func(i Instance) { m := i.(*matmulInstance); m.c.a[0] += 1 }},
+		{"nqueens", func(i Instance) { i.(*nqueensInstance).count.Add(1) }},
+		{"rectmul", func(i Instance) { m := i.(*rectmulInstance); m.c.a[0] += 1 }},
+		{"strassen", func(i Instance) { m := i.(*strassenInstance); m.c.a[0] += 1 }},
+		{"cholesky", func(i Instance) { c := i.(*choleskyInstance); c.a.a[0] += 1 }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			spec, err := ByName(tc.name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			inst := spec.Make(ScaleTest)
+			rt := sched.New(1, core.ModeNoFence, core.ZeroCosts())
+			rt.Run(inst.Root)
+			if err := inst.Verify(); err != nil {
+				t.Fatalf("benchmark does not verify before corruption: %v", err)
+			}
+			tc.corrupt(inst)
+			if err := inst.Verify(); err == nil {
+				t.Error("Verify accepted a corrupted result")
+			}
+		})
+	}
+}
+
+func TestSequentialReferences(t *testing.T) {
+	if fibSeq(10) != 55 {
+		t.Errorf("fibSeq(10) = %d", fibSeq(10))
+	}
+	if fibxSeq(9, 10) != 1 {
+		t.Errorf("fibxSeq below gap = %d, want 1", fibxSeq(9, 10))
+	}
+	if v := fibxSeq(12, 10); v != 4 {
+		// f(10)=f(9)+f(0)=2, f(11)=f(10)+f(1)=3, f(12)=f(11)+f(2)=4
+		t.Errorf("fibxSeq(12,10) = %d, want 4", v)
+	}
+}
+
+func TestMergeSeq(t *testing.T) {
+	x := []int64{1, 3, 5}
+	y := []int64{2, 4, 6, 7}
+	out := make([]int64, 7)
+	mergeSeq(x, y, out)
+	want := []int64{1, 2, 3, 4, 5, 6, 7}
+	for i := range want {
+		if out[i] != want[i] {
+			t.Fatalf("mergeSeq = %v", out)
+		}
+	}
+}
+
+func TestMatrixHelpers(t *testing.T) {
+	a := randomMatrix(3, 4, 1)
+	b := a.clone()
+	b.set(0, 0, b.at(0, 0)+1)
+	if maxAbsDiff(a, b) != 1 {
+		t.Errorf("maxAbsDiff = %g, want 1", maxAbsDiff(a, b))
+	}
+	if maxAbsDiff(a, randomMatrix(4, 3, 1)) < 1e100 {
+		t.Error("maxAbsDiff on mismatched shapes should be huge")
+	}
+	// SPD matrix must be symmetric with a heavy diagonal.
+	s := spdMatrix(8, 2)
+	for i := 0; i < 8; i++ {
+		for j := 0; j < 8; j++ {
+			if s.at(i, j) != s.at(j, i) {
+				t.Fatal("spdMatrix not symmetric")
+			}
+		}
+		if s.at(i, i) < 8 {
+			t.Fatal("spdMatrix diagonal not dominant")
+		}
+	}
+}
+
+// TestAllBenchmarksVerifySmall exercises the larger inputs used by the
+// experiment harness; skipped under -short.
+func TestAllBenchmarksVerifySmall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("small-scale verification")
+	}
+	for _, spec := range All() {
+		t.Run(spec.Name, func(t *testing.T) {
+			inst := spec.Make(ScaleSmall)
+			rt := sched.New(2, core.ModeAsymmetricSW, core.ZeroCosts())
+			rt.Run(inst.Root)
+			if err := inst.Verify(); err != nil {
+				t.Error(err)
+			}
+		})
+	}
+}
