@@ -1,0 +1,32 @@
+# Repo tooling. The benchmark targets emit standard `go test -bench`
+# output, which benchstat consumes directly:
+#
+#   make bench-litmus > new.txt   (on two commits)
+#   benchstat old.txt new.txt
+
+GO ?= go
+COUNT ?= 5
+
+.PHONY: test race bench bench-litmus litmus-json
+
+test:
+	$(GO) build ./... && $(GO) test ./...
+
+# The model checker's striped visited set and result merging are the
+# concurrency-sensitive parts; validate them under the race detector.
+race:
+	$(GO) test -race ./internal/litmus/
+
+bench:
+	$(GO) test -run '^$$' -bench . -benchmem .
+
+# Checker-throughput benchmarks only: serial reference engine vs the
+# parallel work-stealing engine on the Dekker and IRIW state spaces.
+# Reports states/sec and B/state; benchstat-compatible.
+bench-litmus:
+	$(GO) test -run '^$$' -bench 'BenchmarkExplore' -benchmem -count $(COUNT) .
+
+# Machine-readable verification summary (states, states/sec per test);
+# redirect into BENCH_litmus.json to track checker throughput across PRs.
+litmus-json:
+	$(GO) run ./cmd/litmus -json

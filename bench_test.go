@@ -86,6 +86,90 @@ func BenchmarkTheoremsDekkerLmfence(b *testing.B) {
 	b.ReportMetric(float64(states), "states")
 }
 
+// --- The exploration engine itself: serial reference vs parallel -----
+
+// exploreSpaces are the two state spaces the engine benchmarks run on:
+// the Dekker l-mfence protocol (2 procs, link machinery exercised) and
+// IRIW (4 procs, the widest catalog test).
+func exploreSpaces() map[string]func() *tso.Machine {
+	cfg := arch.DefaultConfig()
+	cfg.Procs = 2
+	cfg.MemWords = 16
+	cfg.StoreBufferDepth = 4
+	d0, d1 := programs.DekkerPair(programs.DekkerLmfence)
+
+	iriwCfg := cfg
+	iriwCfg.Procs = 4
+	x, y := programs.AddrX, programs.AddrY
+	w0 := tso.NewBuilder("iriw-w0").StoreI(x, 1).Halt().Build()
+	w1 := tso.NewBuilder("iriw-w1").StoreI(y, 1).Halt().Build()
+	r0 := tso.NewBuilder("iriw-r0").Load(1, x).Load(2, y).Halt().Build()
+	r1 := tso.NewBuilder("iriw-r1").Load(1, y).Load(2, x).Halt().Build()
+
+	return map[string]func() *tso.Machine{
+		"dekker": func() *tso.Machine { return tso.NewMachine(cfg, d0, d1) },
+		"iriw":   func() *tso.Machine { return tso.NewMachine(iriwCfg, w0, w1, r0, r1) },
+	}
+}
+
+// exploreBench measures one engine on one space, reporting states/sec
+// and B/state (allocated bytes per explored state) so `-benchmem` runs
+// are directly comparable across engines.
+func exploreBench(b *testing.B, build func() *tso.Machine, run func() litmus.Result) {
+	var states int
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := run()
+		if res.Truncated || res.Deadlocks != 0 {
+			b.Fatalf("truncated=%v deadlocks=%d", res.Truncated, res.Deadlocks)
+		}
+		states = res.States
+	}
+	b.StopTimer()
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&after)
+	total := float64(states) * float64(b.N)
+	b.ReportMetric(total/elapsed.Seconds(), "states/sec")
+	b.ReportMetric(float64(after.TotalAlloc-before.TotalAlloc)/total, "B/state")
+	b.ReportMetric(float64(states), "states")
+	_ = build
+}
+
+// BenchmarkExploreSerial is the reference single-threaded engine (string
+// visited keys, clone-per-child, trace copies) — the baseline the
+// parallel engine is measured against.
+func BenchmarkExploreSerial(b *testing.B) {
+	for name, build := range exploreSpaces() {
+		build := build
+		b.Run(name, func(b *testing.B) {
+			exploreBench(b, build, func() litmus.Result {
+				return litmus.ExploreSerial(build, litmus.Options{})
+			})
+		})
+	}
+}
+
+// BenchmarkExploreParallel is the work-stealing engine at 1 and 4
+// workers (hash-sharded visited set, parent-pointer traces, machine
+// recycling). Compare states/sec and B/state against ExploreSerial.
+func BenchmarkExploreParallel(b *testing.B) {
+	for name, build := range exploreSpaces() {
+		build := build
+		for _, workers := range []int{1, 4} {
+			workers := workers
+			b.Run(fmt.Sprintf("%s/workers%d", name, workers), func(b *testing.B) {
+				exploreBench(b, build, func() litmus.Result {
+					return litmus.Explore(build, litmus.Options{Workers: workers})
+				})
+			})
+		}
+	}
+}
+
 // --- Fig. 5(a): serial ACilk-5 / Cilk-5, one sub-bench per benchmark --
 
 func fig5Bench(b *testing.B, parallel bool) {

@@ -2,13 +2,18 @@
 // interleaving the simulated machine admits, and prints the Section 4
 // verification report. With -trace it additionally prints the
 // counterexample interleaving for the unfenced Dekker protocol — the
-// reordering that motivates the whole paper.
+// reordering that motivates the whole paper. With -json it emits a
+// machine-readable summary (per-test states and aggregate states/sec)
+// suitable for tracking checker throughput across changes.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"time"
 
 	"repro/internal/arch"
 	"repro/internal/harness"
@@ -20,17 +25,23 @@ import (
 func main() {
 	trace := flag.Bool("trace", false, "print the unfenced Dekker counterexample trace")
 	catalog := flag.Bool("catalog", true, "run the classic litmus-test catalog")
+	workers := flag.Int("workers", 0, "exploration worker-pool size (0 = GOMAXPROCS)")
+	jsonOut := flag.Bool("json", false, "emit a machine-readable JSON summary instead of tables")
 	flag.Parse()
 
-	res := harness.RunTheorems()
+	if *jsonOut {
+		os.Exit(runJSON(*workers, *catalog))
+	}
+
+	res := harness.RunTheoremsWorkers(*workers)
 	fmt.Println(res.Table())
 
 	failed := !res.AllPass()
 	if *catalog {
-		failed = printCatalog() || failed
+		failed = printCatalog(*workers) || failed
 	}
 	if *trace {
-		printCounterexample()
+		printCounterexample(*workers)
 	}
 	if failed {
 		fmt.Fprintln(os.Stderr, "litmus: verification FAILED")
@@ -40,11 +51,11 @@ func main() {
 
 // printCatalog runs the classic litmus tests and reports per-test
 // verdicts; it returns whether any failed.
-func printCatalog() bool {
+func printCatalog(workers int) bool {
 	fmt.Println("Classic litmus tests (TSO ordering principles 1-4 + store atomicity):")
 	failed := false
 	for _, ct := range litmus.Catalog() {
-		res, err := litmus.RunCatalogTest(ct)
+		res, err := litmus.RunCatalogTestWorkers(ct, workers)
 		verdict := "PASS"
 		if err != nil {
 			verdict = "FAIL: " + err.Error()
@@ -54,14 +65,92 @@ func printCatalog() bool {
 		if ct.AllowedUnderTSO {
 			expect = "allowed"
 		}
-		fmt.Printf("  %-11s %6d states  relaxed outcome %-9s  %s\n",
-			ct.Name, res.States, expect, verdict)
+		fmt.Printf("  %-11s %6d states  %9.0f states/sec  relaxed outcome %-9s  %s\n",
+			ct.Name, res.States, res.StatesPerSec(), expect, verdict)
 	}
 	fmt.Println()
 	return failed
 }
 
-func printCounterexample() {
+// jsonTest is one model-checked test in the -json summary.
+type jsonTest struct {
+	Name         string  `json:"name"`
+	States       int     `json:"states"`
+	Transitions  int     `json:"transitions"`
+	Outcomes     int     `json:"outcomes"`
+	Violations   int     `json:"violations"`
+	StatesPerSec float64 `json:"states_per_sec"`
+	Pass         bool    `json:"pass"`
+}
+
+// jsonSummary is the -json output: per-test rows plus aggregate checker
+// throughput, for BENCH_*.json-style tracking across PRs.
+type jsonSummary struct {
+	Workers        int        `json:"workers"`
+	GOMAXPROCS     int        `json:"gomaxprocs"`
+	Theorems       []jsonTest `json:"theorems"`
+	Catalog        []jsonTest `json:"catalog"`
+	TotalStates    int        `json:"total_states"`
+	ElapsedSeconds float64    `json:"elapsed_seconds"`
+	StatesPerSec   float64    `json:"states_per_sec"`
+	AllPass        bool       `json:"all_pass"`
+}
+
+func runJSON(workers int, catalog bool) int {
+	// Report the resolved pool size, not the raw flag (0 = GOMAXPROCS).
+	resolved := workers
+	if resolved <= 0 {
+		resolved = runtime.GOMAXPROCS(0)
+	}
+	sum := jsonSummary{Workers: resolved, GOMAXPROCS: runtime.GOMAXPROCS(0), AllPass: true}
+	start := time.Now()
+
+	th := harness.RunTheoremsWorkers(workers)
+	for _, row := range th.Rows {
+		sum.Theorems = append(sum.Theorems, jsonTest{
+			Name:       row.Name,
+			States:     row.States,
+			Outcomes:   row.Outcomes,
+			Violations: row.Violations,
+			Pass:       row.Pass,
+		})
+		sum.TotalStates += row.States
+		sum.AllPass = sum.AllPass && row.Pass
+	}
+	if catalog {
+		for _, ct := range litmus.Catalog() {
+			res, err := litmus.RunCatalogTestWorkers(ct, workers)
+			sum.Catalog = append(sum.Catalog, jsonTest{
+				Name:         ct.Name,
+				States:       res.States,
+				Transitions:  res.Transitions,
+				Outcomes:     len(res.Outcomes),
+				Violations:   res.Violations,
+				StatesPerSec: res.StatesPerSec(),
+				Pass:         err == nil,
+			})
+			sum.TotalStates += res.States
+			sum.AllPass = sum.AllPass && err == nil
+		}
+	}
+	sum.ElapsedSeconds = time.Since(start).Seconds()
+	if sum.ElapsedSeconds > 0 {
+		sum.StatesPerSec = float64(sum.TotalStates) / sum.ElapsedSeconds
+	}
+
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(sum); err != nil {
+		fmt.Fprintln(os.Stderr, "litmus:", err)
+		return 1
+	}
+	if !sum.AllPass {
+		return 1
+	}
+	return 0
+}
+
+func printCounterexample(workers int) {
 	cfg := arch.DefaultConfig()
 	cfg.Procs = 2
 	cfg.MemWords = 16
@@ -71,6 +160,7 @@ func printCounterexample() {
 	r := litmus.Explore(build, litmus.Options{
 		Properties:           []litmus.Property{litmus.MutualExclusion},
 		StopAtFirstViolation: true,
+		Workers:              workers,
 	})
 	if r.Violations == 0 {
 		fmt.Println("no violation found (unexpected)")

@@ -34,6 +34,12 @@ type TheoremsResult struct {
 // l-mfence variants must not (Theorems 4 and 7), and the classic litmus
 // tests must show exactly the outcomes TSO permits.
 func RunTheorems() *TheoremsResult {
+	return RunTheoremsWorkers(0)
+}
+
+// RunTheoremsWorkers is RunTheorems with an explicit exploration
+// worker-pool size (0 = GOMAXPROCS); cmd/litmus -workers feeds it.
+func RunTheoremsWorkers(workers int) *TheoremsResult {
 	cfg := arch.DefaultConfig()
 	cfg.Procs = 2
 	cfg.MemWords = 16
@@ -48,6 +54,7 @@ func RunTheorems() *TheoremsResult {
 		p0, p1 := programs.DekkerPair(v)
 		r := litmus.Explore(build(p0, p1), litmus.Options{
 			Properties: []litmus.Property{litmus.MutualExclusion},
+			Workers:    workers,
 		})
 		row := TheoremRow{
 			Name:       "dekker-" + v.String(),
@@ -87,6 +94,7 @@ func RunTheorems() *TheoremsResult {
 		p0, p1 := pair(v)
 		r := litmus.Explore(build(p0, p1), litmus.Options{
 			Properties: []litmus.Property{litmus.MutualExclusion},
+			Workers:    workers,
 		})
 		row := TheoremRow{
 			Name:       family + "-" + v.String(),
@@ -115,8 +123,7 @@ func RunTheorems() *TheoremsResult {
 
 	sbForbidden := func(r litmus.Result) bool {
 		for o := range r.Outcomes {
-			s := string(o)
-			if strings.Contains(s, "P0[r0=0") && strings.Contains(s, "P1[r0=0") {
+			if o.Has(0, "r0=0") && o.Has(1, "r0=0") {
 				return true
 			}
 		}
@@ -124,7 +131,7 @@ func RunTheorems() *TheoremsResult {
 	}
 
 	addSB := func(name string, p0, p1 *tso.Program, expectReachable bool) {
-		r := litmus.Explore(build(p0, p1), litmus.Options{})
+		r := litmus.Explore(build(p0, p1), litmus.Options{Workers: workers})
 		row := TheoremRow{Name: name, States: r.States, Outcomes: len(r.Outcomes)}
 		reached := sbForbidden(r)
 		if expectReachable {

@@ -2,7 +2,6 @@ package litmus
 
 import (
 	"fmt"
-	"strings"
 
 	"repro/internal/arch"
 	"repro/internal/programs"
@@ -34,18 +33,9 @@ type CatalogTest struct {
 	AllowedUnderTSO bool
 }
 
-// frag formats an outcome fragment matcher: proc, then "rK=V" pairs.
+// has matches an outcome fragment: proc, then whole "rK=V" tokens.
 func has(o Outcome, proc int, frags ...string) bool {
-	s := procSection(string(o), proc)
-	if s == "" {
-		return false
-	}
-	for _, f := range frags {
-		if !strings.Contains(s, f) {
-			return false
-		}
-	}
-	return true
+	return o.Has(proc, frags...)
 }
 
 // Catalog returns the litmus-test suite. Addresses: x=AddrX, y=AddrY.
@@ -209,13 +199,19 @@ func Catalog() []CatalogTest {
 // RunCatalogTest explores one catalog entry and reports whether the
 // machine classified it as expected.
 func RunCatalogTest(t CatalogTest) (Result, error) {
+	return RunCatalogTestWorkers(t, 0)
+}
+
+// RunCatalogTestWorkers is RunCatalogTest with an explicit exploration
+// worker count (0 = GOMAXPROCS).
+func RunCatalogTestWorkers(t CatalogTest, workers int) (Result, error) {
 	progs := t.Build()
 	cfg := arch.DefaultConfig()
 	cfg.Procs = len(progs)
 	cfg.MemWords = 16
 	cfg.StoreBufferDepth = 4
 	build := func() *tso.Machine { return tso.NewMachine(cfg, progs...) }
-	res := Explore(build, Options{})
+	res := Explore(build, Options{Workers: workers})
 	if res.Truncated {
 		return res, fmt.Errorf("litmus: %s truncated at %d states", t.Name, res.States)
 	}

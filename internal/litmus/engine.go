@@ -1,0 +1,411 @@
+package litmus
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/tso"
+)
+
+// This file is the exploration engine behind Explore: a work-stealing
+// worker pool over the interleaving graph. The design, per component:
+//
+//   - Frontier: each worker owns a LIFO stack of frames (DFS order keeps
+//     machine states cache-warm and the frontier shallow). Idle workers
+//     steal the *oldest* half of a victim's stack — frames near the root
+//     own the largest unexplored subtrees, so one steal buys a long run
+//     of private work.
+//   - Visited set: sharded into 256 stripes, each a map[uint64]struct{}
+//     behind its own mutex, keyed by a 64-bit FNV-1a hash of the state
+//     fingerprint. Claiming a state is one hash + one uncontended lock
+//     instead of a global map with full fingerprint strings as keys.
+//   - Traces: frames carry an immutable parent-pointer chain instead of
+//     a per-frame copy of the action slice (the serial engine's O(depth²)
+//     allocation); a full trace is materialized only when a violation is
+//     actually recorded.
+//   - Machines: each worker recycles dead machines (duplicate states,
+//     terminal states) through a free list via tso.Machine.CopyFrom, and
+//     the last child of every expansion reuses the parent machine in
+//     place, so a state with branching factor k costs at most k-1 copies
+//     and usually zero fresh allocations.
+//
+// Exactly one worker wins the visited-set claim for any state, so each
+// distinct state is expanded exactly once and the merged States,
+// Transitions, Outcomes, Violations, and Deadlocks are deterministic and
+// identical to the serial reference engine's (differential tests pin
+// this). Which violation is reported *first* is scheduling-dependent;
+// the trace itself always replays to a violating state.
+
+// pframe is one unit of exploration work: a machine state plus the
+// action chain that produced it.
+type pframe struct {
+	m     *tso.Machine
+	trace *traceNode
+}
+
+// traceNode is an immutable parent-pointer trace link; child frames
+// share their ancestors' chain instead of copying the prefix.
+type traceNode struct {
+	parent *traceNode
+	act    Action
+}
+
+// materialize rebuilds the root-first action slice. Only called when a
+// violation is recorded.
+func (n *traceNode) materialize() []Action {
+	depth := 0
+	for c := n; c != nil; c = c.parent {
+		depth++
+	}
+	out := make([]Action, depth)
+	for c := n; c != nil; c = c.parent {
+		depth--
+		out[depth] = c.act
+	}
+	return out
+}
+
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+// fnv64a hashes a state fingerprint to the 64-bit visited-set key. The
+// key never leaves the process, so it only has to be a well-mixed 64-bit
+// hash, not canonical FNV: the hot loop folds in eight bytes per
+// multiply (FNV-1a lanes plus a downward xor-shift so low input bits
+// still reach low output bits), with a byte-at-a-time FNV-1a tail and a
+// final avalanche. One multiply per word instead of per byte keeps the
+// hash off the exploration profile.
+func fnv64a(b []byte) uint64 {
+	h := uint64(fnvOffset64)
+	for len(b) >= 8 {
+		k := uint64(b[0]) | uint64(b[1])<<8 | uint64(b[2])<<16 | uint64(b[3])<<24 |
+			uint64(b[4])<<32 | uint64(b[5])<<40 | uint64(b[6])<<48 | uint64(b[7])<<56
+		h ^= k
+		h *= fnvPrime64
+		h ^= h >> 29
+		b = b[8:]
+	}
+	for _, c := range b {
+		h ^= uint64(c)
+		h *= fnvPrime64
+	}
+	h ^= h >> 32
+	h *= fnvPrime64
+	h ^= h >> 29
+	return h
+}
+
+// visitedStripes must be a power of two.
+const visitedStripes = 256
+
+type visitedStripe struct {
+	mu sync.Mutex
+	m  map[uint64]struct{}
+	_  [40]byte // pad to a cache line so stripes don't false-share
+}
+
+type visitedSet struct {
+	stripes [visitedStripes]visitedStripe
+}
+
+func newVisitedSet() *visitedSet {
+	vs := &visitedSet{}
+	for i := range vs.stripes {
+		vs.stripes[i].m = make(map[uint64]struct{}, 64)
+	}
+	return vs
+}
+
+// claim records h as visited, reporting whether the caller won the claim
+// (h was not already present).
+func (vs *visitedSet) claim(h uint64) bool {
+	s := &vs.stripes[h&(visitedStripes-1)]
+	s.mu.Lock()
+	if _, seen := s.m[h]; seen {
+		s.mu.Unlock()
+		return false
+	}
+	s.m[h] = struct{}{}
+	s.mu.Unlock()
+	return true
+}
+
+// engine is the shared state of one Explore call.
+type engine struct {
+	opts      Options
+	sc        bool
+	traces    bool // record action traces (only needed to report violations)
+	maxStates int64
+	workers   []*worker
+	visited   *visitedSet
+
+	// pending counts frames created but not yet fully processed; the
+	// exploration is complete when it reaches zero (children are pushed
+	// before their parent frame retires, so it cannot dip to zero early).
+	pending atomic.Int64
+	// states counts visited-set claims, capped cooperatively at
+	// maxStates.
+	states atomic.Int64
+	cancel atomic.Bool
+
+	truncated      atomic.Bool
+	violMu         sync.Mutex
+	firstViolation error
+	violTrace      []Action
+}
+
+// maxFreeMachines bounds each worker's machine free list.
+const maxFreeMachines = 64
+
+// worker is one exploration goroutine with its private frontier,
+// machine free list, scratch buffers, and partial result.
+type worker struct {
+	id  int
+	eng *engine
+
+	mu    sync.Mutex // guards stack (owner pops newest, thieves take oldest)
+	stack []pframe
+
+	free   []*tso.Machine
+	fpBuf  []byte
+	actBuf []Action
+	outBuf []byte
+
+	res Result // partial; merged after the pool drains
+}
+
+func (w *worker) push(f pframe) {
+	w.eng.pending.Add(1)
+	w.mu.Lock()
+	w.stack = append(w.stack, f)
+	w.mu.Unlock()
+}
+
+func (w *worker) pop() (pframe, bool) {
+	w.mu.Lock()
+	n := len(w.stack)
+	if n == 0 {
+		w.mu.Unlock()
+		return pframe{}, false
+	}
+	f := w.stack[n-1]
+	w.stack[n-1] = pframe{}
+	w.stack = w.stack[:n-1]
+	w.mu.Unlock()
+	return f, true
+}
+
+// steal takes the oldest half of some victim's stack, keeps one frame to
+// process, and queues the rest locally.
+func (w *worker) steal() (pframe, bool) {
+	ws := w.eng.workers
+	for off := 1; off < len(ws); off++ {
+		v := ws[(w.id+off)%len(ws)]
+		v.mu.Lock()
+		n := len(v.stack)
+		if n == 0 {
+			v.mu.Unlock()
+			continue
+		}
+		take := (n + 1) / 2
+		stolen := make([]pframe, take)
+		copy(stolen, v.stack[:take])
+		rest := copy(v.stack, v.stack[take:])
+		for i := rest; i < n; i++ {
+			v.stack[i] = pframe{}
+		}
+		v.stack = v.stack[:rest]
+		v.mu.Unlock()
+
+		if len(stolen) > 1 {
+			w.mu.Lock()
+			w.stack = append(w.stack, stolen[1:]...)
+			w.mu.Unlock()
+		}
+		return stolen[0], true
+	}
+	return pframe{}, false
+}
+
+func (w *worker) run() {
+	e := w.eng
+	for {
+		if e.cancel.Load() {
+			return
+		}
+		f, ok := w.pop()
+		if !ok {
+			f, ok = w.steal()
+		}
+		if !ok {
+			if e.pending.Load() == 0 {
+				return
+			}
+			runtime.Gosched()
+			continue
+		}
+		w.process(f)
+		e.pending.Add(-1)
+	}
+}
+
+// recycle parks a dead machine for reuse by clone.
+func (w *worker) recycle(m *tso.Machine) {
+	if len(w.free) < maxFreeMachines {
+		w.free = append(w.free, m)
+	}
+}
+
+// clone produces a private copy of src, reusing a free-listed machine's
+// allocations when one is available.
+func (w *worker) clone(src *tso.Machine) *tso.Machine {
+	if n := len(w.free); n > 0 {
+		m := w.free[n-1]
+		w.free = w.free[:n-1]
+		m.CopyFrom(src)
+		return m
+	}
+	return src.Clone()
+}
+
+// process claims, checks, and expands one frame.
+func (w *worker) process(f pframe) {
+	e := w.eng
+	m := f.m
+
+	w.fpBuf = m.Fingerprint(w.fpBuf[:0])
+	if !e.visited.claim(fnv64a(w.fpBuf)) {
+		w.recycle(m)
+		return
+	}
+	if n := e.states.Add(1); n > e.maxStates {
+		e.states.Add(-1)
+		e.truncated.Store(true)
+		e.cancel.Store(true)
+		return
+	}
+
+	violated := false
+	for _, prop := range e.opts.Properties {
+		if err := prop(m); err != nil {
+			w.res.Violations++
+			violated = true
+			e.recordViolation(err, f.trace)
+			break
+		}
+	}
+	if violated && e.opts.StopAtFirstViolation {
+		e.cancel.Store(true)
+		return
+	}
+
+	w.actBuf = appendEnabled(w.actBuf[:0], m, e.sc)
+	enabled := w.actBuf
+	if len(enabled) == 0 {
+		if m.Quiesced() {
+			w.outBuf = appendOutcome(w.outBuf[:0], m)
+			w.res.Outcomes[Outcome(w.outBuf)]++
+		} else {
+			w.res.Deadlocks++
+		}
+		w.recycle(m)
+		return
+	}
+
+	w.res.Transitions += len(enabled)
+	last := len(enabled) - 1
+	for i, a := range enabled {
+		child := m
+		if i < last {
+			child = w.clone(m)
+		}
+		// The last child mutates the parent machine in place: the
+		// parent's fingerprint is already claimed, so its state is dead.
+		apply(child, a, e.sc)
+		var node *traceNode
+		if e.traces {
+			node = &traceNode{parent: f.trace, act: a}
+		}
+		w.push(pframe{m: child, trace: node})
+	}
+}
+
+func (e *engine) recordViolation(err error, tr *traceNode) {
+	e.violMu.Lock()
+	if e.firstViolation == nil {
+		e.firstViolation = err
+		e.violTrace = tr.materialize()
+	}
+	e.violMu.Unlock()
+}
+
+// Explore exhaustively searches all interleavings of the machine
+// produced by build, using opts.Workers parallel workers (default
+// GOMAXPROCS). The builder is invoked once; the search clones states as
+// it forks. The merged result is deterministic — identical to a serial
+// exploration — except for which violation is designated first.
+func Explore(build func() *tso.Machine, opts Options) Result {
+	nw := opts.Workers
+	if nw <= 0 {
+		nw = runtime.GOMAXPROCS(0)
+	}
+	maxStates := opts.MaxStates
+	if maxStates == 0 {
+		maxStates = DefaultMaxStates
+	}
+	start := time.Now()
+
+	e := &engine{
+		opts:      opts,
+		sc:        opts.SequentialConsistency,
+		traces:    len(opts.Properties) > 0,
+		maxStates: int64(maxStates),
+		visited:   newVisitedSet(),
+	}
+	e.workers = make([]*worker, nw)
+	for i := range e.workers {
+		e.workers[i] = &worker{
+			id:    i,
+			eng:   e,
+			fpBuf: make([]byte, 0, 256),
+			res:   Result{Outcomes: make(map[Outcome]int)},
+		}
+	}
+	e.workers[0].push(pframe{m: build()})
+
+	if nw == 1 {
+		e.workers[0].run()
+	} else {
+		var wg sync.WaitGroup
+		for _, w := range e.workers {
+			wg.Add(1)
+			go func(w *worker) {
+				defer wg.Done()
+				w.run()
+			}(w)
+		}
+		wg.Wait()
+	}
+
+	res := Result{
+		States:         int(e.states.Load()),
+		Truncated:      e.truncated.Load(),
+		FirstViolation: e.firstViolation,
+		ViolationTrace: e.violTrace,
+		Outcomes:       make(map[Outcome]int),
+	}
+	for _, w := range e.workers {
+		res.Transitions += w.res.Transitions
+		res.Violations += w.res.Violations
+		res.Deadlocks += w.res.Deadlocks
+		for o, c := range w.res.Outcomes {
+			res.Outcomes[o] += c
+		}
+	}
+	res.Elapsed = time.Since(start)
+	return res
+}

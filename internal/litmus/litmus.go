@@ -16,7 +16,9 @@ package litmus
 import (
 	"fmt"
 	"sort"
+	"strconv"
 	"strings"
+	"time"
 
 	"repro/internal/arch"
 	"repro/internal/tso"
@@ -69,31 +71,51 @@ type Outcome string
 // OutcomeRegs selects which registers an outcome records.
 var OutcomeRegs = []tso.Reg{0, 1, 2, 6}
 
-func outcomeOf(m *tso.Machine) Outcome {
-	var sb strings.Builder
+// appendOutcome encodes m's outcome into dst. It runs once per quiesced
+// final state, hot enough to show in exploration profiles, so it builds
+// the string with strconv.AppendInt into a caller-reused buffer instead
+// of fmt; the output is byte-identical to the historical
+// fmt.Fprintf("P%d[", …"r%d=%d") format (tests pin that down).
+func appendOutcome(dst []byte, m *tso.Machine) []byte {
 	for i, p := range m.Procs {
 		if p.Prog == nil {
 			continue
 		}
 		if i > 0 {
-			sb.WriteByte(' ')
+			dst = append(dst, ' ')
 		}
-		fmt.Fprintf(&sb, "P%d[", i)
+		dst = append(dst, 'P')
+		dst = strconv.AppendInt(dst, int64(i), 10)
+		dst = append(dst, '[')
 		for j, r := range OutcomeRegs {
 			if j > 0 {
-				sb.WriteByte(',')
+				dst = append(dst, ',')
 			}
-			fmt.Fprintf(&sb, "r%d=%d", r, p.Regs[r])
+			dst = append(dst, 'r')
+			dst = strconv.AppendInt(dst, int64(r), 10)
+			dst = append(dst, '=')
+			dst = strconv.AppendInt(dst, int64(p.Regs[r]), 10)
 		}
-		sb.WriteByte(']')
+		dst = append(dst, ']')
 	}
-	return Outcome(sb.String())
+	return dst
+}
+
+func outcomeOf(m *tso.Machine) Outcome {
+	return Outcome(appendOutcome(nil, m))
 }
 
 // Options configures an exploration.
 type Options struct {
 	// Properties are invariants checked at every reachable state.
 	Properties []Property
+
+	// Workers sets the exploration worker-pool size; 0 (the default)
+	// means runtime.GOMAXPROCS(0). Each worker runs DFS on a private
+	// frontier and idle workers steal frames from busy ones, so the
+	// aggregate result is identical to a serial exploration regardless
+	// of the worker count.
+	Workers int
 
 	// MaxStates aborts runaway explorations; 0 means DefaultMaxStates.
 	MaxStates int
@@ -137,25 +159,60 @@ type Result struct {
 	// nothing draining — cannot happen since Drain is always enabled when
 	// the buffer is non-empty, but the checker verifies that).
 	Deadlocks int
+	// Elapsed is the wall-clock duration of the exploration.
+	Elapsed time.Duration
+}
+
+// StatesPerSec reports exploration throughput; cmd/litmus -json emits it
+// so BENCH_*.json can track checker performance across changes.
+func (r *Result) StatesPerSec() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(r.States) / r.Elapsed.Seconds()
+}
+
+// Has reports whether processor proc's section of the outcome contains
+// every given "rK=V" fragment as a whole token. Matching is token-exact
+// (the section is split on ','/'['/']'), so "r6=1" does not match
+// "r6=12".
+func (o Outcome) Has(proc int, frags ...string) bool {
+	section := procSection(string(o), proc)
+	if section == "" {
+		return false
+	}
+	for _, f := range frags {
+		if !sectionHasToken(section, f) {
+			return false
+		}
+	}
+	return true
+}
+
+// sectionHasToken reports whether frag appears as a complete
+// delimiter-separated token of section (delimiters: ',', '[', ']').
+func sectionHasToken(section, frag string) bool {
+	for len(section) > 0 {
+		var tok string
+		if i := strings.IndexAny(section, ",[]"); i >= 0 {
+			tok, section = section[:i], section[i+1:]
+		} else {
+			tok, section = section, ""
+		}
+		if tok == frag {
+			return true
+		}
+	}
+	return false
 }
 
 // HasOutcome reports whether an outcome matching all the given "rK=V"
 // fragments for the given processor was observed, e.g.
-// r.HasOutcome(0, "r6=1").
+// r.HasOutcome(0, "r6=1"). Fragments match whole register tokens, so
+// "r6=1" does not match a state where r6 is 12.
 func (r *Result) HasOutcome(proc int, frags ...string) bool {
 	for o := range r.Outcomes {
-		section := procSection(string(o), proc)
-		if section == "" {
-			continue
-		}
-		all := true
-		for _, f := range frags {
-			if !strings.Contains(section, f) {
-				all = false
-				break
-			}
-		}
-		if all {
+		if o.Has(proc, frags...) {
 			return true
 		}
 	}
@@ -197,93 +254,19 @@ func (r *Result) SortedOutcomes() []Outcome {
 	return out
 }
 
-type frame struct {
-	m     *tso.Machine
-	trace []Action
-}
-
-// Explore runs a depth-first search over all interleavings of the machine
-// produced by build. The builder is invoked once; the search clones
-// states as it forks.
-func Explore(build func() *tso.Machine, opts Options) Result {
-	maxStates := opts.MaxStates
-	if maxStates == 0 {
-		maxStates = DefaultMaxStates
-	}
-	res := Result{Outcomes: make(map[Outcome]int)}
-	visited := make(map[string]struct{})
-
-	root := build()
-	stack := []frame{{m: root}}
-	buf := make([]byte, 0, 256)
-
-	for len(stack) > 0 {
-		f := stack[len(stack)-1]
-		stack = stack[:len(stack)-1]
-		m := f.m
-
-		buf = m.Fingerprint(buf[:0])
-		key := string(buf)
-		if _, seen := visited[key]; seen {
-			continue
-		}
-		if res.States >= maxStates {
-			res.Truncated = true
-			break
-		}
-		visited[key] = struct{}{}
-		res.States++
-
-		violated := false
-		for _, prop := range opts.Properties {
-			if err := prop(m); err != nil {
-				res.Violations++
-				violated = true
-				if res.FirstViolation == nil {
-					res.FirstViolation = err
-					res.ViolationTrace = append([]Action(nil), f.trace...)
-				}
-				break
-			}
-		}
-		if violated && opts.StopAtFirstViolation {
-			return res
-		}
-
-		enabled := enabledActions(m, opts.SequentialConsistency)
-		if len(enabled) == 0 {
-			if m.Quiesced() {
-				res.Outcomes[outcomeOf(m)]++
-			} else {
-				res.Deadlocks++
-			}
-			continue
-		}
-		for _, a := range enabled {
-			child := m.Clone()
-			apply(child, a, opts.SequentialConsistency)
-			res.Transitions++
-			tr := make([]Action, len(f.trace)+1)
-			copy(tr, f.trace)
-			tr[len(f.trace)] = a
-			stack = append(stack, frame{m: child, trace: tr})
-		}
-	}
-	return res
-}
-
-func enabledActions(m *tso.Machine, sc bool) []Action {
-	var out []Action
+// appendEnabled appends every enabled action of m to dst. Callers pass a
+// reused buffer to keep expansion allocation-free.
+func appendEnabled(dst []Action, m *tso.Machine, sc bool) []Action {
 	for i := range m.Procs {
 		p := arch.ProcID(i)
 		if m.CanExec(p) {
-			out = append(out, Action{Proc: p, Kind: Exec})
+			dst = append(dst, Action{Proc: p, Kind: Exec})
 		}
 		if !sc && m.CanDrain(p) {
-			out = append(out, Action{Proc: p, Kind: Drain})
+			dst = append(dst, Action{Proc: p, Kind: Drain})
 		}
 	}
-	return out
+	return dst
 }
 
 func apply(m *tso.Machine, a Action, sc bool) {

@@ -1,0 +1,91 @@
+package litmus
+
+import (
+	"time"
+
+	"repro/internal/tso"
+)
+
+// serialFrame is one DFS frame of the reference engine, carrying a full
+// copy of the action trace.
+type serialFrame struct {
+	m     *tso.Machine
+	trace []Action
+}
+
+// ExploreSerial is the straightforward single-threaded reference engine:
+// one DFS stack, a string-keyed visited map over full fingerprints, a
+// fresh Machine clone per child, and per-frame trace copies. It is kept
+// deliberately simple — no hashing, no sharing, no recycling — as the
+// oracle the parallel engine is differentially tested against, and as
+// the baseline BenchmarkExploreSerial measures. Production callers want
+// Explore.
+func ExploreSerial(build func() *tso.Machine, opts Options) Result {
+	maxStates := opts.MaxStates
+	if maxStates == 0 {
+		maxStates = DefaultMaxStates
+	}
+	start := time.Now()
+	res := Result{Outcomes: make(map[Outcome]int)}
+	visited := make(map[string]struct{})
+
+	root := build()
+	stack := []serialFrame{{m: root}}
+	buf := make([]byte, 0, 256)
+
+	for len(stack) > 0 {
+		f := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		m := f.m
+
+		buf = m.Fingerprint(buf[:0])
+		key := string(buf)
+		if _, seen := visited[key]; seen {
+			continue
+		}
+		if res.States >= maxStates {
+			res.Truncated = true
+			break
+		}
+		visited[key] = struct{}{}
+		res.States++
+
+		violated := false
+		for _, prop := range opts.Properties {
+			if err := prop(m); err != nil {
+				res.Violations++
+				violated = true
+				if res.FirstViolation == nil {
+					res.FirstViolation = err
+					res.ViolationTrace = append([]Action(nil), f.trace...)
+				}
+				break
+			}
+		}
+		if violated && opts.StopAtFirstViolation {
+			res.Elapsed = time.Since(start)
+			return res
+		}
+
+		enabled := appendEnabled(nil, m, opts.SequentialConsistency)
+		if len(enabled) == 0 {
+			if m.Quiesced() {
+				res.Outcomes[outcomeOf(m)]++
+			} else {
+				res.Deadlocks++
+			}
+			continue
+		}
+		for _, a := range enabled {
+			child := m.Clone()
+			apply(child, a, opts.SequentialConsistency)
+			res.Transitions++
+			tr := make([]Action, len(f.trace)+1)
+			copy(tr, f.trace)
+			tr[len(f.trace)] = a
+			stack = append(stack, serialFrame{m: child, trace: tr})
+		}
+	}
+	res.Elapsed = time.Since(start)
+	return res
+}

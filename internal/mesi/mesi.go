@@ -15,7 +15,6 @@ package mesi
 
 import (
 	"fmt"
-	"sort"
 
 	"repro/internal/arch"
 )
@@ -132,6 +131,10 @@ type System struct {
 	caches  []*cache
 	useTick uint64
 	stats   Stats
+
+	// fpAddrs is scratch for Fingerprint; it is not part of the
+	// coherence state and deliberately not cloned or copied.
+	fpAddrs []arch.Addr
 }
 
 // NewSystem builds a coherent system for cfg. Caches are unbounded unless
@@ -618,6 +621,50 @@ func (s *System) Clone() *System {
 	return ns
 }
 
+// CopyFrom overwrites s with src's coherence state, reusing s's memory
+// slice, cache maps, and line allocations. Guard handlers installed on s
+// are preserved (they close over the owning machine, which is exactly
+// what the model checker's recycled machines need). Both systems must
+// have been built for the same configuration shape.
+func (s *System) CopyFrom(src *System) {
+	if len(s.mem) != len(src.mem) || len(s.caches) != len(src.caches) {
+		panic("mesi: CopyFrom across different system shapes")
+	}
+	s.cfg = src.cfg
+	copy(s.mem, src.mem)
+	s.useTick = src.useTick
+	s.stats = src.stats
+	for i, sc := range src.caches {
+		dc := s.caches[i]
+		dc.capacity = sc.capacity
+		for a := range dc.lines {
+			if _, ok := sc.lines[a]; !ok {
+				delete(dc.lines, a)
+			}
+		}
+		for a, l := range sc.lines {
+			if dl, ok := dc.lines[a]; ok {
+				*dl = *l
+			} else {
+				cp := *l
+				dc.lines[a] = &cp
+			}
+		}
+		for a := range dc.guards {
+			if _, ok := sc.guards[a]; !ok {
+				delete(dc.guards, a)
+			}
+		}
+		if len(sc.guards) > 0 && dc.guards == nil {
+			dc.guards = make(map[arch.Addr]struct{}, len(sc.guards))
+		}
+		for a := range sc.guards {
+			dc.guards[a] = struct{}{}
+		}
+		// dc.handler deliberately kept: it belongs to s's machine.
+	}
+}
+
 // Fingerprint appends a canonical encoding of the coherence-visible state
 // (memory, plus per-cache sorted line states/values and guard registers)
 // to dst. LRU tick values are excluded so that states differing only in
@@ -626,29 +673,45 @@ func (s *System) Fingerprint(dst []byte) []byte {
 	for _, w := range s.mem {
 		dst = append(dst, byte(w), byte(w>>8), byte(w>>16), byte(w>>24))
 	}
+	// The model checker fingerprints every explored state, so this path
+	// reuses one scratch slice and an allocation-free insertion sort
+	// (line counts are tiny) instead of make+sort.Slice per cache.
+	addrs := s.fpAddrs
 	for _, c := range s.caches {
-		addrs := make([]arch.Addr, 0, len(c.lines))
+		addrs = addrs[:0]
 		for a, l := range c.lines {
 			if l.state != Invalid {
 				addrs = append(addrs, a)
 			}
 		}
-		sort.Slice(addrs, func(i, j int) bool { return addrs[i] < addrs[j] })
+		sortAddrs(addrs)
 		dst = append(dst, byte(len(addrs)))
 		for _, a := range addrs {
 			l := c.lines[a]
 			dst = append(dst, byte(a), byte(a>>8), byte(l.state),
 				byte(l.val), byte(l.val>>8), byte(l.val>>16), byte(l.val>>24))
 		}
-		garr := make([]arch.Addr, 0, len(c.guards))
+		addrs = addrs[:0]
 		for a := range c.guards {
-			garr = append(garr, a)
+			addrs = append(addrs, a)
 		}
-		sort.Slice(garr, func(i, j int) bool { return garr[i] < garr[j] })
-		dst = append(dst, byte(len(garr)))
-		for _, a := range garr {
+		sortAddrs(addrs)
+		dst = append(dst, byte(len(addrs)))
+		for _, a := range addrs {
 			dst = append(dst, byte(a), byte(a>>8))
 		}
 	}
+	s.fpAddrs = addrs
 	return dst
+}
+
+// sortAddrs is an in-place insertion sort; Fingerprint's slices hold a
+// handful of addresses, where this beats sort.Slice and allocates
+// nothing.
+func sortAddrs(a []arch.Addr) {
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j] < a[j-1]; j-- {
+			a[j], a[j-1] = a[j-1], a[j]
+		}
+	}
 }

@@ -118,6 +118,32 @@ func (b *Buffer) Entries() []Entry {
 	return out
 }
 
+// IndexOfSeq returns the FIFO position of the pending entry with the
+// given sequence number, or -1 when no such entry is pending. Sequence
+// numbers are assigned contiguously at Push and entries complete from
+// the front, so the pending seqs always form a contiguous run and the
+// lookup is O(1). The machine's state fingerprint uses this to encode
+// guarded-store positions without scanning the buffer.
+func (b *Buffer) IndexOfSeq(seq uint64) int {
+	if len(b.entries) == 0 {
+		return -1
+	}
+	first := b.entries[0].Seq
+	if seq < first || seq >= first+uint64(len(b.entries)) {
+		return -1
+	}
+	return int(seq - first)
+}
+
+// CopyFrom replaces b's contents with a copy of src's, reusing b's
+// backing array. The model checker's machine free list recycles buffers
+// through it instead of allocating fresh clones.
+func (b *Buffer) CopyFrom(src *Buffer) {
+	b.entries = append(b.entries[:0], src.entries...)
+	b.cap = src.cap
+	b.nextSeq = src.nextSeq
+}
+
 // Clone returns a deep copy of the buffer. The model checker forks
 // machine states, so cloning must not share backing storage.
 func (b *Buffer) Clone() *Buffer {

@@ -114,6 +114,66 @@ func TestOldest(t *testing.T) {
 	}
 }
 
+func TestIndexOfSeq(t *testing.T) {
+	b := New(4)
+	if b.IndexOfSeq(0) != -1 {
+		t.Error("IndexOfSeq on empty buffer != -1")
+	}
+	e0 := b.Push(0x10, 1)
+	e1 := b.Push(0x14, 2)
+	e2 := b.Push(0x18, 3)
+	if got := b.IndexOfSeq(e0.Seq); got != 0 {
+		t.Errorf("IndexOfSeq(oldest) = %d, want 0", got)
+	}
+	if got := b.IndexOfSeq(e2.Seq); got != 2 {
+		t.Errorf("IndexOfSeq(newest) = %d, want 2", got)
+	}
+	b.Pop()
+	if got := b.IndexOfSeq(e0.Seq); got != -1 {
+		t.Errorf("IndexOfSeq(completed) = %d, want -1", got)
+	}
+	if got := b.IndexOfSeq(e1.Seq); got != 0 {
+		t.Errorf("IndexOfSeq after pop = %d, want 0", got)
+	}
+	if got := b.IndexOfSeq(e2.Seq + 1); got != -1 {
+		t.Errorf("IndexOfSeq(future seq) = %d, want -1", got)
+	}
+	// IndexOfSeq must agree with a linear scan over Entries at all times.
+	for i, e := range b.Entries() {
+		if got := b.IndexOfSeq(e.Seq); got != i {
+			t.Errorf("IndexOfSeq(%d) = %d, scan says %d", e.Seq, got, i)
+		}
+	}
+}
+
+func TestCopyFrom(t *testing.T) {
+	src := New(4)
+	src.Push(0x10, 1)
+	src.Push(0x14, 2)
+	dst := New(4)
+	dst.Push(0x99, 9)
+	dst.CopyFrom(src)
+	if dst.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", dst.Len())
+	}
+	if v, ok := dst.Lookup(0x14); !ok || v != 2 {
+		t.Errorf("Lookup(0x14) = %d,%v", v, ok)
+	}
+	if dst.Contains(0x99) {
+		t.Error("stale entry survived CopyFrom")
+	}
+	// The copy must not share backing storage with the source.
+	dst.Pop()
+	if src.Len() != 2 {
+		t.Error("popping the copy changed the source")
+	}
+	// Sequence numbering continues from the source's counter.
+	e := dst.Push(0x18, 3)
+	if old, _ := src.Oldest(); e.Seq <= old.Seq {
+		t.Errorf("seq %d did not continue past source", e.Seq)
+	}
+}
+
 func TestCloneIsDeep(t *testing.T) {
 	b := New(4)
 	b.Push(1, 1)

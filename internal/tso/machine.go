@@ -462,6 +462,31 @@ func (m *Machine) Clone() *Machine {
 	return nm
 }
 
+// CopyFrom overwrites m with src's architectural state, reusing m's
+// allocations (processor structs, store buffers, link slices, cache
+// maps). m must have been built or cloned from the same machine shape as
+// src. Guard handlers already installed on m close over m's processor
+// structs, which survive the copy, so no rewiring is needed — this is
+// what makes free-list recycling in the model checker cheaper than
+// Clone, which must allocate everything and re-install handlers.
+func (m *Machine) CopyFrom(src *Machine) {
+	if len(m.Procs) != len(src.Procs) {
+		panic("tso: CopyFrom across different machine shapes")
+	}
+	m.Cfg = src.Cfg
+	m.Sys.CopyFrom(src.Sys)
+	m.CSViolation = src.CSViolation
+	m.remoteGuardBreaks = src.remoteGuardBreaks
+	for i, sp := range src.Procs {
+		dp := m.Procs[i]
+		sb, links := dp.SB, dp.links
+		*dp = *sp
+		dp.SB = sb
+		dp.SB.CopyFrom(sp.SB)
+		dp.links = append(links[:0], sp.links...)
+	}
+}
+
 // Fingerprint appends a canonical encoding of the architecturally visible
 // machine state to dst: per-processor PC, registers, link registers, CS
 // flag, store buffer, plus the coherence system. Clocks and statistics
@@ -486,18 +511,15 @@ func (m *Machine) Fingerprint(dst []byte) []byte {
 		// Encode each live link: its address, whether its guarded store
 		// has committed, and — identifying the store by position rather
 		// than the history-dependent raw sequence number — where that
-		// store sits in the buffer.
-		entries := p.SB.Entries()
+		// store sits in the buffer (an O(1) lookup; pending seqs are
+		// contiguous).
 		dst = append(dst, byte(len(p.links)))
 		for _, l := range p.links {
 			dst = append(dst, byte(l.addr), byte(l.addr>>8))
 			linkedIdx := byte(0xff)
 			if l.seqSet {
-				for i, e := range entries {
-					if e.Seq == l.seq {
-						linkedIdx = byte(i)
-						break
-					}
+				if i := p.SB.IndexOfSeq(l.seq); i >= 0 {
+					linkedIdx = byte(i)
 				}
 			}
 			dst = append(dst, linkedIdx)
