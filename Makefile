@@ -7,7 +7,7 @@
 GO ?= go
 COUNT ?= 5
 
-.PHONY: test race bench bench-litmus litmus-json
+.PHONY: test race bench bench-litmus litmus-json synth
 
 test:
 	$(GO) build ./... && $(GO) test ./...
@@ -30,3 +30,9 @@ bench-litmus:
 # redirect into BENCH_litmus.json to track checker throughput across PRs.
 litmus-json:
 	$(GO) run ./cmd/litmus -json
+
+# Counterexample-guided fence synthesis over the protocol registry,
+# printing the minimal frontier per problem. The dekker row must show
+# the Fig. 3(a) asymmetric placement as cost-optimal.
+synth:
+	$(GO) run ./cmd/fencesynth -v

@@ -1,0 +1,239 @@
+// Command fencesynth derives fence placements instead of checking them:
+// given a fence-free protocol from the registry (or all of them) and its
+// safety property, it runs counterexample-guided synthesis over the
+// lattice of mfence / l-mfence placements and reports every minimal
+// repair plus the cycle-cost-optimal one under the assumed
+// primary:secondary execution-frequency ratio. On the Dekker protocol it
+// rediscovers the paper's Fig. 3(a) placement — l-mfence guarding the
+// primary's flag, full mfence on the secondary — from first principles.
+//
+// Usage:
+//
+//	fencesynth                      # synthesize the whole registry
+//	fencesynth -problem dekker -v   # one problem, with the minimal frontier
+//	fencesynth -kind lmfence        # restrict the placement lattice
+//	fencesynth -ratio 1 -json       # symmetric workload, JSON report
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/harness"
+	"repro/internal/synth"
+)
+
+func main() {
+	problem := flag.String("problem", "all", "registry problem to synthesize (dekker|peterson|bakery|sb|mp|all)")
+	kind := flag.String("kind", "both", "fence kinds the synthesizer may place (mfence|lmfence|both)")
+	ratio := flag.Float64("ratio", synth.DefaultPrimaryWeight, "assumed primary:secondary execution-frequency ratio for the cost objective")
+	workers := flag.Int("workers", 0, "exploration worker-pool size per verification (0 = GOMAXPROCS)")
+	maxStates := flag.Int("max-states", 0, "per-candidate exploration budget in states (0 = checker default)")
+	verbose := flag.Bool("v", false, "print the full minimal frontier per problem")
+	jsonOut := flag.Bool("json", false, "emit a machine-readable JSON report instead of tables")
+	flag.Parse()
+
+	opts := synth.Options{
+		Workers:       *workers,
+		MaxStates:     *maxStates,
+		PrimaryWeight: *ratio,
+	}
+	switch *kind {
+	case "both":
+	case "mfence":
+		opts.AllowMfence = true
+	case "lmfence":
+		opts.AllowLmfence = true
+	default:
+		fmt.Fprintf(os.Stderr, "fencesynth: unknown -kind %q (want mfence|lmfence|both)\n", *kind)
+		os.Exit(2)
+	}
+
+	probs := synth.Problems()
+	if *problem != "all" {
+		p, err := synth.LookupProblem(*problem)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "fencesynth:", err)
+			os.Exit(2)
+		}
+		probs = []synth.Problem{p}
+	}
+
+	if *jsonOut {
+		os.Exit(runJSON(probs, opts))
+	}
+	os.Exit(runText(probs, opts, *verbose))
+}
+
+func runText(probs []synth.Problem, opts synth.Options, verbose bool) int {
+	report := &harness.SynthesisResult{}
+	results := make([]*synth.Result, 0, len(probs))
+	failed := false
+	for _, prob := range probs {
+		r, err := synth.Synthesize(prob, opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "fencesynth: %s: %v\n", prob.Name, err)
+			failed = true
+			report.Rows = append(report.Rows, harness.SynthRow{Problem: prob.Name, Err: err})
+			continue
+		}
+		results = append(results, r)
+		report.Rows = append(report.Rows, rowOf(prob.Name, r))
+	}
+	fmt.Println(report.Table())
+
+	if verbose {
+		for _, r := range results {
+			printDetail(r)
+		}
+	}
+	if failed {
+		return 1
+	}
+	return 0
+}
+
+func rowOf(name string, r *synth.Result) harness.SynthRow {
+	row := harness.SynthRow{
+		Problem:         name,
+		Sites:           len(r.Sites),
+		Candidates:      r.CandidatesChecked,
+		Counterexamples: r.Counterexamples,
+		Rounds:          r.Rounds,
+		States:          r.StatesExplored,
+		Minimal:         len(r.Minimal),
+		Unrepairable:    r.Unrepairable,
+	}
+	if r.Optimal != nil {
+		row.Optimal = r.Optimal.Placement.String()
+		row.Cost = r.Optimal.Cost
+	}
+	return row
+}
+
+func printDetail(r *synth.Result) {
+	fmt.Printf("%s: %d candidate sites, %d minimal repair(s)\n", r.Problem, len(r.Sites), len(r.Minimal))
+	if r.Unrepairable {
+		fmt.Println("  UNREPAIRABLE — counterexample without store/load reordering:")
+		fmt.Print(indent(r.Counterexample, "    "))
+		fmt.Println()
+		return
+	}
+	for i, c := range r.Minimal {
+		marker := " "
+		if i == 0 {
+			marker = "*" // cost-optimal
+		}
+		fmt.Printf("  %s cost %8.0f  %v\n", marker, c.Cost, c.Placement)
+	}
+	fmt.Println()
+}
+
+func indent(s, pad string) string {
+	out := ""
+	for len(s) > 0 {
+		i := len(s)
+		if j := indexByte(s, '\n'); j >= 0 {
+			i = j + 1
+		}
+		out += pad + s[:i]
+		s = s[i:]
+	}
+	return out
+}
+
+func indexByte(s string, b byte) int {
+	for i := 0; i < len(s); i++ {
+		if s[i] == b {
+			return i
+		}
+	}
+	return -1
+}
+
+// jsonAtom is one fence of a placement in the JSON report. Addr is the
+// guarded location and so is present exactly for l-mfence atoms; a
+// pointer keeps address 0 (e.g. Dekker's primary flag) distinguishable
+// from absent.
+type jsonAtom struct {
+	Thread int     `json:"thread"`
+	Instr  int     `json:"instr"`
+	Kind   string  `json:"kind"`
+	Addr   *uint32 `json:"addr,omitempty"`
+}
+
+type jsonPlacement struct {
+	Atoms  []jsonAtom `json:"atoms"`
+	Cost   float64    `json:"cost"`
+	States int        `json:"states"`
+}
+
+type jsonProblem struct {
+	Problem         string          `json:"problem"`
+	Sites           int             `json:"sites"`
+	Rounds          int             `json:"rounds"`
+	Candidates      int             `json:"candidates_checked"`
+	Counterexamples int             `json:"counterexamples"`
+	States          int             `json:"states_explored"`
+	Unrepairable    bool            `json:"unrepairable"`
+	Minimal         []jsonPlacement `json:"minimal"`
+	Optimal         *jsonPlacement  `json:"optimal,omitempty"`
+	ElapsedSeconds  float64         `json:"elapsed_seconds"`
+}
+
+func toJSONPlacement(c synth.Candidate) jsonPlacement {
+	jp := jsonPlacement{Cost: c.Cost, States: c.States, Atoms: []jsonAtom{}}
+	for _, a := range c.Placement {
+		ja := jsonAtom{Thread: a.Thread, Instr: a.Instr, Kind: a.Kind.String()}
+		if a.Kind == synth.KindLmfence && a.AddrKnown {
+			addr := uint32(a.Addr)
+			ja.Addr = &addr
+		}
+		jp.Atoms = append(jp.Atoms, ja)
+	}
+	return jp
+}
+
+func runJSON(probs []synth.Problem, opts synth.Options) int {
+	out := make([]jsonProblem, 0, len(probs))
+	failed := false
+	for _, prob := range probs {
+		r, err := synth.Synthesize(prob, opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "fencesynth: %s: %v\n", prob.Name, err)
+			failed = true
+			continue
+		}
+		jp := jsonProblem{
+			Problem:         r.Problem,
+			Sites:           len(r.Sites),
+			Rounds:          r.Rounds,
+			Candidates:      r.CandidatesChecked,
+			Counterexamples: r.Counterexamples,
+			States:          r.StatesExplored,
+			Unrepairable:    r.Unrepairable,
+			Minimal:         []jsonPlacement{},
+			ElapsedSeconds:  r.Elapsed.Seconds(),
+		}
+		for _, c := range r.Minimal {
+			jp.Minimal = append(jp.Minimal, toJSONPlacement(c))
+		}
+		if r.Optimal != nil {
+			op := toJSONPlacement(*r.Optimal)
+			jp.Optimal = &op
+		}
+		out = append(out, jp)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		fmt.Fprintln(os.Stderr, "fencesynth:", err)
+		return 1
+	}
+	if failed {
+		return 1
+	}
+	return 0
+}

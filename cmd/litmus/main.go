@@ -158,9 +158,9 @@ func printCounterexample(workers int) {
 	p0, p1 := programs.DekkerPair(programs.DekkerNoFence)
 	build := func() *tso.Machine { return tso.NewMachine(cfg, p0, p1) }
 	r := litmus.Explore(build, litmus.Options{
-		Properties:           []litmus.Property{litmus.MutualExclusion},
-		StopAtFirstViolation: true,
-		Workers:              workers,
+		Properties:      []litmus.Property{litmus.MutualExclusion},
+		StopOnViolation: true,
+		Workers:         workers,
 	})
 	if r.Violations == 0 {
 		fmt.Println("no violation found (unexpected)")

@@ -99,8 +99,8 @@ func TestClassicCounterexamplesReplay(t *testing.T) {
 		p0, p1 := mk.pair(programs.DekkerNoFence)
 		build := classicMachine(p0, p1)
 		res := Explore(build, Options{
-			Properties:           []Property{MutualExclusion},
-			StopAtFirstViolation: true,
+			Properties:      []Property{MutualExclusion},
+			StopOnViolation: true,
 		})
 		if res.Violations == 0 {
 			t.Fatalf("%s: no violation found", mk.name)

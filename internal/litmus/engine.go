@@ -277,6 +277,14 @@ func (w *worker) process(f pframe) {
 	e := w.eng
 	m := f.m
 
+	// Eager cancellation: a frame popped before a peer set the flag is
+	// dropped here rather than expanded, so StopOnViolation and MaxStates
+	// cut off in-flight work as fast as the flag propagates.
+	if e.cancel.Load() {
+		w.recycle(m)
+		return
+	}
+
 	w.fpBuf = m.Fingerprint(w.fpBuf[:0])
 	if !e.visited.claim(fnv64a(w.fpBuf)) {
 		w.recycle(m)
@@ -298,7 +306,7 @@ func (w *worker) process(f pframe) {
 			break
 		}
 	}
-	if violated && e.opts.StopAtFirstViolation {
+	if violated && e.opts.stopOnViolation() {
 		e.cancel.Store(true)
 		return
 	}

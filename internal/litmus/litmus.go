@@ -117,11 +117,28 @@ type Options struct {
 	// of the worker count.
 	Workers int
 
-	// MaxStates aborts runaway explorations; 0 means DefaultMaxStates.
+	// MaxStates is the exploration budget in distinct states; 0 means
+	// DefaultMaxStates. Hitting the budget is not an error: the engine
+	// returns a graceful partial Result with Truncated set, carrying the
+	// outcomes, violation counts, and first violation trace accumulated
+	// so far. Synthesis and other automated callers use it to make
+	// exploration of larger programs degrade predictably instead of
+	// running unbounded.
 	MaxStates int
 
-	// StopAtFirstViolation ends the search once one violating trace is
-	// found (the trace is still recorded).
+	// StopOnViolation ends the search as soon as one violating trace is
+	// found (the trace is still recorded). In the parallel engine the
+	// cancellation is cross-worker and eager — every worker aborts at its
+	// next frame, including frames already popped — so UNSAT verification
+	// queries (e.g. the fence synthesizer's inner loop) fail fast instead
+	// of exhausting the state space. Default behaviour (off) explores the
+	// full space and is unchanged.
+	StopOnViolation bool
+
+	// StopAtFirstViolation is the historical name for StopOnViolation;
+	// either flag enables early cancellation.
+	//
+	// Deprecated: use StopOnViolation.
 	StopAtFirstViolation bool
 
 	// SequentialConsistency explores the machine under SC semantics:
@@ -133,6 +150,11 @@ type Options struct {
 	SequentialConsistency bool
 }
 
+// stopOnViolation folds the canonical flag with its deprecated alias.
+func (o Options) stopOnViolation() bool {
+	return o.StopOnViolation || o.StopAtFirstViolation
+}
+
 // DefaultMaxStates bounds the explored state count.
 const DefaultMaxStates = 2_000_000
 
@@ -142,8 +164,10 @@ type Result struct {
 	States int
 	// Transitions is the number of transitions taken.
 	Transitions int
-	// Truncated is set when MaxStates was hit; conclusions are then only
-	// valid for the explored prefix.
+	// Truncated is set when MaxStates was hit. The rest of the Result is
+	// still a valid partial summary of the explored prefix — outcomes,
+	// violations, and any recorded trace all stand — but absence of a
+	// violation is no longer a proof of safety.
 	Truncated bool
 	// Violations counts states where a property failed.
 	Violations int

@@ -122,8 +122,8 @@ func TestDekkerNoFenceViolatesMutualExclusion(t *testing.T) {
 	p0, p1 := programs.DekkerPair(programs.DekkerNoFence)
 	build := machineFor(p0, p1)
 	res := Explore(build, Options{
-		Properties:           []Property{MutualExclusion},
-		StopAtFirstViolation: true,
+		Properties:      []Property{MutualExclusion},
+		StopOnViolation: true,
 	})
 	if res.Violations == 0 {
 		t.Fatal("model checker failed to find the well-known unfenced Dekker bug")

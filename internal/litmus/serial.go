@@ -62,7 +62,7 @@ func ExploreSerial(build func() *tso.Machine, opts Options) Result {
 				break
 			}
 		}
-		if violated && opts.StopAtFirstViolation {
+		if violated && opts.stopOnViolation() {
 			res.Elapsed = time.Since(start)
 			return res
 		}

@@ -1,0 +1,322 @@
+package synth
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/arch"
+	"repro/internal/litmus"
+	"repro/internal/tso"
+)
+
+// This file is the synthesis driver: propose the irredundant hitting
+// sets of the known constraints, verify each proposal exhaustively on
+// the parallel exploration engine, extract a new constraint from each
+// counterexample, and repeat until the frontier has no untested member.
+// Every verdict is memoized by placement key, so a placement is
+// model-checked at most once across the CEGAR loop and the final
+// minimality pass.
+
+// synthesizer carries the per-run state of one Synthesize call.
+type synthesizer struct {
+	prob   Problem
+	opts   Options
+	sites  []Site
+	bySite map[siteKey]Site
+
+	tested map[string]*verdict
+	res    *Result
+}
+
+// verdict is one memoized verification outcome.
+type verdict struct {
+	res     litmus.Result
+	spliced []*tso.Spliced
+	build   func() *tso.Machine
+}
+
+func (v *verdict) sat() bool {
+	return v.res.Violations == 0 && v.res.Deadlocks == 0 && !v.res.Truncated
+}
+
+// spliceCandidate applies a placement to every thread's base program.
+func spliceCandidate(progs []*tso.Program, p Placement, scratch tso.Reg) []*tso.Spliced {
+	out := make([]*tso.Spliced, len(progs))
+	for t, prog := range progs {
+		out[t] = tso.Splice(prog, p.edits(t, scratch))
+	}
+	return out
+}
+
+func builderFor(cfg arch.Config, spliced []*tso.Spliced) func() *tso.Machine {
+	progs := make([]*tso.Program, len(spliced))
+	for i, sp := range spliced {
+		progs[i] = sp.Prog
+	}
+	return func() *tso.Machine { return tso.NewMachine(cfg, progs...) }
+}
+
+// verifyOne model-checks a single candidate placement.
+func (s *synthesizer) verifyOne(p Placement) *verdict {
+	spliced := spliceCandidate(s.prob.Programs, p, s.opts.scratch())
+	build := builderFor(s.prob.Config, spliced)
+	r := litmus.Explore(build, litmus.Options{
+		Properties:      []litmus.Property{s.prob.Property},
+		Workers:         s.opts.Workers,
+		MaxStates:       s.opts.MaxStates,
+		StopOnViolation: true,
+	})
+	return &verdict{res: r, spliced: spliced, build: build}
+}
+
+// verifyBatch verifies one frontier concurrently (bounded by
+// Options.Parallel) and memoizes each verdict. Results align with batch
+// order, so downstream constraint accumulation is deterministic
+// regardless of verification scheduling.
+func (s *synthesizer) verifyBatch(batch []Placement) []*verdict {
+	par := s.opts.Parallel
+	if par <= 0 || par > len(batch) {
+		par = len(batch)
+	}
+	verdicts := make([]*verdict, len(batch))
+	sem := make(chan struct{}, par)
+	var wg sync.WaitGroup
+	for i, p := range batch {
+		wg.Add(1)
+		go func(i int, p Placement) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			verdicts[i] = s.verifyOne(p)
+		}(i, p)
+	}
+	wg.Wait()
+	for i, p := range batch {
+		s.tested[p.key()] = verdicts[i]
+		s.res.CandidatesChecked++
+		s.res.StatesExplored += verdicts[i].res.States
+	}
+	return verdicts
+}
+
+// Synthesize runs counterexample-guided fence synthesis for the problem
+// and returns the minimal repairing placements with the cost-optimal one
+// designated. It returns an error (wrapping ErrBudget) if any
+// verification exceeds Options.MaxStates — a truncated exploration
+// proves nothing, so no placement is reported off the back of one.
+func Synthesize(prob Problem, opts Options) (*Result, error) {
+	if len(prob.Programs) == 0 {
+		return nil, fmt.Errorf("synth: problem %q has no programs", prob.Name)
+	}
+	if prob.Property == nil {
+		return nil, fmt.Errorf("synth: problem %q has no property", prob.Name)
+	}
+	if prob.Config.Procs < len(prob.Programs) {
+		return nil, fmt.Errorf("synth: problem %q: %d programs for %d processors",
+			prob.Name, len(prob.Programs), prob.Config.Procs)
+	}
+
+	start := time.Now()
+	sites := Sites(prob.Programs)
+	s := &synthesizer{
+		prob:   prob,
+		opts:   opts,
+		sites:  sites,
+		bySite: make(map[siteKey]Site, len(sites)),
+		tested: make(map[string]*verdict),
+		res:    &Result{Problem: prob.Name, Sites: sites},
+	}
+	for _, site := range sites {
+		s.bySite[siteKey{site.Thread, site.Instr}] = site
+	}
+	res := s.res
+	defer func() { res.Elapsed = time.Since(start) }()
+
+	var (
+		constraints []constraint
+		conKeys     = make(map[string]struct{})
+		satisfying  []Placement
+		lastUnsat   *verdict
+	)
+
+	for {
+		frontier := minimalHittingSets(constraints, opts.MaxFences)
+		var todo []Placement
+		for _, p := range frontier {
+			if _, done := s.tested[p.key()]; !done {
+				todo = append(todo, p)
+			}
+		}
+		if len(todo) == 0 {
+			break
+		}
+		res.Rounds++
+
+		for i, v := range s.verifyBatch(todo) {
+			p := todo[i]
+			if v.res.Truncated {
+				return nil, fmt.Errorf("%w: candidate %v stopped after %d states",
+					ErrBudget, p, v.res.States)
+			}
+			if v.res.Deadlocks > 0 {
+				return nil, fmt.Errorf("synth: candidate %v introduces %d deadlocked states",
+					p, v.res.Deadlocks)
+			}
+			if v.sat() {
+				satisfying = append(satisfying, p)
+				continue
+			}
+			res.Counterexamples++
+			lastUnsat = v
+			ex := analyzeTrace(v.build, v.spliced, v.res.ViolationTrace)
+			if !ex.windows {
+				// The property fails without any store/load reordering:
+				// no fence of any kind can help.
+				res.Unrepairable = true
+				res.Counterexample = litmus.FormatTrace(v.build, v.res.ViolationTrace)
+				return res, nil
+			}
+			c := buildConstraint(ex, s.bySite, p, opts)
+			if len(c) == 0 {
+				// Reordering windows exist but no allowed atom is
+				// strictly stronger than this candidate at any of them.
+				if p.Len() == 0 {
+					// Even the full lattice above the empty placement is
+					// powerless under the allowed kinds.
+					res.Unrepairable = true
+					res.Counterexample = litmus.FormatTrace(v.build, v.res.ViolationTrace)
+					return res, nil
+				}
+				continue // candidate dead; memoization keeps it untried
+			}
+			if _, dup := conKeys[constraintKey(c)]; !dup {
+				conKeys[constraintKey(c)] = struct{}{}
+				constraints = append(constraints, c)
+			}
+		}
+	}
+
+	if len(satisfying) == 0 {
+		res.Unrepairable = true
+		if lastUnsat != nil {
+			res.Counterexample = litmus.FormatTrace(lastUnsat.build, lastUnsat.res.ViolationTrace)
+		}
+		return res, nil
+	}
+
+	satisfying = subsetMinimal(satisfying)
+	if !opts.SkipMinimalityCheck {
+		satisfying = s.verifyMinimality(satisfying)
+	}
+
+	weights := opts.weights(len(prob.Programs))
+	cm := prob.Config.Cost
+	if opts.Cost != nil {
+		cm = *opts.Cost
+	}
+	for _, p := range satisfying {
+		res.Minimal = append(res.Minimal, Candidate{
+			Placement: p,
+			Cost:      placementCost(p, prob.Programs, cm, weights),
+			States:    s.tested[p.key()].res.States,
+		})
+	}
+	sort.Slice(res.Minimal, func(i, j int) bool {
+		a, b := res.Minimal[i], res.Minimal[j]
+		if a.Cost != b.Cost {
+			return a.Cost < b.Cost
+		}
+		if len(a.Placement) != len(b.Placement) {
+			return len(a.Placement) < len(b.Placement)
+		}
+		return a.Placement.key() < b.Placement.key()
+	})
+	res.Optimal = &res.Minimal[0]
+	return res, nil
+}
+
+// subsetMinimal drops any satisfying placement that strictly contains
+// another satisfying placement (same atoms plus more).
+func subsetMinimal(ps []Placement) []Placement {
+	var out []Placement
+	for i, p := range ps {
+		dominated := false
+		for j, q := range ps {
+			if i != j && len(q) < len(p) && q.subsetOf(p) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// verifyMinimality model-checks every one-atom removal of each reported
+// placement. Counterexample pruning rests on the assumption that fences
+// only restrict behaviour; this pass replaces that assumption with
+// checked fact for the reported results. A weakening that verifies safe
+// flags AssumptionViolated and replaces its parent in the report (the
+// parent was safe but not minimal).
+func (s *synthesizer) verifyMinimality(satisfying []Placement) []Placement {
+	// Collect every untested weakening across all placements, verify
+	// them as one parallel batch, then judge.
+	var unknown []Placement
+	seen := make(map[string]struct{})
+	for _, p := range satisfying {
+		for i := range p {
+			w := p.without(i)
+			k := w.key()
+			if _, done := s.tested[k]; done {
+				continue
+			}
+			if _, dup := seen[k]; dup {
+				continue
+			}
+			seen[k] = struct{}{}
+			unknown = append(unknown, w)
+		}
+	}
+	if len(unknown) > 0 {
+		s.verifyBatch(unknown)
+		for _, v := range unknown {
+			if !s.tested[v.key()].sat() {
+				s.res.Counterexamples++
+			}
+		}
+	}
+
+	var out []Placement
+	for _, p := range satisfying {
+		minimal := true
+		for i := range p {
+			w := p.without(i)
+			if s.tested[w.key()].sat() {
+				s.res.AssumptionViolated = true
+				minimal = false
+				out = append(out, w)
+			}
+		}
+		if minimal {
+			out = append(out, p)
+		}
+	}
+	return subsetMinimal(dedupePlacements(out))
+}
+
+func dedupePlacements(ps []Placement) []Placement {
+	seen := make(map[string]struct{}, len(ps))
+	var out []Placement
+	for _, p := range ps {
+		if _, dup := seen[p.key()]; dup {
+			continue
+		}
+		seen[p.key()] = struct{}{}
+		out = append(out, p)
+	}
+	return out
+}

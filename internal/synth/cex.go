@@ -1,0 +1,161 @@
+package synth
+
+import (
+	"sort"
+
+	"repro/internal/arch"
+	"repro/internal/litmus"
+	"repro/internal/tso"
+)
+
+// This file turns a model-checker counterexample into a repair
+// constraint. A violating trace of a candidate placement is replayed
+// action by action on a fresh machine while tracking, per processor,
+// which *base-program* store sites currently sit undrained in the store
+// buffer (the splice provenance map translates spliced PCs back to base
+// sites). Every load that executes while its own processor has pending
+// stores is a TSO reordering the trace exhibits: those stores are being
+// delayed past the load. The union of those delayed-store sites, over
+// every load of the trace, is the counterexample's repair set — to
+// eliminate this trace a placement must fence at least one of those
+// windows, and must do so strictly more strongly than the candidate
+// already did (the candidate itself demonstrably fails).
+//
+// The extraction is exact for the candidate that produced the trace:
+// the returned constraint is never hit by that candidate (every atom is
+// strictly stronger than the candidate at its site), so each CEGAR
+// round strictly grows the constraint set and the loop terminates on
+// the finite placement lattice. Applied to *other* candidates the
+// constraint is the standard fence-insertion heuristic — fences only
+// restrict behaviour — which the driver does not take on faith: every
+// proposed placement is model-checked before being reported, and the
+// final minimality pass re-verifies that no reported fence is
+// removable.
+
+// pendingStore is one undrained store-buffer entry attributed to a base
+// site, with the runtime address it targets.
+type pendingStore struct {
+	site siteKey
+	addr arch.Addr
+}
+
+// extraction is the analysis of one violating trace.
+type extraction struct {
+	// repair is the set of delayed-store sites across all reordering
+	// windows of the trace.
+	repair map[siteKey]struct{}
+	// windows reports whether any reordering window existed at all; a
+	// violating trace with no window violates the property without any
+	// TSO reordering, so no fence can repair it.
+	windows bool
+}
+
+// analyzeTrace replays a violating trace of the spliced candidate and
+// extracts its reordering windows. build must construct the same machine
+// the trace was recorded on.
+func analyzeTrace(build func() *tso.Machine, spliced []*tso.Spliced, trace []litmus.Action) extraction {
+	m := build()
+	ex := extraction{repair: make(map[siteKey]struct{})}
+	pending := make([][]pendingStore, len(m.Procs))
+
+	for _, act := range trace {
+		pid := int(act.Proc)
+		switch act.Kind {
+		case litmus.Exec:
+			proc := m.Procs[pid]
+			in := proc.Prog.Instrs[proc.PC]
+			base := spliced[pid].BaseOf[proc.PC]
+
+			// A load committing with own pending stores is a reordering
+			// window. OpLE is fence machinery, not a program load. A
+			// pending store to the load's own address is forwarded, not
+			// reordered past, so it does not join the window.
+			if in.Op == tso.OpLoad || in.Op == tso.OpLoadIdx {
+				loadAddr := in.Addr
+				if in.Op == tso.OpLoadIdx {
+					loadAddr += arch.Addr(proc.Regs[in.Ra])
+				}
+				for _, ps := range pending[pid] {
+					if ps.addr == loadAddr {
+						continue
+					}
+					ex.windows = true
+					ex.repair[ps.site] = struct{}{}
+				}
+			}
+
+			// Capture the store's runtime target address before the step
+			// advances the machine (indexed stores read Ra).
+			isStore := in.Op.IsStore()
+			storeAddr := in.Addr
+			if in.Op == tso.OpStoreIdx {
+				storeAddr += arch.Addr(proc.Regs[in.Ra])
+			}
+			m.ExecStep(act.Proc)
+			if isStore {
+				pending[pid] = append(pending[pid], pendingStore{
+					site: siteKey{pid, base}, addr: storeAddr,
+				})
+			}
+		case litmus.Drain:
+			m.DrainStep(act.Proc)
+		}
+
+		// Reconcile every processor's tracker with its actual buffer
+		// length: drains and flushes (mfence, link-branch fallback,
+		// link-register pressure, and remote guard breaks on *any*
+		// processor) all complete stores oldest-first.
+		for q := range pending {
+			if d := len(pending[q]) - m.Procs[q].SB.Len(); d > 0 {
+				pending[q] = pending[q][d:]
+			}
+		}
+	}
+	return ex
+}
+
+// buildConstraint converts an extraction's repair sites into a
+// constraint relative to the candidate that produced the trace: at each
+// window site, every allowed kind strictly stronger than what the
+// candidate already placed there. An l-mfence atom requires an eligible,
+// currently unfenced site (an l-mfence is not stronger than itself); an
+// mfence-fenced site cannot appear in a window at all — the fence drains
+// the buffer before the next instruction commits — so mfence atoms only
+// arise at sites currently below mfence.
+func buildConstraint(ex extraction, bySite map[siteKey]Site, placed Placement, opts Options) constraint {
+	var c constraint
+	for k := range ex.repair {
+		site, ok := bySite[k]
+		if !ok {
+			continue
+		}
+		cur := placed.at(k)
+		if opts.allowLmfence() && site.LmfenceOK && cur == KindNone {
+			c = append(c, Atom{
+				Thread: k.thread, Instr: k.instr, Kind: KindLmfence,
+				Addr: site.Addr, AddrKnown: site.AddrKnown,
+			})
+		}
+		if opts.allowMfence() && cur < KindMfence {
+			c = append(c, Atom{
+				Thread: k.thread, Instr: k.instr, Kind: KindMfence,
+				Addr: site.Addr, AddrKnown: site.AddrKnown,
+			})
+		}
+	}
+	sort.Slice(c, func(i, j int) bool {
+		if c[i].Thread != c[j].Thread {
+			return c[i].Thread < c[j].Thread
+		}
+		if c[i].Instr != c[j].Instr {
+			return c[i].Instr < c[j].Instr
+		}
+		return c[i].Kind < c[j].Kind
+	})
+	return c
+}
+
+// constraintKey canonically identifies a constraint for deduplication.
+func constraintKey(c constraint) string {
+	return Placement(c).key()
+}

@@ -1,0 +1,92 @@
+package synth
+
+import (
+	"repro/internal/arch"
+	"repro/internal/tso"
+)
+
+// This file prices placements with a static, frequency-weighted cycle
+// model built entirely from arch.CostModel unit costs. It reproduces the
+// tradeoff of Section 5 of the paper: an mfence charges the *executing*
+// thread every time (serialization plus the expected buffer drain),
+// while an l-mfence is nearly free locally but charges a full LE/ST
+// round trip whenever a *remote* thread touches the guarded location
+// and breaks the link. Which side wins therefore depends on how often
+// each thread runs — the paper's asymmetric protocols put the l-mfence
+// on the hot primary and the mfence on the rarely-intervening
+// secondary, and under the default primary weight the optimizer derives
+// exactly that split.
+//
+// Per atom, with w[t] the executing thread's frequency weight:
+//
+//	mfence:    w[t] * (MfenceBase + StoreBufferDrainPerEntry)
+//	l-mfence:  w[t] * (LELinkSetup + L1Hit + 2*RegOp)
+//	         + Σ over other threads u, over static loads of the guarded
+//	           location in u's base program: w[u] * LESTRoundTrip
+//
+// The mfence term charges the serialization base plus one expected
+// buffer-entry drain (the attached store is in the buffer when the
+// fence executes). The l-mfence local term is the link-register setup,
+// the exclusive load of the guarded line, and the two bookkeeping ops
+// of the Fig. 3(b) sequence (link begin and the final branch). The
+// remote term counts each static load of the guarded location in
+// another thread's program as one link break: a round trip in which the
+// guard owner is notified, flushes, and replies before the toucher's
+// access completes.
+
+// mfenceUnitCost is the per-execution cost of one inserted mfence.
+func mfenceUnitCost(cm arch.CostModel) float64 {
+	return float64(cm.MfenceBase + cm.StoreBufferDrainPerEntry)
+}
+
+// lmfenceLocalCost is the executing thread's cost of one l-mfence whose
+// link survives (the fast path the mechanism exists to enable).
+func lmfenceLocalCost(cm arch.CostModel) float64 {
+	return float64(cm.LELinkSetup + cm.L1Hit + 2*cm.RegOp)
+}
+
+// remoteLoadsOf counts static loads of addr in prog (nil-safe).
+func remoteLoadsOf(prog *tso.Program, addr arch.Addr) int {
+	if prog == nil {
+		return 0
+	}
+	n := 0
+	for _, in := range prog.Instrs {
+		if in.Op == tso.OpLoad && in.Addr == addr {
+			n++
+		}
+	}
+	return n
+}
+
+// placementCost prices a placement over the given base programs under
+// cost model cm and per-thread frequency weights w. Cost is monotone in
+// adding atoms, so the cheapest repair is always among the minimal ones.
+func placementCost(p Placement, progs []*tso.Program, cm arch.CostModel, w []float64) float64 {
+	total := 0.0
+	for _, a := range p {
+		wt := 1.0
+		if a.Thread < len(w) {
+			wt = w[a.Thread]
+		}
+		switch a.Kind {
+		case KindMfence:
+			total += wt * mfenceUnitCost(cm)
+		case KindLmfence:
+			total += wt * lmfenceLocalCost(cm)
+			if a.AddrKnown {
+				for u, prog := range progs {
+					if u == a.Thread {
+						continue
+					}
+					wu := 1.0
+					if u < len(w) {
+						wu = w[u]
+					}
+					total += float64(remoteLoadsOf(prog, a.Addr)) * wu * float64(cm.LESTRoundTrip)
+				}
+			}
+		}
+	}
+	return total
+}

@@ -1,0 +1,167 @@
+package tso
+
+import (
+	"fmt"
+	"sort"
+)
+
+// This file is the program-point instrumentation layer used by the fence
+// synthesizer (internal/synth): it rewrites a finished fence-free Program
+// by attaching fences to store instructions, fixing up branch targets,
+// and recording a provenance map from spliced instruction indices back to
+// base-program indices so counterexample traces over the edited program
+// can be interpreted in terms of the original program points.
+//
+// On TSO the only observable relaxation is a store's visibility being
+// delayed past a younger load of the same processor (ordering
+// Principle 4), so every useful fence point sits between a store and a
+// later load; attaching edits to the store loses no generality, and the
+// paper's l-mfence is *definitionally* store-attached (the guarded store
+// S of Fig. 3(b)). Two edit kinds therefore exist:
+//
+//   - a full mfence inserted immediately after the store, and
+//   - the store converted in place into the four-instruction l-mfence
+//     translation of Fig. 3(b) (LinkBegin / LE / guarded store /
+//     LinkBranch), guarding the store's own location.
+
+// FenceEdit describes one fence applied at a store instruction of a base
+// program.
+type FenceEdit struct {
+	// Instr is the base-program index of the store instruction the fence
+	// attaches to.
+	Instr int
+
+	// Lmfence converts the store into the l-mfence sequence guarding the
+	// store's address; false inserts an OpMfence immediately after the
+	// store instead.
+	Lmfence bool
+
+	// Scratch is the LE destination register when Lmfence is set (the
+	// loaded value is discarded by the l-mfence idiom but must land
+	// somewhere).
+	Scratch Reg
+}
+
+// Spliced couples an edited program with its provenance map.
+type Spliced struct {
+	Prog *Program
+
+	// BaseOf maps each spliced instruction index to the base-program
+	// index it derives from; every instruction an edit introduces maps to
+	// the store it attaches to.
+	BaseOf []int
+}
+
+// CanLmfence reports whether the base instruction at index i is a store
+// that can be converted into an l-mfence sequence: a plain direct-address
+// store (immediate- or register-valued). Register-indexed stores have no
+// static guarded location, and already-linked stores are fence machinery
+// themselves.
+func CanLmfence(p *Program, i int) bool {
+	if i < 0 || i >= len(p.Instrs) {
+		return false
+	}
+	switch p.Instrs[i].Op {
+	case OpStore, OpStoreI:
+		return true
+	}
+	return false
+}
+
+// Splice returns a copy of p with the given fence edits applied. Edits
+// must name distinct store instructions; Lmfence edits must satisfy
+// CanLmfence. Branch targets are remapped so that a branch to base
+// instruction t lands on the first spliced instruction derived from t —
+// in particular a jump to the instruction after an mfence-edited store
+// skips the inserted fence, keeping the fence attached to the store's
+// fall-through path only.
+func Splice(p *Program, edits []FenceEdit) *Spliced {
+	byInstr := make(map[int]FenceEdit, len(edits))
+	for _, e := range edits {
+		if e.Instr < 0 || e.Instr >= len(p.Instrs) {
+			panic(fmt.Sprintf("tso: splice edit at %d outside %q (%d instrs)",
+				e.Instr, p.Name, len(p.Instrs)))
+		}
+		if !p.Instrs[e.Instr].Op.IsStore() {
+			panic(fmt.Sprintf("tso: splice edit at %d of %q: %v is not a store",
+				e.Instr, p.Name, p.Instrs[e.Instr].Op))
+		}
+		if e.Lmfence && !CanLmfence(p, e.Instr) {
+			panic(fmt.Sprintf("tso: splice edit at %d of %q: %v cannot carry an l-mfence",
+				e.Instr, p.Name, p.Instrs[e.Instr].Op))
+		}
+		if _, dup := byInstr[e.Instr]; dup {
+			panic(fmt.Sprintf("tso: duplicate splice edit at %d of %q", e.Instr, p.Name))
+		}
+		byInstr[e.Instr] = e
+	}
+
+	// First pass: emit instructions and record where each base index
+	// starts in the spliced program.
+	sp := &Spliced{}
+	newIndex := make([]int, len(p.Instrs)+1)
+	var out []Instr
+	for i, in := range p.Instrs {
+		newIndex[i] = len(out)
+		e, edited := byInstr[i]
+		switch {
+		case edited && e.Lmfence:
+			guard := in.Addr
+			out = append(out,
+				Instr{Op: OpLinkBegin, Addr: guard, Note: "synth: K1.1-2"},
+				Instr{Op: OpLE, Rd: e.Scratch, Addr: guard, Note: "synth: K1.3"})
+			if in.Op == OpStoreI {
+				out = append(out, Instr{Op: OpStoreLinked, Addr: guard, Imm: in.Imm, Note: "synth: K1.4"})
+			} else {
+				out = append(out, Instr{Op: OpStoreLinkedReg, Addr: guard, Ra: in.Ra, Note: "synth: K1.4"})
+			}
+			out = append(out, Instr{Op: OpLinkBranch, Note: "synth: K1.5-7"})
+			sp.BaseOf = append(sp.BaseOf, i, i, i, i)
+		case edited:
+			out = append(out, in, Instr{Op: OpMfence, Note: "synth: inserted"})
+			sp.BaseOf = append(sp.BaseOf, i, i)
+		default:
+			out = append(out, in)
+			sp.BaseOf = append(sp.BaseOf, i)
+		}
+	}
+	// A resolved branch may target one past the last instruction.
+	newIndex[len(p.Instrs)] = len(out)
+
+	// Second pass: remap resolved branch targets through newIndex.
+	for j := range out {
+		switch out[j].Op {
+		case OpBeq, OpBne, OpBlt, OpJmp:
+			out[j].Target = newIndex[out[j].Target]
+		}
+	}
+
+	sp.Prog = &Program{Name: spliceName(p.Name, edits), Instrs: out}
+	return sp
+}
+
+// spliceName derives a deterministic name for the edited program.
+func spliceName(base string, edits []FenceEdit) string {
+	if len(edits) == 0 {
+		return base
+	}
+	idx := make([]int, 0, len(edits))
+	kind := make(map[int]bool, len(edits))
+	for _, e := range edits {
+		idx = append(idx, e.Instr)
+		kind[e.Instr] = e.Lmfence
+	}
+	sort.Ints(idx)
+	name := base + "+"
+	for k, i := range idx {
+		if k > 0 {
+			name += ","
+		}
+		if kind[i] {
+			name += fmt.Sprintf("lmf@%d", i)
+		} else {
+			name += fmt.Sprintf("mf@%d", i)
+		}
+	}
+	return name
+}

@@ -1,0 +1,140 @@
+package tso
+
+import (
+	"testing"
+
+	"repro/internal/arch"
+)
+
+// spliceBase builds a small looping program with a branch that jumps
+// back over a store, to exercise target remapping.
+func spliceBase() *Program {
+	return NewBuilder("splice-base").
+		LoadI(5, 3).      // 0
+		Label("top").     //
+		StoreI(4, 1).     // 1  <- edit site
+		Load(0, 5).       // 2
+		StoreI(4, 0).     // 3  <- edit site
+		AddI(5, 5, -1).   // 4
+		Bne(5, 0, "top"). // 5
+		Halt().           // 6
+		Build()
+}
+
+func TestSpliceMfenceInsertsAndRemapsTargets(t *testing.T) {
+	base := spliceBase()
+	sp := Splice(base, []FenceEdit{{Instr: 1}})
+	if len(sp.Prog.Instrs) != len(base.Instrs)+1 {
+		t.Fatalf("spliced length = %d, want %d", len(sp.Prog.Instrs), len(base.Instrs)+1)
+	}
+	if sp.Prog.Instrs[2].Op != OpMfence {
+		t.Fatalf("instr 2 = %v, want mfence after the store", sp.Prog.Instrs[2].Op)
+	}
+	// The back-edge targeted base instr 1; it must now land on the store
+	// (spliced index 1), not the fence.
+	bne := sp.Prog.Instrs[6]
+	if bne.Op != OpBne || bne.Target != 1 {
+		t.Fatalf("bne remap: got %v target %d, want bne target 1", bne.Op, bne.Target)
+	}
+	for i, b := range sp.BaseOf {
+		if b < 0 || b >= len(base.Instrs) {
+			t.Fatalf("BaseOf[%d] = %d out of range", i, b)
+		}
+	}
+	if sp.BaseOf[2] != 1 {
+		t.Errorf("inserted fence BaseOf = %d, want 1", sp.BaseOf[2])
+	}
+}
+
+func TestSpliceLmfenceConvertsStore(t *testing.T) {
+	base := spliceBase()
+	sp := Splice(base, []FenceEdit{{Instr: 3, Lmfence: true, Scratch: 7}})
+	// Store at base 3 becomes LinkBegin/LE/StoreLinked/LinkBranch.
+	want := []Op{OpLinkBegin, OpLE, OpStoreLinked, OpLinkBranch}
+	for k, op := range want {
+		if got := sp.Prog.Instrs[3+k].Op; got != op {
+			t.Fatalf("instr %d = %v, want %v", 3+k, got, op)
+		}
+		if sp.BaseOf[3+k] != 3 {
+			t.Fatalf("BaseOf[%d] = %d, want 3", 3+k, sp.BaseOf[3+k])
+		}
+	}
+	if a := sp.Prog.Instrs[3].Addr; a != 4 {
+		t.Errorf("guarded address = %#x, want 0x4", uint32(a))
+	}
+	// Register-valued stores convert to the register-linked form.
+	regStore := NewBuilder("reg").LoadI(1, 9).Store(2, 1).Halt().Build()
+	sp2 := Splice(regStore, []FenceEdit{{Instr: 1, Lmfence: true, Scratch: 7}})
+	if sp2.Prog.Instrs[3].Op != OpStoreLinkedReg || sp2.Prog.Instrs[3].Ra != 1 {
+		t.Errorf("register store conversion: got %v", sp2.Prog.Instrs[3])
+	}
+}
+
+// TestSplicedProgramExecutes runs edited programs to completion on the
+// machine and checks the architectural result is unchanged by fencing.
+func TestSplicedProgramExecutes(t *testing.T) {
+	base := spliceBase()
+	for _, edits := range [][]FenceEdit{
+		nil,
+		{{Instr: 1}},
+		{{Instr: 1, Lmfence: true, Scratch: 7}},
+		{{Instr: 1, Lmfence: true, Scratch: 7}, {Instr: 3}},
+	} {
+		sp := Splice(base, edits)
+		cfg := arch.DefaultConfig()
+		cfg.Procs = 1
+		cfg.MemWords = 16
+		m := NewMachine(cfg, sp.Prog)
+		steps := 0
+		for !m.Procs[0].Halted {
+			if m.CanExec(0) {
+				m.ExecStep(0)
+			} else {
+				m.DrainStep(0)
+			}
+			if steps++; steps > 1000 {
+				t.Fatalf("%s: did not halt", sp.Prog.Name)
+			}
+		}
+		for m.CanDrain(0) {
+			m.DrainStep(0)
+		}
+		if got := m.Mem(4); got != 0 {
+			t.Errorf("%s: mem[4] = %d, want 0", sp.Prog.Name, got)
+		}
+		if got := m.Procs[0].Regs[5]; got != 0 {
+			t.Errorf("%s: loop counter = %d, want 0", sp.Prog.Name, got)
+		}
+	}
+}
+
+func TestSpliceRejectsBadEdits(t *testing.T) {
+	base := spliceBase()
+	for name, edits := range map[string][]FenceEdit{
+		"out-of-range": {{Instr: 99}},
+		"not-a-store":  {{Instr: 2}},
+		"duplicate":    {{Instr: 1}, {Instr: 1, Lmfence: true}},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			Splice(base, edits)
+		}()
+	}
+	// Lmfence on a register-indexed store must be rejected.
+	idx := NewBuilder("idx").LoadI(1, 0).StoreIdx(2, 1, 1).Halt().Build()
+	if CanLmfence(idx, 1) {
+		t.Error("CanLmfence allowed a register-indexed store")
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("lmfence on storeidx: expected panic")
+			}
+		}()
+		Splice(idx, []FenceEdit{{Instr: 1, Lmfence: true}})
+	}()
+}
