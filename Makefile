@@ -6,8 +6,10 @@
 
 GO ?= go
 COUNT ?= 5
+BENCH_SCALE ?= test
+BENCH_BASELINE ?= BENCH_baseline.json
 
-.PHONY: test race bench bench-litmus litmus-json synth
+.PHONY: test race bench bench-litmus litmus-json synth bench-json bench-diff
 
 test:
 	$(GO) build ./... && $(GO) test ./...
@@ -30,6 +32,19 @@ bench-litmus:
 # redirect into BENCH_litmus.json to track checker throughput across PRs.
 litmus-json:
 	$(GO) run ./cmd/litmus -json
+
+# Record a machine-readable bench run (versioned schema: git SHA,
+# GOMAXPROCS, scale, per-experiment Sample summaries + obs snapshots)
+# into the next free BENCH_<n>.json. Override the scale with
+# BENCH_SCALE=small|medium|paper.
+bench-json:
+	$(GO) run ./cmd/lbmfbench -exp all -scale $(BENCH_SCALE) -bench-json auto
+
+# Compare the newest BENCH_<n>.json against the committed baseline;
+# exits non-zero on >10% regressions or dropped metrics.
+bench-diff:
+	$(GO) build -o /tmp/benchdiff ./cmd/benchdiff
+	/tmp/benchdiff $(BENCH_BASELINE) $$(ls -v BENCH_[0-9]*.json | tail -1)
 
 # Counterexample-guided fence synthesis over the protocol registry,
 # printing the minimal frontier per problem. The dekker row must show

@@ -1,0 +1,74 @@
+// Command benchdiff compares two bench files written by
+// cmd/lbmfbench -bench-json and exits non-zero when the new file
+// regresses any metric beyond the threshold, or drops a metric the old
+// file had.
+//
+// Usage:
+//
+//	benchdiff OLD.json NEW.json
+//	benchdiff -threshold 0.05 BENCH_1.json BENCH_2.json
+//	benchdiff -warn baseline.json BENCH_2.json   # report only, exit 0
+//
+// -warn reports regressions without failing; CI uses it for
+// cross-machine comparisons where absolute timings are noise but the
+// report is still worth reading.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	var (
+		threshold = flag.Float64("threshold", 0.10, "relative change treated as a regression (0.10 = 10%)")
+		warn      = flag.Bool("warn", false, "report regressions but always exit 0")
+	)
+	flag.Parse()
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: benchdiff [-threshold 0.10] [-warn] OLD.json NEW.json")
+		os.Exit(2)
+	}
+
+	old, err := bench.ReadFile(flag.Arg(0))
+	check(err)
+	cur, err := bench.ReadFile(flag.Arg(1))
+	check(err)
+
+	if old.GitSHA != "" || cur.GitSHA != "" {
+		fmt.Printf("old: %s (%s)\nnew: %s (%s)\n",
+			flag.Arg(0), short(old.GitSHA), flag.Arg(1), short(cur.GitSHA))
+	}
+	rep := bench.Diff(old, cur, *threshold)
+	fmt.Print(rep)
+
+	if rep.Failed() {
+		if *warn {
+			fmt.Println("benchdiff: regressions found (ignored: -warn)")
+			return
+		}
+		fmt.Println("benchdiff: FAIL")
+		os.Exit(1)
+	}
+	fmt.Println("benchdiff: OK")
+}
+
+func short(sha string) string {
+	if len(sha) > 12 {
+		return sha[:12]
+	}
+	if sha == "" {
+		return "unknown rev"
+	}
+	return sha
+}
+
+func check(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(1)
+	}
+}

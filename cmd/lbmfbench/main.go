@@ -6,19 +6,22 @@
 //	lbmfbench -exp all
 //	lbmfbench -exp fig5a -scale medium -reps 10
 //	lbmfbench -exp fig6b -dur 10s -threads 1,2,4,8,16
-//	lbmfbench -exp dekker
-//	lbmfbench -exp overhead
-//	lbmfbench -exp theorems
-//	lbmfbench -exp fig4
+//	lbmfbench -exp dekker,overhead,fig4
+//	lbmfbench -exp all -scale test -bench-json BENCH_1.json
 //
 // Experiments: dekker (§1 serial slowdown), fig4 (benchmark table),
 // fig5a / fig5b (ACilk-5 vs Cilk-5, serial / parallel), fig6a / fig6b
 // (ARW / ARW+ vs SRW read throughput), overhead (§5 round-trip costs),
-// theorems (Section 4, machine-checked).
+// theorems (Section 4, machine-checked), ablation, packetproc.
+//
+// -bench-json writes the versioned machine-readable schema that
+// cmd/benchdiff consumes (pass "auto" to pick the next free
+// BENCH_<n>.json); -json keeps the legacy per-experiment detail dump.
 package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -26,23 +29,24 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/bench"
 	"repro/internal/core"
 	"repro/internal/harness"
-	"repro/internal/stats"
 	"repro/internal/workloads"
 )
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment: dekker|fig4|fig5a|fig5b|fig6a|fig6b|overhead|theorems|ablation|packetproc|all")
-		scale   = flag.String("scale", "small", "workload scale: test|small|medium|paper")
-		reps    = flag.Int("reps", 0, "repetitions per measurement (0 = default)")
-		procs   = flag.Int("procs", 0, "workers for parallel runs (0 = default)")
-		dur     = flag.Duration("dur", 0, "duration per fig6 cell (0 = default)")
-		threads = flag.String("threads", "", "comma-separated fig6 thread counts")
-		ratios  = flag.String("ratios", "", "comma-separated fig6 read:write ratios")
-		swMode  = flag.Bool("sw", true, "use the software-prototype cost profile for asymmetric runs (false = projected LE/ST hardware)")
-		jsonOut = flag.String("json", "", "write structured results to this JSON file")
+		exp      = flag.String("exp", "all", "comma-separated experiments (dekker|fig4|fig5a|fig5b|fig6a|fig6b|overhead|theorems|ablation|packetproc) or 'all'")
+		scale    = flag.String("scale", "small", "workload scale: test|small|medium|paper")
+		reps     = flag.Int("reps", 0, "repetitions per measurement (0 = default)")
+		procs    = flag.Int("procs", 0, "workers for parallel runs (0 = default)")
+		dur      = flag.Duration("dur", 0, "duration per fig6 cell (0 = default)")
+		threads  = flag.String("threads", "", "comma-separated fig6 thread counts")
+		ratios   = flag.String("ratios", "", "comma-separated fig6 read:write ratios")
+		swMode   = flag.Bool("sw", true, "use the software-prototype cost profile for asymmetric runs (false = projected LE/ST hardware)")
+		jsonOut  = flag.String("json", "", "write legacy per-experiment detail JSON to this file")
+		benchOut = flag.String("bench-json", "", "write versioned bench schema to this file ('auto' = next free BENCH_<n>.json)")
 	)
 	flag.Parse()
 
@@ -79,100 +83,94 @@ func main() {
 		asymMode = core.ModeAsymmetricHW
 	}
 
-	results := map[string]any{}
-	record := func(name string, v any) {
-		if *jsonOut != "" {
-			results[name] = v
-		}
-	}
+	// Validate the whole experiment list before running anything: a typo
+	// in "-exp fig5a,fig6x" must not burn minutes of fig5a first.
+	names := parseExperiments(*exp)
 
-	run := func(name string) {
-		switch name {
-		case "dekker":
-			res, err := harness.RunDekker(opt)
-			check(err)
-			record(name, res)
-			fmt.Println(res.Table())
-		case "fig4":
-			printFig4()
-		case "fig5a":
-			res, err := harness.RunFig5(opt, false, asymMode)
-			check(err)
-			record(name, res)
-			fmt.Println(res.Table())
-		case "fig5b":
-			res, err := harness.RunFig5(opt, true, asymMode)
-			check(err)
-			record(name, res)
-			fmt.Println(res.Table())
-		case "fig6a":
-			res, err := harness.RunFig6(opt, false, asymMode)
-			check(err)
-			record(name, res)
-			fmt.Println(res.Table())
-		case "fig6b":
-			res, err := harness.RunFig6(opt, true, asymMode)
-			check(err)
-			record(name, res)
-			fmt.Println(res.Table())
-		case "overhead":
-			res, err := harness.RunOverhead(opt)
-			check(err)
-			record(name, res)
-			fmt.Println(res.Table())
-		case "ablation":
-			res, err := harness.RunAblations(opt)
-			check(err)
-			record(name, res)
-			for _, t := range res.Tables() {
-				fmt.Println(t)
-			}
-		case "packetproc":
-			res, err := harness.RunPacketProc(opt)
-			check(err)
-			record(name, res)
-			fmt.Println(res.Table())
-		case "theorems":
-			res := harness.RunTheorems()
-			record(name, res)
-			fmt.Println(res.Table())
-			if !res.AllPass() {
-				fatal("theorem checks FAILED")
-			}
-		default:
-			fatal("unknown experiment %q", name)
-		}
-	}
+	legacy := map[string]any{}
+	file := bench.NewFile(*scale, opt.Reps, opt.Procs)
 
 	start := time.Now()
-	if *exp == "all" {
-		for _, name := range []string{"theorems", "dekker", "overhead", "fig4", "fig5a", "fig5b", "fig6a", "fig6b", "ablation", "packetproc"} {
-			run(name)
+	theoremsFailed := false
+	for _, name := range names {
+		ran, err := bench.RunExperiment(name, opt, asymMode)
+		if err != nil && !errors.Is(err, bench.ErrTheoremsFailed) {
+			fatal("%v", err)
 		}
-	} else {
-		run(*exp)
+		for _, t := range ran.Tables {
+			fmt.Println(t)
+		}
+		legacy[name] = ran.Exp.Detail
+		file.Experiments[name] = ran.Exp
+		if errors.Is(err, bench.ErrTheoremsFailed) {
+			theoremsFailed = true
+		}
 	}
+	file.ElapsedSeconds = time.Since(start).Seconds()
+	file.Timestamp = time.Now().UTC().Format(time.RFC3339)
+
 	if *jsonOut != "" {
-		writeJSON(*jsonOut, results)
+		data, err := json.MarshalIndent(legacy, "", "  ")
+		check(err)
+		check(os.WriteFile(*jsonOut, data, 0o644))
+		fmt.Printf("wrote %s\n", *jsonOut)
+	}
+	if *benchOut != "" {
+		path := *benchOut
+		if path == "auto" {
+			path = nextBenchFile()
+		}
+		check(bench.Write(path, file))
+		fmt.Printf("wrote %s\n", path)
+	}
+	if theoremsFailed {
+		fatal("theorem checks FAILED")
 	}
 	fmt.Printf("total: %v\n", time.Since(start).Round(time.Millisecond))
 }
 
-// writeJSON persists the structured experiment results.
-func writeJSON(path string, results map[string]any) {
-	data, err := json.MarshalIndent(results, "", "  ")
-	check(err)
-	check(os.WriteFile(path, data, 0o644))
-	fmt.Printf("wrote %s\n", path)
+// parseExperiments splits and validates -exp. "all" (alone or in a
+// list) expands to the canonical order; unknown names abort before any
+// experiment runs.
+func parseExperiments(s string) []string {
+	var names []string
+	seen := map[string]bool{}
+	add := func(n string) {
+		if !seen[n] {
+			seen[n] = true
+			names = append(names, n)
+		}
+	}
+	for _, part := range strings.Split(s, ",") {
+		name := strings.TrimSpace(part)
+		switch {
+		case name == "":
+			fatal("empty experiment name in -exp %q", s)
+		case name == "all":
+			for _, n := range bench.Names {
+				add(n)
+			}
+		case bench.Known(name):
+			add(name)
+		default:
+			fatal("unknown experiment %q (known: %s, all)", name, strings.Join(bench.Names, ", "))
+		}
+	}
+	if len(names) == 0 {
+		fatal("no experiments in -exp %q", s)
+	}
+	return names
 }
 
-func printFig4() {
-	t := stats.NewTable("Fig. 4: the 12 benchmark applications",
-		"benchmark", "paper input", "description")
-	for _, s := range workloads.All() {
-		t.AddRow(s.Name, s.PaperInput, s.Description)
+// nextBenchFile picks the first unused BENCH_<n>.json in the working
+// directory.
+func nextBenchFile() string {
+	for n := 1; ; n++ {
+		path := fmt.Sprintf("BENCH_%d.json", n)
+		if _, err := os.Stat(path); os.IsNotExist(err) {
+			return path
+		}
 	}
-	fmt.Println(t)
 }
 
 func parseInts(s string) []int {

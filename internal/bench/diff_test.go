@@ -1,0 +1,170 @@
+package bench
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+func mkFile(vals map[string]map[string]Metric) *File {
+	f := NewFile("test", 1, 1)
+	for exp, ms := range vals {
+		e := Experiment{Name: exp, Metrics: ms}
+		f.Experiments[exp] = e
+	}
+	return f
+}
+
+func TestDiffIdentity(t *testing.T) {
+	f := mkFile(map[string]map[string]Metric{
+		"fig5a": {"relative/fib": {Value: 0.9}},
+	})
+	rep := Diff(f, f, 0.10)
+	if rep.Failed() || len(rep.Changes) != 0 || len(rep.Missing) != 0 {
+		t.Fatalf("identity diff not clean: %s", rep)
+	}
+}
+
+func TestDiffRegressionDirections(t *testing.T) {
+	old := mkFile(map[string]map[string]Metric{
+		"fig6b": {"normalized/300:1x2": {Value: 1.5, HigherIsBetter: true}},
+		"fig5a": {"relative/fib": {Value: 1.0, HigherIsBetter: false}},
+	})
+
+	// 20% slowdown on the lower-is-better metric: regression.
+	slower := mkFile(map[string]map[string]Metric{
+		"fig6b": {"normalized/300:1x2": {Value: 1.5, HigherIsBetter: true}},
+		"fig5a": {"relative/fib": {Value: 1.2, HigherIsBetter: false}},
+	})
+	rep := Diff(old, slower, 0.10)
+	if !rep.Failed() {
+		t.Fatalf("20%% slowdown not flagged: %s", rep)
+	}
+	regs := rep.Regressions()
+	if len(regs) != 1 || regs[0].Key() != "fig5a/relative/fib" {
+		t.Fatalf("wrong regressions: %+v", regs)
+	}
+
+	// Same movement on the higher-is-better metric: a drop regresses,
+	// a rise improves.
+	faster := mkFile(map[string]map[string]Metric{
+		"fig6b": {"normalized/300:1x2": {Value: 1.9, HigherIsBetter: true}},
+		"fig5a": {"relative/fib": {Value: 0.8, HigherIsBetter: false}},
+	})
+	rep = Diff(old, faster, 0.10)
+	if rep.Failed() {
+		t.Fatalf("improvements flagged as failure: %s", rep)
+	}
+	if len(rep.Changes) != 2 {
+		t.Fatalf("improvements not reported: %s", rep)
+	}
+
+	drop := mkFile(map[string]map[string]Metric{
+		"fig6b": {"normalized/300:1x2": {Value: 1.0, HigherIsBetter: true}},
+		"fig5a": {"relative/fib": {Value: 1.0, HigherIsBetter: false}},
+	})
+	rep = Diff(old, drop, 0.10)
+	if len(rep.Regressions()) != 1 || rep.Regressions()[0].Experiment != "fig6b" {
+		t.Fatalf("throughput drop not a regression: %s", rep)
+	}
+}
+
+func TestDiffThreshold(t *testing.T) {
+	old := mkFile(map[string]map[string]Metric{
+		"dekker": {"real_ns_per_iter/mfence": {Value: 100}},
+	})
+	within := mkFile(map[string]map[string]Metric{
+		"dekker": {"real_ns_per_iter/mfence": {Value: 108}},
+	})
+	if rep := Diff(old, within, 0.10); rep.Failed() || len(rep.Changes) != 0 {
+		t.Fatalf("8%% change beyond 10%% threshold: %s", rep)
+	}
+	beyond := mkFile(map[string]map[string]Metric{
+		"dekker": {"real_ns_per_iter/mfence": {Value: 108}},
+	})
+	if rep := Diff(old, beyond, 0.05); !rep.Failed() {
+		t.Fatalf("8%% change within 5%% threshold: %s", rep)
+	}
+}
+
+func TestDiffMissingKeys(t *testing.T) {
+	old := mkFile(map[string]map[string]Metric{
+		"fig4":   {"benchmarks": {Value: 12, HigherIsBetter: true}},
+		"dekker": {"real_ns_per_iter/mfence": {Value: 100}},
+	})
+
+	// Dropped metric: fails even though nothing regressed numerically —
+	// the fig4-omitted-from-json bug class.
+	noMetric := mkFile(map[string]map[string]Metric{
+		"fig4":   {},
+		"dekker": {"real_ns_per_iter/mfence": {Value: 100}},
+	})
+	rep := Diff(old, noMetric, 0.10)
+	if !rep.Failed() || len(rep.Missing) != 1 || rep.Missing[0] != "fig4/benchmarks" {
+		t.Fatalf("dropped metric not flagged: %s", rep)
+	}
+
+	// Dropped experiment.
+	noExp := mkFile(map[string]map[string]Metric{
+		"dekker": {"real_ns_per_iter/mfence": {Value: 100}},
+	})
+	rep = Diff(old, noExp, 0.10)
+	if !rep.Failed() || len(rep.Missing) != 1 || rep.Missing[0] != "fig4" {
+		t.Fatalf("dropped experiment not flagged: %s", rep)
+	}
+
+	// New keys are informational, not failures.
+	extra := mkFile(map[string]map[string]Metric{
+		"fig4":   {"benchmarks": {Value: 12, HigherIsBetter: true}},
+		"dekker": {"real_ns_per_iter/mfence": {Value: 100}},
+		"novel":  {"m": {Value: 1}},
+	})
+	rep = Diff(old, extra, 0.10)
+	if rep.Failed() || len(rep.Added) != 1 {
+		t.Fatalf("added keys mishandled: %s", rep)
+	}
+}
+
+func TestDiffZeroBaseline(t *testing.T) {
+	old := mkFile(map[string]map[string]Metric{
+		"theorems": {"all_pass": {Value: 0, HigherIsBetter: true}},
+	})
+	cur := mkFile(map[string]map[string]Metric{
+		"theorems": {"all_pass": {Value: 1, HigherIsBetter: true}},
+	})
+	if rep := Diff(old, cur, 0.10); rep.Failed() {
+		t.Fatalf("0->1 on higher-is-better failed: %s", rep)
+	}
+	if rep := Diff(cur, old, 0.10); !rep.Failed() {
+		t.Fatalf("1->0 on higher-is-better passed: %s", rep)
+	}
+}
+
+func TestFileRoundTripAndVersionCheck(t *testing.T) {
+	dir := t.TempDir()
+	f := mkFile(map[string]map[string]Metric{
+		"fig4": {"benchmarks": {Value: 12, Unit: "count", HigherIsBetter: true}},
+	})
+	path := filepath.Join(dir, "b.json")
+	if err := Write(path, f); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.SchemaVersion != SchemaVersion || back.GoVersion != f.GoVersion {
+		t.Fatalf("round trip lost provenance: %+v", back)
+	}
+	m := back.Experiments["fig4"].Metrics["benchmarks"]
+	if m.Value != 12 || m.Unit != "count" || !m.HigherIsBetter {
+		t.Fatalf("round trip lost metric: %+v", m)
+	}
+
+	f.SchemaVersion = SchemaVersion + 1
+	if err := Write(path, f); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadFile(path); err == nil {
+		t.Fatal("future schema version accepted")
+	}
+}

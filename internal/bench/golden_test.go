@@ -1,0 +1,119 @@
+package bench
+
+import (
+	"path/filepath"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/harness"
+)
+
+// TestGoldenAllExperiments is the end-to-end pipeline test: run every
+// canonical experiment at test scale through the same runner
+// cmd/lbmfbench uses, write the bench file, read it back, and check
+// that every experiment key is present with metrics — the regression
+// that motivated this pipeline was fig4 silently missing from -json.
+func TestGoldenAllExperiments(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the full experiment suite at test scale")
+	}
+	opt := harness.QuickDefaults()
+
+	file := NewFile("test", opt.Reps, opt.Procs)
+	for _, name := range Names {
+		ran, err := RunExperiment(name, opt, core.ModeAsymmetricSW)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(ran.Tables) == 0 {
+			t.Errorf("%s: no tables", name)
+		}
+		for _, tab := range ran.Tables {
+			if tab.String() == "" {
+				t.Errorf("%s: empty table", name)
+			}
+		}
+		file.Experiments[name] = ran.Exp
+	}
+
+	path := filepath.Join(t.TempDir(), "BENCH_golden.json")
+	if err := Write(path, file); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if back.SchemaVersion != SchemaVersion {
+		t.Errorf("schema version = %d", back.SchemaVersion)
+	}
+	if back.GOMAXPROCS <= 0 || back.GoVersion == "" || back.Scale != "test" {
+		t.Errorf("provenance incomplete: %+v", back)
+	}
+	for _, name := range Names {
+		exp, ok := back.Experiments[name]
+		if !ok {
+			t.Errorf("experiment %q missing from bench file", name)
+			continue
+		}
+		if len(exp.Metrics) == 0 {
+			t.Errorf("experiment %q has no metrics", name)
+		}
+		if exp.ElapsedSeconds < 0 {
+			t.Errorf("experiment %q has negative elapsed", name)
+		}
+	}
+
+	// The instrumented experiments must carry obs snapshots through the
+	// round trip.
+	for _, name := range []string{"theorems", "fig5a", "fig5b", "fig6a", "fig6b", "overhead"} {
+		exp := back.Experiments[name]
+		if exp.Obs == nil || exp.Obs.Empty() {
+			t.Errorf("experiment %q lost its obs snapshot", name)
+		}
+	}
+	// Spot-check semantic content: fig6 locks counted reads; theorems
+	// explored states.
+	if c := back.Experiments["fig6a"].Obs.Counters["reads"]; c == 0 {
+		t.Error("fig6a obs recorded no reads")
+	}
+	if c := back.Experiments["theorems"].Obs.Counters["claim_wins"]; c == 0 {
+		t.Error("theorems obs recorded no visited-set wins")
+	}
+
+	// A self-diff of the freshly produced file must be clean — this is
+	// the same invariant the acceptance pipeline checks with
+	// `benchdiff out.json out.json`.
+	if rep := Diff(back, back, 0.10); rep.Failed() {
+		t.Errorf("self-diff failed: %s", rep)
+	}
+
+	// Per-benchmark samples from fig5 survived with their rep counts.
+	fig5 := back.Experiments["fig5a"]
+	if len(fig5.Samples) == 0 {
+		t.Fatal("fig5a has no samples")
+	}
+	for k, s := range fig5.Samples {
+		if s.N != opt.Reps {
+			t.Errorf("sample %q has N=%d, want %d", k, s.N, opt.Reps)
+		}
+	}
+}
+
+func TestRunExperimentUnknown(t *testing.T) {
+	if _, err := RunExperiment("fig9000", harness.QuickDefaults(), core.ModeAsymmetricSW); err == nil {
+		t.Fatal("unknown experiment did not error")
+	}
+}
+
+func TestKnown(t *testing.T) {
+	for _, n := range Names {
+		if !Known(n) {
+			t.Errorf("Known(%q) = false", n)
+		}
+	}
+	if Known("all") || Known("") || Known("fig9000") {
+		t.Error("Known accepts non-experiments")
+	}
+}

@@ -1,0 +1,182 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/harness"
+	"repro/internal/stats"
+)
+
+// Names lists every experiment in canonical -exp all order. The golden
+// test pins that a full run records exactly these keys.
+var Names = []string{
+	"theorems", "dekker", "overhead", "fig4",
+	"fig5a", "fig5b", "fig6a", "fig6b",
+	"ablation", "packetproc",
+}
+
+// Known reports whether name is a runnable experiment.
+func Known(name string) bool {
+	for _, n := range Names {
+		if n == name {
+			return true
+		}
+	}
+	return false
+}
+
+// Ran is one executed experiment: its schema entry plus the paper-style
+// tables to print.
+type Ran struct {
+	Exp    Experiment
+	Tables []*stats.Table
+}
+
+// ErrTheoremsFailed marks a theorems run whose machine-checked claims
+// did not all pass. The Ran alongside it is still complete, so callers
+// can print the failing table before exiting non-zero.
+var ErrTheoremsFailed = fmt.Errorf("bench: theorem checks failed")
+
+// metricKey flattens a label into a metric key segment.
+func metricKey(s string) string {
+	return strings.ReplaceAll(strings.TrimSpace(s), " ", "_")
+}
+
+// RunExperiment executes one experiment by name and converts its result
+// into the bench schema. It is the single runner shared by
+// cmd/lbmfbench and the end-to-end golden test.
+func RunExperiment(name string, opt harness.Options, asymMode core.Mode) (*Ran, error) {
+	start := time.Now()
+	ran := &Ran{Exp: Experiment{Name: name}}
+	e := &ran.Exp
+	var err error
+
+	switch name {
+	case "theorems":
+		res := harness.RunTheorems()
+		e.Detail = res
+		e.setObs(res.Obs)
+		var states int
+		for _, row := range res.Rows {
+			states += row.States
+		}
+		pass := 0.0
+		if res.AllPass() {
+			pass = 1
+		}
+		e.putMetric("all_pass", pass, "", true)
+		e.putMetric("states_total", float64(states), "states", true)
+		ran.Tables = append(ran.Tables, res.Table())
+		if !res.AllPass() {
+			err = ErrTheoremsFailed
+		}
+
+	case "dekker":
+		res, rerr := harness.RunDekker(opt)
+		if rerr != nil {
+			return nil, rerr
+		}
+		e.Detail = res
+		for _, row := range res.Rows {
+			k := metricKey(row.Variant)
+			e.putMetric("sim_cycles_per_iter/"+k, row.CyclesPerIter, "cycles", false)
+			e.putMetric("real_ns_per_iter/"+k, row.RealNsPerIter, "ns", false)
+			e.putSample("real_run_sec/"+k, row.RealSample)
+		}
+		ran.Tables = append(ran.Tables, res.Table())
+
+	case "overhead":
+		res, rerr := harness.RunOverhead(opt)
+		if rerr != nil {
+			return nil, rerr
+		}
+		e.Detail = res
+		e.setObs(res.Obs)
+		e.putMetric("sim_lest_round_trip", res.SimLESTRoundTrip, "cycles", false)
+		e.putMetric("sim_primary_iter_alone", res.SimUncontendedIter, "cycles", false)
+		e.putMetric("sim_primary_iter_contended", res.SimPrimaryPerIter, "cycles", false)
+		e.putMetric("real_sw_round_trip", res.RealSWRoundTripNs, "ns", false)
+		e.putMetric("real_hw_round_trip", res.RealHWRoundTripNs, "ns", false)
+		ran.Tables = append(ran.Tables, res.Table())
+
+	case "fig4":
+		res := harness.Fig4()
+		e.Detail = res
+		e.putMetric("benchmarks", float64(len(res.Rows)), "count", true)
+		ran.Tables = append(ran.Tables, res.Table())
+
+	case "fig5a", "fig5b":
+		res, rerr := harness.RunFig5(opt, name == "fig5b", asymMode)
+		if rerr != nil {
+			return nil, rerr
+		}
+		e.Detail = res
+		e.setObs(res.Obs)
+		for _, row := range res.Rows {
+			k := metricKey(row.Benchmark)
+			// Relative runtime asym/sym: below 1 means ACilk-5 wins.
+			e.putMetric("relative/"+k, row.Relative, "ratio", false)
+			e.putSample("sym_sec/"+k, row.SymmetricSample)
+			e.putSample("asym_sec/"+k, row.AsymmetricSample)
+		}
+		ran.Tables = append(ran.Tables, res.Table())
+
+	case "fig6a", "fig6b":
+		res, rerr := harness.RunFig6(opt, name == "fig6b", asymMode)
+		if rerr != nil {
+			return nil, rerr
+		}
+		e.Detail = res
+		e.setObs(res.Obs)
+		for _, c := range res.Cells {
+			k := fmt.Sprintf("normalized/%d:1x%d", c.Ratio, c.Threads)
+			e.putMetric(k, c.Normalized, "ratio", true)
+		}
+		ran.Tables = append(ran.Tables, res.Table())
+
+	case "ablation":
+		res, rerr := harness.RunAblations(opt)
+		if rerr != nil {
+			return nil, rerr
+		}
+		e.Detail = res
+		for d, v := range res.StoreBufferDepth {
+			e.putMetric(fmt.Sprintf("store_buffer_cycles/%d", d), v, "cycles", false)
+		}
+		for c, v := range res.SignalCost {
+			e.putMetric(fmt.Sprintf("signal_cost_normalized/%d", c), v, "ratio", true)
+		}
+		for b, v := range res.SpinBudget {
+			e.putMetric(fmt.Sprintf("spin_budget_signals_per_write/%d", b), v, "signals/write", false)
+		}
+		for k, v := range res.PollInterval {
+			e.putMetric(fmt.Sprintf("poll_interval_relative/%d", k), v, "ratio", false)
+		}
+		e.putMetric("double_flush_same", res.DoubleFlushSame, "cycles", false)
+		e.putMetric("double_flush_different", res.DoubleFlushDifferent, "cycles", false)
+		e.putMetric("double_flush_two_links", res.DoubleFlushTwoLinks, "cycles", false)
+		ran.Tables = append(ran.Tables, res.Tables()...)
+
+	case "packetproc":
+		res, rerr := harness.RunPacketProc(opt)
+		if rerr != nil {
+			return nil, rerr
+		}
+		e.Detail = res
+		for _, row := range res.Rows {
+			k := fmt.Sprintf("%d", row.LocalityPermille)
+			e.putMetric("speedup_sw/"+k, row.SpeedupSW, "ratio", true)
+			e.putMetric("speedup_hw/"+k, row.SpeedupHW, "ratio", true)
+		}
+		ran.Tables = append(ran.Tables, res.Table())
+
+	default:
+		return nil, fmt.Errorf("bench: unknown experiment %q", name)
+	}
+
+	e.ElapsedSeconds = time.Since(start).Seconds()
+	return ran, err
+}

@@ -1,0 +1,147 @@
+// Package bench is the machine-readable benchmark pipeline behind
+// cmd/lbmfbench -bench-json and cmd/benchdiff: a versioned JSON schema
+// for experiment results, a shared experiment runner, and a
+// direction-aware diff that flags regressions between two bench files.
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"os/exec"
+	"runtime"
+	"runtime/debug"
+	"strings"
+
+	"repro/internal/obs"
+	"repro/internal/stats"
+)
+
+// SchemaVersion identifies the bench-file layout. Bump it on any
+// incompatible change to File/Experiment/Metric; Read rejects files
+// whose version it does not understand.
+const SchemaVersion = 1
+
+// Metric is one scalar result of an experiment. HigherIsBetter gives
+// the diff its direction: a drop in a higher-is-better metric (or a
+// rise in a lower-is-better one) beyond the threshold is a regression.
+type Metric struct {
+	Value          float64 `json:"value"`
+	Unit           string  `json:"unit,omitempty"`
+	HigherIsBetter bool    `json:"higher_is_better"`
+}
+
+// Experiment is one experiment's recorded results: flat metrics for
+// diffing, repeated-measurement summaries, the obs snapshot of the
+// instrumented subsystems, and the full structured result for humans.
+type Experiment struct {
+	Name           string                  `json:"name"`
+	ElapsedSeconds float64                 `json:"elapsed_seconds"`
+	Metrics        map[string]Metric       `json:"metrics,omitempty"`
+	Samples        map[string]stats.Sample `json:"samples,omitempty"`
+	Obs            *obs.Snapshot           `json:"obs,omitempty"`
+	Detail         any                     `json:"detail,omitempty"`
+}
+
+// putMetric records a metric, allocating the map on first use.
+func (e *Experiment) putMetric(name string, v float64, unit string, higherIsBetter bool) {
+	if e.Metrics == nil {
+		e.Metrics = make(map[string]Metric)
+	}
+	e.Metrics[name] = Metric{Value: v, Unit: unit, HigherIsBetter: higherIsBetter}
+}
+
+// putSample records a repeated-measurement summary.
+func (e *Experiment) putSample(name string, s stats.Sample) {
+	if e.Samples == nil {
+		e.Samples = make(map[string]stats.Sample)
+	}
+	e.Samples[name] = s
+}
+
+// setObs attaches a non-empty obs snapshot.
+func (e *Experiment) setObs(s obs.Snapshot) {
+	if !s.Empty() {
+		e.Obs = &s
+	}
+}
+
+// File is one bench run: environment provenance plus every experiment's
+// recorded results, keyed by experiment name.
+type File struct {
+	SchemaVersion  int                   `json:"schema_version"`
+	GitSHA         string                `json:"git_sha,omitempty"`
+	GoVersion      string                `json:"go_version"`
+	GOOS           string                `json:"goos"`
+	GOARCH         string                `json:"goarch"`
+	GOMAXPROCS     int                   `json:"gomaxprocs"`
+	Scale          string                `json:"scale"`
+	Reps           int                   `json:"reps"`
+	Procs          int                   `json:"procs"`
+	Timestamp      string                `json:"timestamp,omitempty"` // RFC 3339
+	ElapsedSeconds float64               `json:"elapsed_seconds"`
+	Experiments    map[string]Experiment `json:"experiments"`
+}
+
+// NewFile builds a File stamped with the running environment.
+func NewFile(scale string, reps, procs int) *File {
+	return &File{
+		SchemaVersion: SchemaVersion,
+		GitSHA:        GitSHA(),
+		GoVersion:     runtime.Version(),
+		GOOS:          runtime.GOOS,
+		GOARCH:        runtime.GOARCH,
+		GOMAXPROCS:    runtime.GOMAXPROCS(0),
+		Scale:         scale,
+		Reps:          reps,
+		Procs:         procs,
+		Experiments:   make(map[string]Experiment),
+	}
+}
+
+// GitSHA resolves the current source revision: the vcs.revision baked
+// into the build info when the binary was built inside a git checkout,
+// falling back to `git rev-parse HEAD`, else empty.
+func GitSHA() string {
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		for _, s := range bi.Settings {
+			if s.Key == "vcs.revision" && s.Value != "" {
+				return s.Value
+			}
+		}
+	}
+	out, err := exec.Command("git", "rev-parse", "HEAD").Output()
+	if err != nil {
+		return ""
+	}
+	return strings.TrimSpace(string(out))
+}
+
+// Write marshals f to path (indented, trailing newline).
+func Write(path string, f *File) error {
+	data, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		return fmt.Errorf("bench: marshal: %w", err)
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// ReadFile loads and validates a bench file.
+func ReadFile(path string) (*File, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var f File
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, fmt.Errorf("bench: %s: %w", path, err)
+	}
+	if f.SchemaVersion != SchemaVersion {
+		return nil, fmt.Errorf("bench: %s: schema version %d, this tool understands %d",
+			path, f.SchemaVersion, SchemaVersion)
+	}
+	if f.Experiments == nil {
+		return nil, fmt.Errorf("bench: %s: no experiments", path)
+	}
+	return &f, nil
+}

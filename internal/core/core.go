@@ -44,6 +44,7 @@ import (
 	"fmt"
 	"sync/atomic"
 
+	"repro/internal/obs"
 	"repro/internal/signals"
 )
 
@@ -231,14 +232,28 @@ func (f *LocationFence) SerializeWith(onWait func()) {
 // point before charging the signal cost. It reports whether the
 // heuristic avoided the signal.
 func (f *LocationFence) TrySerialize(budget int) bool {
+	return f.TrySerializeWith(budget, nil)
+}
+
+// TrySerializeWith is TrySerialize for callers that are themselves
+// primaries of another fence: onWait (typically the caller's own Poll)
+// runs in the heuristic spin and the fallback wait, so that mutual
+// try-serialization between two primaries cannot deadlock.
+func (f *LocationFence) TrySerializeWith(budget int, onWait func()) bool {
 	if !f.mode.Asymmetric() {
 		return true
 	}
-	return f.mbox.TrySerialize(budget)
+	return f.mbox.TrySerializeWith(budget, onWait)
 }
 
 // Stats reports handshake counts: round trips initiated by secondaries
 // and requests handled by the primary.
 func (f *LocationFence) Stats() (requests, handled uint64) {
-	return f.mbox.Requests.Load(), f.mbox.Handled.Load()
+	return f.mbox.Metrics.Requests.Load(), f.mbox.Metrics.Handled.Load()
+}
+
+// ObsSnapshot captures the fence's mailbox metrics (round trips,
+// heuristic hits, ack latency) for the benchmark pipeline.
+func (f *LocationFence) ObsSnapshot() obs.Snapshot {
+	return f.mbox.Metrics.Snapshot()
 }

@@ -261,3 +261,61 @@ func TestMutualSerializationNoDeadlock(t *testing.T) {
 		}
 	}
 }
+
+// Regression companion to signals.TestMutualTrySerializeNoDeadlock at
+// the protocol layer: two parties, each the primary of its own Dekker
+// instance, try-enter each other's critical sections. The ARW+-style
+// writer path (SecondaryTryEnterWith) must run onWait in the
+// competition lock, the heuristic spin, and the serialization fallback,
+// or the pair deadlocks with both stuck waiting for the other's poll.
+func TestMutualSecondaryTryEnterNoDeadlock(t *testing.T) {
+	da := NewDekker(ModeAsymmetricSW, ZeroCosts())
+	db := NewDekker(ModeAsymmetricSW, ZeroCosts())
+	done := make(chan struct{}, 2)
+	party := func(own, other *Dekker) {
+		defer own.Fence().Close()
+		poll := func() { own.Fence().Poll() }
+		for i := 0; i < 200; i++ {
+			own.PrimaryEnter()
+			own.PrimaryExit()
+			if other.SecondaryTryEnterWith(1, poll) {
+				other.SecondaryExit()
+			}
+		}
+		done <- struct{}{}
+	}
+	go party(da, db)
+	go party(db, da)
+	for i := 0; i < 2; i++ {
+		select {
+		case <-done:
+		case <-time.After(30 * time.Second):
+			t.Fatal("mutual SecondaryTryEnter deadlocked")
+		}
+	}
+}
+
+// ObsSnapshot surfaces the mailbox metrics through the fence API.
+func TestFenceObsSnapshot(t *testing.T) {
+	f := NewLocationFence(ModeAsymmetricSW, ZeroCosts())
+	stop := make(chan struct{})
+	go func() {
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				f.Poll()
+			}
+		}
+	}()
+	f.Serialize()
+	close(stop)
+	s := f.ObsSnapshot()
+	if s.Counters["requests"] != 1 {
+		t.Errorf("snapshot requests = %d, want 1", s.Counters["requests"])
+	}
+	if _, ok := s.Histograms["ack_latency_ns"]; !ok {
+		t.Error("snapshot missing ack latency histogram")
+	}
+}

@@ -144,10 +144,20 @@ func (d *Dekker) SecondaryEnterWith(onWait func()) {
 // whether the critical section was entered; on false the caller holds
 // nothing.
 func (d *Dekker) SecondaryTryEnter(spinBudget int) bool {
-	d.secLock(nil)
+	return d.SecondaryTryEnterWith(spinBudget, nil)
+}
+
+// SecondaryTryEnterWith is SecondaryTryEnter for callers that are
+// themselves primaries elsewhere (the ARW+-style writer that still owns
+// its own guarded locations): onWait runs in the secondary-competition
+// lock, the heuristic spin, and the serialization fallback, so a party
+// try-entering another primary's critical section keeps answering its
+// own serialization requests and rings of such parties cannot deadlock.
+func (d *Dekker) SecondaryTryEnterWith(spinBudget int, onWait func()) bool {
+	d.secLock(onWait)
 	d.l2.Store(1)
 	d.secFence()
-	d.fence.TrySerialize(spinBudget)
+	d.fence.TrySerializeWith(spinBudget, onWait)
 	if d.l1.Load() == 0 {
 		return true
 	}

@@ -17,6 +17,9 @@ type DekkerRow struct {
 	SlowdownVsNone float64 // relative to the unfenced loop
 	RealNsPerIter  float64 // real-goroutine nanoseconds per iteration
 	RealSlowdown   float64
+	// RealSample summarizes the repeated real-goroutine measurements
+	// (seconds per DekkerIters-iteration run) behind RealNsPerIter.
+	RealSample stats.Sample
 }
 
 // DekkerResult reproduces the introduction's claim: a thread running
@@ -46,15 +49,20 @@ func RunDekker(opt Options) (*DekkerResult, error) {
 		return float64(cycles) / float64(simIters), nil
 	}
 
-	realNs := func(mode core.Mode) float64 {
+	realNs := func(mode core.Mode) (float64, stats.Sample) {
+		reps := opt.Reps
+		if reps < 1 {
+			reps = 1
+		}
 		d := core.NewDekker(mode, opt.Cost)
-		secs := stats.MeasureSeconds(1, func() {
+		secs := stats.MeasureSeconds(reps, func() {
 			for i := 0; i < opt.DekkerIters; i++ {
 				d.PrimaryEnter()
 				d.PrimaryExit()
 			}
 		})
-		return secs[0] * 1e9 / float64(opt.DekkerIters)
+		s := stats.Summarize(secs)
+		return s.Mean * 1e9 / float64(opt.DekkerIters), s
 	}
 
 	type variant struct {
@@ -75,7 +83,7 @@ func RunDekker(opt Options) (*DekkerResult, error) {
 		if err != nil {
 			return nil, err
 		}
-		ns := realNs(v.real)
+		ns, sample := realNs(v.real)
 		if i == 0 {
 			baseSim, baseReal = cyc, ns
 		}
@@ -85,6 +93,7 @@ func RunDekker(opt Options) (*DekkerResult, error) {
 			SlowdownVsNone: cyc / baseSim,
 			RealNsPerIter:  ns,
 			RealSlowdown:   ns / baseReal,
+			RealSample:     sample,
 		})
 	}
 	return res, nil

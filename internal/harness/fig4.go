@@ -1,0 +1,43 @@
+package harness
+
+import (
+	"repro/internal/stats"
+	"repro/internal/workloads"
+)
+
+// Fig4Row describes one of the twelve benchmark applications.
+type Fig4Row struct {
+	Benchmark   string
+	PaperInput  string
+	Description string
+}
+
+// Fig4Result is the structured form of the paper's Fig. 4 benchmark
+// table. It exists so "fig4" records into -json / -bench-json output
+// like every other experiment instead of being print-only.
+type Fig4Result struct {
+	Rows []Fig4Row
+}
+
+// Fig4 builds the benchmark table from the workload registry.
+func Fig4() *Fig4Result {
+	res := &Fig4Result{}
+	for _, s := range workloads.All() {
+		res.Rows = append(res.Rows, Fig4Row{
+			Benchmark:   s.Name,
+			PaperInput:  s.PaperInput,
+			Description: s.Description,
+		})
+	}
+	return res
+}
+
+// Table renders the benchmark table in the style of Fig. 4.
+func (r *Fig4Result) Table() *stats.Table {
+	t := stats.NewTable("Fig. 4: the 12 benchmark applications",
+		"benchmark", "paper input", "description")
+	for _, row := range r.Rows {
+		t.AddRow(row.Benchmark, row.PaperInput, row.Description)
+	}
+	return t
+}

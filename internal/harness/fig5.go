@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/sched"
 	"repro/internal/stats"
 	"repro/internal/workloads"
@@ -23,6 +24,10 @@ type Fig5Row struct {
 	// RelStdDev is the worst coefficient of variation across the two
 	// measurements (the paper reports <3%).
 	RelStdDev float64
+	// SymmetricSample and AsymmetricSample are the full repeated-
+	// measurement summaries behind the two means, for the bench pipeline.
+	SymmetricSample  stats.Sample
+	AsymmetricSample stats.Sample
 	// Steal accounting for the parallel experiment (Fig. 5(b) analysis):
 	// signals sent by thieves and the fraction that returned a task.
 	Signals          uint64
@@ -39,6 +44,10 @@ type Fig5Result struct {
 	Procs    int
 	AsymMode core.Mode
 	Rows     []Fig5Row
+	// Obs aggregates the asymmetric runtimes' scheduler counters over
+	// every benchmark and repetition (symmetric runs are excluded so the
+	// counters describe one fence discipline, not a mix).
+	Obs obs.Snapshot
 }
 
 // RunFig5 reproduces Fig. 5(a) (serial, procs=1) or Fig. 5(b)
@@ -71,6 +80,9 @@ func RunFig5(opt Options, parallel bool, asymMode core.Mode) (*Fig5Result, error
 				}
 				secs = append(secs, s[0])
 				last = rt.Stats()
+				if mode == asymMode {
+					res.Obs.Merge(rt.ObsSnapshot())
+				}
 			}
 			return stats.Summarize(secs), last, nil
 		}
@@ -86,6 +98,8 @@ func RunFig5(opt Options, parallel bool, asymMode core.Mode) (*Fig5Result, error
 
 		row.SymmetricSec = symS.Mean
 		row.AsymmetricSec = asymS.Mean
+		row.SymmetricSample = symS
+		row.AsymmetricSample = asymS
 		row.Relative = asymS.Mean / symS.Mean
 		row.RelStdDev = symS.RelStdDev()
 		if r := asymS.RelStdDev(); r > row.RelStdDev {

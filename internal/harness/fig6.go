@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/rwlock"
 	"repro/internal/signals"
 	"repro/internal/stats"
@@ -32,6 +33,10 @@ type Fig6Result struct {
 	Heuristic bool // false: Fig. 6(a) ARW; true: Fig. 6(b) ARW+
 	AsymMode  core.Mode
 	Cells     []Fig6Cell
+	// Obs aggregates the asymmetric lock's statistics (reads, writes,
+	// signals, heuristic acknowledgements, write-wait latency) over the
+	// whole sweep; SRW baselines are excluded.
+	Obs obs.Snapshot
 }
 
 // lockThroughput runs the paper's microbenchmark against one lock
@@ -125,6 +130,7 @@ func RunFig6(opt Options, heuristic bool, asymMode core.Mode) (*Fig6Result, erro
 			if srwTput > 0 {
 				cell.Normalized = asymTput / srwTput
 			}
+			res.Obs.Merge(asym.Stats.Snapshot())
 			res.Cells = append(res.Cells, cell)
 		}
 	}

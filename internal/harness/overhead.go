@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/arch"
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/programs"
 	"repro/internal/stats"
 	"repro/internal/tso"
@@ -26,6 +27,10 @@ type OverheadResult struct {
 	// Real-goroutine handshake wall times (ns per round trip).
 	RealSWRoundTripNs float64
 	RealHWRoundTripNs float64
+
+	// Obs aggregates the measured fences' mailbox metrics (round trips,
+	// ack latency) across both real-goroutine measurements.
+	Obs obs.Snapshot
 }
 
 // RunOverhead measures the communication round trips on both layers.
@@ -97,6 +102,7 @@ func RunOverhead(opt Options) (*OverheadResult, error) {
 			}
 		})
 		close(stop)
+		res.Obs.Merge(f.ObsSnapshot())
 		return secs[0] * 1e9 / n
 	}
 	res.RealSWRoundTripNs = measure(core.ModeAsymmetricSW)

@@ -7,6 +7,7 @@ import (
 	"repro/internal/arch"
 	"repro/internal/litmus"
 	"repro/internal/mesi"
+	"repro/internal/obs"
 	"repro/internal/programs"
 	"repro/internal/stats"
 	"repro/internal/storebuf"
@@ -27,6 +28,9 @@ type TheoremRow struct {
 // TheoremsResult is the machine-checked counterpart of Section 4.
 type TheoremsResult struct {
 	Rows []TheoremRow
+	// Obs aggregates the exploration engine's counters (visited-set claim
+	// tries/wins, states/sec) over every checked protocol.
+	Obs obs.Snapshot
 }
 
 // RunTheorems model-checks the protocol suite: the unfenced Dekker must
@@ -78,6 +82,7 @@ func RunTheoremsWorkers(workers int) *TheoremsResult {
 			}
 		}
 		_ = name
+		res.Obs.Merge(r.Obs)
 		res.Rows = append(res.Rows, row)
 	}
 
@@ -112,6 +117,7 @@ func RunTheoremsWorkers(workers int) *TheoremsResult {
 		if row.Pass {
 			row.Detail = "as specified"
 		}
+		res.Obs.Merge(r.Obs)
 		res.Rows = append(res.Rows, row)
 	}
 	addClassic("peterson", programs.PetersonPair, programs.DekkerNoFence, true)
@@ -144,6 +150,7 @@ func RunTheoremsWorkers(workers int) *TheoremsResult {
 		if row.Pass {
 			row.Detail = "as specified"
 		}
+		res.Obs.Merge(r.Obs)
 		res.Rows = append(res.Rows, row)
 	}
 

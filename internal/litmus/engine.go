@@ -175,6 +175,13 @@ type worker struct {
 	actBuf []Action
 	outBuf []byte
 
+	// Claim accounting, owner-written plain counters (obs enters only at
+	// merge time): claimTries is visited-set claim attempts, claimWins the
+	// attempts this worker won. tries-wins is the duplicate work the
+	// frontier split failed to avoid.
+	claimTries uint64
+	claimWins  uint64
+
 	res Result // partial; merged after the pool drains
 }
 
@@ -286,10 +293,12 @@ func (w *worker) process(f pframe) {
 	}
 
 	w.fpBuf = m.Fingerprint(w.fpBuf[:0])
+	w.claimTries++
 	if !e.visited.claim(fnv64a(w.fpBuf)) {
 		w.recycle(m)
 		return
 	}
+	w.claimWins++
 	if n := e.states.Add(1); n > e.maxStates {
 		e.states.Add(-1)
 		e.truncated.Store(true)
@@ -406,6 +415,7 @@ func Explore(build func() *tso.Machine, opts Options) Result {
 		ViolationTrace: e.violTrace,
 		Outcomes:       make(map[Outcome]int),
 	}
+	var tries, wins uint64
 	for _, w := range e.workers {
 		res.Transitions += w.res.Transitions
 		res.Violations += w.res.Violations
@@ -413,7 +423,18 @@ func Explore(build func() *tso.Machine, opts Options) Result {
 		for o, c := range w.res.Outcomes {
 			res.Outcomes[o] += c
 		}
+		tries += w.claimTries
+		wins += w.claimWins
 	}
 	res.Elapsed = time.Since(start)
+	res.Obs.PutCounter("claim_tries", tries)
+	res.Obs.PutCounter("claim_wins", wins)
+	res.Obs.PutCounter("workers", uint64(nw))
+	if tries > 0 {
+		// Fraction of claim attempts that found the state already visited:
+		// the duplicate work the per-worker frontiers did not avoid.
+		res.Obs.PutGauge("visited_hit_rate", float64(tries-wins)/float64(tries))
+	}
+	res.Obs.PutGauge("states_per_sec", res.StatesPerSec())
 	return res
 }

@@ -21,6 +21,7 @@ import (
 	"time"
 
 	"repro/internal/arch"
+	"repro/internal/obs"
 	"repro/internal/tso"
 )
 
@@ -185,6 +186,12 @@ type Result struct {
 	Deadlocks int
 	// Elapsed is the wall-clock duration of the exploration.
 	Elapsed time.Duration
+	// Obs carries the engine's observability counters: per-worker
+	// visited-set claim attempts and wins (the duplicate rate the
+	// work-stealing split achieves) plus a states_per_sec gauge. It is
+	// reporting-only and deliberately excluded from the differential
+	// comparison against the serial engine.
+	Obs obs.Snapshot
 }
 
 // StatesPerSec reports exploration throughput; cmd/litmus -json emits it

@@ -1,0 +1,192 @@
+// Package obs is the repository's low-overhead metrics layer: atomic
+// counters, gauges, and fixed-bucket latency histograms that hot
+// subsystems (signals mailboxes, the rwlock, the work-stealing
+// scheduler, the model checker, the fence synthesizer) embed directly
+// in their own structs, plus a Snapshot container that the benchmark
+// pipeline (internal/bench, cmd/lbmfbench -bench-json) serializes.
+//
+// Design rules, in order of priority:
+//
+//   - Fast paths pay nothing they did not already pay. There is no
+//     registry and no map lookup on the update path: a metric is a
+//     plain struct field, an update is one atomic RMW, and every
+//     instrument's zero value is ready to use (the same contract as
+//     signals.Mailbox). Instruments that sit on a *never-contended*
+//     fast path (e.g. the Mailbox.Poll no-request branch) must not be
+//     updated there at all — counting belongs on the slow path that
+//     already does real work.
+//   - Reading is always safe concurrently with writing. Snapshots are
+//     value copies taken with atomic loads; they never lock writers
+//     out.
+//   - Snapshots are plain data. The Snapshot type is a named bag of
+//     counters, gauges, and histogram summaries that marshals to
+//     stable JSON, so bench files diff across commits.
+package obs
+
+import (
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing event counter. The zero value
+// is ready to use. All methods are safe for concurrent use.
+type Counter struct{ v atomic.Uint64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Load returns the current count.
+func (c *Counter) Load() uint64 { return c.v.Load() }
+
+// Gauge is an instantaneous signed value (pool sizes, rates scaled by
+// the writer). The zero value is ready to use.
+type Gauge struct{ v atomic.Int64 }
+
+// Set replaces the value.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Add adjusts the value by delta.
+func (g *Gauge) Add(delta int64) { g.v.Add(delta) }
+
+// Load returns the current value.
+func (g *Gauge) Load() int64 { return g.v.Load() }
+
+// Histogram bucket layout: HistBuckets exponential buckets of
+// nanosecond observations. Bucket 0 holds v < histGranularityNs;
+// bucket i holds v in [histGranularityNs<<(i-1), histGranularityNs<<i);
+// the last bucket additionally absorbs everything larger. With 64 ns
+// granularity and 20 buckets the range spans 64 ns .. ~33 ms, which
+// covers every latency this repository measures (ack round trips are
+// hundreds of ns to tens of µs).
+const (
+	HistBuckets       = 20
+	histGranularityNs = 64
+)
+
+// BucketUpperNs reports bucket i's exclusive upper bound in
+// nanoseconds. The last bucket is unbounded; it reports its nominal
+// bound.
+func BucketUpperNs(i int) int64 {
+	return int64(histGranularityNs) << uint(i)
+}
+
+func bucketOf(ns int64) int {
+	if ns < 0 {
+		ns = 0
+	}
+	b := bits.Len64(uint64(ns) / histGranularityNs)
+	if b >= HistBuckets {
+		b = HistBuckets - 1
+	}
+	return b
+}
+
+// Histogram is a fixed-bucket latency histogram over nanosecond
+// observations. The zero value is ready to use. Observe is one bucket
+// increment plus three atomic updates; it belongs on slow paths
+// (request/ack round trips), never on poll fast paths.
+type Histogram struct {
+	count   atomic.Uint64
+	sumNs   atomic.Uint64
+	maxNs   atomic.Int64
+	buckets [HistBuckets]atomic.Uint64
+}
+
+// Observe records one latency in nanoseconds.
+func (h *Histogram) Observe(ns int64) {
+	if ns < 0 {
+		ns = 0
+	}
+	h.buckets[bucketOf(ns)].Add(1)
+	h.count.Add(1)
+	h.sumNs.Add(uint64(ns))
+	for {
+		cur := h.maxNs.Load()
+		if ns <= cur || h.maxNs.CompareAndSwap(cur, ns) {
+			return
+		}
+	}
+}
+
+// ObserveSince records the elapsed time since start.
+func (h *Histogram) ObserveSince(start time.Time) {
+	h.Observe(time.Since(start).Nanoseconds())
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// HistBucket is one non-empty bucket of a histogram snapshot.
+type HistBucket struct {
+	// UpperNs is the bucket's exclusive upper bound in nanoseconds (the
+	// last bucket of a histogram is in truth unbounded).
+	UpperNs int64 `json:"upper_ns"`
+	// Count is the number of observations in the bucket.
+	Count uint64 `json:"count"`
+}
+
+// HistogramSnapshot is a point-in-time copy of a Histogram. Only
+// non-empty buckets are recorded.
+type HistogramSnapshot struct {
+	Count   uint64       `json:"count"`
+	SumNs   uint64       `json:"sum_ns"`
+	MaxNs   int64        `json:"max_ns"`
+	Buckets []HistBucket `json:"buckets,omitempty"`
+}
+
+// Snapshot copies the histogram's current state. It is safe to call
+// concurrently with Observe; under concurrent writes the copy is a
+// consistent-enough summary (counts may trail sums by in-flight
+// observations), which is fine for reporting.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{
+		Count: h.count.Load(),
+		SumNs: h.sumNs.Load(),
+		MaxNs: h.maxNs.Load(),
+	}
+	for i := range h.buckets {
+		if c := h.buckets[i].Load(); c > 0 {
+			s.Buckets = append(s.Buckets, HistBucket{UpperNs: BucketUpperNs(i), Count: c})
+		}
+	}
+	return s
+}
+
+// MeanNs reports the mean observation in nanoseconds.
+func (s HistogramSnapshot) MeanNs() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return float64(s.SumNs) / float64(s.Count)
+}
+
+// QuantileNs reports an upper-bound estimate of the q-quantile
+// (0 <= q <= 1) from the bucket counts: the upper bound of the first
+// bucket whose cumulative count reaches q.
+func (s HistogramSnapshot) QuantileNs(q float64) float64 {
+	if s.Count == 0 || len(s.Buckets) == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := uint64(q * float64(s.Count))
+	if rank == 0 {
+		rank = 1
+	}
+	var cum uint64
+	for _, b := range s.Buckets {
+		cum += b.Count
+		if cum >= rank {
+			return float64(b.UpperNs)
+		}
+	}
+	return float64(s.Buckets[len(s.Buckets)-1].UpperNs)
+}

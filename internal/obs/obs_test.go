@@ -1,0 +1,174 @@
+package obs
+
+import (
+	"encoding/json"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterAndGauge(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(41)
+	if got := c.Load(); got != 42 {
+		t.Errorf("counter = %d, want 42", got)
+	}
+	var g Gauge
+	g.Set(7)
+	g.Add(-3)
+	if got := g.Load(); got != 4 {
+		t.Errorf("gauge = %d, want 4", got)
+	}
+}
+
+func TestCounterConcurrent(t *testing.T) {
+	var c Counter
+	var wg sync.WaitGroup
+	const workers, per = 8, 10000
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < per; j++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Load(); got != workers*per {
+		t.Errorf("counter = %d, want %d", got, workers*per)
+	}
+}
+
+func TestHistogramBucketing(t *testing.T) {
+	var h Histogram
+	h.Observe(-5) // clamps to 0: must not panic or underflow
+	h.Observe(0)
+	h.Observe(63)                      // bucket 0 (< 64ns)
+	h.Observe(64)                      // bucket 1
+	h.Observe(100_000)                 // mid-range
+	h.Observe(time.Hour.Nanoseconds()) // beyond the range: last bucket
+	s := h.Snapshot()
+	if s.Count != 6 {
+		t.Fatalf("count = %d, want 6", s.Count)
+	}
+	if s.MaxNs != time.Hour.Nanoseconds() {
+		t.Errorf("max = %d", s.MaxNs)
+	}
+	var total uint64
+	for _, b := range s.Buckets {
+		total += b.Count
+	}
+	if total != s.Count {
+		t.Errorf("bucket counts sum to %d, count is %d", total, s.Count)
+	}
+	if last := s.Buckets[len(s.Buckets)-1]; last.UpperNs != BucketUpperNs(HistBuckets-1) {
+		t.Errorf("hour observation not in the overflow bucket: %+v", last)
+	}
+}
+
+func TestHistogramBounds(t *testing.T) {
+	// Bucket bounds are exponential and the bucketing respects them:
+	// an observation one below a bound lands strictly under it.
+	for i := 1; i < HistBuckets-1; i++ {
+		lo, hi := BucketUpperNs(i-1), BucketUpperNs(i)
+		if got := bucketOf(lo); got != i {
+			t.Errorf("bucketOf(%d) = %d, want %d", lo, got, i)
+		}
+		if got := bucketOf(hi - 1); got != i {
+			t.Errorf("bucketOf(%d) = %d, want %d", hi-1, got, i)
+		}
+	}
+}
+
+func TestHistogramMeanAndQuantile(t *testing.T) {
+	var h Histogram
+	for i := 0; i < 90; i++ {
+		h.Observe(100)
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(1_000_000)
+	}
+	s := h.Snapshot()
+	wantMean := (90*100.0 + 10*1_000_000.0) / 100
+	if got := s.MeanNs(); got != wantMean {
+		t.Errorf("mean = %f, want %f", got, wantMean)
+	}
+	// p50 must sit in the 100ns bucket's range, p99 in the 1ms one's.
+	if q := s.QuantileNs(0.5); q > 1000 {
+		t.Errorf("p50 = %f, want <= small bucket bound", q)
+	}
+	if q := s.QuantileNs(0.99); q < 1_000_000 {
+		t.Errorf("p99 = %f, want >= 1e6", q)
+	}
+	var empty HistogramSnapshot
+	if empty.MeanNs() != 0 || empty.QuantileNs(0.5) != 0 {
+		t.Error("empty snapshot must report zeros")
+	}
+}
+
+func TestSnapshotRoundTripAndMerge(t *testing.T) {
+	var c Counter
+	c.Add(3)
+	var g Gauge
+	g.Set(9)
+	var h Histogram
+	h.Observe(500)
+
+	var s Snapshot
+	s.Counter("requests", &c)
+	s.Gauge("workers", &g)
+	s.Histogram("ack_ns", &h)
+	var hEmpty Histogram
+	s.Histogram("never_observed", &hEmpty)
+	if _, ok := s.Histograms["never_observed"]; ok {
+		t.Error("empty histogram recorded")
+	}
+
+	data, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Snapshot
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Counters["requests"] != 3 || back.Gauges["workers"] != 9 {
+		t.Errorf("round trip lost values: %+v", back)
+	}
+	if back.Histograms["ack_ns"].Count != 1 {
+		t.Errorf("round trip lost histogram: %+v", back.Histograms)
+	}
+
+	var other Snapshot
+	other.PutCounter("requests", 7)
+	other.PutGauge("workers", 4)
+	var h2 Histogram
+	h2.Observe(500)
+	h2.Observe(1 << 30)
+	other.Histogram("ack_ns", &h2)
+
+	s.Merge(other)
+	if s.Counters["requests"] != 10 {
+		t.Errorf("merged counter = %d, want 10", s.Counters["requests"])
+	}
+	if s.Gauges["workers"] != 4 {
+		t.Errorf("merged gauge = %f, want last-write 4", s.Gauges["workers"])
+	}
+	m := s.Histograms["ack_ns"]
+	if m.Count != 3 || m.MaxNs != 1<<30 {
+		t.Errorf("merged histogram wrong: %+v", m)
+	}
+	var total uint64
+	for _, b := range m.Buckets {
+		total += b.Count
+	}
+	if total != 3 {
+		t.Errorf("merged buckets sum to %d", total)
+	}
+
+	if !(Snapshot{}).Empty() || s.Empty() {
+		t.Error("Empty() misreports")
+	}
+}

@@ -1,0 +1,107 @@
+package obs
+
+import "sort"
+
+// Snapshot is a named bag of metric readings: the unit every subsystem
+// returns from its own snapshot method and the unit the bench schema
+// embeds per experiment. The zero value is ready to use (maps are
+// created lazily).
+type Snapshot struct {
+	Counters   map[string]uint64            `json:"counters,omitempty"`
+	Gauges     map[string]float64           `json:"gauges,omitempty"`
+	Histograms map[string]HistogramSnapshot `json:"histograms,omitempty"`
+}
+
+// PutCounter records a counter reading.
+func (s *Snapshot) PutCounter(name string, v uint64) {
+	if s.Counters == nil {
+		s.Counters = make(map[string]uint64)
+	}
+	s.Counters[name] = v
+}
+
+// Counter reads c and records it under name.
+func (s *Snapshot) Counter(name string, c *Counter) {
+	s.PutCounter(name, c.Load())
+}
+
+// PutGauge records a gauge (or any derived scalar, e.g. a rate).
+func (s *Snapshot) PutGauge(name string, v float64) {
+	if s.Gauges == nil {
+		s.Gauges = make(map[string]float64)
+	}
+	s.Gauges[name] = v
+}
+
+// Gauge reads g and records it under name.
+func (s *Snapshot) Gauge(name string, g *Gauge) {
+	s.PutGauge(name, float64(g.Load()))
+}
+
+// PutHistogram records a histogram snapshot.
+func (s *Snapshot) PutHistogram(name string, h HistogramSnapshot) {
+	if s.Histograms == nil {
+		s.Histograms = make(map[string]HistogramSnapshot)
+	}
+	s.Histograms[name] = h
+}
+
+// Histogram snapshots h and records it under name; empty histograms
+// are skipped so snapshots stay sparse.
+func (s *Snapshot) Histogram(name string, h *Histogram) {
+	if h.Count() == 0 {
+		return
+	}
+	s.PutHistogram(name, h.Snapshot())
+}
+
+// Empty reports whether the snapshot holds no readings.
+func (s Snapshot) Empty() bool {
+	return len(s.Counters) == 0 && len(s.Gauges) == 0 && len(s.Histograms) == 0
+}
+
+// Merge folds o into s: counters and histogram contents add, gauges
+// overwrite (last write wins). Used to aggregate per-run or per-worker
+// snapshots into one experiment-level snapshot.
+func (s *Snapshot) Merge(o Snapshot) {
+	for k, v := range o.Counters {
+		if s.Counters == nil {
+			s.Counters = make(map[string]uint64)
+		}
+		s.Counters[k] += v
+	}
+	for k, v := range o.Gauges {
+		s.PutGauge(k, v)
+	}
+	for k, h := range o.Histograms {
+		if s.Histograms == nil {
+			s.Histograms = make(map[string]HistogramSnapshot)
+		}
+		s.Histograms[k] = mergeHist(s.Histograms[k], h)
+	}
+}
+
+func mergeHist(a, b HistogramSnapshot) HistogramSnapshot {
+	out := HistogramSnapshot{
+		Count: a.Count + b.Count,
+		SumNs: a.SumNs + b.SumNs,
+		MaxNs: a.MaxNs,
+	}
+	if b.MaxNs > out.MaxNs {
+		out.MaxNs = b.MaxNs
+	}
+	byBound := make(map[int64]uint64, len(a.Buckets)+len(b.Buckets))
+	for _, bk := range a.Buckets {
+		byBound[bk.UpperNs] += bk.Count
+	}
+	for _, bk := range b.Buckets {
+		byBound[bk.UpperNs] += bk.Count
+	}
+	for bound, c := range byBound {
+		out.Buckets = append(out.Buckets, HistBucket{UpperNs: bound, Count: c})
+	}
+	sort.Slice(out.Buckets, func(i, j int) bool {
+		return out.Buckets[i].UpperNs < out.Buckets[j].UpperNs
+	})
+	return out
+}

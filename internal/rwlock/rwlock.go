@@ -23,8 +23,10 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/signals"
 )
 
@@ -32,13 +34,31 @@ import (
 // iterations, before unacknowledged readers are signaled.
 const DefaultSpinBudget = 4096
 
-// Stats counts lock events.
+// Stats counts lock events. Fields are obs instruments (zero value
+// ready); every update already sits on a conflict or write slow path, so
+// the migration from raw atomics costs the read fast path nothing.
 type Stats struct {
-	Reads       atomic.Uint64 // read acquisitions
-	Writes      atomic.Uint64 // write acquisitions
-	SignalsSent atomic.Uint64 // signal round trips paid by writers
-	AcksInTime  atomic.Uint64 // readers satisfied within the heuristic window
-	Retreats    atomic.Uint64 // reader conflict retreats
+	Reads       obs.Counter // read acquisitions
+	Writes      obs.Counter // write acquisitions
+	SignalsSent obs.Counter // signal round trips paid by writers
+	AcksInTime  obs.Counter // readers satisfied within the heuristic window
+	Retreats    obs.Counter // reader conflict retreats
+
+	// WriteWait is the writer-side wait latency: intent published to all
+	// readers quiesced (heuristic spin and signal round trips included).
+	WriteWait obs.Histogram
+}
+
+// Snapshot captures the lock statistics for the benchmark pipeline.
+func (s *Stats) Snapshot() obs.Snapshot {
+	var out obs.Snapshot
+	out.Counter("reads", &s.Reads)
+	out.Counter("writes", &s.Writes)
+	out.Counter("signals_sent", &s.SignalsSent)
+	out.Counter("acks_in_time", &s.AcksInTime)
+	out.Counter("retreats", &s.Retreats)
+	out.Histogram("write_wait_ns", &s.WriteWait)
+	return out
 }
 
 // slot is one registered reader's Dekker flag, padded to avoid false
@@ -213,11 +233,13 @@ func (l *Lock) lockWrite(self *slot) {
 	copy(slots, l.slots)
 	l.regMu.Unlock()
 
+	start := time.Now()
 	if l.mode.Asymmetric() && l.heuristic {
 		l.waitHeuristic(slots, self)
 	} else {
 		l.waitEach(slots, self)
 	}
+	l.Stats.WriteWait.ObserveSince(start)
 	l.Stats.Writes.Add(1)
 }
 

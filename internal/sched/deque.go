@@ -118,6 +118,7 @@ func (d *symDeque) popBottom() *task {
 	}
 	if h > t {
 		// Deque was already empty; restore and leave.
+		d.stats.Conflicts++
 		d.mu.lock()
 		h = d.head.Load()
 		if h <= t {
@@ -130,6 +131,7 @@ func (d *symDeque) popBottom() *task {
 		return nil
 	}
 	// h == t: exactly one entry, a thief may be racing for it.
+	d.stats.Conflicts++
 	d.mu.lock()
 	h = d.head.Load()
 	if h <= t {

@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 )
 
 // WorkerStats counts scheduling events on one worker. Fields are written
@@ -20,6 +21,7 @@ type WorkerStats struct {
 	Signals       uint64 // serialization round trips initiated (asym deques)
 	StealsServed  uint64 // requests this worker answered as a victim
 	Fences        uint64 // program-based fences executed (sym deques)
+	Conflicts     uint64 // deque conflicts: THE pops that took the lock
 }
 
 func (s WorkerStats) add(o WorkerStats) WorkerStats {
@@ -30,7 +32,25 @@ func (s WorkerStats) add(o WorkerStats) WorkerStats {
 	s.Signals += o.Signals
 	s.StealsServed += o.StealsServed
 	s.Fences += o.Fences
+	s.Conflicts += o.Conflicts
 	return s
+}
+
+// Snapshot renders the counters as an obs snapshot. WorkerStats stay
+// plain (owner-written) uint64s on the hot path; obs enters only at
+// reporting time, which is the same zero-fast-path-cost discipline the
+// deques themselves follow.
+func (s WorkerStats) Snapshot() obs.Snapshot {
+	var out obs.Snapshot
+	out.PutCounter("tasks", s.Tasks)
+	out.PutCounter("spawns", s.Spawns)
+	out.PutCounter("steal_attempts", s.StealAttempts)
+	out.PutCounter("steals", s.Steals)
+	out.PutCounter("signals", s.Signals)
+	out.PutCounter("steals_served", s.StealsServed)
+	out.PutCounter("fences", s.Fences)
+	out.PutCounter("deque_conflicts", s.Conflicts)
+	return out
 }
 
 // Worker is one scheduler thread. Workload code receives a *Worker and
@@ -107,6 +127,17 @@ func (rt *Runtime) Stats() WorkerStats {
 		s = s.add(w.Stats)
 	}
 	return s
+}
+
+// ObsSnapshot captures the pool-wide scheduling counters for the
+// benchmark pipeline, plus a steals-per-attempt gauge.
+func (rt *Runtime) ObsSnapshot() obs.Snapshot {
+	s := rt.Stats()
+	out := s.Snapshot()
+	if s.StealAttempts > 0 {
+		out.PutGauge("steal_success_rate", float64(s.Steals)/float64(s.StealAttempts))
+	}
+	return out
 }
 
 // PerWorkerStats returns each worker's statistics.

@@ -21,6 +21,9 @@ package signals
 import (
 	"runtime"
 	"sync/atomic"
+	"time"
+
+	"repro/internal/obs"
 )
 
 // Spin burns roughly n ns-scale iterations of CPU without yielding.
@@ -71,13 +74,41 @@ type Mailbox struct {
 	// primary "must handle the signal ... while the secondary waits").
 	PrimaryDelay int
 
-	// Handled counts requests the primary has acknowledged.
-	Handled atomic.Uint64
-	// Requests counts round trips secondaries have initiated.
-	Requests atomic.Uint64
+	// Metrics instruments the mailbox. Every update sits on the
+	// request-handling slow path; the Poll fast path (no request
+	// pending) touches no metric at all, preserving the "negligible
+	// overhead when running alone" property (BenchmarkPoll pins it).
+	Metrics Metrics
 
 	// spinFn lets tests observe injected delays; nil means Spin.
 	spinFn func(int)
+}
+
+// Metrics counts mailbox events (obs instruments; zero value ready).
+type Metrics struct {
+	// Requests counts round trips secondaries have initiated.
+	Requests obs.Counter
+	// Handled counts requests the primary has acknowledged.
+	Handled obs.Counter
+	// HeuristicHits counts TrySerialize calls satisfied within the spin
+	// budget (no signal cost paid); HeuristicFallbacks counts the calls
+	// that fell back to the full signal-priced wait.
+	HeuristicHits      obs.Counter
+	HeuristicFallbacks obs.Counter
+	// AckLatency is the secondary-side request-to-acknowledge latency,
+	// including the injected requester delay.
+	AckLatency obs.Histogram
+}
+
+// Snapshot captures the mailbox metrics for reporting.
+func (m *Metrics) Snapshot() obs.Snapshot {
+	var s obs.Snapshot
+	s.Counter("requests", &m.Requests)
+	s.Counter("handled", &m.Handled)
+	s.Counter("heuristic_hits", &m.HeuristicHits)
+	s.Counter("heuristic_fallbacks", &m.HeuristicFallbacks)
+	s.Histogram("ack_latency_ns", &m.AckLatency)
+	return s
 }
 
 func (m *Mailbox) spin(n int) {
@@ -116,7 +147,7 @@ func (m *Mailbox) Poll() bool {
 		m.spin(m.PrimaryDelay)
 	}
 	m.ack.Store(r)
-	m.Handled.Add(1)
+	m.Metrics.Handled.Inc()
 	return true
 }
 
@@ -151,11 +182,13 @@ func (m *Mailbox) SerializeWith(onWait func()) {
 	}
 	m.lockWith(onWait)
 	defer m.unlock()
+	start := time.Now()
 	if m.RequesterDelay > 0 {
 		m.spin(m.RequesterDelay)
 	}
 	target := m.req.Add(1)
-	m.Requests.Add(1)
+	m.Metrics.Requests.Inc()
+	defer m.Metrics.AckLatency.ObserveSince(start)
 	for m.ack.Load() < target {
 		if m.closed.Load() {
 			return
@@ -174,19 +207,35 @@ func (m *Mailbox) SerializeWith(onWait func()) {
 // otherwise it falls back to the full (delay-charged) wait and returns
 // false.
 func (m *Mailbox) TrySerialize(spinBudget int) bool {
+	return m.TrySerializeWith(spinBudget, nil)
+}
+
+// TrySerializeWith is TrySerialize with a callback invoked while
+// waiting — in the heuristic spin as well as the fallback wait. Exactly
+// as for SerializeWith, a caller that is itself the primary of another
+// mailbox MUST pass its own Poll here: without it, a party spinning in
+// TrySerialize cannot answer its own pending requests, and two parties
+// try-serializing against each other deadlock in the fallback loop.
+func (m *Mailbox) TrySerializeWith(spinBudget int, onWait func()) bool {
 	if m.closed.Load() {
 		return true
 	}
-	m.lockWith(nil)
+	m.lockWith(onWait)
 	defer m.unlock()
+	start := time.Now()
 	target := m.req.Add(1)
-	m.Requests.Add(1)
+	m.Metrics.Requests.Inc()
+	defer m.Metrics.AckLatency.ObserveSince(start)
 	for i := 0; i < spinBudget; i++ {
 		if m.ack.Load() >= target {
+			m.Metrics.HeuristicHits.Inc()
 			return true
 		}
 		if m.closed.Load() {
 			return true
+		}
+		if onWait != nil {
+			onWait()
 		}
 		// Yield periodically so the heuristic works even when the
 		// primary shares this CPU (GOMAXPROCS may be 1).
@@ -195,12 +244,16 @@ func (m *Mailbox) TrySerialize(spinBudget int) bool {
 		}
 	}
 	// Heuristic failed; this is where the prototype sends the signal.
+	m.Metrics.HeuristicFallbacks.Inc()
 	if m.RequesterDelay > 0 {
 		m.spin(m.RequesterDelay)
 	}
 	for m.ack.Load() < target {
 		if m.closed.Load() {
 			return false
+		}
+		if onWait != nil {
+			onWait()
 		}
 		runtime.Gosched()
 	}

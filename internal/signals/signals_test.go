@@ -44,8 +44,8 @@ func TestSerializeRoundTrip(t *testing.T) {
 		handled = m.Poll()
 	}
 	<-done
-	if m.Handled.Load() != 1 || m.Requests.Load() != 1 {
-		t.Errorf("counters = %d handled / %d requests", m.Handled.Load(), m.Requests.Load())
+	if m.Metrics.Handled.Load() != 1 || m.Metrics.Requests.Load() != 1 {
+		t.Errorf("counters = %d handled / %d requests", m.Metrics.Handled.Load(), m.Metrics.Requests.Load())
 	}
 }
 
@@ -146,7 +146,7 @@ func TestMultipleSecondariesSerialize(t *testing.T) {
 	}
 	wg.Wait()
 	close(stop)
-	if got := m.Requests.Load(); got != n*50 {
+	if got := m.Metrics.Requests.Load(); got != n*50 {
 		t.Errorf("requests = %d, want %d", got, n*50)
 	}
 }
@@ -205,5 +205,115 @@ func TestSpinScalesWithN(t *testing.T) {
 	big := time.Since(start)
 	if big <= zero {
 		t.Errorf("Spin(50M)=%v not slower than Spin(0)=%v", big, zero)
+	}
+}
+
+// BenchmarkPoll pins the primary's fast path — no request pending —
+// which the paper requires to stay "negligible when running alone".
+// The obs instrumentation must not show up here: all metric updates
+// sit on the request-handling slow path.
+func BenchmarkPoll(b *testing.B) {
+	var m Mailbox
+	for i := 0; i < b.N; i++ {
+		if m.Poll() {
+			b.Fatal("phantom request")
+		}
+	}
+}
+
+// BenchmarkPollPending measures the handling path (request pending, no
+// modelled delays): the acknowledging store plus counter updates.
+func BenchmarkPollPending(b *testing.B) {
+	var m Mailbox
+	for i := 0; i < b.N; i++ {
+		m.req.Add(1)
+		m.Poll()
+	}
+}
+
+// Regression for the TrySerialize deadlock: a party that is itself the
+// primary of another mailbox used to have no way to keep polling while
+// spinning inside TrySerialize, so two parties try-serializing against
+// each other hung in the fallback wait. TrySerializeWith's onWait runs
+// in the heuristic spin AND the fallback loop; a tiny budget forces
+// both sides through the fallback, where the deadlock lived.
+func TestMutualTrySerializeNoDeadlock(t *testing.T) {
+	var ma, mb Mailbox
+	done := make(chan struct{}, 2)
+	go func() { // primary of ma, try-serializes against mb
+		defer ma.Close()
+		for i := 0; i < 200; i++ {
+			mb.TrySerializeWith(1, func() { ma.Poll() })
+		}
+		done <- struct{}{}
+	}()
+	go func() { // primary of mb, try-serializes against ma
+		defer mb.Close()
+		for i := 0; i < 200; i++ {
+			ma.TrySerializeWith(1, func() { mb.Poll() })
+		}
+		done <- struct{}{}
+	}()
+	for i := 0; i < 2; i++ {
+		select {
+		case <-done:
+		case <-time.After(30 * time.Second):
+			t.Fatal("mutual TrySerialize deadlocked")
+		}
+	}
+}
+
+// The heuristic metrics partition TrySerialize outcomes: every round
+// trip is a request, and each is either a heuristic hit or a fallback.
+func TestTrySerializeMetrics(t *testing.T) {
+	var m Mailbox
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				m.Poll()
+			}
+		}
+	}()
+	if !m.TrySerialize(1 << 30) {
+		t.Fatal("heuristic failed despite a polling primary")
+	}
+	close(stop)
+	wg.Wait()
+	if got := m.Metrics.HeuristicHits.Load(); got != 1 {
+		t.Errorf("HeuristicHits = %d, want 1", got)
+	}
+	if got := m.Metrics.HeuristicFallbacks.Load(); got != 0 {
+		t.Errorf("HeuristicFallbacks = %d, want 0", got)
+	}
+
+	// Now force the fallback: no primary until after the budget expires.
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		for !m.Poll() {
+			time.Sleep(time.Millisecond)
+		}
+	}()
+	if m.TrySerialize(1) {
+		t.Fatal("heuristic claimed success with an absent primary")
+	}
+	if got := m.Metrics.HeuristicFallbacks.Load(); got != 1 {
+		t.Errorf("HeuristicFallbacks = %d, want 1", got)
+	}
+	if got := m.Metrics.Requests.Load(); got != 2 {
+		t.Errorf("Requests = %d, want 2", got)
+	}
+	if got := m.Metrics.AckLatency.Count(); got != 2 {
+		t.Errorf("AckLatency count = %d, want 2", got)
+	}
+	s := m.Metrics.Snapshot()
+	if s.Counters["heuristic_hits"] != 1 || s.Counters["heuristic_fallbacks"] != 1 {
+		t.Errorf("snapshot wrong: %+v", s.Counters)
 	}
 }

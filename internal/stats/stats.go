@@ -151,10 +151,17 @@ func (t *Table) String() string {
 		sb.WriteString(t.Title)
 		sb.WriteByte('\n')
 	}
+	// line renders one row against the header widths. Rows are padded or
+	// truncated to the column count, so a ragged AddRow call renders
+	// instead of indexing widths out of range.
 	line := func(cells []string) {
-		for i, c := range cells {
+		for i := range widths {
 			if i > 0 {
 				sb.WriteString("  ")
+			}
+			c := ""
+			if i < len(cells) {
+				c = cells[i]
 			}
 			fmt.Fprintf(&sb, "%-*s", widths[i], c)
 		}
@@ -164,6 +171,11 @@ func (t *Table) String() string {
 	total := 0
 	for _, w := range widths {
 		total += w + 2
+	}
+	// total-2 trims the trailing column gap; clamp for zero-column
+	// tables, where strings.Repeat would otherwise panic on -2.
+	if total < 2 {
+		total = 2
 	}
 	sb.WriteString(strings.Repeat("-", total-2))
 	sb.WriteByte('\n')

@@ -115,3 +115,41 @@ func TestQuickSummarizeBounds(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// Regression: a zero-column table used to panic in String via
+// strings.Repeat("-", total-2) with total == 0.
+func TestTableNoColumns(t *testing.T) {
+	tab := NewTable("Empty")
+	out := tab.String()
+	if !strings.Contains(out, "Empty") {
+		t.Errorf("title missing:\n%s", out)
+	}
+	tab2 := NewTable("")
+	tab2.AddNote("only a note")
+	if out := tab2.String(); !strings.Contains(out, "only a note") {
+		t.Errorf("note missing:\n%s", out)
+	}
+}
+
+// Regression: rows with more cells than columns used to index
+// widths[i] out of range; rows with fewer printed misaligned. Long rows
+// now truncate to the column count and short rows pad with blanks.
+func TestTableRaggedRows(t *testing.T) {
+	tab := NewTable("Ragged", "a", "b")
+	tab.AddRow("x")                 // short: padded
+	tab.AddRow("y", "z", "dropped") // long: truncated
+	out := tab.String()
+	if strings.Contains(out, "dropped") {
+		t.Errorf("overlong cell leaked:\n%s", out)
+	}
+	for _, want := range []string{"x", "y", "z"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// Title, header, rule, and both data rows — nothing extra.
+	if len(lines) != 5 {
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+}

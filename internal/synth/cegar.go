@@ -132,7 +132,10 @@ func Synthesize(prob Problem, opts Options) (*Result, error) {
 		s.bySite[siteKey{site.Thread, site.Instr}] = site
 	}
 	res := s.res
-	defer func() { res.Elapsed = time.Since(start) }()
+	defer func() {
+		res.Elapsed = time.Since(start)
+		res.FillObs()
+	}()
 
 	var (
 		constraints []constraint

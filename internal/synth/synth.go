@@ -51,6 +51,7 @@ import (
 
 	"repro/internal/arch"
 	"repro/internal/litmus"
+	"repro/internal/obs"
 	"repro/internal/tso"
 )
 
@@ -435,6 +436,23 @@ type Result struct {
 	StatesExplored    int
 	Rounds            int
 	Elapsed           time.Duration
+
+	// Obs renders the synthesis counters (plus states/sec across all
+	// verification queries) as an obs snapshot for the bench pipeline.
+	Obs obs.Snapshot
+}
+
+// FillObs populates Obs from the scalar counters; Synthesize calls it on
+// every return path that hands back a Result.
+func (r *Result) FillObs() {
+	r.Obs = obs.Snapshot{}
+	r.Obs.PutCounter("candidates_checked", uint64(r.CandidatesChecked))
+	r.Obs.PutCounter("counterexamples", uint64(r.Counterexamples))
+	r.Obs.PutCounter("cegar_rounds", uint64(r.Rounds))
+	r.Obs.PutCounter("states_explored", uint64(r.StatesExplored))
+	if r.Elapsed > 0 {
+		r.Obs.PutGauge("states_per_sec", float64(r.StatesExplored)/r.Elapsed.Seconds())
+	}
 }
 
 // ErrBudget reports a verification that hit Options.MaxStates; the
