@@ -9,7 +9,10 @@ COUNT ?= 5
 BENCH_SCALE ?= test
 BENCH_BASELINE ?= BENCH_baseline.json
 
-.PHONY: test race bench bench-litmus litmus-json synth bench-json bench-diff
+.PHONY: test race bench bench-litmus litmus-json synth bench-json bench-diff chaos
+
+# Seeds for the chaos fault schedules (comma-separated).
+CHAOS_SEEDS ?= 1,2,3
 
 test:
 	$(GO) build ./... && $(GO) test ./...
@@ -45,6 +48,13 @@ bench-json:
 bench-diff:
 	$(GO) build -o /tmp/benchdiff ./cmd/benchdiff
 	/tmp/benchdiff $(BENCH_BASELINE) $$(ls -v BENCH_[0-9]*.json | tail -1)
+
+# Chaos: seeded fault-injection suites under the race detector, then
+# the chaos experiment (paper invariants under injected stalls, drops,
+# freezes, and a killed primary) across the configured seeds.
+chaos:
+	$(GO) test -race -run 'Chaos|Fault|Stall|Abandon|Watchdog|Close|Starvation|Deadline' ./internal/harness/ ./internal/signals/ ./internal/sched/ ./internal/fault/
+	$(GO) run ./cmd/lbmfbench -exp chaos -scale test -faults $(CHAOS_SEEDS)
 
 # Counterexample-guided fence synthesis over the protocol registry,
 # printing the minimal frontier per problem. The dekker row must show

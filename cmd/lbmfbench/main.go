@@ -8,11 +8,14 @@
 //	lbmfbench -exp fig6b -dur 10s -threads 1,2,4,8,16
 //	lbmfbench -exp dekker,overhead,fig4
 //	lbmfbench -exp all -scale test -bench-json BENCH_1.json
+//	lbmfbench -exp chaos -faults 7,11,13
 //
 // Experiments: dekker (§1 serial slowdown), fig4 (benchmark table),
 // fig5a / fig5b (ACilk-5 vs Cilk-5, serial / parallel), fig6a / fig6b
 // (ARW / ARW+ vs SRW read throughput), overhead (§5 round-trip costs),
-// theorems (Section 4, machine-checked), ablation, packetproc.
+// theorems (Section 4, machine-checked), ablation, packetproc, chaos
+// (paper invariants under seeded fault injection; -faults picks the
+// schedule seeds).
 //
 // -bench-json writes the versioned machine-readable schema that
 // cmd/benchdiff consumes (pass "auto" to pick the next free
@@ -37,13 +40,14 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "comma-separated experiments (dekker|fig4|fig5a|fig5b|fig6a|fig6b|overhead|theorems|ablation|packetproc) or 'all'")
+		exp      = flag.String("exp", "all", "comma-separated experiments (dekker|fig4|fig5a|fig5b|fig6a|fig6b|overhead|theorems|ablation|packetproc|chaos) or 'all'")
 		scale    = flag.String("scale", "small", "workload scale: test|small|medium|paper")
 		reps     = flag.Int("reps", 0, "repetitions per measurement (0 = default)")
 		procs    = flag.Int("procs", 0, "workers for parallel runs (0 = default)")
 		dur      = flag.Duration("dur", 0, "duration per fig6 cell (0 = default)")
 		threads  = flag.String("threads", "", "comma-separated fig6 thread counts")
 		ratios   = flag.String("ratios", "", "comma-separated fig6 read:write ratios")
+		faults   = flag.String("faults", "", "comma-separated chaos fault-schedule seeds")
 		swMode   = flag.Bool("sw", true, "use the software-prototype cost profile for asymmetric runs (false = projected LE/ST hardware)")
 		jsonOut  = flag.String("json", "", "write legacy per-experiment detail JSON to this file")
 		benchOut = flag.String("bench-json", "", "write versioned bench schema to this file ('auto' = next free BENCH_<n>.json)")
@@ -78,6 +82,9 @@ func main() {
 	if *ratios != "" {
 		opt.ReadWriteRatios = parseInts(*ratios)
 	}
+	if *faults != "" {
+		opt.FaultSeeds = parseSeeds(*faults)
+	}
 	asymMode := core.ModeAsymmetricSW
 	if !*swMode {
 		asymMode = core.ModeAsymmetricHW
@@ -92,9 +99,10 @@ func main() {
 
 	start := time.Now()
 	theoremsFailed := false
+	chaosFailed := false
 	for _, name := range names {
 		ran, err := bench.RunExperiment(name, opt, asymMode)
-		if err != nil && !errors.Is(err, bench.ErrTheoremsFailed) {
+		if err != nil && !errors.Is(err, bench.ErrTheoremsFailed) && !errors.Is(err, bench.ErrChaosFailed) {
 			fatal("%v", err)
 		}
 		for _, t := range ran.Tables {
@@ -104,6 +112,9 @@ func main() {
 		file.Experiments[name] = ran.Exp
 		if errors.Is(err, bench.ErrTheoremsFailed) {
 			theoremsFailed = true
+		}
+		if errors.Is(err, bench.ErrChaosFailed) {
+			chaosFailed = true
 		}
 	}
 	file.ElapsedSeconds = time.Since(start).Seconds()
@@ -125,6 +136,9 @@ func main() {
 	}
 	if theoremsFailed {
 		fatal("theorem checks FAILED")
+	}
+	if chaosFailed {
+		fatal("chaos invariants FAILED")
 	}
 	fmt.Printf("total: %v\n", time.Since(start).Round(time.Millisecond))
 }
@@ -171,6 +185,18 @@ func nextBenchFile() string {
 			return path
 		}
 	}
+}
+
+func parseSeeds(s string) []uint64 {
+	var out []uint64
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.ParseUint(strings.TrimSpace(part), 10, 64)
+		if err != nil {
+			fatal("bad seed list %q: %v", s, err)
+		}
+		out = append(out, v)
+	}
+	return out
 }
 
 func parseInts(s string) []int {

@@ -15,7 +15,7 @@ import (
 var Names = []string{
 	"theorems", "dekker", "overhead", "fig4",
 	"fig5a", "fig5b", "fig6a", "fig6b",
-	"ablation", "packetproc",
+	"ablation", "packetproc", "chaos",
 }
 
 // Known reports whether name is a runnable experiment.
@@ -39,6 +39,11 @@ type Ran struct {
 // did not all pass. The Ran alongside it is still complete, so callers
 // can print the failing table before exiting non-zero.
 var ErrTheoremsFailed = fmt.Errorf("bench: theorem checks failed")
+
+// ErrChaosFailed marks a chaos run that broke a paper invariant under
+// an injected fault schedule. As with ErrTheoremsFailed the Ran is
+// complete, so the failing table still prints.
+var ErrChaosFailed = fmt.Errorf("bench: chaos invariants violated")
 
 // metricKey flattens a label into a metric key segment.
 func metricKey(s string) string {
@@ -172,6 +177,35 @@ func RunExperiment(name string, opt harness.Options, asymMode core.Mode) (*Ran, 
 			e.putMetric("speedup_hw/"+k, row.SpeedupHW, "ratio", true)
 		}
 		ran.Tables = append(ran.Tables, res.Table())
+
+	case "chaos":
+		res, rerr := harness.RunChaos(opt)
+		if rerr != nil {
+			return nil, rerr
+		}
+		e.Detail = res
+		e.setObs(res.Obs)
+		pass := 0.0
+		if res.AllPass() {
+			pass = 1
+		}
+		var violations, trips, abandons float64
+		for _, row := range res.Rows {
+			violations += float64(row.Violations)
+			trips += float64(row.WatchdogTrips)
+			abandons += float64(row.StealAbandons)
+		}
+		e.putMetric("all_pass", pass, "", true)
+		e.putMetric("violations_total", violations, "count", false)
+		e.putMetric("watchdog_trips_total", trips, "count", false)
+		e.putMetric("steal_abandons_total", abandons, "count", false)
+		// The guarded number: primary poll cost with fault hooks
+		// compiled in but disarmed.
+		e.putMetric("poll_fastpath_ns", res.PollFastPathNs, "ns", false)
+		ran.Tables = append(ran.Tables, res.Table())
+		if !res.AllPass() {
+			err = ErrChaosFailed
+		}
 
 	default:
 		return nil, fmt.Errorf("bench: unknown experiment %q", name)

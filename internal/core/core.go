@@ -41,9 +41,11 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sync/atomic"
 
+	"repro/internal/fault"
 	"repro/internal/obs"
 	"repro/internal/signals"
 )
@@ -205,6 +207,24 @@ func (f *LocationFence) Poll() bool {
 // Serialize callers.
 func (f *LocationFence) Close() { f.mbox.Close() }
 
+// SetFaults arms a fault-injection schedule on the fence's mailbox
+// (nil disarms). Configure before the protocol runs.
+func (f *LocationFence) SetFaults(in *fault.Injector) { f.mbox.Faults = in }
+
+// SetWaitPolicy shapes the secondaries' wait loops and, via a non-zero
+// Deadline, arms the no-progress watchdog. Configure before the
+// protocol runs.
+func (f *LocationFence) SetWaitPolicy(p signals.WaitPolicy) { f.mbox.Wait = p }
+
+// SetName labels the fence's mailbox in blocked-wait-graph reports.
+func (f *LocationFence) SetName(name string) { f.mbox.Name = name }
+
+// Suspect reports whether the watchdog has declared the primary dead.
+func (f *LocationFence) Suspect() bool { return f.mbox.Suspect() }
+
+// Revive lifts a watchdog death sentence (see signals.Mailbox.Revive).
+func (f *LocationFence) Revive() { f.mbox.Revive() }
+
 // Serialize is the secondary-side operation: after it returns, every
 // guarded store the primary issued before its acknowledging poll is
 // visible to the caller. In symmetric mode it is free — the primary
@@ -225,6 +245,17 @@ func (f *LocationFence) SerializeWith(onWait func()) {
 		return
 	}
 	f.mbox.SerializeWith(onWait)
+}
+
+// SerializeWithContext is SerializeWith with the degraded-mode error
+// path: nil once the primary serialized (or was already gone),
+// signals.ErrStalled when the watchdog declares it dead, or the
+// context's error. Symmetric modes never wait, so they never fail.
+func (f *LocationFence) SerializeWithContext(ctx context.Context, onWait func()) error {
+	if !f.mode.Asymmetric() {
+		return nil
+	}
+	return f.mbox.SerializeWithContext(ctx, onWait)
 }
 
 // TrySerialize is Serialize with the ARW+ waiting heuristic: spin up to

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"runtime"
 	"sync/atomic"
 
@@ -41,11 +42,15 @@ type Dekker struct {
 }
 
 func (d *Dekker) secLock(onWait func()) {
+	if d.secMu.CompareAndSwap(0, 1) {
+		return
+	}
+	b := signals.NewBackoff(signals.WaitPolicy{})
 	for !d.secMu.CompareAndSwap(0, 1) {
 		if onWait != nil {
 			onWait()
 		}
-		runtime.Gosched()
+		b.Pause()
 	}
 }
 
@@ -130,12 +135,59 @@ func (d *Dekker) SecondaryEnterWith(onWait func()) {
 		}
 		// Conflict: the biased protocol retreats the secondary.
 		d.l2.Store(0)
+		b := signals.NewBackoff(signals.WaitPolicy{})
 		for d.l1.Load() != 0 {
 			if onWait != nil {
 				onWait()
 			}
-			runtime.Gosched()
+			b.Pause()
 		}
+	}
+}
+
+// SecondaryEnterContext is SecondaryEnterWith with the degraded-mode
+// error path: if the serialization round trip fails — the watchdog
+// declared the primary dead, or ctx ended — the secondary retreats
+// fully (flag lowered, competition lock released) and returns the
+// error, instead of hanging on a primary that will never poll. A
+// primary that died with its flag down leaves the critical section
+// enterable: the vacuous serialization observes l1 == 0 and the
+// secondary proceeds, which is the recovery path the chaos harness
+// exercises.
+func (d *Dekker) SecondaryEnterContext(ctx context.Context, onWait func()) error {
+	d.secLock(onWait)
+	b := signals.NewBackoff(signals.WaitPolicy{})
+	for {
+		d.l2.Store(1)
+		d.secFence()
+		if err := d.fence.SerializeWithContext(ctx, onWait); err != nil {
+			if err == signals.ErrStalled && d.l1.Load() == 0 {
+				// Vacuous serialization: the primary is gone and its
+				// flag is down; the protocol degrades to an uncontended
+				// entry.
+				return nil
+			}
+			d.l2.Store(0)
+			d.secUnlock()
+			return err
+		}
+		if d.l1.Load() == 0 {
+			return nil // in CS; secMu held until SecondaryExit
+		}
+		d.l2.Store(0)
+		for d.l1.Load() != 0 {
+			if ctx != nil {
+				if err := ctx.Err(); err != nil {
+					d.secUnlock()
+					return err
+				}
+			}
+			if onWait != nil {
+				onWait()
+			}
+			b.Pause()
+		}
+		b.Reset()
 	}
 }
 

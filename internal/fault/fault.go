@@ -1,0 +1,225 @@
+// Package fault is the repository's deterministic fault-injection layer.
+// Subsystems that carry the signal-based l-mfence runtime — the signals
+// mailbox, the rwlock writer protocol, the work-stealing deques, and the
+// Dekker core — expose named hook points on their request-handling slow
+// paths. An Injector armed at a hook point can stall the party that
+// reached it (scheduler yields, never wall-clock sleeps) or drop the
+// hooked operation outright (a primary "missing" a scheduled poll
+// point, a reader "forgetting" to acknowledge writer intent).
+//
+// Decisions are deterministic: whether the n-th arrival at a point
+// fires is a pure function of (seed, point, n), so a fault schedule is
+// reproducible from its seed alone — the property the chaos harness
+// (internal/harness, -exp chaos) relies on to replay failures. The
+// goroutine interleaving around the faults still varies run to run;
+// the schedule of which hook arrivals misbehave does not.
+//
+// Cost discipline: an unset injector must be free. Every hook site
+// guards itself with Injector.At, whose nil/unarmed fast path is a
+// pointer test plus one bounds-checked bool load and inlines into the
+// caller; hot paths that never take a slow branch (Mailbox.Poll with no
+// request pending) carry no hook at all, which is what keeps
+// BenchmarkPoll at its 1.5-1.7 ns/op baseline with fault support
+// compiled in.
+package fault
+
+import (
+	"fmt"
+	"runtime"
+	"sync/atomic"
+
+	"repro/internal/obs"
+)
+
+// Point names one hook site in the runtime.
+type Point uint8
+
+const (
+	// MailboxHandle fires on the primary's Poll slow path, after it has
+	// observed a pending request and before it serializes — the window
+	// in which a stalled primary leaves secondaries waiting.
+	MailboxHandle Point = iota
+	// MailboxAck fires immediately before the primary's acknowledging
+	// store, delaying ack visibility relative to the serialization.
+	MailboxAck
+	// MailboxWait fires on a secondary's wait iteration (Serialize /
+	// TrySerialize loops), perturbing the waiters' relative order.
+	MailboxWait
+	// DequePoll fires on a deque owner's poll slow path (steal request
+	// pending); Drop makes the owner skip the scheduled poll point.
+	DequePoll
+	// DequeSteal fires on the thief's side between posting a steal
+	// request and waiting for the answer — a frozen-mid-steal worker.
+	DequeSteal
+	// LockAck fires at an rwlock reader's poll point (ackIntent); Drop
+	// makes the reader stay silent so the ARW+ writer must signal it.
+	LockAck
+	// LockWriterWait fires on the rwlock writer's per-reader wait loop.
+	LockWriterWait
+
+	// NumPoints bounds the Point space.
+	NumPoints
+)
+
+var pointNames = [NumPoints]string{
+	"mailbox_handle", "mailbox_ack", "mailbox_wait",
+	"deque_poll", "deque_steal", "lock_ack", "lock_writer_wait",
+}
+
+func (p Point) String() string {
+	if p < NumPoints {
+		return pointNames[p]
+	}
+	return fmt.Sprintf("Point(%d)", uint8(p))
+}
+
+// Plan configures the behaviour of one armed hook point.
+type Plan struct {
+	// Prob is the per-arrival firing probability in [0, 1], evaluated
+	// deterministically from (seed, point, arrival index). 1 fires on
+	// every arrival.
+	Prob float64
+	// StallYields is how many scheduler yields the arriving party
+	// executes when the plan fires — delays are counted in scheduling
+	// opportunities, not wall-clock time, so schedules stay meaningful
+	// under -race and on loaded machines. Large values model a frozen
+	// party.
+	StallYields int
+	// Drop reports the fire to the hook site as "skip the hooked
+	// operation" (miss the poll point, swallow the ack).
+	Drop bool
+	// MaxFires caps the total number of fires at this point (0 = no
+	// cap). Use it to inject a bounded burst and then restore healthy
+	// behaviour, which is what recovery tests need.
+	MaxFires uint64
+}
+
+// Injector is one seeded fault schedule. Arm it per point before the
+// run starts; hook sites call At concurrently afterwards. A nil
+// *Injector is valid everywhere and never fires.
+type Injector struct {
+	seed  uint64
+	armed [NumPoints]bool
+	plans [NumPoints]Plan
+	// thresh is the precomputed fire threshold for the mixed arrival
+	// hash (Prob scaled to the full uint64 range).
+	thresh [NumPoints]uint64
+
+	arrivals [NumPoints]atomic.Uint64
+	fires    [NumPoints]atomic.Uint64
+	drops    [NumPoints]atomic.Uint64
+}
+
+// New builds an injector for one seed. The same seed and the same
+// arming produce the same fault schedule.
+func New(seed uint64) *Injector { return &Injector{seed: seed} }
+
+// Seed reports the injector's seed, for run provenance.
+func (in *Injector) Seed() uint64 {
+	if in == nil {
+		return 0
+	}
+	return in.seed
+}
+
+// Arm installs a plan at a point. Arm is not safe to call concurrently
+// with At: configure the schedule before the run starts.
+func (in *Injector) Arm(p Point, plan Plan) {
+	if p >= NumPoints {
+		panic(fmt.Sprintf("fault: Arm(%v) out of range", p))
+	}
+	if plan.Prob < 0 {
+		plan.Prob = 0
+	}
+	if plan.Prob > 1 {
+		plan.Prob = 1
+	}
+	in.plans[p] = plan
+	switch plan.Prob {
+	case 1:
+		in.thresh[p] = ^uint64(0)
+	default:
+		in.thresh[p] = uint64(plan.Prob * float64(1<<63) * 2)
+	}
+	in.armed[p] = plan.Prob > 0
+}
+
+// At is the hook entry. It reports whether the hooked operation should
+// be dropped; any configured stall has already been executed inline
+// when it returns. The unarmed path is the hot one — keep it a pointer
+// test and a bool load so it inlines into every hook site.
+func (in *Injector) At(p Point) bool {
+	if in == nil || !in.armed[p] {
+		return false
+	}
+	return in.fire(p)
+}
+
+// fire decides and executes one armed arrival. Out-of-line: only the
+// chaos schedules pay for it.
+//
+//go:noinline
+func (in *Injector) fire(p Point) bool {
+	n := in.arrivals[p].Add(1)
+	if mix(in.seed, uint64(p), n) > in.thresh[p] {
+		return false
+	}
+	plan := in.plans[p]
+	if f := in.fires[p].Add(1); plan.MaxFires > 0 && f > plan.MaxFires {
+		in.fires[p].Add(^uint64(0)) // undo: the cap was already spent
+		return false
+	}
+	for i := 0; i < plan.StallYields; i++ {
+		runtime.Gosched()
+	}
+	if plan.Drop {
+		in.drops[p].Add(1)
+		return true
+	}
+	return false
+}
+
+// mix is splitmix64 over the (seed, point, arrival) triple.
+func mix(seed, p, n uint64) uint64 {
+	z := seed ^ (p << 56) ^ (n * 0x9e3779b97f4a7c15)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Fires reports how many arrivals at p have fired.
+func (in *Injector) Fires(p Point) uint64 {
+	if in == nil {
+		return 0
+	}
+	return in.fires[p].Load()
+}
+
+// Arrivals reports how many times p has been reached.
+func (in *Injector) Arrivals(p Point) uint64 {
+	if in == nil {
+		return 0
+	}
+	return in.arrivals[p].Load()
+}
+
+// Snapshot captures per-point arrival/fire/drop counts for the bench
+// pipeline. Unarmed, unvisited points are omitted.
+func (in *Injector) Snapshot() obs.Snapshot {
+	var s obs.Snapshot
+	if in == nil {
+		return s
+	}
+	for p := Point(0); p < NumPoints; p++ {
+		a := in.arrivals[p].Load()
+		if a == 0 {
+			continue
+		}
+		s.PutCounter("fault_arrivals/"+p.String(), a)
+		s.PutCounter("fault_fires/"+p.String(), in.fires[p].Load())
+		if d := in.drops[p].Load(); d > 0 {
+			s.PutCounter("fault_drops/"+p.String(), d)
+		}
+	}
+	return s
+}

@@ -1,0 +1,172 @@
+package fault
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestNilInjectorNeverFires(t *testing.T) {
+	var in *Injector
+	for p := Point(0); p < NumPoints; p++ {
+		if in.At(p) {
+			t.Fatalf("nil injector fired at %v", p)
+		}
+	}
+	if in.Seed() != 0 || in.Fires(MailboxHandle) != 0 || in.Arrivals(MailboxHandle) != 0 {
+		t.Error("nil injector reported non-zero state")
+	}
+	if !in.Snapshot().Empty() {
+		t.Error("nil injector snapshot not empty")
+	}
+}
+
+func TestUnarmedPointNeverFires(t *testing.T) {
+	in := New(42)
+	in.Arm(MailboxAck, Plan{Prob: 1, Drop: true})
+	for i := 0; i < 100; i++ {
+		if in.At(MailboxHandle) {
+			t.Fatal("unarmed point fired")
+		}
+	}
+	if in.Arrivals(MailboxHandle) != 0 {
+		t.Error("unarmed point counted arrivals")
+	}
+}
+
+func TestDeterministicSchedule(t *testing.T) {
+	run := func(seed uint64) []bool {
+		in := New(seed)
+		in.Arm(DequePoll, Plan{Prob: 0.3, Drop: true})
+		out := make([]bool, 200)
+		for i := range out {
+			out[i] = in.At(DequePoll)
+		}
+		return out
+	}
+	a, b := run(7), run(7)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at arrival %d", i)
+		}
+	}
+	c := run(8)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("seeds 7 and 8 produced identical 200-arrival schedules")
+	}
+}
+
+func TestProbExtremes(t *testing.T) {
+	in := New(1)
+	in.Arm(LockAck, Plan{Prob: 1, Drop: true})
+	for i := 0; i < 50; i++ {
+		if !in.At(LockAck) {
+			t.Fatal("Prob=1 did not fire")
+		}
+	}
+	in2 := New(1)
+	in2.Arm(LockAck, Plan{Prob: 0, Drop: true})
+	for i := 0; i < 50; i++ {
+		if in2.At(LockAck) {
+			t.Fatal("Prob=0 fired")
+		}
+	}
+}
+
+func TestProbRoughlyCalibrated(t *testing.T) {
+	in := New(99)
+	in.Arm(MailboxWait, Plan{Prob: 0.5, Drop: true})
+	const n = 10_000
+	hits := 0
+	for i := 0; i < n; i++ {
+		if in.At(MailboxWait) {
+			hits++
+		}
+	}
+	if hits < n/3 || hits > 2*n/3 {
+		t.Errorf("Prob=0.5 fired %d/%d times", hits, n)
+	}
+}
+
+func TestMaxFiresCapsBurst(t *testing.T) {
+	in := New(3)
+	in.Arm(MailboxHandle, Plan{Prob: 1, Drop: true, MaxFires: 5})
+	drops := 0
+	for i := 0; i < 100; i++ {
+		if in.At(MailboxHandle) {
+			drops++
+		}
+	}
+	if drops != 5 {
+		t.Errorf("MaxFires=5 dropped %d operations", drops)
+	}
+	if got := in.Fires(MailboxHandle); got != 5 {
+		t.Errorf("Fires = %d, want 5", got)
+	}
+	if got := in.Arrivals(MailboxHandle); got != 100 {
+		t.Errorf("Arrivals = %d, want 100", got)
+	}
+}
+
+func TestStallYieldsExecuteWithoutDrop(t *testing.T) {
+	in := New(5)
+	in.Arm(DequeSteal, Plan{Prob: 1, StallYields: 3})
+	if in.At(DequeSteal) {
+		t.Error("stall-only plan reported a drop")
+	}
+	if in.Fires(DequeSteal) != 1 {
+		t.Error("stall did not count as a fire")
+	}
+}
+
+func TestConcurrentAtIsSafe(t *testing.T) {
+	in := New(11)
+	in.Arm(MailboxWait, Plan{Prob: 0.5, Drop: true, MaxFires: 1000})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 2000; i++ {
+				in.At(MailboxWait)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := in.Arrivals(MailboxWait); got != 16_000 {
+		t.Errorf("arrivals = %d, want 16000", got)
+	}
+	if fires := in.Fires(MailboxWait); fires > 1001 {
+		t.Errorf("fires = %d, exceeded MaxFires beyond the transient", fires)
+	}
+}
+
+func TestSnapshotNames(t *testing.T) {
+	in := New(21)
+	in.Arm(LockAck, Plan{Prob: 1, Drop: true})
+	in.At(LockAck)
+	s := in.Snapshot()
+	if s.Counters["fault_arrivals/lock_ack"] != 1 || s.Counters["fault_fires/lock_ack"] != 1 {
+		t.Errorf("snapshot counters wrong: %+v", s.Counters)
+	}
+	if s.Counters["fault_drops/lock_ack"] != 1 {
+		t.Errorf("drop not counted: %+v", s.Counters)
+	}
+}
+
+func TestPointString(t *testing.T) {
+	seen := map[string]bool{}
+	for p := Point(0); p < NumPoints; p++ {
+		n := p.String()
+		if n == "" || seen[n] {
+			t.Errorf("point %d has empty or duplicate name %q", p, n)
+		}
+		seen[n] = true
+	}
+}

@@ -1,0 +1,59 @@
+package harness
+
+import (
+	"testing"
+	"time"
+)
+
+// TestChaosInvariantsAcrossSeeds is the acceptance gate: every protocol
+// family holds the paper's invariants under three fixed fault seeds,
+// and the killed-primary run is detected by the watchdog with every
+// blocked secondary recovering.
+func TestChaosInvariantsAcrossSeeds(t *testing.T) {
+	opt := QuickDefaults()
+	opt.FaultSeeds = []uint64{1, 2, 3}
+	res, err := RunChaos(opt)
+	if err != nil {
+		t.Fatalf("RunChaos: %v", err)
+	}
+	if want := len(opt.FaultSeeds) * 5; len(res.Rows) != want {
+		t.Fatalf("rows = %d, want %d", len(res.Rows), want)
+	}
+	for _, row := range res.Rows {
+		if !row.Pass {
+			t.Errorf("seed %d %s: FAIL (%s)", row.Seed, row.Protocol, row.Detail)
+		}
+		if row.Violations != 0 {
+			t.Errorf("seed %d %s: %d invariant violations", row.Seed, row.Protocol, row.Violations)
+		}
+		if row.Recovered != row.Entries {
+			t.Errorf("seed %d %s: %d/%d entries completed (lost wakeup?)",
+				row.Seed, row.Protocol, row.Recovered, row.Entries)
+		}
+		if row.Protocol == "dekker-kill" {
+			if row.WatchdogTrips < 1 {
+				t.Errorf("seed %d dekker-kill: watchdog never tripped", row.Seed)
+			}
+			if row.RecoverNs <= 0 {
+				t.Errorf("seed %d dekker-kill: no recovery latency recorded", row.Seed)
+			}
+			// Detection costs one watchdog deadline (25ms); everything
+			// past that is draining, which is fast once the mailbox is
+			// suspect. The bound is generous for CI noise.
+			if got := time.Duration(row.RecoverNs); got > 2*time.Second {
+				t.Errorf("seed %d dekker-kill: recovery took %v", row.Seed, got)
+			}
+		}
+	}
+	if res.PollFastPathNs <= 0 {
+		t.Fatalf("poll fast path not measured")
+	}
+	for _, key := range []string{"watchdog_trips", "fault_fires", "steal_abandons"} {
+		if _, ok := res.Obs.Counters[key]; !ok {
+			t.Errorf("obs snapshot missing %q", key)
+		}
+	}
+	if testing.Verbose() {
+		t.Log("\n" + res.Table().String())
+	}
+}

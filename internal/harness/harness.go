@@ -36,6 +36,10 @@ type Options struct {
 	Cost core.CostProfile
 	// DekkerIters is the loop count for the serial Dekker experiments.
 	DekkerIters int
+	// FaultSeeds are the deterministic fault-schedule seeds the chaos
+	// experiment sweeps; each seed fully determines which hook points
+	// fire (see internal/fault).
+	FaultSeeds []uint64
 }
 
 // Defaults returns experiment options sized for a real measurement run
@@ -55,6 +59,7 @@ func Defaults() Options {
 		CellDuration:    300 * time.Millisecond,
 		Cost:            core.DefaultCosts(),
 		DekkerIters:     200_000,
+		FaultSeeds:      []uint64{1, 2, 3},
 	}
 }
 
@@ -70,5 +75,6 @@ func QuickDefaults() Options {
 		CellDuration:    30 * time.Millisecond,
 		Cost:            core.DefaultCosts(),
 		DekkerIters:     20_000,
+		FaultSeeds:      []uint64{1, 2, 3},
 	}
 }

@@ -26,6 +26,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/fault"
 	"repro/internal/obs"
 	"repro/internal/signals"
 )
@@ -44,6 +45,18 @@ type Stats struct {
 	AcksInTime  obs.Counter // readers satisfied within the heuristic window
 	Retreats    obs.Counter // reader conflict retreats
 
+	// BackoffParks counts parked sleeps taken by waiting parties
+	// (writers waiting out readers, readers retreating before writer
+	// intent) after their spin and yield phases ran dry.
+	BackoffParks obs.Counter
+	// WatchdogTrips counts writer-side no-progress deadlines expiring
+	// while waiting on a single reader; StallNs records the stall
+	// lengths. The writer keeps waiting — abandoning a reader that
+	// still holds its read section would break mutual exclusion — but
+	// the trip makes the stall observable.
+	WatchdogTrips obs.Counter
+	StallNs       obs.Histogram
+
 	// WriteWait is the writer-side wait latency: intent published to all
 	// readers quiesced (heuristic spin and signal round trips included).
 	WriteWait obs.Histogram
@@ -57,6 +70,9 @@ func (s *Stats) Snapshot() obs.Snapshot {
 	out.Counter("signals_sent", &s.SignalsSent)
 	out.Counter("acks_in_time", &s.AcksInTime)
 	out.Counter("retreats", &s.Retreats)
+	out.Counter("backoff_parks", &s.BackoffParks)
+	out.Counter("watchdog_trips", &s.WatchdogTrips)
+	out.Histogram("stall_ns", &s.StallNs)
 	out.Histogram("write_wait_ns", &s.WriteWait)
 	return out
 }
@@ -79,6 +95,8 @@ type Lock struct {
 	cost      core.CostProfile
 	heuristic bool
 	budget    int
+	wait      signals.WaitPolicy
+	faults    *fault.Injector
 
 	intent atomic.Int32  // a writer wants (or holds) the lock
 	epoch  atomic.Uint64 // write-lock generation, for acknowledgements
@@ -110,6 +128,18 @@ func WithWaitingHeuristic(budget int) Option {
 		}
 		l.budget = budget
 	}
+}
+
+// WithWaitPolicy shapes the lock's wait loops (spin → yield → capped
+// parks) and, via a non-zero Deadline, arms the writer-side watchdog.
+func WithWaitPolicy(p signals.WaitPolicy) Option {
+	return func(l *Lock) { l.wait = p }
+}
+
+// WithFaults arms a fault-injection schedule on the lock's hook points
+// (reader poll drops, writer wait stalls). nil disarms.
+func WithFaults(in *fault.Injector) Option {
+	return func(l *Lock) { l.faults = in }
 }
 
 // New builds a lock. ModeSymmetric yields the SRW baseline;
@@ -172,6 +202,13 @@ func (r *Reader) ackIntent() {
 	if l.intent.Load() == 0 {
 		return
 	}
+	// Injected drop: the reader "misses" this poll point and stays
+	// silent, forcing the ARW+ writer to exhaust its heuristic budget
+	// and signal. Below the intent check, so the hook never taxes the
+	// no-writer fast path.
+	if l.faults.At(fault.LockAck) {
+		return
+	}
 	e := l.epoch.Load()
 	if r.s.ackEpoch.Load() != e {
 		r.s.ackEpoch.Store(e)
@@ -196,8 +233,11 @@ func (r *Reader) Lock() {
 		r.s.state.Store(0)
 		r.ackIntent()
 		l.Stats.Retreats.Add(1)
+		b := signals.NewBackoff(l.wait)
 		for l.intent.Load() != 0 {
-			runtime.Gosched()
+			if b.Pause() {
+				l.Stats.BackoffParks.Add(1)
+			}
 		}
 	}
 }
@@ -257,8 +297,33 @@ func (l *Lock) waitEach(slots []*slot, self *slot) {
 			signals.Spin(delay) // deliver the "signal"
 			l.Stats.SignalsSent.Add(1)
 		}
-		for s.state.Load() != 0 {
-			runtime.Gosched()
+		l.waitReader(s)
+	}
+}
+
+// waitReader waits out one reader's read section with backoff and the
+// writer-side watchdog: past the deadline with no state change the trip
+// is counted and the stall recorded, but the wait continues —
+// abandoning a reader that still holds its section would break mutual
+// exclusion, so degradation here is observability, not escape.
+func (l *Lock) waitReader(s *slot) {
+	if s.state.Load() == 0 {
+		return
+	}
+	b := signals.NewBackoff(l.wait)
+	start := time.Now()
+	tripped := false
+	for s.state.Load() != 0 {
+		l.faults.At(fault.LockWriterWait)
+		if b.Pause() {
+			l.Stats.BackoffParks.Add(1)
+			if d := l.wait.Deadline; d > 0 && !tripped {
+				if stall := time.Since(start); stall > d {
+					l.Stats.WatchdogTrips.Add(1)
+					l.Stats.StallNs.Observe(stall.Nanoseconds())
+					tripped = true
+				}
+			}
 		}
 	}
 }
@@ -307,8 +372,21 @@ func (l *Lock) waitHeuristic(slots []*slot, self *slot) {
 			signals.Spin(delay)
 			l.Stats.SignalsSent.Add(1)
 		}
+		b := signals.NewBackoff(l.wait)
+		start := time.Now()
+		tripped := false
 		for !satisfied(s) {
-			runtime.Gosched()
+			l.faults.At(fault.LockWriterWait)
+			if b.Pause() {
+				l.Stats.BackoffParks.Add(1)
+				if d := l.wait.Deadline; d > 0 && !tripped {
+					if stall := time.Since(start); stall > d {
+						l.Stats.WatchdogTrips.Add(1)
+						l.Stats.StallNs.Observe(stall.Nanoseconds())
+						tripped = true
+					}
+				}
+			}
 		}
 	}
 }

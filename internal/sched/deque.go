@@ -25,10 +25,11 @@ package sched
 
 import (
 	"fmt"
-	"runtime"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/core"
+	"repro/internal/fault"
 	"repro/internal/signals"
 )
 
@@ -164,17 +165,23 @@ func (d *symDeque) close()    {}
 func (d *symDeque) size() int { return int(d.tail.Load() - d.head.Load()) }
 
 // spinLock is a tiny test-and-set lock; THE's conflict path is short and
-// rare, and a futex-style mutex would distort the modelled costs.
+// rare, and a futex-style mutex would distort the modelled costs. The
+// contended path backs off (spin → yield → capped parks) so a pile-up
+// of thieves does not burn a core each.
 type spinLock struct{ v atomic.Int32 }
 
 func (l *spinLock) lock() { l.lockWith(nil) }
 
 func (l *spinLock) lockWith(onWait func()) {
+	if l.v.CompareAndSwap(0, 1) {
+		return
+	}
+	b := signals.NewBackoff(signals.WaitPolicy{})
 	for !l.v.CompareAndSwap(0, 1) {
 		if onWait != nil {
 			onWait()
 		}
-		runtime.Gosched()
+		b.Pause()
 	}
 }
 
@@ -209,6 +216,21 @@ type asymDeque struct {
 	closed atomic.Bool // owner departed: steals fail fast
 
 	thiefMu spinLock // thieves compete for the victim, one at a time
+
+	// orphan is a posted steal request whose thief gave up waiting
+	// (watchdog deadline, injected freeze). It is read and written only
+	// under thiefMu. The next thief adopts it instead of posting a new
+	// request, so the task the victim pops for an abandoned request is
+	// handed on rather than lost — abandonment must never break the
+	// no-lost-wakeups invariant.
+	orphan uint64
+
+	// wait shapes the thief-side ack wait; wait.Deadline arms the
+	// watchdog that lets a thief give up on a frozen victim.
+	wait signals.WaitPolicy
+	// faults is the optional fault-injection schedule (nil in
+	// production).
+	faults *fault.Injector
 
 	// Delays model the communication cost of the serialization round
 	// trip: requesterDelay on the thief per steal, handlerDelay on the
@@ -267,6 +289,12 @@ func (d *asymDeque) poll() {
 	if r == d.ack.Load() {
 		return
 	}
+	// Below the fast-path branch: the hook costs a nil test, and only
+	// when a steal request is pending. A drop makes the owner miss this
+	// scheduled poll point; the request stays pending for the next one.
+	if d.faults.At(fault.DequePoll) {
+		return
+	}
 	if d.handlerDelay > 0 {
 		signals.Spin(d.handlerDelay)
 	}
@@ -289,11 +317,29 @@ func (d *asymDeque) stealTop(onWait func()) *task {
 	if d.closed.Load() {
 		return nil
 	}
-	if d.requesterDelay > 0 {
-		signals.Spin(d.requesterDelay)
+	var e uint64
+	if d.orphan != 0 {
+		// Adopt the request a previous thief abandoned: the victim
+		// will (or already did) answer that epoch; posting a fresh
+		// request would strand its response task.
+		e = d.orphan
+	} else {
+		if d.requesterDelay > 0 {
+			signals.Spin(d.requesterDelay)
+		}
+		e = d.req.Add(1)
+		d.stats.Signals++
 	}
-	e := d.req.Add(1)
-	d.stats.Signals++
+	// Injected mid-steal fault: the thief freezes here, after the
+	// request is posted and while it holds the thief lock; a Drop
+	// additionally makes it give up the wait entirely.
+	if d.faults.At(fault.DequeSteal) {
+		d.orphan = e
+		d.stats.StealAbandons++
+		return nil
+	}
+	b := signals.NewBackoff(d.wait)
+	var start time.Time
 	for d.ack.Load() < e {
 		if d.closed.Load() {
 			return nil
@@ -301,8 +347,24 @@ func (d *asymDeque) stealTop(onWait func()) *task {
 		if onWait != nil {
 			onWait()
 		}
-		runtime.Gosched()
+		if b.Pause() {
+			d.stats.BackoffParks++
+			if dl := b.Policy().Deadline; dl > 0 {
+				if start.IsZero() {
+					start = time.Now()
+				} else if stall := time.Since(start); stall > dl {
+					// Watchdog: the victim shows no progress; give up
+					// on it and leave the request for adoption so its
+					// eventual answer is not lost.
+					d.orphan = e
+					d.stats.WatchdogTrips++
+					d.stats.StealAbandons++
+					return nil
+				}
+			}
+		}
 	}
+	d.orphan = 0
 	return d.resp
 }
 

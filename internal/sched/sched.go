@@ -2,12 +2,13 @@ package sched
 
 import (
 	"fmt"
-	"runtime"
 	"sync"
 	"sync/atomic"
 
 	"repro/internal/core"
+	"repro/internal/fault"
 	"repro/internal/obs"
+	"repro/internal/signals"
 )
 
 // WorkerStats counts scheduling events on one worker. Fields are written
@@ -22,6 +23,9 @@ type WorkerStats struct {
 	StealsServed  uint64 // requests this worker answered as a victim
 	Fences        uint64 // program-based fences executed (sym deques)
 	Conflicts     uint64 // deque conflicts: THE pops that took the lock
+	BackoffParks  uint64 // parked sleeps taken while idle or waiting to steal
+	WatchdogTrips uint64 // steal waits abandoned past the no-progress deadline
+	StealAbandons uint64 // steal requests left for adoption (freeze or watchdog)
 }
 
 func (s WorkerStats) add(o WorkerStats) WorkerStats {
@@ -33,6 +37,9 @@ func (s WorkerStats) add(o WorkerStats) WorkerStats {
 	s.StealsServed += o.StealsServed
 	s.Fences += o.Fences
 	s.Conflicts += o.Conflicts
+	s.BackoffParks += o.BackoffParks
+	s.WatchdogTrips += o.WatchdogTrips
+	s.StealAbandons += o.StealAbandons
 	return s
 }
 
@@ -50,6 +57,9 @@ func (s WorkerStats) Snapshot() obs.Snapshot {
 	out.PutCounter("steals_served", s.StealsServed)
 	out.PutCounter("fences", s.Fences)
 	out.PutCounter("deque_conflicts", s.Conflicts)
+	out.PutCounter("backoff_parks", s.BackoffParks)
+	out.PutCounter("watchdog_trips", s.WatchdogTrips)
+	out.PutCounter("steal_abandons", s.StealAbandons)
 	return out
 }
 
@@ -75,6 +85,8 @@ type Runtime struct {
 	mode         core.Mode
 	cost         core.CostProfile
 	pollInterval int
+	wait         signals.WaitPolicy
+	faults       *fault.Injector
 	done         atomic.Bool
 	wg           sync.WaitGroup
 }
@@ -95,6 +107,19 @@ func WithPollInterval(k int) RuntimeOption {
 	}
 }
 
+// WithWaitPolicy shapes thieves' steal waits and idle-loop backoff; a
+// non-zero Deadline arms the steal watchdog (abandon-and-adopt).
+func WithWaitPolicy(p signals.WaitPolicy) RuntimeOption {
+	return func(rt *Runtime) { rt.wait = p }
+}
+
+// WithFaults arms a fault-injection schedule on every worker's deque
+// (nil disarms). The chaos harness uses it to freeze victims at poll
+// points and thieves mid-steal.
+func WithFaults(in *fault.Injector) RuntimeOption {
+	return func(rt *Runtime) { rt.faults = in }
+}
+
 // New builds a runtime with p workers using the given fence mode and
 // cost profile. p must be positive.
 func New(p int, mode core.Mode, cost core.CostProfile, opts ...RuntimeOption) *Runtime {
@@ -111,6 +136,8 @@ func New(p int, mode core.Mode, cost core.CostProfile, opts ...RuntimeOption) *R
 		w.deque = newDeque(mode, cost, &w.Stats)
 		if ad, ok := w.deque.(*asymDeque); ok {
 			ad.pollInterval = rt.pollInterval
+			ad.wait = rt.wait
+			ad.faults = rt.faults
 		}
 		rt.workers[i] = w
 	}
@@ -176,11 +203,11 @@ func (rt *Runtime) Run(root func(*Worker)) {
 // loop is the idle worker's scheduling loop: answer serialization
 // requests against our own deque, try to steal, run what we get.
 func (w *Worker) loop() {
-	backoff := 0
+	b := signals.NewBackoff(w.rt.wait)
 	for !w.rt.done.Load() {
 		w.deque.poll()
 		if t := w.trySteal(); t != nil {
-			backoff = 0
+			b.Reset()
 			w.runTask(t)
 			// Drain own deque: stolen tasks may have spawned.
 			for {
@@ -192,9 +219,9 @@ func (w *Worker) loop() {
 			}
 			continue
 		}
-		backoff++
-		runtime.Gosched()
-		_ = backoff
+		if b.Pause() {
+			w.Stats.BackoffParks++
+		}
 	}
 }
 
@@ -257,17 +284,22 @@ func (w *Worker) Do(fns ...func(*Worker)) {
 	fns[0](w)
 	// Sync: execute our own children; if they were stolen, help
 	// elsewhere until the thieves finish them.
+	b := signals.NewBackoff(w.rt.wait)
 	for pending.Load() > 0 {
 		if t := w.deque.popBottom(); t != nil {
 			w.runTask(t)
+			b.Reset()
 			continue
 		}
 		w.deque.poll()
 		if t := w.trySteal(); t != nil {
 			w.runTask(t)
+			b.Reset()
 			continue
 		}
-		runtime.Gosched()
+		if b.Pause() {
+			w.Stats.BackoffParks++
+		}
 	}
 }
 

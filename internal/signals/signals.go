@@ -19,10 +19,13 @@
 package signals
 
 import (
+	"context"
+	"errors"
 	"runtime"
 	"sync/atomic"
 	"time"
 
+	"repro/internal/fault"
 	"repro/internal/obs"
 )
 
@@ -56,6 +59,19 @@ type Mailbox struct {
 	ack    atomic.Uint64 // set to req by the primary after serializing
 	closed atomic.Bool   // primary is gone; serialization is vacuous
 
+	// suspect is set by the watchdog when the primary shows no progress
+	// past the configured deadline: the primary is declared dead and
+	// serialization degrades to the vacuous error path, releasing every
+	// blocked secondary. The primary clears it by handling any request
+	// (see Poll) or via Revive.
+	suspect atomic.Bool
+
+	// stamp is the mailbox's progress stamp: bumped on every handled
+	// request and every queue-lock release, always on paths that already
+	// do real work. Parked waiters watch it; the watchdog trips only
+	// when it stops moving.
+	stamp atomic.Uint64
+
 	// mu serializes secondaries. It is a polling spin lock rather than a
 	// sync.Mutex: a parked waiter cannot run its onWait callback, and a
 	// secondary that is itself the primary of another mailbox must keep
@@ -80,6 +96,19 @@ type Mailbox struct {
 	// overhead when running alone" property (BenchmarkPoll pins it).
 	Metrics Metrics
 
+	// Wait shapes the secondary-side wait loops (spin, then yield, then
+	// capped parked sleeps) and arms the watchdog via Deadline. The
+	// zero value selects DefaultWaitPolicy with the watchdog off.
+	Wait WaitPolicy
+
+	// Faults is the optional fault-injection schedule (nil in
+	// production). Hooks sit only on slow paths that already detected a
+	// pending request, so the Poll fast path stays hook-free.
+	Faults *fault.Injector
+
+	// Name labels the mailbox in blocked-wait-graph reports.
+	Name string
+
 	// spinFn lets tests observe injected delays; nil means Spin.
 	spinFn func(int)
 }
@@ -98,6 +127,23 @@ type Metrics struct {
 	// AckLatency is the secondary-side request-to-acknowledge latency,
 	// including the injected requester delay.
 	AckLatency obs.Histogram
+	// ClosedExits counts serialization calls that returned vacuously
+	// because the mailbox was (or became) closed — explicitly outside
+	// the heuristic hit/fallback partition, so fig-5 hit rates stay
+	// honest.
+	ClosedExits obs.Counter
+	// StalledExits counts serialization calls that degraded to the
+	// vacuous error path because the watchdog declared the primary
+	// dead (directly, or via an earlier trip leaving the mailbox
+	// suspect).
+	StalledExits obs.Counter
+	// BackoffParks counts parked sleeps taken by waiting secondaries
+	// after the spin and yield phases of the wait policy ran dry.
+	BackoffParks obs.Counter
+	// WatchdogTrips counts no-progress deadlines expiring on this
+	// mailbox; StallNs records the observed stall lengths.
+	WatchdogTrips obs.Counter
+	StallNs       obs.Histogram
 }
 
 // Snapshot captures the mailbox metrics for reporting.
@@ -108,6 +154,11 @@ func (m *Metrics) Snapshot() obs.Snapshot {
 	s.Counter("heuristic_hits", &m.HeuristicHits)
 	s.Counter("heuristic_fallbacks", &m.HeuristicFallbacks)
 	s.Histogram("ack_latency_ns", &m.AckLatency)
+	s.Counter("closed_exits", &m.ClosedExits)
+	s.Counter("stalled_exits", &m.StalledExits)
+	s.Counter("backoff_parks", &m.BackoffParks)
+	s.Counter("watchdog_trips", &m.WatchdogTrips)
+	s.Histogram("stall_ns", &m.StallNs)
 	return s
 }
 
@@ -119,16 +170,36 @@ func (m *Mailbox) spin(n int) {
 	Spin(n)
 }
 
+// lockWith acquires the secondary-queue lock with capped exponential
+// backoff: N queued secondaries no longer burn N cores — after the spin
+// and yield windows each parks on capped sleeps until the lock turns
+// over (each unlock bumps the progress stamp, so parked queuers see the
+// queue moving). onWait still runs on every attempt: a queued party
+// that is itself a primary elsewhere must keep answering its own
+// requests.
 func (m *Mailbox) lockWith(onWait func()) {
+	if m.mu.CompareAndSwap(0, 1) {
+		return
+	}
+	var w waiter
+	w.init(m, "lock")
+	defer w.done()
 	for !m.mu.CompareAndSwap(0, 1) {
 		if onWait != nil {
 			onWait()
 		}
-		runtime.Gosched()
+		// A watchdog trip here (queue stuck because the holder's ack
+		// never comes) marks the mailbox suspect; the holder's own wait
+		// loop sees that, exits vacuously, and releases the lock — so
+		// the error is not returned, the next CAS succeeds instead.
+		_ = w.pause(nil)
 	}
 }
 
-func (m *Mailbox) unlock() { m.mu.Store(0) }
+func (m *Mailbox) unlock() {
+	m.mu.Store(0)
+	m.stamp.Add(1)
+}
 
 // Poll is the primary's poll point. If a serialization request is
 // pending, the primary performs the serialization (the atomic store
@@ -143,10 +214,22 @@ func (m *Mailbox) Poll() bool {
 	if r == m.ack.Load() {
 		return false
 	}
+	// Fault hooks live strictly below the fast-path branch: an unset
+	// injector is a nil test, and only when a request is pending.
+	if m.Faults.At(fault.MailboxHandle) {
+		return false // injected: the primary misses this poll point
+	}
 	if m.PrimaryDelay > 0 {
 		m.spin(m.PrimaryDelay)
 	}
+	m.Faults.At(fault.MailboxAck) // injected stall delays ack visibility
 	m.ack.Store(r)
+	if m.suspect.Load() {
+		// Handling a request proves the primary alive; lift the
+		// watchdog's death sentence.
+		m.suspect.Store(false)
+	}
+	m.stamp.Add(1)
 	m.Metrics.Handled.Inc()
 	return true
 }
@@ -161,10 +244,25 @@ func (m *Mailbox) Pending() bool {
 // calls return immediately: goroutine termination plus the closed flag's
 // release/acquire edge already orders the primary's writes before the
 // secondary's reads.
-func (m *Mailbox) Close() { m.closed.Store(true) }
+func (m *Mailbox) Close() {
+	m.closed.Store(true)
+	m.stamp.Add(1)
+}
 
 // Closed reports whether the primary has departed.
 func (m *Mailbox) Closed() bool { return m.closed.Load() }
+
+// Suspect reports whether the watchdog has declared the primary dead.
+// The flag clears when the primary handles a request or calls Revive.
+func (m *Mailbox) Suspect() bool { return m.suspect.Load() }
+
+// Revive clears a watchdog death sentence explicitly — for primaries
+// that return from a long stall with no request pending to prove
+// themselves on.
+func (m *Mailbox) Revive() {
+	m.suspect.Store(false)
+	m.stamp.Add(1)
+}
 
 // Serialize performs one full round trip: request serialization from the
 // primary and spin until it acknowledges (or the mailbox closes). On
@@ -176,9 +274,37 @@ func (m *Mailbox) Serialize() { m.SerializeWith(nil) }
 // Callers that are themselves primaries of another mailbox MUST pass
 // their own Poll here: two parties serializing against each other would
 // otherwise deadlock, each waiting for the other's poll.
+//
+// With the default (zero-Deadline) wait policy this blocks until the
+// primary acknowledges or the mailbox closes, exactly as the seed
+// implementation did; with a watchdog deadline configured it degrades
+// to a vacuous return once the primary is declared dead. Callers that
+// need to observe that degradation use SerializeWithContext.
 func (m *Mailbox) SerializeWith(onWait func()) {
+	m.serialize(nil, onWait)
+}
+
+// SerializeWithContext is SerializeWith with an error path: it returns
+// nil once the primary has serialized (or the mailbox closed — the
+// vacuous case, where goroutine termination already ordered the
+// primary's writes), ErrStalled when the watchdog declares the primary
+// dead, or the context's error. On ErrStalled the mailbox is left
+// suspect, so subsequent calls fail fast until the primary proves
+// itself alive again.
+func (m *Mailbox) SerializeWithContext(ctx context.Context, onWait func()) error {
+	return m.serialize(ctx, onWait)
+}
+
+// serialize is the shared full round trip behind Serialize,
+// SerializeWith, and SerializeWithContext.
+func (m *Mailbox) serialize(ctx context.Context, onWait func()) error {
 	if m.closed.Load() {
-		return
+		m.Metrics.ClosedExits.Inc()
+		return nil
+	}
+	if m.suspect.Load() {
+		m.Metrics.StalledExits.Inc()
+		return ErrStalled
 	}
 	m.lockWith(onWait)
 	defer m.unlock()
@@ -189,15 +315,30 @@ func (m *Mailbox) SerializeWith(onWait func()) {
 	target := m.req.Add(1)
 	m.Metrics.Requests.Inc()
 	defer m.Metrics.AckLatency.ObserveSince(start)
+	var w waiter
+	w.init(m, "serialize")
+	defer w.done()
 	for m.ack.Load() < target {
 		if m.closed.Load() {
-			return
+			m.Metrics.ClosedExits.Inc()
+			return nil
+		}
+		if m.suspect.Load() {
+			m.Metrics.StalledExits.Inc()
+			return ErrStalled
 		}
 		if onWait != nil {
 			onWait()
 		}
-		runtime.Gosched()
+		m.Faults.At(fault.MailboxWait)
+		if err := w.pause(ctx); err != nil {
+			if errors.Is(err, ErrStalled) {
+				m.Metrics.StalledExits.Inc()
+			}
+			return err
+		}
 	}
+	return nil
 }
 
 // TrySerialize is the waiting-heuristic variant (the ARW+ lock): it
@@ -216,8 +357,17 @@ func (m *Mailbox) TrySerialize(spinBudget int) bool {
 // mailbox MUST pass its own Poll here: without it, a party spinning in
 // TrySerialize cannot answer its own pending requests, and two parties
 // try-serializing against each other deadlock in the fallback loop.
+// Closed and stalled exits are counted under ClosedExits/StalledExits,
+// outside the heuristic hit/fallback partition: a vacuous return is
+// neither a heuristic win nor a paid signal, and folding it into either
+// counter would skew the fig-5 hit-rate metrics.
 func (m *Mailbox) TrySerializeWith(spinBudget int, onWait func()) bool {
 	if m.closed.Load() {
+		m.Metrics.ClosedExits.Inc()
+		return true
+	}
+	if m.suspect.Load() {
+		m.Metrics.StalledExits.Inc()
 		return true
 	}
 	m.lockWith(onWait)
@@ -232,6 +382,7 @@ func (m *Mailbox) TrySerializeWith(spinBudget int, onWait func()) bool {
 			return true
 		}
 		if m.closed.Load() {
+			m.Metrics.ClosedExits.Inc()
 			return true
 		}
 		if onWait != nil {
@@ -248,14 +399,28 @@ func (m *Mailbox) TrySerializeWith(spinBudget int, onWait func()) bool {
 	if m.RequesterDelay > 0 {
 		m.spin(m.RequesterDelay)
 	}
+	var w waiter
+	w.init(m, "try-serialize")
+	defer w.done()
 	for m.ack.Load() < target {
 		if m.closed.Load() {
+			m.Metrics.ClosedExits.Inc()
+			return false
+		}
+		if m.suspect.Load() {
+			m.Metrics.StalledExits.Inc()
 			return false
 		}
 		if onWait != nil {
 			onWait()
 		}
-		runtime.Gosched()
+		m.Faults.At(fault.MailboxWait)
+		if err := w.pause(nil); err != nil {
+			// Watchdog trip: the mailbox is now suspect; degrade as a
+			// fallback that never completed.
+			m.Metrics.StalledExits.Inc()
+			return false
+		}
 	}
 	return false
 }

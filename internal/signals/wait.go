@@ -1,0 +1,260 @@
+package signals
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+)
+
+// ErrStalled is returned by the context-aware serialization calls when
+// the watchdog declares the primary dead: no progress stamp moved for
+// the configured deadline. The mailbox is marked suspect, so every
+// other blocked secondary drains through the same vacuous path instead
+// of hanging; a primary that handles a request afterwards (or an
+// explicit Revive) clears the suspicion.
+var ErrStalled = errors.New("signals: primary stalled past watchdog deadline")
+
+// WaitPolicy shapes how a secondary waits for the primary: a short
+// busy-spin window (latency), then scheduler yields (fairness), then
+// parked sleeps with capped exponential growth (a blocked secondary
+// stops burning its core). Deadline arms the no-progress watchdog.
+//
+// The zero value selects the defaults below for every phase field;
+// Deadline's zero really means "never trip", which preserves the
+// paper-faithful unbounded wait of the seed implementation.
+type WaitPolicy struct {
+	// SpinIters is the number of tight re-checks before yielding.
+	SpinIters int
+	// YieldIters is the number of runtime.Gosched re-checks before
+	// parking.
+	YieldIters int
+	// ParkFloor is the first parked sleep; subsequent parks double up
+	// to ParkCeil.
+	ParkFloor time.Duration
+	// ParkCeil caps the parked sleep quantum.
+	ParkCeil time.Duration
+	// Deadline is the watchdog's no-progress limit: if the mailbox's
+	// progress stamp does not move for this long while a waiter is
+	// parked, the waiter trips the watchdog and the primary is declared
+	// dead. Zero disables the watchdog.
+	Deadline time.Duration
+}
+
+// DefaultWaitPolicy is the resolved default for zero WaitPolicy fields.
+func DefaultWaitPolicy() WaitPolicy {
+	return WaitPolicy{
+		SpinIters:  64,
+		YieldIters: 512,
+		ParkFloor:  20 * time.Microsecond,
+		ParkCeil:   time.Millisecond,
+	}
+}
+
+// withDefaults resolves zero phase fields to the defaults. Deadline is
+// taken as-is (zero = watchdog off).
+func (p WaitPolicy) withDefaults() WaitPolicy {
+	d := DefaultWaitPolicy()
+	if p.SpinIters > 0 {
+		d.SpinIters = p.SpinIters
+	}
+	if p.YieldIters > 0 {
+		d.YieldIters = p.YieldIters
+	}
+	if p.ParkFloor > 0 {
+		d.ParkFloor = p.ParkFloor
+	}
+	if p.ParkCeil > 0 {
+		d.ParkCeil = p.ParkCeil
+	}
+	if d.ParkCeil < d.ParkFloor {
+		d.ParkCeil = d.ParkFloor
+	}
+	d.Deadline = p.Deadline
+	return d
+}
+
+// Backoff is the bare spin → yield → capped-park ladder, usable by any
+// wait loop (deque thief locks, rwlock writer waits, Dekker retreat
+// loops) without coupling to a Mailbox. The zero value is NOT ready;
+// build with NewBackoff.
+type Backoff struct {
+	pol   WaitPolicy
+	iter  int
+	park  time.Duration
+	parks uint64
+}
+
+// NewBackoff builds a ladder under the given policy (zero phase fields
+// resolve to defaults).
+func NewBackoff(p WaitPolicy) Backoff { return Backoff{pol: p.withDefaults()} }
+
+// Pause executes one backoff step — nothing in the spin window, a
+// yield in the yield window, then a parked sleep with capped
+// exponential growth — and reports whether it parked. The caller
+// re-checks its own wait condition between pauses.
+func (b *Backoff) Pause() bool {
+	b.iter++
+	if b.iter <= b.pol.SpinIters {
+		return false
+	}
+	if b.iter <= b.pol.SpinIters+b.pol.YieldIters {
+		runtime.Gosched()
+		return false
+	}
+	if b.park == 0 {
+		b.park = b.pol.ParkFloor
+	}
+	time.Sleep(b.park)
+	b.parks++
+	if b.park < b.pol.ParkCeil {
+		b.park *= 2
+		if b.park > b.pol.ParkCeil {
+			b.park = b.pol.ParkCeil
+		}
+	}
+	return true
+}
+
+// Reset rewinds the ladder to the spin phase — call it after the
+// guarded condition made progress, so the next wait starts cheap.
+func (b *Backoff) Reset() { b.iter, b.park = 0, 0 }
+
+// Parks reports how many parked sleeps the ladder has taken.
+func (b *Backoff) Parks() uint64 { return b.parks }
+
+// Policy returns the ladder's resolved policy (defaults filled in).
+func (b *Backoff) Policy() WaitPolicy { return b.pol }
+
+// waiter is the per-wait backoff state machine for mailbox waits: the
+// Backoff ladder plus progress stamps, the blocked-wait registry, and
+// the watchdog. It lives on the caller's stack; the registry entry is
+// allocated only once the wait escalates to the park phase, so fast
+// waits cost nothing extra.
+type waiter struct {
+	m     *Mailbox
+	op    string
+	b     Backoff
+	stamp uint64
+	since time.Time
+	entry *waitEntry
+}
+
+func (w *waiter) init(m *Mailbox, op string) {
+	w.m = m
+	w.op = op
+	w.b = NewBackoff(m.Wait)
+	w.stamp = m.stamp.Load()
+}
+
+// pause executes one backoff step. In the park phase it also runs the
+// watchdog: a context error or a tripped no-progress deadline ends the
+// wait. The caller re-checks its own condition (ack reached, mailbox
+// closed) between pauses.
+func (w *waiter) pause(ctx context.Context) error {
+	if ctx != nil && w.entry != nil {
+		// Check only once parked: a context switch costs more than the
+		// whole spin window, and waits that never park are too short
+		// for cancellation to matter.
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+	}
+	if !w.b.Pause() {
+		return nil
+	}
+	if w.entry == nil {
+		w.since = time.Now()
+		w.entry = registerWait(w.m, w.op)
+	}
+	w.m.Metrics.BackoffParks.Inc()
+	if s := w.m.stamp.Load(); s != w.stamp {
+		// The primary (or the mailbox queue) made progress; reset the
+		// no-progress clock.
+		w.stamp = s
+		w.since = time.Now()
+		return nil
+	}
+	if d := w.b.pol.Deadline; d > 0 {
+		if stall := time.Since(w.since); stall > d {
+			w.m.Metrics.WatchdogTrips.Inc()
+			w.m.Metrics.StallNs.Observe(stall.Nanoseconds())
+			w.m.suspect.Store(true)
+			return ErrStalled
+		}
+	}
+	return nil
+}
+
+// done unregisters the wait, if it ever escalated far enough to be
+// registered.
+func (w *waiter) done() {
+	if w.entry != nil {
+		unregisterWait(w.entry)
+		w.entry = nil
+	}
+}
+
+// --- Blocked-wait registry -------------------------------------------
+
+// WaitEdge is one edge of the blocked wait graph: a parked secondary
+// waiting on a mailbox's primary. The registry holds only waits that
+// reached the park phase — spinning and yielding waiters are, by
+// construction, not blocked long enough to matter.
+type WaitEdge struct {
+	// Mailbox is the mailbox's Name, or an address-based placeholder
+	// for anonymous mailboxes.
+	Mailbox string
+	// Op is the blocked operation ("serialize", "try-serialize",
+	// "lock").
+	Op string
+	// Since is when the wait entered the park phase.
+	Since time.Time
+}
+
+type waitEntry struct {
+	mbox  *Mailbox
+	op    string
+	since time.Time
+}
+
+var waitReg struct {
+	mu      sync.Mutex
+	entries map[*waitEntry]struct{}
+}
+
+func registerWait(m *Mailbox, op string) *waitEntry {
+	e := &waitEntry{mbox: m, op: op, since: time.Now()}
+	waitReg.mu.Lock()
+	if waitReg.entries == nil {
+		waitReg.entries = make(map[*waitEntry]struct{})
+	}
+	waitReg.entries[e] = struct{}{}
+	waitReg.mu.Unlock()
+	return e
+}
+
+func unregisterWait(e *waitEntry) {
+	waitReg.mu.Lock()
+	delete(waitReg.entries, e)
+	waitReg.mu.Unlock()
+}
+
+// BlockedWaits snapshots the blocked wait graph: every wait currently
+// parked, across all mailboxes. The chaos harness and watchdog reports
+// use it to name who is stuck on whom.
+func BlockedWaits() []WaitEdge {
+	waitReg.mu.Lock()
+	defer waitReg.mu.Unlock()
+	out := make([]WaitEdge, 0, len(waitReg.entries))
+	for e := range waitReg.entries {
+		name := e.mbox.Name
+		if name == "" {
+			name = fmt.Sprintf("mailbox@%p", e.mbox)
+		}
+		out = append(out, WaitEdge{Mailbox: name, Op: e.op, Since: e.since})
+	}
+	return out
+}
