@@ -9,7 +9,7 @@ COUNT ?= 5
 BENCH_SCALE ?= test
 BENCH_BASELINE ?= BENCH_baseline.json
 
-.PHONY: test race bench bench-litmus litmus-json synth bench-json bench-diff chaos
+.PHONY: test race bench bench-litmus bench-por litmus-json synth bench-json bench-diff chaos
 
 # Seeds for the chaos fault schedules (comma-separated).
 CHAOS_SEEDS ?= 1,2,3
@@ -30,6 +30,13 @@ bench:
 # Reports states/sec and B/state; benchstat-compatible.
 bench-litmus:
 	$(GO) test -run '^$$' -bench 'BenchmarkExplore' -benchmem -count $(COUNT) .
+
+# Partial-order reduction: the differential tests (reduced exploration
+# must reproduce the unreduced reference semantics) under the race
+# detector, then the reduced-vs-unreduced state-count table.
+bench-por:
+	$(GO) test -race -run 'Reduction|Visited' ./internal/litmus/
+	$(GO) run ./cmd/litmus -por -reduction
 
 # Machine-readable verification summary (states, states/sec per test);
 # redirect into BENCH_litmus.json to track checker throughput across PRs.

@@ -13,9 +13,11 @@
 // Experiments: dekker (§1 serial slowdown), fig4 (benchmark table),
 // fig5a / fig5b (ACilk-5 vs Cilk-5, serial / parallel), fig6a / fig6b
 // (ARW / ARW+ vs SRW read throughput), overhead (§5 round-trip costs),
-// theorems (Section 4, machine-checked), ablation, packetproc, chaos
-// (paper invariants under seeded fault injection; -faults picks the
-// schedule seeds).
+// theorems (Section 4, machine-checked), litmus_por (partial-order
+// reduction: reduced-vs-unreduced state counts over the protocol
+// suite, with the preservation contract checked), ablation,
+// packetproc, chaos (paper invariants under seeded fault injection;
+// -faults picks the schedule seeds).
 //
 // -bench-json writes the versioned machine-readable schema that
 // cmd/benchdiff consumes (pass "auto" to pick the next free

@@ -4,7 +4,10 @@
 // counterexample interleaving for the unfenced Dekker protocol — the
 // reordering that motivates the whole paper. With -json it emits a
 // machine-readable summary (per-test states and aggregate states/sec)
-// suitable for tracking checker throughput across changes.
+// suitable for tracking checker throughput across changes. -reduction
+// explores the catalog with sleep-set partial-order reduction (same
+// verdicts, fewer states), and -por prints the reduced-vs-unreduced
+// state-count comparison over the protocol suite.
 package main
 
 import (
@@ -26,11 +29,13 @@ func main() {
 	trace := flag.Bool("trace", false, "print the unfenced Dekker counterexample trace")
 	catalog := flag.Bool("catalog", true, "run the classic litmus-test catalog")
 	workers := flag.Int("workers", 0, "exploration worker-pool size (0 = GOMAXPROCS)")
+	reduction := flag.Bool("reduction", false, "explore the catalog with partial-order reduction")
+	por := flag.Bool("por", false, "print the reduced-vs-unreduced comparison over the protocol suite")
 	jsonOut := flag.Bool("json", false, "emit a machine-readable JSON summary instead of tables")
 	flag.Parse()
 
 	if *jsonOut {
-		os.Exit(runJSON(*workers, *catalog))
+		os.Exit(runJSON(*workers, *catalog, *reduction))
 	}
 
 	res := harness.RunTheoremsWorkers(*workers)
@@ -38,7 +43,12 @@ func main() {
 
 	failed := !res.AllPass()
 	if *catalog {
-		failed = printCatalog(*workers) || failed
+		failed = printCatalog(*workers, *reduction) || failed
+	}
+	if *por {
+		pr := harness.RunPOR(*workers)
+		fmt.Println(pr.Table())
+		failed = failed || !pr.AllPass()
 	}
 	if *trace {
 		printCounterexample(*workers)
@@ -51,11 +61,11 @@ func main() {
 
 // printCatalog runs the classic litmus tests and reports per-test
 // verdicts; it returns whether any failed.
-func printCatalog(workers int) bool {
+func printCatalog(workers int, reduction bool) bool {
 	fmt.Println("Classic litmus tests (TSO ordering principles 1-4 + store atomicity):")
 	failed := false
 	for _, ct := range litmus.Catalog() {
-		res, err := litmus.RunCatalogTestWorkers(ct, workers)
+		res, err := litmus.RunCatalogTestOpts(ct, litmus.Options{Workers: workers, Reduction: reduction})
 		verdict := "PASS"
 		if err != nil {
 			verdict = "FAIL: " + err.Error()
@@ -88,6 +98,7 @@ type jsonTest struct {
 type jsonSummary struct {
 	Workers        int        `json:"workers"`
 	GOMAXPROCS     int        `json:"gomaxprocs"`
+	Reduction      bool       `json:"reduction"`
 	Theorems       []jsonTest `json:"theorems"`
 	Catalog        []jsonTest `json:"catalog"`
 	TotalStates    int        `json:"total_states"`
@@ -96,13 +107,18 @@ type jsonSummary struct {
 	AllPass        bool       `json:"all_pass"`
 }
 
-func runJSON(workers int, catalog bool) int {
+func runJSON(workers int, catalog, reduction bool) int {
 	// Report the resolved pool size, not the raw flag (0 = GOMAXPROCS).
 	resolved := workers
 	if resolved <= 0 {
 		resolved = runtime.GOMAXPROCS(0)
 	}
-	sum := jsonSummary{Workers: resolved, GOMAXPROCS: runtime.GOMAXPROCS(0), AllPass: true}
+	sum := jsonSummary{
+		Workers:    resolved,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Reduction:  reduction,
+		AllPass:    true,
+	}
 	start := time.Now()
 
 	th := harness.RunTheoremsWorkers(workers)
@@ -119,7 +135,7 @@ func runJSON(workers int, catalog bool) int {
 	}
 	if catalog {
 		for _, ct := range litmus.Catalog() {
-			res, err := litmus.RunCatalogTestWorkers(ct, workers)
+			res, err := litmus.RunCatalogTestOpts(ct, litmus.Options{Workers: workers, Reduction: reduction})
 			sum.Catalog = append(sum.Catalog, jsonTest{
 				Name:         ct.Name,
 				States:       res.States,

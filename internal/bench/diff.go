@@ -119,6 +119,7 @@ func Diff(old, cur *File, threshold float64) *Report {
 				rep.Added = append(rep.Added, expName+"/"+mName)
 			}
 		}
+		diffOverflow(rep, expName, oldExp, curExp, threshold)
 	}
 	for expName := range cur.Experiments {
 		if _, ok := old.Experiments[expName]; !ok {
@@ -129,6 +130,41 @@ func Diff(old, cur *File, threshold float64) *Report {
 	sort.Strings(rep.Added)
 	sort.Slice(rep.Changes, func(i, j int) bool { return rep.Changes[i].Key() < rep.Changes[j].Key() })
 	return rep
+}
+
+// diffOverflow compares per-histogram overflow-bucket counts between
+// the two experiments' obs snapshots. Observations escaping a
+// histogram's calibrated range are a latency regression in their own
+// right even when the mean stays flat, so overflow growth beyond the
+// threshold regresses the diff. Histograms absent on either side are
+// skipped rather than reported Missing: obs snapshots are optional
+// detail, not part of the guarded metric contract.
+func diffOverflow(rep *Report, expName string, oldExp, curExp Experiment, threshold float64) {
+	if oldExp.Obs == nil || curExp.Obs == nil {
+		return
+	}
+	for hName, oh := range oldExp.Obs.Histograms {
+		ch, ok := curExp.Obs.Histograms[hName]
+		if !ok {
+			continue
+		}
+		ov, nv := float64(oh.OverflowCount()), float64(ch.OverflowCount())
+		if ov == nv {
+			continue
+		}
+		c := Change{Experiment: expName, Metric: "obs_overflow/" + hName, Old: ov, New: nv}
+		if ov == 0 {
+			c.Rel = 1
+		} else {
+			c.Rel = (nv - ov) / ov
+		}
+		if abs(c.Rel) <= threshold {
+			continue
+		}
+		// Overflow counts are strictly lower-is-better.
+		c.Regression = c.Rel > 0
+		rep.Changes = append(rep.Changes, c)
+	}
 }
 
 func abs(x float64) float64 {

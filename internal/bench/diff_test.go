@@ -3,6 +3,8 @@ package bench
 import (
 	"path/filepath"
 	"testing"
+
+	"repro/internal/obs"
 )
 
 func mkFile(vals map[string]map[string]Metric) *File {
@@ -136,6 +138,70 @@ func TestDiffZeroBaseline(t *testing.T) {
 	}
 	if rep := Diff(cur, old, 0.10); !rep.Failed() {
 		t.Fatalf("1->0 on higher-is-better passed: %s", rep)
+	}
+}
+
+func TestDiffOverflowRegression(t *testing.T) {
+	withObs := func(overflow uint64) *File {
+		f := mkFile(map[string]map[string]Metric{
+			"signals": {"acks": {Value: 100, HigherIsBetter: true}},
+		})
+		snap := &obs.Snapshot{}
+		h := obs.HistogramSnapshot{
+			Count: 100 + overflow,
+			MaxNs: obs.BucketUpperNs(obs.HistBuckets - 1),
+			Buckets: []obs.HistBucket{
+				{UpperNs: obs.BucketUpperNs(3), Count: 100},
+			},
+		}
+		if overflow > 0 {
+			h.Buckets = append(h.Buckets, obs.HistBucket{
+				UpperNs:   obs.BucketUpperNs(obs.HistBuckets - 1),
+				Count:     overflow,
+				Unbounded: true,
+			})
+		}
+		snap.PutHistogram("ack_ns", h)
+		e := f.Experiments["signals"]
+		e.Obs = snap
+		f.Experiments["signals"] = e
+		return f
+	}
+
+	clean := withObs(0)
+	spilled := withObs(25)
+
+	// Overflow appearing where there was none: regression even though
+	// every guarded metric is unchanged.
+	rep := Diff(clean, spilled, 0.10)
+	if !rep.Failed() {
+		t.Fatalf("overflow growth not flagged: %s", rep)
+	}
+	regs := rep.Regressions()
+	if len(regs) != 1 || regs[0].Key() != "signals/obs_overflow/ack_ns" {
+		t.Fatalf("wrong regressions: %+v", regs)
+	}
+
+	// Overflow draining back into range: improvement, not a failure, and
+	// the vanished unbounded bucket is not a Missing key.
+	rep = Diff(spilled, clean, 0.10)
+	if rep.Failed() {
+		t.Fatalf("overflow shrink flagged as failure: %s", rep)
+	}
+	if len(rep.Changes) != 1 || rep.Changes[0].Regression {
+		t.Fatalf("overflow shrink not reported as improvement: %s", rep)
+	}
+
+	// Identical overflow on both sides: quiet.
+	if rep := Diff(spilled, withObs(25), 0.10); len(rep.Changes) != 0 {
+		t.Fatalf("equal overflow reported: %s", rep)
+	}
+
+	// Experiments without obs snapshots are untouched by the overflow
+	// pass.
+	if rep := Diff(mkFile(map[string]map[string]Metric{"x": {"m": {Value: 1}}}),
+		mkFile(map[string]map[string]Metric{"x": {"m": {Value: 1}}}), 0.10); rep.Failed() {
+		t.Fatalf("obs-less diff failed: %s", rep)
 	}
 }
 

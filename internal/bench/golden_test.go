@@ -67,7 +67,7 @@ func TestGoldenAllExperiments(t *testing.T) {
 
 	// The instrumented experiments must carry obs snapshots through the
 	// round trip.
-	for _, name := range []string{"theorems", "fig5a", "fig5b", "fig6a", "fig6b", "overhead"} {
+	for _, name := range []string{"theorems", "litmus_por", "fig5a", "fig5b", "fig6a", "fig6b", "overhead"} {
 		exp := back.Experiments[name]
 		if exp.Obs == nil || exp.Obs.Empty() {
 			t.Errorf("experiment %q lost its obs snapshot", name)
@@ -80,6 +80,17 @@ func TestGoldenAllExperiments(t *testing.T) {
 	}
 	if c := back.Experiments["theorems"].Obs.Counters["claim_wins"]; c == 0 {
 		t.Error("theorems obs recorded no visited-set wins")
+	}
+	// The POR experiment runs reduced: its obs must carry the pruning
+	// counters and its guarded ratios must show an actual reduction.
+	por := back.Experiments["litmus_por"]
+	if c := por.Obs.Counters["por_slept_transitions"]; c == 0 {
+		t.Error("litmus_por obs recorded no slept transitions")
+	}
+	for _, k := range []string{"ratio/sb", "ratio/dekker-nofence", "ratio/bakery-nofence"} {
+		if m, ok := por.Metrics[k]; !ok || m.Value < 2 {
+			t.Errorf("litmus_por %s = %+v, want >= 2x reduction", k, m)
+		}
 	}
 
 	// A self-diff of the freshly produced file must be clean — this is

@@ -13,7 +13,7 @@ import (
 // Names lists every experiment in canonical -exp all order. The golden
 // test pins that a full run records exactly these keys.
 var Names = []string{
-	"theorems", "dekker", "overhead", "fig4",
+	"theorems", "litmus_por", "dekker", "overhead", "fig4",
 	"fig5a", "fig5b", "fig6a", "fig6b",
 	"ablation", "packetproc", "chaos",
 }
@@ -44,6 +44,11 @@ var ErrTheoremsFailed = fmt.Errorf("bench: theorem checks failed")
 // an injected fault schedule. As with ErrTheoremsFailed the Ran is
 // complete, so the failing table still prints.
 var ErrChaosFailed = fmt.Errorf("bench: chaos invariants violated")
+
+// ErrPORFailed marks a litmus_por run where a reduced exploration
+// diverged from the unreduced reference semantics. The Ran is complete,
+// so the divergence table still prints.
+var ErrPORFailed = fmt.Errorf("bench: partial-order reduction diverged from reference")
 
 // metricKey flattens a label into a metric key segment.
 func metricKey(s string) string {
@@ -77,6 +82,29 @@ func RunExperiment(name string, opt harness.Options, asymMode core.Mode) (*Ran, 
 		ran.Tables = append(ran.Tables, res.Table())
 		if !res.AllPass() {
 			err = ErrTheoremsFailed
+		}
+
+	case "litmus_por":
+		res := harness.RunPOR(0)
+		e.Detail = res
+		e.setObs(res.Obs)
+		pass := 0.0
+		if res.AllPass() {
+			pass = 1
+		}
+		e.putMetric("all_pass", pass, "", true)
+		for _, row := range res.Rows {
+			k := metricKey(row.Name)
+			// The guarded number: how much of the state space the
+			// reduction prunes. A ratio drop means the ample/sleep rules
+			// lost power.
+			e.putMetric("ratio/"+k, row.Ratio, "ratio", true)
+			e.putMetric("states_full/"+k, float64(row.StatesFull), "states", false)
+			e.putMetric("states_reduced/"+k, float64(row.StatesReduced), "states", false)
+		}
+		ran.Tables = append(ran.Tables, res.Table())
+		if !res.AllPass() {
+			err = ErrPORFailed
 		}
 
 	case "dekker":

@@ -205,13 +205,22 @@ func RunCatalogTest(t CatalogTest) (Result, error) {
 // RunCatalogTestWorkers is RunCatalogTest with an explicit exploration
 // worker count (0 = GOMAXPROCS).
 func RunCatalogTestWorkers(t CatalogTest, workers int) (Result, error) {
+	return RunCatalogTestOpts(t, Options{Workers: workers})
+}
+
+// RunCatalogTestOpts is RunCatalogTest with full exploration options —
+// the entry point cmd/litmus uses to thread -reduction and -workers
+// through to the engine. The classification check is identical in all
+// variants: partial-order reduction preserves the outcome set, so a
+// catalog verdict must not depend on Options.Reduction.
+func RunCatalogTestOpts(t CatalogTest, opts Options) (Result, error) {
 	progs := t.Build()
 	cfg := arch.DefaultConfig()
 	cfg.Procs = len(progs)
 	cfg.MemWords = 16
 	cfg.StoreBufferDepth = 4
 	build := func() *tso.Machine { return tso.NewMachine(cfg, progs...) }
-	res := Explore(build, Options{Workers: workers})
+	res := Explore(build, opts)
 	if res.Truncated {
 		return res, fmt.Errorf("litmus: %s truncated at %d states", t.Name, res.States)
 	}

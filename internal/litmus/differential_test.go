@@ -107,15 +107,22 @@ func TestParallelStopAtFirstViolation(t *testing.T) {
 	}
 }
 
-// TestParallelMaxStates checks the cooperative truncation counter.
+// TestParallelMaxStates checks the cooperative truncation counter: the
+// budget is exact — a truncated run reports States equal to MaxStates,
+// never an overshoot from racing workers.
 func TestParallelMaxStates(t *testing.T) {
 	p0, p1 := programs.DekkerPair(programs.DekkerMfence)
-	res := Explore(machineFor(p0, p1), Options{MaxStates: 10, Workers: 4})
-	if !res.Truncated {
-		t.Error("MaxStates=10 did not truncate")
-	}
-	if res.States > 10 {
-		t.Errorf("explored %d states past the cap", res.States)
+	for _, max := range []int{1, 10, 100} {
+		for _, workers := range []int{1, 4, 8} {
+			res := Explore(machineFor(p0, p1), Options{MaxStates: max, Workers: workers})
+			if !res.Truncated {
+				t.Errorf("MaxStates=%d workers=%d did not truncate", max, workers)
+			}
+			if res.States != max {
+				t.Errorf("MaxStates=%d workers=%d: States=%d, want exactly the cap",
+					max, workers, res.States)
+			}
+		}
 	}
 }
 

@@ -17,10 +17,16 @@ import (
 //     steal the *oldest* half of a victim's stack — frames near the root
 //     own the largest unexplored subtrees, so one steal buys a long run
 //     of private work.
-//   - Visited set: sharded into 256 stripes, each a map[uint64]struct{}
-//     behind its own mutex, keyed by a 64-bit FNV-1a hash of the state
-//     fingerprint. Claiming a state is one hash + one uncontended lock
-//     instead of a global map with full fingerprint strings as keys.
+//   - Visited set: sharded into 256 stripes, each a map behind its own
+//     mutex, keyed by a 64-bit FNV-1a hash of the state fingerprint with
+//     a second independent 64-bit hash stored per entry (an effective
+//     128-bit key; primary-hash collisions go to a per-stripe overflow
+//     chain instead of silently merging distinct states). Claiming a
+//     state is two hashes + one uncontended lock instead of a global map
+//     with full fingerprint strings as keys. Options.VerifyVisited
+//     additionally keys an authoritative map by the full fingerprint and
+//     counts how often the hashed keys would have merged distinct
+//     states.
 //   - Traces: frames carry an immutable parent-pointer chain instead of
 //     a per-frame copy of the action slice (the serial engine's O(depth²)
 //     allocation); a full trace is materialized only when a violation is
@@ -32,17 +38,24 @@ import (
 //     and usually zero fresh allocations.
 //
 // Exactly one worker wins the visited-set claim for any state, so each
-// distinct state is expanded exactly once and the merged States,
-// Transitions, Outcomes, Violations, and Deadlocks are deterministic and
-// identical to the serial reference engine's (differential tests pin
-// this). Which violation is reported *first* is scheduling-dependent;
-// the trace itself always replays to a violating state.
+// distinct state is expanded exactly once and, without reduction, the
+// merged States, Transitions, Outcomes, Violations, and Deadlocks are
+// deterministic and identical to the serial reference engine's
+// (differential tests pin this). Which violation is reported *first* is
+// scheduling-dependent; the trace itself always replays to a violating
+// state. Under Options.Reduction the sleep masks depend on arrival
+// order, so States/Transitions/Violations may vary slightly between
+// runs; Outcomes, Deadlocks, and violation *reachability* stay exact
+// (see reduce.go for the argument, TestReductionDifferential for the
+// pin).
 
 // pframe is one unit of exploration work: a machine state plus the
-// action chain that produced it.
+// action chain that produced it and, under Options.Reduction, the sleep
+// set it arrived with.
 type pframe struct {
 	m     *tso.Machine
 	trace *traceNode
+	sleep actionMask
 }
 
 // traceNode is an immutable parent-pointer trace link; child frames
@@ -99,39 +112,233 @@ func fnv64a(b []byte) uint64 {
 	return h
 }
 
+// hash2 is the second visited-set key: a murmur-style word mixer with
+// constants unrelated to FNV's, so a state colliding with another on
+// fnv64a has no structural reason to collide on hash2 too. Together the
+// two hashes form an effective 128-bit key — a single 64-bit key can
+// collide and silently merge two distinct states, which for a model
+// checker is a soundness bug (a merged state's subtree is never
+// explored).
+func hash2(b []byte) uint64 {
+	h := uint64(0x9E3779B97F4A7C15)
+	for len(b) >= 8 {
+		k := uint64(b[0]) | uint64(b[1])<<8 | uint64(b[2])<<16 | uint64(b[3])<<24 |
+			uint64(b[4])<<32 | uint64(b[5])<<40 | uint64(b[6])<<48 | uint64(b[7])<<56
+		h = (h ^ k) * 0xFF51AFD7ED558CCD
+		h ^= h >> 31
+		b = b[8:]
+	}
+	for _, c := range b {
+		h = (h ^ uint64(c)) * 0xC4CEB9FE1A85EC53
+	}
+	h ^= h >> 33
+	h *= 0xFF51AFD7ED558CCD
+	h ^= h >> 29
+	return h
+}
+
+// hashPair computes both visited-set keys for a fingerprint. It is a
+// package variable so the collision-injection tests can degrade one key
+// and check that distinct states still get distinct visited entries.
+var hashPair = func(fp []byte) (uint64, uint64) {
+	return fnv64a(fp), hash2(fp)
+}
+
 // visitedStripes must be a power of two.
 const visitedStripes = 256
 
+// ventry is one visited state's bookkeeping: the second hash that
+// completes the 128-bit key, plus the sleep-set protocol state used by
+// the reduction. Until the claiming worker finalizes the entry, sleepAcc
+// accumulates (intersects) the sleep masks of every path that arrived at
+// the state; afterwards pruned records which enabled actions the state's
+// expansion withheld, so later arrivals with smaller sleep sets can
+// re-expand exactly the difference.
+type ventry struct {
+	h2        uint64
+	sleepAcc  actionMask
+	pruned    actionMask
+	finalized bool
+}
+
 type visitedStripe struct {
 	mu sync.Mutex
-	m  map[uint64]struct{}
-	_  [40]byte // pad to a cache line so stripes don't false-share
+	m  map[uint64]ventry
+	// over holds additional states whose h1 collides with an entry in m
+	// (detected via differing h2); chains are extremely rare and lazily
+	// allocated.
+	over map[uint64][]ventry
+	// full is the authoritative fingerprint-keyed map kept only under
+	// Options.VerifyVisited, where the hashed maps above are demoted to
+	// collision accounting.
+	full map[string]*ventry
+	_    [40]byte // pad to a cache line so stripes don't false-share
 }
 
 type visitedSet struct {
 	stripes [visitedStripes]visitedStripe
 }
 
-func newVisitedSet() *visitedSet {
+func newVisitedSet(verify bool) *visitedSet {
 	vs := &visitedSet{}
 	for i := range vs.stripes {
-		vs.stripes[i].m = make(map[uint64]struct{}, 64)
+		vs.stripes[i].m = make(map[uint64]ventry, 64)
+		if verify {
+			vs.stripes[i].full = make(map[string]*ventry, 64)
+		}
 	}
 	return vs
 }
 
-// claim records h as visited, reporting whether the caller won the claim
-// (h was not already present).
-func (vs *visitedSet) claim(h uint64) bool {
-	s := &vs.stripes[h&(visitedStripes-1)]
+// claimStatus is the outcome of a visited-set claim.
+type claimStatus uint8
+
+const (
+	claimWon claimStatus = iota
+	claimDup
+	claimTruncated
+)
+
+// dupMerge folds a re-arrival with sleep mask z into an existing entry,
+// returning the actions the arriving path needs re-expanded: everything
+// the first visit withheld that this path's sleep set does not cover.
+func dupMerge(e *ventry, z actionMask) actionMask {
+	if !e.finalized {
+		e.sleepAcc &= z
+		return 0
+	}
+	missing := e.pruned &^ z
+	e.pruned &= z
+	return missing
+}
+
+// claim records the state with keys (h1,h2) and fingerprint fp as
+// visited. Exactly one caller per distinct state wins; the states
+// counter is incremented under the stripe lock, so Result.States never
+// overshoots maxStates — the claim that would exceed the budget inserts
+// nothing and returns claimTruncated. For duplicates the returned mask
+// lists previously pruned actions the arriving sleep set z requires.
+func (e *engine) claim(h1, h2 uint64, fp []byte, z actionMask) (claimStatus, actionMask) {
+	s := &e.visited.stripes[h1&(visitedStripes-1)]
 	s.mu.Lock()
-	if _, seen := s.m[h]; seen {
-		s.mu.Unlock()
+	defer s.mu.Unlock()
+
+	if s.full != nil {
+		// VerifyVisited: the full-fingerprint map decides identity; the
+		// hashed maps run alongside purely to count what they would have
+		// merged.
+		if fe, ok := s.full[string(fp)]; ok {
+			return claimDup, dupMerge(fe, z)
+		}
+		if !e.bumpStates() {
+			return claimTruncated, 0
+		}
+		if prev, ok := s.m[h1]; ok {
+			if prev.h2 == h2 {
+				e.verifyCollisions.Add(1)
+			} else {
+				dup128 := false
+				for _, c := range s.over[h1] {
+					if c.h2 == h2 {
+						dup128 = true
+						break
+					}
+				}
+				if dup128 {
+					e.verifyCollisions.Add(1)
+				} else {
+					e.h1Collisions.Add(1)
+					if s.over == nil {
+						s.over = make(map[uint64][]ventry)
+					}
+					s.over[h1] = append(s.over[h1], ventry{h2: h2})
+				}
+			}
+		} else {
+			s.m[h1] = ventry{h2: h2}
+		}
+		s.full[string(fp)] = &ventry{h2: h2, sleepAcc: z}
+		return claimWon, 0
+	}
+
+	if prev, ok := s.m[h1]; ok {
+		if prev.h2 == h2 {
+			missing := dupMerge(&prev, z)
+			s.m[h1] = prev
+			return claimDup, missing
+		}
+		chain := s.over[h1]
+		for i := range chain {
+			if chain[i].h2 == h2 {
+				return claimDup, dupMerge(&chain[i], z)
+			}
+		}
+		// Genuine 64-bit collision: two distinct states share h1. The
+		// second hash keeps them apart where the old single-key set would
+		// have silently merged them.
+		if !e.bumpStates() {
+			return claimTruncated, 0
+		}
+		e.h1Collisions.Add(1)
+		if s.over == nil {
+			s.over = make(map[uint64][]ventry)
+		}
+		s.over[h1] = append(s.over[h1], ventry{h2: h2, sleepAcc: z})
+		return claimWon, 0
+	}
+	if !e.bumpStates() {
+		return claimTruncated, 0
+	}
+	s.m[h1] = ventry{h2: h2, sleepAcc: z}
+	return claimWon, 0
+}
+
+// bumpStates counts a new state against the budget, rolling back and
+// cancelling the exploration when it would exceed maxStates. Called with
+// the stripe lock held, immediately before the insert it guards.
+func (e *engine) bumpStates() bool {
+	if n := e.states.Add(1); n > e.maxStates {
+		e.states.Add(-1)
+		e.truncated.Store(true)
+		e.cancel.Store(true)
 		return false
 	}
-	s.m[h] = struct{}{}
-	s.mu.Unlock()
 	return true
+}
+
+// finalize publishes the claiming worker's chosen persistent set on the
+// state's visited entry and retrieves the merged sleep mask. Between
+// claim and finalize other paths may have reached the state; their sleep
+// masks were intersected into sleepAcc, so the winner expands T minus
+// the returned mask and every such arrival is covered.
+func (e *engine) finalize(h1, h2 uint64, fp []byte, tmask actionMask) actionMask {
+	s := &e.visited.stripes[h1&(visitedStripes-1)]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.full != nil {
+		fe := s.full[string(fp)]
+		z := fe.sleepAcc
+		fe.pruned = tmask & z
+		fe.finalized = true
+		return z
+	}
+	if prev, ok := s.m[h1]; ok && prev.h2 == h2 {
+		z := prev.sleepAcc
+		prev.pruned = tmask & z
+		prev.finalized = true
+		s.m[h1] = prev
+		return z
+	}
+	chain := s.over[h1]
+	for i := range chain {
+		if chain[i].h2 == h2 {
+			z := chain[i].sleepAcc
+			chain[i].pruned = tmask & z
+			chain[i].finalized = true
+			return z
+		}
+	}
+	return 0
 }
 
 // engine is the shared state of one Explore call.
@@ -142,6 +349,16 @@ type engine struct {
 	maxStates int64
 	workers   []*worker
 	visited   *visitedSet
+	// red is non-nil when Options.Reduction is on and the machine shape
+	// supports it; it holds the static footprint analysis.
+	red *reducer
+
+	// h1Collisions counts distinct states sharing a 64-bit primary hash
+	// (resolved by the second hash); verifyCollisions counts distinct
+	// fingerprints sharing the full 128-bit key, detectable only under
+	// Options.VerifyVisited.
+	h1Collisions     atomic.Uint64
+	verifyCollisions atomic.Uint64
 
 	// pending counts frames created but not yet fully processed; the
 	// exploration is complete when it reaches zero (children are pushed
@@ -174,6 +391,14 @@ type worker struct {
 	fpBuf  []byte
 	actBuf []Action
 	outBuf []byte
+	pl     plan // reduction scratch
+
+	// Reduction accounting: states where a single-processor ample set was
+	// chosen, transitions withheld by sleep sets, and transitions
+	// re-expanded when a later path needed a previously pruned action.
+	ampleStates uint64
+	slept       uint64
+	reexpanded  uint64
 
 	// Claim accounting, owner-written plain counters (obs enters only at
 	// merge time): claimTries is visited-set claim attempts, claimWins the
@@ -293,18 +518,23 @@ func (w *worker) process(f pframe) {
 	}
 
 	w.fpBuf = m.Fingerprint(w.fpBuf[:0])
+	h1, h2 := hashPair(w.fpBuf)
 	w.claimTries++
-	if !e.visited.claim(fnv64a(w.fpBuf)) {
-		w.recycle(m)
+	st, missing := e.claim(h1, h2, w.fpBuf, f.sleep)
+	switch st {
+	case claimTruncated:
+		return
+	case claimDup:
+		if missing != 0 {
+			// A previous visit withheld actions this path's (smaller) sleep
+			// set cannot justify skipping; expand exactly those.
+			w.expandFrom(f, missing)
+		} else {
+			w.recycle(m)
+		}
 		return
 	}
 	w.claimWins++
-	if n := e.states.Add(1); n > e.maxStates {
-		e.states.Add(-1)
-		e.truncated.Store(true)
-		e.cancel.Store(true)
-		return
-	}
 
 	violated := false
 	for _, prop := range e.opts.Properties {
@@ -333,6 +563,38 @@ func (w *worker) process(f pframe) {
 		return
 	}
 
+	if e.red != nil {
+		e.red.analyze(m, enabled, &w.pl)
+		if w.pl.ample {
+			w.ampleStates++
+		}
+		// Publish the persistent set, fetch the sleep mask merged across
+		// every arrival so far, and expand the survivors.
+		z := e.finalize(h1, h2, w.fpBuf, w.pl.tmask)
+		e.red.expansion(enabled, &w.pl, z)
+		w.slept += uint64(w.pl.sleptCount())
+		w.res.Transitions += len(w.pl.idx)
+		last := len(w.pl.idx) - 1
+		for k, i := range w.pl.idx {
+			a := enabled[i]
+			child := m
+			if k < last {
+				child = w.clone(m)
+			}
+			apply(child, a, e.sc)
+			var node *traceNode
+			if e.traces {
+				node = &traceNode{parent: f.trace, act: a}
+			}
+			w.push(pframe{m: child, trace: node, sleep: w.pl.childSleep[k]})
+		}
+		if len(w.pl.idx) == 0 {
+			// Everything was slept; the machine is dead.
+			w.recycle(m)
+		}
+		return
+	}
+
 	w.res.Transitions += len(enabled)
 	last := len(enabled) - 1
 	for i, a := range enabled {
@@ -348,6 +610,41 @@ func (w *worker) process(f pframe) {
 			node = &traceNode{parent: f.trace, act: a}
 		}
 		w.push(pframe{m: child, trace: node})
+	}
+}
+
+// expandFrom expands the enabled actions of f.m selected by mask, used
+// when a duplicate arrival must re-open previously pruned expansions.
+// The children start with empty sleep sets: the conservative choice,
+// costing at most the work the first visit saved.
+func (w *worker) expandFrom(f pframe, mask actionMask) {
+	e := w.eng
+	m := f.m
+	w.actBuf = appendEnabled(w.actBuf[:0], m, e.sc)
+	var picked []int
+	for i, a := range w.actBuf {
+		if mask&maskOf(a) != 0 {
+			picked = append(picked, i)
+		}
+	}
+	w.reexpanded += uint64(len(picked))
+	w.res.Transitions += len(picked)
+	last := len(picked) - 1
+	for k, i := range picked {
+		a := w.actBuf[i]
+		child := m
+		if k < last {
+			child = w.clone(m)
+		}
+		apply(child, a, e.sc)
+		var node *traceNode
+		if e.traces {
+			node = &traceNode{parent: f.trace, act: a}
+		}
+		w.push(pframe{m: child, trace: node})
+	}
+	if len(picked) == 0 {
+		w.recycle(m)
 	}
 }
 
@@ -381,7 +678,7 @@ func Explore(build func() *tso.Machine, opts Options) Result {
 		sc:        opts.SequentialConsistency,
 		traces:    len(opts.Properties) > 0,
 		maxStates: int64(maxStates),
-		visited:   newVisitedSet(),
+		visited:   newVisitedSet(opts.VerifyVisited),
 	}
 	e.workers = make([]*worker, nw)
 	for i := range e.workers {
@@ -392,7 +689,13 @@ func Explore(build func() *tso.Machine, opts Options) Result {
 			res:   Result{Outcomes: make(map[Outcome]int)},
 		}
 	}
-	e.workers[0].push(pframe{m: build()})
+	root := build()
+	if opts.Reduction {
+		// nil when the machine has too many processors for the reduction's
+		// action masks; the exploration then runs unreduced.
+		e.red = newReducer(root, e.sc)
+	}
+	e.workers[0].push(pframe{m: root})
 
 	if nw == 1 {
 		e.workers[0].run()
@@ -415,7 +718,7 @@ func Explore(build func() *tso.Machine, opts Options) Result {
 		ViolationTrace: e.violTrace,
 		Outcomes:       make(map[Outcome]int),
 	}
-	var tries, wins uint64
+	var tries, wins, ample, slept, reexp uint64
 	for _, w := range e.workers {
 		res.Transitions += w.res.Transitions
 		res.Violations += w.res.Violations
@@ -425,11 +728,24 @@ func Explore(build func() *tso.Machine, opts Options) Result {
 		}
 		tries += w.claimTries
 		wins += w.claimWins
+		ample += w.ampleStates
+		slept += w.slept
+		reexp += w.reexpanded
 	}
 	res.Elapsed = time.Since(start)
 	res.Obs.PutCounter("claim_tries", tries)
 	res.Obs.PutCounter("claim_wins", wins)
 	res.Obs.PutCounter("workers", uint64(nw))
+	res.Obs.PutCounter("visited_h1_collisions", e.h1Collisions.Load())
+	if opts.VerifyVisited {
+		res.Obs.PutCounter("visited_128bit_collisions", e.verifyCollisions.Load())
+	}
+	if e.red != nil {
+		res.Obs.PutGauge("reduction", 1)
+		res.Obs.PutCounter("por_ample_states", ample)
+		res.Obs.PutCounter("por_slept_transitions", slept)
+		res.Obs.PutCounter("por_reexpansions", reexp)
+	}
 	if tries > 0 {
 		// Fraction of claim attempts that found the state already visited:
 		// the duplicate work the per-worker frontiers did not avoid.

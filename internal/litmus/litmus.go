@@ -142,6 +142,25 @@ type Options struct {
 	// Deprecated: use StopOnViolation.
 	StopAtFirstViolation bool
 
+	// Reduction enables partial-order reduction: ample sets over a
+	// footprint-based independence relation plus sleep sets (reduce.go).
+	// The reduced search visits every quiesced final state and every
+	// deadlock, so Outcomes and Deadlocks match the unreduced reference
+	// exactly, and it preserves reachability of violations for *stable*
+	// properties (once true, true on every extension — MutualExclusion's
+	// latched CSViolation qualifies). Violations counts per-state hits
+	// and may shrink; States/Transitions shrink, which is the point.
+	// Machines with more than 16 processors silently run unreduced.
+	Reduction bool
+
+	// VerifyVisited makes the parallel engine keep every full state
+	// fingerprint alongside its 128-bit hashed visited keys, using the
+	// fingerprints as the authoritative identity and counting how often
+	// the hashed keys would have merged distinct states (reported as
+	// visited_128bit_collisions in Result.Obs). Costs memory and speed;
+	// meant for soundness audits and tests, not routine exploration.
+	VerifyVisited bool
+
 	// SequentialConsistency explores the machine under SC semantics:
 	// every store completes (drains to the coherent cache) immediately
 	// after it commits, so no store-buffer reordering is observable.

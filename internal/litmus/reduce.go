@@ -1,0 +1,469 @@
+package litmus
+
+import (
+	"math/bits"
+
+	"repro/internal/arch"
+	"repro/internal/tso"
+)
+
+// This file implements the partial-order reduction behind
+// Options.Reduction: an ample-set rule (explore only one processor's
+// transitions when they provably commute with everything other
+// processors can ever do) layered with sleep sets (skip expansions whose
+// resulting interleaving is a reordering of independent actions already
+// being explored). Both engines share it; ExploreSerial without
+// Options.Reduction remains the unreduced reference.
+//
+// Independence is footprint-based. Every action gets a read set and a
+// write set over abstract resources derived from the tso.Machine state:
+//
+//   - two private resources per processor: the *core* (PC, registers,
+//     flags, halt bit, LE/ST link registers) and the *store buffer*
+//     (its pending contents),
+//   - one resource per memory word, covering the word's memory cell,
+//     every cache's copy of it, and every guard armed on it,
+//   - one critical-section resource covering every processor's InCS flag
+//     and the latched CSViolation bit.
+//
+// Two enabled actions are independent when their footprints do not
+// conflict (neither writes what the other reads or writes). That gives
+// commutation at the fingerprint level: executing them in either order
+// reaches the same state, and neither disables the other. Loads count as
+// word *reads* even on a cache miss — two read misses downgrade and fill
+// the same line states in either order — while anything that drains,
+// invalidates, or arms a guard on a word is a word write. Two escape
+// hatches keep the mapping sound:
+//
+//   - An access to a word guarded by *another* processor breaks that
+//     guard and flushes the remote store buffer (an unbounded cascade of
+//     bus writes), so its footprint is conservatively global.
+//   - Address bits are folded modulo the bit budget; two distinct words
+//     may alias to one bit and be treated as dependent. Aliasing only
+//     ever *adds* conflicts, so it costs precision, never soundness.
+//
+// Two ample rules choose persistent sets; both require the chosen
+// processor p to have no armed guard (so no remote access can reach into
+// p's private state by breaking it) and both rely on the fact that only
+// p's own exec — which is inside the chosen set — can ever arm one:
+//
+//   - Singleton: if Exec(p) touches nothing but p's core and p holds no
+//     link registers, T = {Exec(p)}. A pure register/control commit
+//     commutes with every other-processor action *and with p's own
+//     drains* (drains touch the buffer and words; they only reach the
+//     core through a linked-store completion, excluded by the no-links
+//     condition), so it can soundly be committed first.
+//   - Whole-processor: if every enabled action of p touches only p's
+//     private resources and words no *other* processor's program can
+//     statically reach, T = all of p's enabled actions.
+//
+// Either way any sequence of non-T actions leaves T enabled and commutes
+// with it, so every deadlock, every quiesced final state, and every
+// latched-property violation reachable from here is still reached. When
+// no processor qualifies, every enabled action is expanded and only the
+// sleep sets prune.
+//
+// What the reduction preserves (pinned by TestReductionDifferential):
+// the exact Outcomes multiset (all quiesced final states are visited),
+// the exact Deadlocks count, and reachability of violations for *stable*
+// properties — ones that, once true, stay true on every extension, like
+// MutualExclusion via the latched Machine.CSViolation. Violations counts
+// individual violating states and so may legitimately shrink.
+
+// maxReductionProcs bounds the processor count the reduction's resource
+// bitmasks support (two private resource bits per processor). Machines
+// with more processors fall back to unreduced exploration.
+const maxReductionProcs = 8
+
+// actionMask is a bitset over the at most 2*maxReductionProcs possible
+// actions of a state: bit 2*proc+kind.
+type actionMask uint32
+
+func maskOf(a Action) actionMask {
+	return 1 << (uint(a.Proc)*2 + uint(a.Kind))
+}
+
+// Resource-bit layout of a footprint: two private bits per processor
+// first, then the critical-section bit, then the memory-word bits.
+const (
+	fpCSBit    = uint64(1) << (2 * maxReductionProcs)
+	fpAddrBase = 2*maxReductionProcs + 1
+	fpAddrBits = 64 - fpAddrBase
+)
+
+// coreBit is p's PC/registers/flags/links resource; sbBit is p's pending
+// store-buffer contents.
+func coreBit(p arch.ProcID) uint64 { return 1 << (2 * uint(p)) }
+func sbBit(p arch.ProcID) uint64   { return 1 << (2*uint(p) + 1) }
+
+func addrBit(a arch.Addr) uint64 {
+	return 1 << (fpAddrBase + uint64(uint32(a))%fpAddrBits)
+}
+
+// fpAddrMask is the union of every memory-word resource bit.
+const fpAddrMask = uint64((1<<fpAddrBits)-1) << fpAddrBase
+
+// footprint is one action's read/write resource sets.
+type footprint struct {
+	r, w uint64
+}
+
+func (f *footprint) global() { f.r, f.w = ^uint64(0), ^uint64(0) }
+
+// independent reports whether two actions with these footprints commute:
+// neither writes anything the other reads or writes.
+func independent(a, b footprint) bool {
+	return a.w&(b.r|b.w) == 0 && b.w&(a.r|a.w) == 0
+}
+
+// reducer holds the per-exploration static analysis: which memory words
+// each processor's program can ever touch. Built once from the root
+// machine; nil when the machine has too many processors for the masks.
+type reducer struct {
+	sc bool
+	// othersMay[p] is the union of the address resource bits statically
+	// reachable by every processor except p. An action of p whose address
+	// bits avoid it can never conflict with another processor's access.
+	othersMay []uint64
+	// ownAllowed[p] is the resource set an action of p may touch while
+	// remaining ample-eligible: p's private bit plus the words no other
+	// processor reaches.
+	ownAllowed []uint64
+}
+
+// newReducer builds the reducer for the machine rooted at m, or returns
+// nil when the reduction does not apply (too many processors).
+func newReducer(m *tso.Machine, sc bool) *reducer {
+	if len(m.Procs) > maxReductionProcs {
+		return nil
+	}
+	rd := &reducer{
+		sc:         sc,
+		othersMay:  make([]uint64, len(m.Procs)),
+		ownAllowed: make([]uint64, len(m.Procs)),
+	}
+	may := make([]uint64, len(m.Procs))
+	for i, p := range m.Procs {
+		may[i] = staticAddrMask(p.Prog)
+	}
+	for i := range m.Procs {
+		for j := range m.Procs {
+			if j != i {
+				rd.othersMay[i] |= may[j]
+			}
+		}
+		p := arch.ProcID(i)
+		rd.ownAllowed[i] = coreBit(p) | sbBit(p) | (fpAddrMask &^ rd.othersMay[i])
+	}
+	return rd
+}
+
+// staticAddrMask folds every memory word prog can touch into address
+// resource bits. Register-indexed accesses resolve at run time, so they
+// conservatively claim every word.
+func staticAddrMask(prog *tso.Program) uint64 {
+	if prog == nil {
+		return 0
+	}
+	var mask uint64
+	for _, in := range prog.Instrs {
+		switch in.Op {
+		case tso.OpLoad, tso.OpStore, tso.OpStoreI,
+			tso.OpLinkBegin, tso.OpLE, tso.OpStoreLinked, tso.OpStoreLinkedReg:
+			mask |= addrBit(in.Addr)
+		case tso.OpLoadIdx, tso.OpStoreIdx:
+			return fpAddrMask
+		}
+	}
+	return mask
+}
+
+// access folds a memory-word touch into fp. A word guarded by another
+// processor makes the action global: the bus transaction breaks the
+// guard, and the guard handler flushes the remote store buffer.
+func (rd *reducer) access(fp *footprint, m *tso.Machine, self arch.ProcID, addr arch.Addr, write bool) {
+	for q := range m.Procs {
+		if arch.ProcID(q) != self && m.Sys.Guarded(arch.ProcID(q), addr) {
+			fp.global()
+			return
+		}
+	}
+	b := addrBit(addr)
+	fp.r |= b
+	if write {
+		fp.w |= b
+	}
+}
+
+// flushFootprint adds the footprint of draining p's whole store buffer
+// (mfence, link-capacity flush, link-break fallback).
+func (rd *reducer) flushFootprint(fp *footprint, m *tso.Machine, p *tso.Proc) {
+	for i, n := 0, p.SB.Len(); i < n; i++ {
+		rd.access(fp, m, p.ID, p.SB.At(i).Addr, true)
+		if fp.w == ^uint64(0) {
+			return
+		}
+	}
+}
+
+// footprintOf computes the footprint of enabled action a in state m.
+// Every case mirrors the corresponding branch of Machine.ExecStep or
+// DrainStep; anything unrecognized is conservatively global.
+func (rd *reducer) footprintOf(m *tso.Machine, a Action) footprint {
+	p := m.Procs[a.Proc]
+	if a.Kind == Drain {
+		fp := footprint{r: sbBit(a.Proc), w: sbBit(a.Proc)}
+		if p.LinkCount() > 0 {
+			// Completing a linked store clears LEBit and drops the link:
+			// the drain reaches into the core. (Conservative: charged
+			// whenever any link is held, not just when the oldest entry is
+			// the linked one.)
+			fp.r |= coreBit(a.Proc)
+			fp.w |= coreBit(a.Proc)
+		}
+		e, _ := p.SB.Oldest()
+		rd.access(&fp, m, a.Proc, e.Addr, true)
+		return fp
+	}
+	// Every commit advances the PC; enabledness reads the core (halt bit).
+	fp := footprint{r: coreBit(a.Proc), w: coreBit(a.Proc)}
+	in := p.Prog.Instrs[p.PC]
+	switch in.Op {
+	case tso.OpNop, tso.OpLoadI, tso.OpAdd, tso.OpAddI, tso.OpSub,
+		tso.OpBeq, tso.OpBne, tso.OpBlt, tso.OpJmp, tso.OpHalt:
+		// Pure register/control transfer: core only.
+
+	case tso.OpLoad, tso.OpLoadIdx:
+		addr := in.Addr
+		if in.Op == tso.OpLoadIdx {
+			addr += arch.Addr(p.Regs[in.Ra])
+		}
+		if p.SB.Contains(addr) {
+			// Forwarded from the buffer: never reaches the bus, but the
+			// value (and whether forwarding happens at all) depends on the
+			// buffer contents.
+			fp.r |= sbBit(a.Proc)
+		} else {
+			// A read miss only moves lines toward Shared; two read misses
+			// commute, so this is a word *read*.
+			rd.access(&fp, m, a.Proc, addr, false)
+		}
+
+	case tso.OpStore, tso.OpStoreI, tso.OpStoreIdx:
+		addr := in.Addr
+		if in.Op == tso.OpStoreIdx {
+			addr += arch.Addr(p.Regs[in.Ra])
+		}
+		// The commit only appends to p's buffer (enabledness also reads
+		// its fullness); under SC the drain fuses into the transition.
+		fp.r |= sbBit(a.Proc)
+		fp.w |= sbBit(a.Proc)
+		if rd.sc {
+			rd.flushFootprint(&fp, m, p)
+			rd.access(&fp, m, a.Proc, addr, true)
+		}
+
+	case tso.OpMfence:
+		fp.r |= sbBit(a.Proc)
+		fp.w |= sbBit(a.Proc)
+		rd.flushFootprint(&fp, m, p)
+
+	case tso.OpLinkBegin:
+		maxLinks := m.Cfg.Links
+		if maxLinks <= 0 {
+			maxLinks = 1
+		}
+		if !p.HasLink(in.Addr) && p.LinkCount() >= maxLinks {
+			// Link registers full: flushes, then disarms every own guard.
+			fp.r |= sbBit(a.Proc)
+			fp.w |= sbBit(a.Proc)
+			rd.flushFootprint(&fp, m, p)
+			for i := 0; i < p.LinkCount(); i++ {
+				rd.access(&fp, m, a.Proc, p.LinkAddr(i), true)
+			}
+		}
+
+	case tso.OpLE:
+		// ReadExclusive invalidates peer copies and arms the guard.
+		rd.access(&fp, m, a.Proc, in.Addr, true)
+
+	case tso.OpStoreLinked, tso.OpStoreLinkedReg:
+		fp.r |= sbBit(a.Proc)
+		fp.w |= sbBit(a.Proc)
+		if rd.sc {
+			rd.flushFootprint(&fp, m, p)
+			rd.access(&fp, m, a.Proc, in.Addr, true)
+		}
+
+	case tso.OpLinkBranch:
+		if !p.LEBit {
+			// Broken link: mfence fallback.
+			fp.r |= sbBit(a.Proc)
+			fp.w |= sbBit(a.Proc)
+			rd.flushFootprint(&fp, m, p)
+		}
+
+	case tso.OpCSEnter, tso.OpCSExit:
+		fp.r |= fpCSBit
+		fp.w |= fpCSBit
+
+	default:
+		fp.global()
+	}
+	return fp
+}
+
+// plan is the reusable scratch for one state's reduced expansion.
+type plan struct {
+	fps []footprint
+	// tidx lists the chosen persistent set as indices into enabled.
+	tidx  []int
+	tmask actionMask
+	ample bool
+	// idx/childSleep are the expansion: which T members survive the sleep
+	// set, with each child's sleep mask.
+	idx        []int
+	childSleep []actionMask
+	pruned     actionMask
+}
+
+// analyze computes footprints and chooses the persistent set for the
+// enabled actions of m. It is independent of the sleep set, so the
+// parallel engine can run it before fetching the merged sleep mask from
+// the visited entry. Selection is a deterministic function of the state,
+// so every visit of a state picks the same set.
+func (rd *reducer) analyze(m *tso.Machine, enabled []Action, pl *plan) {
+	pl.fps = pl.fps[:0]
+	for _, a := range enabled {
+		pl.fps = append(pl.fps, rd.footprintOf(m, a))
+	}
+
+	pl.tidx = pl.tidx[:0]
+	pl.tmask = 0
+	pl.ample = false
+
+	// Singleton tier: a commit by an unguarded, link-free processor that
+	// touches nothing beyond its own core and store buffer — a register
+	// or control op, or a TSO store commit (invisible to everyone until
+	// drained, and commuting with the processor's own drains: the drain
+	// pops the oldest entry, the commit appends a new one). Crucially the
+	// footprint must stay core+buffer along *every* trace of non-chosen
+	// actions, so buffer-forwarded loads do not qualify: once a drain
+	// pops the only forwardable entry the load becomes a globally
+	// visible word read. (The footprint relation still treats commit and
+	// drain of one processor as dependent — the sleep sets stay
+	// conservative; only this ample tier uses the stronger argument.)
+	for i, a := range enabled {
+		if a.Kind != Exec {
+			continue
+		}
+		if (pl.fps[i].r|pl.fps[i].w)&^(coreBit(a.Proc)|sbBit(a.Proc)) != 0 {
+			continue
+		}
+		p := m.Procs[a.Proc]
+		if op := p.Prog.Instrs[p.PC].Op; op == tso.OpLoad || op == tso.OpLoadIdx {
+			continue
+		}
+		if p.LinkCount() > 0 {
+			// A pending linked store's completion would clear LEBit — a
+			// core write by a non-T drain.
+			continue
+		}
+		if _, armed := m.Sys.GuardArmed(a.Proc); armed {
+			continue
+		}
+		pl.tidx = append(pl.tidx, i)
+		pl.tmask = maskOf(a)
+		pl.ample = true
+		return
+	}
+
+	// Whole-processor tier: all of p's enabled actions touch only p's
+	// private resources and words no other processor can reach.
+	for pid := range m.Procs {
+		p := arch.ProcID(pid)
+		first := -1
+		ok := false
+		for i, a := range enabled {
+			if a.Proc != p {
+				continue
+			}
+			if first < 0 {
+				first, ok = i, true
+			}
+			if (pl.fps[i].r|pl.fps[i].w)&^rd.ownAllowed[pid] != 0 {
+				ok = false
+				break
+			}
+		}
+		if first < 0 || !ok {
+			continue
+		}
+		if _, armed := m.Sys.GuardArmed(p); armed {
+			// A remote access could break the guard and flush p's buffer,
+			// reaching into p's private state.
+			continue
+		}
+		for i, a := range enabled {
+			if a.Proc == p {
+				pl.tidx = append(pl.tidx, i)
+				pl.tmask |= maskOf(a)
+			}
+		}
+		pl.ample = true
+		return
+	}
+	for i, a := range enabled {
+		pl.tidx = append(pl.tidx, i)
+		pl.tmask |= maskOf(a)
+	}
+}
+
+// expansion applies sleep set z to the chosen persistent set: T members
+// in z are withheld (recorded in pl.pruned, to be stored on the visited
+// entry), and each expanded child inherits the sleeping actions that
+// stay independent of the action taken, plus the already-expanded
+// siblings that commute with it.
+func (rd *reducer) expansion(enabled []Action, pl *plan, z actionMask) {
+	pl.idx = pl.idx[:0]
+	pl.childSleep = pl.childSleep[:0]
+	pl.pruned = 0
+
+	// A sleeping action must be enabled here (sleep members are enabled
+	// and independent in the parent, which preserves both); drop any bit
+	// with no matching enabled action — pure over-approximation safety.
+	var enabledMask actionMask
+	for _, a := range enabled {
+		enabledMask |= maskOf(a)
+	}
+	z &= enabledMask
+
+	for _, i := range pl.tidx {
+		bi := maskOf(enabled[i])
+		if z&bi != 0 {
+			pl.pruned |= bi
+			continue
+		}
+		var cs actionMask
+		carry := z
+		for _, j := range pl.tidx {
+			if j == i {
+				break
+			}
+			if m := maskOf(enabled[j]); m&pl.pruned == 0 {
+				carry |= m
+			}
+		}
+		for j, a := range enabled {
+			bj := maskOf(a)
+			if carry&bj != 0 && bj != bi && independent(pl.fps[i], pl.fps[j]) {
+				cs |= bj
+			}
+		}
+		pl.idx = append(pl.idx, i)
+		pl.childSleep = append(pl.childSleep, cs)
+	}
+}
+
+// sleptCount reports how many actions pl withheld.
+func (pl *plan) sleptCount() int { return bits.OnesCount32(uint32(pl.pruned)) }

@@ -1,0 +1,261 @@
+package litmus
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/programs"
+	"repro/internal/tso"
+)
+
+// reductionSpaces is the differential corpus: the full litmus catalog
+// plus every classic mutual-exclusion protocol, with properties where
+// they apply.
+func reductionSpaces() []struct {
+	name  string
+	build func() *tso.Machine
+	props []Property
+} {
+	type space = struct {
+		name  string
+		build func() *tso.Machine
+		props []Property
+	}
+	var spaces []space
+	for _, ct := range Catalog() {
+		progs := ct.Build()
+		cfg := arch.DefaultConfig()
+		cfg.Procs = len(progs)
+		cfg.MemWords = 16
+		cfg.StoreBufferDepth = 4
+		spaces = append(spaces, space{
+			name:  "catalog/" + ct.Name,
+			build: func() *tso.Machine { return tso.NewMachine(cfg, progs...) },
+		})
+	}
+	me := []Property{MutualExclusion}
+	for _, v := range []programs.DekkerVariant{
+		programs.DekkerNoFence, programs.DekkerMfence, programs.DekkerLmfence,
+		programs.DekkerLmfenceMirrored,
+	} {
+		p0, p1 := programs.DekkerPair(v)
+		spaces = append(spaces, space{"dekker/" + v.String(), machineFor(p0, p1), me})
+	}
+	p0, p1 := programs.PetersonPair(programs.DekkerNoFence)
+	spaces = append(spaces, space{"peterson/nofence", machineFor(p0, p1), me})
+	p0, p1 = programs.PetersonPair(programs.DekkerMfence)
+	spaces = append(spaces, space{"peterson/mfence", machineFor(p0, p1), me})
+	p0, p1 = programs.BakeryPair(programs.DekkerNoFence)
+	spaces = append(spaces, space{"bakery/nofence", machineFor(p0, p1), me})
+	p0, p1 = programs.BakeryPair(programs.DekkerMfence)
+	spaces = append(spaces, space{"bakery/mfence", machineFor(p0, p1), me})
+	return spaces
+}
+
+// TestReductionDifferential pins the reduction's preservation contract
+// on the whole corpus: against the unreduced serial reference, the
+// reduced serial engine and the reduced parallel engine (1 and 4
+// workers) must produce the identical Outcomes multiset, the identical
+// Deadlocks count, and the identical violation verdict for the stable
+// MutualExclusion property — while never exploring more states.
+func TestReductionDifferential(t *testing.T) {
+	for _, sp := range reductionSpaces() {
+		sp := sp
+		t.Run(sp.name, func(t *testing.T) {
+			full := ExploreSerial(sp.build, Options{Properties: sp.props})
+			check := func(tag string, red Result) {
+				t.Helper()
+				if red.Truncated != full.Truncated {
+					t.Errorf("%s: Truncated=%v, reference=%v", tag, red.Truncated, full.Truncated)
+				}
+				if !reflect.DeepEqual(red.Outcomes, full.Outcomes) {
+					t.Errorf("%s: Outcomes diverge:\nreduced:   %v\nreference: %v",
+						tag, red.Outcomes, full.Outcomes)
+				}
+				if red.Deadlocks != full.Deadlocks {
+					t.Errorf("%s: Deadlocks=%d, reference=%d", tag, red.Deadlocks, full.Deadlocks)
+				}
+				if (red.Violations > 0) != (full.Violations > 0) {
+					t.Errorf("%s: violation verdict %v, reference %v",
+						tag, red.Violations > 0, full.Violations > 0)
+				}
+				if red.States > full.States {
+					t.Errorf("%s: reduced exploration grew: %d states vs %d",
+						tag, red.States, full.States)
+				}
+				if red.Violations > 0 {
+					if m := Replay(sp.build, red.ViolationTrace); !m.CSViolation {
+						t.Errorf("%s: violation trace does not replay to a violation", tag)
+					}
+				}
+			}
+			check("serial", ExploreSerial(sp.build, Options{Properties: sp.props, Reduction: true}))
+			for _, workers := range []int{1, 4} {
+				red := Explore(sp.build, Options{
+					Properties: sp.props, Reduction: true, Workers: workers,
+				})
+				check("parallel", red)
+			}
+		})
+	}
+}
+
+// TestReductionRatio is the acceptance bar: on SB, Dekker, and bakery
+// the reduced serial search must explore at least half the states of
+// the unreduced reference.
+func TestReductionRatio(t *testing.T) {
+	cases := []struct {
+		name  string
+		build func() *tso.Machine
+	}{}
+	sb0, sb1 := programs.StoreBufferPair()
+	cases = append(cases, struct {
+		name  string
+		build func() *tso.Machine
+	}{"sb", machineFor(sb0, sb1)})
+	d0, d1 := programs.DekkerPair(programs.DekkerNoFence)
+	cases = append(cases, struct {
+		name  string
+		build func() *tso.Machine
+	}{"dekker", machineFor(d0, d1)})
+	b0, b1 := programs.BakeryPair(programs.DekkerNoFence)
+	cases = append(cases, struct {
+		name  string
+		build func() *tso.Machine
+	}{"bakery", machineFor(b0, b1)})
+
+	for _, c := range cases {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			full := ExploreSerial(c.build, Options{})
+			red := ExploreSerial(c.build, Options{Reduction: true})
+			if red.States*2 > full.States {
+				t.Errorf("reduction below 2x: %d reduced vs %d full states", red.States, full.States)
+			}
+			if g := red.Obs.Gauges["reduction"]; g != 1 {
+				t.Errorf("reduction gauge = %v; want 1", g)
+			}
+			if n := red.Obs.Counters["por_ample_states"]; n == 0 {
+				t.Error("por_ample_states = 0; want > 0")
+			}
+		})
+	}
+}
+
+// TestReductionTooManyProcs: a machine beyond the mask budget must fall
+// back to unreduced exploration and still agree with the reference.
+func TestReductionTooManyProcs(t *testing.T) {
+	n := maxReductionProcs + 1
+	progs := make([]*tso.Program, n)
+	for i := range progs {
+		b := tso.NewBuilder("wide")
+		if i < 2 {
+			b = b.StoreI(programs.AddrX, arch.Word(i+1)).Load(0, programs.AddrX)
+		}
+		progs[i] = b.Halt().Build()
+	}
+	cfg := arch.DefaultConfig()
+	cfg.Procs = n
+	cfg.MemWords = 16
+	cfg.StoreBufferDepth = 4
+	build := func() *tso.Machine { return tso.NewMachine(cfg, progs...) }
+
+	full := ExploreSerial(build, Options{})
+	red := ExploreSerial(build, Options{Reduction: true})
+	if red.States != full.States || !reflect.DeepEqual(red.Outcomes, full.Outcomes) {
+		t.Errorf("fallback diverged: %d/%d states", red.States, full.States)
+	}
+	par := Explore(build, Options{Reduction: true, Workers: 2})
+	if par.States != full.States || !reflect.DeepEqual(par.Outcomes, full.Outcomes) {
+		t.Errorf("parallel fallback diverged: %d/%d states", par.States, full.States)
+	}
+}
+
+// TestVisitedCollisionInjection forces every state onto one 64-bit
+// primary hash. The overflow chains must keep distinct states distinct —
+// the exploration result must be byte-identical to the serial reference,
+// with the collisions counted in Result.Obs.
+func TestVisitedCollisionInjection(t *testing.T) {
+	orig := hashPair
+	t.Cleanup(func() { hashPair = orig })
+	hashPair = func(fp []byte) (uint64, uint64) {
+		return 42, hash2(fp) // constant h1: all states collide
+	}
+
+	p0, p1 := programs.DekkerPair(programs.DekkerNoFence)
+	build := machineFor(p0, p1)
+	serial := ExploreSerial(build, Options{Properties: []Property{MutualExclusion}})
+	for _, workers := range []int{1, 4} {
+		par := Explore(build, Options{Properties: []Property{MutualExclusion}, Workers: workers})
+		if par.States != serial.States {
+			t.Errorf("workers=%d: States=%d, serial=%d (states merged by h1 collision?)",
+				workers, par.States, serial.States)
+		}
+		if !reflect.DeepEqual(par.Outcomes, serial.Outcomes) {
+			t.Errorf("workers=%d: Outcomes diverge under forced collisions", workers)
+		}
+		if par.Violations != serial.Violations {
+			t.Errorf("workers=%d: Violations=%d, serial=%d", workers, par.Violations, serial.Violations)
+		}
+		if n := par.Obs.Counters["visited_h1_collisions"]; n != uint64(serial.States-1) {
+			t.Errorf("workers=%d: visited_h1_collisions=%d, want %d (every state after the first)",
+				workers, n, serial.States-1)
+		}
+	}
+}
+
+// TestVerifyVisited audits the 128-bit hashed keys against full
+// fingerprints on a real state space: identical results, and zero
+// silent merges.
+func TestVerifyVisited(t *testing.T) {
+	p0, p1 := programs.DekkerPair(programs.DekkerNoFence)
+	build := machineFor(p0, p1)
+	serial := ExploreSerial(build, Options{Properties: []Property{MutualExclusion}})
+	ver := Explore(build, Options{
+		Properties: []Property{MutualExclusion}, Workers: 4, VerifyVisited: true,
+	})
+	if ver.States != serial.States || !reflect.DeepEqual(ver.Outcomes, serial.Outcomes) {
+		t.Errorf("VerifyVisited diverged: %d/%d states", ver.States, serial.States)
+	}
+	n, ok := ver.Obs.Counters["visited_128bit_collisions"]
+	if !ok {
+		t.Fatal("visited_128bit_collisions not reported under VerifyVisited")
+	}
+	if n != 0 {
+		t.Errorf("%d distinct states silently merged by the 128-bit key", n)
+	}
+
+	// And with reduction on top: the audit must coexist with sleep sets.
+	red := Explore(build, Options{
+		Properties: []Property{MutualExclusion}, Workers: 4,
+		VerifyVisited: true, Reduction: true,
+	})
+	if !reflect.DeepEqual(red.Outcomes, serial.Outcomes) {
+		t.Error("VerifyVisited+Reduction: Outcomes diverged")
+	}
+	if n := red.Obs.Counters["visited_128bit_collisions"]; n != 0 {
+		t.Errorf("VerifyVisited+Reduction: %d silent merges", n)
+	}
+}
+
+// TestVerifyVisitedCatchesInjectedMerge degrades BOTH hashes to
+// constants; only the VerifyVisited full-fingerprint map can then keep
+// states apart, and it must report the would-be merges.
+func TestVerifyVisitedCatchesInjectedMerge(t *testing.T) {
+	orig := hashPair
+	t.Cleanup(func() { hashPair = orig })
+	hashPair = func(fp []byte) (uint64, uint64) { return 7, 7 }
+
+	p0, p1 := programs.StoreBufferPair()
+	build := machineFor(p0, p1)
+	serial := ExploreSerial(build, Options{})
+	ver := Explore(build, Options{Workers: 2, VerifyVisited: true})
+	if ver.States != serial.States || !reflect.DeepEqual(ver.Outcomes, serial.Outcomes) {
+		t.Errorf("full-fingerprint map failed to keep states apart: %d/%d",
+			ver.States, serial.States)
+	}
+	if n := ver.Obs.Counters["visited_128bit_collisions"]; n != uint64(serial.States-1) {
+		t.Errorf("visited_128bit_collisions=%d, want %d", n, serial.States-1)
+	}
+}

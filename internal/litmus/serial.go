@@ -20,10 +20,19 @@ type serialFrame struct {
 // oracle the parallel engine is differentially tested against, and as
 // the baseline BenchmarkExploreSerial measures. Production callers want
 // Explore.
+//
+// With Options.Reduction it runs the same ample-set/sleep-set reduction
+// as the parallel engine but deterministically (single-threaded DFS over
+// exact fingerprints), which makes it the reference for the *reduced*
+// search too: reduced-parallel differential tests and the bench
+// pipeline's pruning-ratio metrics both compare against it.
 func ExploreSerial(build func() *tso.Machine, opts Options) Result {
 	maxStates := opts.MaxStates
 	if maxStates == 0 {
 		maxStates = DefaultMaxStates
+	}
+	if opts.Reduction {
+		return exploreSerialReduced(build, opts, maxStates)
 	}
 	start := time.Now()
 	res := Result{Outcomes: make(map[Outcome]int)}
@@ -88,4 +97,136 @@ func ExploreSerial(build func() *tso.Machine, opts Options) Result {
 	}
 	res.Elapsed = time.Since(start)
 	return res
+}
+
+// serialRedFrame is a reduced-DFS frame: the reference frame plus the
+// sleep set the state was reached with.
+type serialRedFrame struct {
+	m     *tso.Machine
+	trace []Action
+	sleep actionMask
+}
+
+// serialVentry is the per-state bookkeeping of the reduced serial
+// search: which enabled actions the first visit withheld, shrunk as
+// later arrivals with smaller sleep sets re-expand the difference.
+type serialVentry struct {
+	pruned actionMask
+}
+
+// exploreSerialReduced is ExploreSerial's Options.Reduction path: the
+// same exact string-keyed visited map, with expansion driven by the
+// shared reducer (reduce.go). Being single-threaded over exact
+// fingerprints it is fully deterministic, unlike the reduced parallel
+// engine whose sleep masks depend on arrival order.
+func exploreSerialReduced(build func() *tso.Machine, opts Options, maxStates int) Result {
+	start := time.Now()
+	sc := opts.SequentialConsistency
+	root := build()
+	rd := newReducer(root, sc)
+	if rd == nil {
+		o := opts
+		o.Reduction = false
+		return ExploreSerial(build, o)
+	}
+
+	res := Result{Outcomes: make(map[Outcome]int)}
+	visited := make(map[string]*serialVentry)
+	stack := []serialRedFrame{{m: root}}
+	buf := make([]byte, 0, 256)
+	var pl plan
+	var ample, slept, reexp uint64
+
+	finish := func() Result {
+		res.Elapsed = time.Since(start)
+		res.Obs.PutGauge("reduction", 1)
+		res.Obs.PutCounter("por_ample_states", ample)
+		res.Obs.PutCounter("por_slept_transitions", slept)
+		res.Obs.PutCounter("por_reexpansions", reexp)
+		return res
+	}
+
+	for len(stack) > 0 {
+		f := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		m := f.m
+
+		buf = m.Fingerprint(buf[:0])
+		if ve, seen := visited[string(buf)]; seen {
+			missing := ve.pruned &^ f.sleep
+			if missing == 0 {
+				continue
+			}
+			// The first visit slept actions this arrival's sleep set does
+			// not justify; re-expand them (with empty child sleep sets).
+			ve.pruned &= f.sleep
+			enabled := appendEnabled(nil, m, sc)
+			for _, a := range enabled {
+				if missing&maskOf(a) == 0 {
+					continue
+				}
+				child := m.Clone()
+				apply(child, a, sc)
+				res.Transitions++
+				reexp++
+				tr := make([]Action, len(f.trace)+1)
+				copy(tr, f.trace)
+				tr[len(f.trace)] = a
+				stack = append(stack, serialRedFrame{m: child, trace: tr})
+			}
+			continue
+		}
+		if res.States >= maxStates {
+			res.Truncated = true
+			break
+		}
+		ve := &serialVentry{}
+		visited[string(buf)] = ve
+		res.States++
+
+		violated := false
+		for _, prop := range opts.Properties {
+			if err := prop(m); err != nil {
+				res.Violations++
+				violated = true
+				if res.FirstViolation == nil {
+					res.FirstViolation = err
+					res.ViolationTrace = append([]Action(nil), f.trace...)
+				}
+				break
+			}
+		}
+		if violated && opts.stopOnViolation() {
+			return finish()
+		}
+
+		enabled := appendEnabled(nil, m, sc)
+		if len(enabled) == 0 {
+			if m.Quiesced() {
+				res.Outcomes[outcomeOf(m)]++
+			} else {
+				res.Deadlocks++
+			}
+			continue
+		}
+
+		rd.analyze(m, enabled, &pl)
+		if pl.ample {
+			ample++
+		}
+		rd.expansion(enabled, &pl, f.sleep)
+		ve.pruned = pl.pruned
+		slept += uint64(pl.sleptCount())
+		for k, i := range pl.idx {
+			a := enabled[i]
+			child := m.Clone()
+			apply(child, a, sc)
+			res.Transitions++
+			tr := make([]Action, len(f.trace)+1)
+			copy(tr, f.trace)
+			tr[len(f.trace)] = a
+			stack = append(stack, serialRedFrame{m: child, trace: tr, sleep: pl.childSleep[k]})
+		}
+	}
+	return finish()
 }

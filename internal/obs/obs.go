@@ -69,9 +69,16 @@ const (
 
 // BucketUpperNs reports bucket i's exclusive upper bound in
 // nanoseconds. The last bucket is unbounded; it reports its nominal
-// bound.
+// bound, and snapshots mark it with HistBucket.Unbounded so consumers
+// never mistake the nominal bound for a real ceiling.
 func BucketUpperNs(i int) int64 {
 	return int64(histGranularityNs) << uint(i)
+}
+
+// BucketUnbounded reports whether bucket i is the overflow bucket, whose
+// nominal upper bound is not a real ceiling.
+func BucketUnbounded(i int) bool {
+	return i == HistBuckets-1
 }
 
 func bucketOf(ns int64) int {
@@ -122,11 +129,16 @@ func (h *Histogram) Count() uint64 { return h.count.Load() }
 
 // HistBucket is one non-empty bucket of a histogram snapshot.
 type HistBucket struct {
-	// UpperNs is the bucket's exclusive upper bound in nanoseconds (the
-	// last bucket of a histogram is in truth unbounded).
+	// UpperNs is the bucket's exclusive upper bound in nanoseconds. For
+	// the overflow bucket it is only the nominal bound.
 	UpperNs int64 `json:"upper_ns"`
 	// Count is the number of observations in the bucket.
 	Count uint64 `json:"count"`
+	// Unbounded marks the histogram's overflow bucket: it absorbed
+	// observations at or above its nominal bound, so UpperNs is not a
+	// real ceiling (use MaxNs instead). Benchmark diffs treat growth
+	// here as a latency regression in its own right.
+	Unbounded bool `json:"unbounded,omitempty"`
 }
 
 // HistogramSnapshot is a point-in-time copy of a Histogram. Only
@@ -150,7 +162,11 @@ func (h *Histogram) Snapshot() HistogramSnapshot {
 	}
 	for i := range h.buckets {
 		if c := h.buckets[i].Load(); c > 0 {
-			s.Buckets = append(s.Buckets, HistBucket{UpperNs: BucketUpperNs(i), Count: c})
+			s.Buckets = append(s.Buckets, HistBucket{
+				UpperNs:   BucketUpperNs(i),
+				Count:     c,
+				Unbounded: BucketUnbounded(i),
+			})
 		}
 	}
 	return s
@@ -166,7 +182,9 @@ func (s HistogramSnapshot) MeanNs() float64 {
 
 // QuantileNs reports an upper-bound estimate of the q-quantile
 // (0 <= q <= 1) from the bucket counts: the upper bound of the first
-// bucket whose cumulative count reaches q.
+// bucket whose cumulative count reaches q. When the quantile lands in
+// the unbounded overflow bucket, the nominal bound would *understate*
+// the latency, so the recorded maximum is reported instead.
 func (s HistogramSnapshot) QuantileNs(q float64) float64 {
 	if s.Count == 0 || len(s.Buckets) == 0 {
 		return 0
@@ -185,8 +203,27 @@ func (s HistogramSnapshot) QuantileNs(q float64) float64 {
 	for _, b := range s.Buckets {
 		cum += b.Count
 		if cum >= rank {
+			if b.Unbounded {
+				return float64(s.MaxNs)
+			}
 			return float64(b.UpperNs)
 		}
 	}
-	return float64(s.Buckets[len(s.Buckets)-1].UpperNs)
+	last := s.Buckets[len(s.Buckets)-1]
+	if last.Unbounded {
+		return float64(s.MaxNs)
+	}
+	return float64(last.UpperNs)
+}
+
+// OverflowCount reports how many observations landed in the unbounded
+// overflow bucket — latencies beyond the histogram's calibrated range.
+// The benchmark differ treats growth here as a regression.
+func (s HistogramSnapshot) OverflowCount() uint64 {
+	for _, b := range s.Buckets {
+		if b.Unbounded {
+			return b.Count
+		}
+	}
+	return 0
 }

@@ -172,3 +172,67 @@ func TestSnapshotRoundTripAndMerge(t *testing.T) {
 		t.Error("Empty() misreports")
 	}
 }
+
+func TestHistogramOverflowBucketMarked(t *testing.T) {
+	var h Histogram
+	for i := 0; i < 90; i++ {
+		h.Observe(100)
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(time.Hour.Nanoseconds()) // far past the calibrated range
+	}
+	s := h.Snapshot()
+
+	last := s.Buckets[len(s.Buckets)-1]
+	if !last.Unbounded {
+		t.Errorf("overflow bucket not marked Unbounded: %+v", last)
+	}
+	for _, b := range s.Buckets[:len(s.Buckets)-1] {
+		if b.Unbounded {
+			t.Errorf("non-overflow bucket marked Unbounded: %+v", b)
+		}
+	}
+	if got := s.OverflowCount(); got != 10 {
+		t.Errorf("OverflowCount = %d, want 10", got)
+	}
+	// The quantile estimator must not understate an overflow quantile at
+	// the nominal bucket bound: it reports the recorded maximum.
+	if q := s.QuantileNs(0.99); q != float64(time.Hour.Nanoseconds()) {
+		t.Errorf("p99 = %f, want MaxNs %d", q, time.Hour.Nanoseconds())
+	}
+	// Quantiles below the overflow bucket are unaffected.
+	if q := s.QuantileNs(0.25); q > 1000 {
+		t.Errorf("p25 = %f, want the 100ns bucket bound", q)
+	}
+
+	var clean Histogram
+	clean.Observe(100)
+	if cs := clean.Snapshot(); cs.OverflowCount() != 0 {
+		t.Errorf("OverflowCount = %d on in-range histogram", cs.OverflowCount())
+	}
+}
+
+func TestMergePreservesUnbounded(t *testing.T) {
+	var a, b Histogram
+	a.Observe(time.Hour.Nanoseconds())
+	b.Observe(2 * time.Hour.Nanoseconds())
+	b.Observe(50)
+
+	var s Snapshot
+	s.Histogram("lat", &a)
+	var o Snapshot
+	o.Histogram("lat", &b)
+	s.Merge(o)
+
+	merged := s.Histograms["lat"]
+	if got := merged.OverflowCount(); got != 2 {
+		t.Errorf("merged OverflowCount = %d, want 2", got)
+	}
+	last := merged.Buckets[len(merged.Buckets)-1]
+	if !last.Unbounded {
+		t.Errorf("merge dropped the Unbounded mark: %+v", last)
+	}
+	if merged.MaxNs != 2*time.Hour.Nanoseconds() {
+		t.Errorf("merged MaxNs = %d", merged.MaxNs)
+	}
+}

@@ -91,14 +91,19 @@ func mergeHist(a, b HistogramSnapshot) HistogramSnapshot {
 		out.MaxNs = b.MaxNs
 	}
 	byBound := make(map[int64]uint64, len(a.Buckets)+len(b.Buckets))
+	unbounded := make(map[int64]bool)
 	for _, bk := range a.Buckets {
 		byBound[bk.UpperNs] += bk.Count
+		unbounded[bk.UpperNs] = unbounded[bk.UpperNs] || bk.Unbounded
 	}
 	for _, bk := range b.Buckets {
 		byBound[bk.UpperNs] += bk.Count
+		unbounded[bk.UpperNs] = unbounded[bk.UpperNs] || bk.Unbounded
 	}
 	for bound, c := range byBound {
-		out.Buckets = append(out.Buckets, HistBucket{UpperNs: bound, Count: c})
+		out.Buckets = append(out.Buckets, HistBucket{
+			UpperNs: bound, Count: c, Unbounded: unbounded[bound],
+		})
 	}
 	sort.Slice(out.Buckets, func(i, j int) bool {
 		return out.Buckets[i].UpperNs < out.Buckets[j].UpperNs

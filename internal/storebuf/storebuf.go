@@ -110,6 +110,11 @@ func (b *Buffer) Pop() Entry {
 	return e
 }
 
+// At returns the i-th pending entry in FIFO order (0 = oldest) without
+// copying the buffer. The model checker's footprint computation iterates
+// pending stores on a hot path where Entries' allocation would show.
+func (b *Buffer) At(i int) Entry { return b.entries[i] }
+
 // Entries returns a copy of the pending stores in FIFO order. Intended
 // for tests, traces, and state hashing in the model checker.
 func (b *Buffer) Entries() []Entry {

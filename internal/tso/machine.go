@@ -74,6 +74,18 @@ func (p *Proc) dropLink(i int) {
 	p.links = append(p.links[:i], p.links[i+1:]...)
 }
 
+// LinkCount reports the number of live LE/ST links. The model checker's
+// partial-order reduction uses it (with LinkAddr and HasLink) to predict
+// whether a LinkBegin will flush without re-running the machine.
+func (p *Proc) LinkCount() int { return len(p.links) }
+
+// LinkAddr returns the guarded address of the i-th live link (oldest
+// first).
+func (p *Proc) LinkAddr(i int) arch.Addr { return p.links[i].addr }
+
+// HasLink reports whether a live link guards addr.
+func (p *Proc) HasLink(addr arch.Addr) bool { return p.findLink(addr) >= 0 }
+
 // Tracer receives execution events; nil tracers are skipped. Used by
 // cmd/lbmfsim to print instruction and coherence traces.
 type Tracer interface {
