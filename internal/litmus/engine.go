@@ -293,6 +293,33 @@ func (e *engine) claim(h1, h2 uint64, fp []byte, z actionMask) (claimStatus, act
 	return claimWon, 0
 }
 
+// seen reports whether the state with keys (h1,h2) and fingerprint fp
+// is already in the visited set, without claiming it. The reduction's
+// cycle proviso probes ample successors with it: a probe that runs
+// after the prober's own claim (program order, serialized by the stripe
+// locks) is guaranteed to observe every earlier claim, which is what
+// the no-ignoring argument in reduce.go needs.
+func (e *engine) seen(h1, h2 uint64, fp []byte) bool {
+	s := &e.visited.stripes[h1&(visitedStripes-1)]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.full != nil {
+		_, ok := s.full[string(fp)]
+		return ok
+	}
+	if prev, ok := s.m[h1]; ok {
+		if prev.h2 == h2 {
+			return true
+		}
+		for _, c := range s.over[h1] {
+			if c.h2 == h2 {
+				return true
+			}
+		}
+	}
+	return false
+}
+
 // bumpStates counts a new state against the budget, rolling back and
 // cancelling the exploration when it would exceed maxStates. Called with
 // the stripe lock held, immediately before the insert it guards.
@@ -387,18 +414,21 @@ type worker struct {
 	mu    sync.Mutex // guards stack (owner pops newest, thieves take oldest)
 	stack []pframe
 
-	free   []*tso.Machine
-	fpBuf  []byte
-	actBuf []Action
-	outBuf []byte
-	pl     plan // reduction scratch
+	free     []*tso.Machine
+	fpBuf    []byte
+	probeBuf []byte // successor fingerprints for the cycle proviso
+	actBuf   []Action
+	outBuf   []byte
+	pl       plan // reduction scratch
 
 	// Reduction accounting: states where a single-processor ample set was
-	// chosen, transitions withheld by sleep sets, and transitions
-	// re-expanded when a later path needed a previously pruned action.
-	ampleStates uint64
-	slept       uint64
-	reexpanded  uint64
+	// chosen, transitions withheld by sleep sets, transitions re-expanded
+	// when a later path needed a previously pruned action, and ample
+	// choices demoted to full expansion by the cycle proviso.
+	ampleStates  uint64
+	slept        uint64
+	reexpanded   uint64
+	provisoFalls uint64
 
 	// Claim accounting, owner-written plain counters (obs enters only at
 	// merge time): claimTries is visited-set claim attempts, claimWins the
@@ -565,6 +595,15 @@ func (w *worker) process(f pframe) {
 
 	if e.red != nil {
 		e.red.analyze(m, enabled, &w.pl)
+		// Cycle proviso: an ample set with an already-visited successor
+		// could close a cycle that ignores the excluded processors
+		// forever. Reject such candidates one processor at a time; when
+		// none survives, choose falls through to full expansion.
+		for skip := uint32(0); w.pl.ample && w.ampleSuccessorSeen(m, enabled); {
+			skip |= 1 << uint(enabled[w.pl.tidx[0]].Proc)
+			w.provisoFalls++
+			e.red.choose(m, enabled, &w.pl, skip)
+		}
 		if w.pl.ample {
 			w.ampleStates++
 		}
@@ -611,6 +650,28 @@ func (w *worker) process(f pframe) {
 		}
 		w.push(pframe{m: child, trace: node})
 	}
+}
+
+// ampleSuccessorSeen implements the closed-set cycle proviso's probe:
+// it applies each chosen ample action to a scratch clone and reports
+// whether any resulting state is already visited (including m itself,
+// just claimed — a self-loop trips immediately). It runs between the
+// worker's claim of m and finalize, so every probe is ordered after the
+// prober's own claim; see reduce.go for why that makes the proviso
+// sound under work stealing.
+func (w *worker) ampleSuccessorSeen(m *tso.Machine, enabled []Action) bool {
+	e := w.eng
+	for _, i := range w.pl.tidx {
+		child := w.clone(m)
+		apply(child, enabled[i], e.sc)
+		w.probeBuf = child.Fingerprint(w.probeBuf[:0])
+		w.recycle(child)
+		h1, h2 := hashPair(w.probeBuf)
+		if e.seen(h1, h2, w.probeBuf) {
+			return true
+		}
+	}
+	return false
 }
 
 // expandFrom expands the enabled actions of f.m selected by mask, used
@@ -718,7 +779,7 @@ func Explore(build func() *tso.Machine, opts Options) Result {
 		ViolationTrace: e.violTrace,
 		Outcomes:       make(map[Outcome]int),
 	}
-	var tries, wins, ample, slept, reexp uint64
+	var tries, wins, ample, slept, reexp, proviso uint64
 	for _, w := range e.workers {
 		res.Transitions += w.res.Transitions
 		res.Violations += w.res.Violations
@@ -731,6 +792,7 @@ func Explore(build func() *tso.Machine, opts Options) Result {
 		ample += w.ampleStates
 		slept += w.slept
 		reexp += w.reexpanded
+		proviso += w.provisoFalls
 	}
 	res.Elapsed = time.Since(start)
 	res.Obs.PutCounter("claim_tries", tries)
@@ -745,6 +807,7 @@ func Explore(build func() *tso.Machine, opts Options) Result {
 		res.Obs.PutCounter("por_ample_states", ample)
 		res.Obs.PutCounter("por_slept_transitions", slept)
 		res.Obs.PutCounter("por_reexpansions", reexp)
+		res.Obs.PutCounter("por_proviso_fallbacks", proviso)
 	}
 	if tries > 0 {
 		// Fraction of claim attempts that found the state already visited:

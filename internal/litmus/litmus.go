@@ -143,14 +143,16 @@ type Options struct {
 	StopAtFirstViolation bool
 
 	// Reduction enables partial-order reduction: ample sets over a
-	// footprint-based independence relation plus sleep sets (reduce.go).
-	// The reduced search visits every quiesced final state and every
-	// deadlock, so Outcomes and Deadlocks match the unreduced reference
-	// exactly, and it preserves reachability of violations for *stable*
-	// properties (once true, true on every extension — MutualExclusion's
-	// latched CSViolation qualifies). Violations counts per-state hits
-	// and may shrink; States/Transitions shrink, which is the point.
-	// Machines with more than 16 processors silently run unreduced.
+	// footprint-based independence relation plus sleep sets, with a
+	// cycle proviso so reduced cycles cannot postpone a processor
+	// forever (reduce.go). The reduced search visits every quiesced
+	// final state and every deadlock, so Outcomes and Deadlocks match
+	// the unreduced reference exactly, and it preserves reachability of
+	// violations for *stable* properties (once true, true on every
+	// extension — MutualExclusion's latched CSViolation qualifies).
+	// Violations counts per-state hits and may shrink;
+	// States/Transitions shrink, which is the point. Machines with more
+	// than 8 processors (maxReductionProcs) silently run unreduced.
 	Reduction bool
 
 	// VerifyVisited makes the parallel engine keep every full state

@@ -63,6 +63,29 @@ import (
 // no processor qualifies, every enabled action is expanded and only the
 // sleep sets prune.
 //
+// Cycle proviso. The ample argument alone suffers the classic ignoring
+// problem: if the chosen set's actions form a cycle in the reduced graph
+// (e.g. a pure control self-loop "L: jmp L", whose commit is a core-only
+// singleton ample set at every state of the cycle), the cycle closes on
+// the visited set and the excluded processors are postponed forever —
+// the search terminates without ever running them. Both engines
+// therefore apply the closed-set proviso (Bošnački, Leue &
+// Lluch-Lafuente, "Partial-order reduction for general state exploring
+// algorithms"): a state may use a proper ample subset only if none of
+// the subset's successor states is already in the visited set. A
+// candidate that trips the probe is rejected and the next ample
+// candidate (a different processor) is tried; only when every candidate
+// trips does the state expand fully. Since a state enters the visited
+// set exactly when it
+// is claimed for expansion, the last-claimed state of any cycle sees its
+// cycle successor already visited and is forced to expand fully, so
+// every cycle in the reduced graph contains a fully expanded state and
+// no enabled action is ignored forever. In the parallel engine each
+// claim happens-before the claimer's own successor probes (both are
+// made under the stripe locks), so the argument survives work-stealing
+// races: for any cycle, the worker holding the last-claimed state
+// probes after every other claim on the cycle has landed.
+//
 // What the reduction preserves (pinned by TestReductionDifferential):
 // the exact Outcomes multiset (all quiesced final states are visited),
 // the exact Deadlocks count, and reachability of violations for *stable*
@@ -330,14 +353,28 @@ type plan struct {
 // analyze computes footprints and chooses the persistent set for the
 // enabled actions of m. It is independent of the sleep set, so the
 // parallel engine can run it before fetching the merged sleep mask from
-// the visited entry. Selection is a deterministic function of the state,
-// so every visit of a state picks the same set.
+// the visited entry. The caller must still apply the cycle proviso:
+// while pl.ample and any successor via pl.tidx is already visited,
+// re-choose with the rejected candidate's processor in skip, falling
+// through to full expansion when no candidate survives (see the file
+// comment). Only the claim-winning visit of a state expands it, so the
+// proviso's dependence on visited-set contents cannot split one state's
+// expansion across different chosen sets.
 func (rd *reducer) analyze(m *tso.Machine, enabled []Action, pl *plan) {
 	pl.fps = pl.fps[:0]
 	for _, a := range enabled {
 		pl.fps = append(pl.fps, rd.footprintOf(m, a))
 	}
+	rd.choose(m, enabled, pl, 0)
+}
 
+// choose picks the persistent set among the enabled actions of
+// processors not in skip, a ProcID bitmask of ample candidates the
+// cycle proviso has rejected at this state. pl.fps must already be
+// filled (analyze does both). The engines call it again with a grown
+// skip each time a candidate's successor probe trips, so a state tries
+// every ample candidate before being demoted to full expansion.
+func (rd *reducer) choose(m *tso.Machine, enabled []Action, pl *plan, skip uint32) {
 	pl.tidx = pl.tidx[:0]
 	pl.tmask = 0
 	pl.ample = false
@@ -354,7 +391,7 @@ func (rd *reducer) analyze(m *tso.Machine, enabled []Action, pl *plan) {
 	// drain of one processor as dependent — the sleep sets stay
 	// conservative; only this ample tier uses the stronger argument.)
 	for i, a := range enabled {
-		if a.Kind != Exec {
+		if a.Kind != Exec || skip&(1<<uint(a.Proc)) != 0 {
 			continue
 		}
 		if (pl.fps[i].r|pl.fps[i].w)&^(coreBit(a.Proc)|sbBit(a.Proc)) != 0 {
@@ -381,6 +418,9 @@ func (rd *reducer) analyze(m *tso.Machine, enabled []Action, pl *plan) {
 	// Whole-processor tier: all of p's enabled actions touch only p's
 	// private resources and words no other processor can reach.
 	for pid := range m.Procs {
+		if skip&(1<<uint(pid)) != 0 {
+			continue
+		}
 		p := arch.ProcID(pid)
 		first := -1
 		ok := false
@@ -413,6 +453,17 @@ func (rd *reducer) analyze(m *tso.Machine, enabled []Action, pl *plan) {
 		pl.ample = true
 		return
 	}
+	pl.fullExpand(enabled)
+}
+
+// fullExpand resets the chosen set to every enabled action: the
+// fallback when no processor qualifies as ample, and the cycle-proviso
+// demotion applied by the engines when a chosen ample subset has an
+// already-visited successor.
+func (pl *plan) fullExpand(enabled []Action) {
+	pl.tidx = pl.tidx[:0]
+	pl.tmask = 0
+	pl.ample = false
 	for i, a := range enabled {
 		pl.tidx = append(pl.tidx, i)
 		pl.tmask |= maskOf(a)

@@ -1,6 +1,7 @@
 package litmus
 
 import (
+	"fmt"
 	"reflect"
 	"testing"
 
@@ -50,6 +51,22 @@ func reductionSpaces() []struct {
 	spaces = append(spaces, space{"bakery/nofence", machineFor(p0, p1), me})
 	p0, p1 = programs.BakeryPair(programs.DekkerMfence)
 	spaces = append(spaces, space{"bakery/mfence", machineFor(p0, p1), me})
+
+	// Cyclic state graphs: catalog/protocol programs only loop through
+	// shared-memory loads (never ample), so without these the corpus
+	// cannot catch a missing cycle proviso. One space cycles through the
+	// singleton ample tier (a pure control self-loop), one through the
+	// whole-processor tier (a spin on a word no other processor names);
+	// in both the violation is reachable only via the non-ample
+	// processors the unprovisoed reduction would ignore forever.
+	cs := func(name string) *tso.Program {
+		return tso.NewBuilder(name).CSEnter().CSExit().Halt().Build()
+	}
+	spin := tso.NewBuilder("spin").Label("L").Jmp("L").Build()
+	spaces = append(spaces, space{"cycle/jmpself", machineFor(spin, cs("c0"), cs("c1")), me})
+	pspin := tso.NewBuilder("pspin").
+		Label("L").StoreI(13, 1).Load(0, 13).Jmp("L").Build()
+	spaces = append(spaces, space{"cycle/privspin", machineFor(pspin, cs("c2"), cs("c3")), me})
 	return spaces
 }
 
@@ -140,6 +157,57 @@ func TestReductionRatio(t *testing.T) {
 				t.Error("por_ample_states = 0; want > 0")
 			}
 		})
+	}
+}
+
+// TestReductionCycleProviso pins the fix for the ignoring problem. A
+// pure control self-loop ("L: jmp L") is a core-only singleton ample
+// set at every state it reaches; without a cycle proviso the reduced
+// search expands only that jmp, closes the cycle on the visited set
+// after a single state, and never runs the processors that latch the
+// mutual-exclusion violation — contradicting the stable-property
+// reachability guarantee synth's CEGAR loop relies on. The closed-set
+// proviso must demote such states to full expansion (visible in the
+// por_proviso_fallbacks counter) and find the violation.
+func TestReductionCycleProviso(t *testing.T) {
+	spin := tso.NewBuilder("spin").Label("L").Jmp("L").Build()
+	cs := func(name string) *tso.Program {
+		return tso.NewBuilder(name).CSEnter().CSExit().Halt().Build()
+	}
+	build := machineFor(spin, cs("p1"), cs("p2"))
+	props := []Property{MutualExclusion}
+
+	full := ExploreSerial(build, Options{Properties: props})
+	if full.Violations == 0 {
+		t.Fatal("unreduced reference found no violation; the test space is broken")
+	}
+
+	check := func(tag string, red Result) {
+		t.Helper()
+		if red.Violations == 0 {
+			t.Errorf("%s: reduced search missed the violation (%d states explored) — ignoring problem",
+				tag, red.States)
+		}
+		if red.Deadlocks != full.Deadlocks {
+			t.Errorf("%s: Deadlocks=%d, reference=%d", tag, red.Deadlocks, full.Deadlocks)
+		}
+		if !reflect.DeepEqual(red.Outcomes, full.Outcomes) {
+			t.Errorf("%s: Outcomes diverge from reference", tag)
+		}
+		if n := red.Obs.Counters["por_proviso_fallbacks"]; n == 0 {
+			t.Errorf("%s: por_proviso_fallbacks = 0; want > 0", tag)
+		}
+		if red.Violations > 0 {
+			if m := Replay(build, red.ViolationTrace); !m.CSViolation {
+				t.Errorf("%s: violation trace does not replay to a violation", tag)
+			}
+		}
+	}
+	check("serial", ExploreSerial(build, Options{Properties: props, Reduction: true}))
+	for _, workers := range []int{1, 4} {
+		check(fmt.Sprintf("parallel/%d", workers), Explore(build, Options{
+			Properties: props, Reduction: true, Workers: workers,
+		}))
 	}
 }
 

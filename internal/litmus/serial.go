@@ -134,8 +134,9 @@ func exploreSerialReduced(build func() *tso.Machine, opts Options, maxStates int
 	visited := make(map[string]*serialVentry)
 	stack := []serialRedFrame{{m: root}}
 	buf := make([]byte, 0, 256)
+	probeBuf := make([]byte, 0, 256)
 	var pl plan
-	var ample, slept, reexp uint64
+	var ample, slept, reexp, proviso uint64
 
 	finish := func() Result {
 		res.Elapsed = time.Since(start)
@@ -143,6 +144,7 @@ func exploreSerialReduced(build func() *tso.Machine, opts Options, maxStates int
 		res.Obs.PutCounter("por_ample_states", ample)
 		res.Obs.PutCounter("por_slept_transitions", slept)
 		res.Obs.PutCounter("por_reexpansions", reexp)
+		res.Obs.PutCounter("por_proviso_fallbacks", proviso)
 		return res
 	}
 
@@ -211,6 +213,32 @@ func exploreSerialReduced(build func() *tso.Machine, opts Options, maxStates int
 		}
 
 		rd.analyze(m, enabled, &pl)
+		// Cycle proviso (closed-set form, see reduce.go): a proper ample
+		// subset may only be used when none of its successors is already
+		// visited — otherwise the reduced expansion could close a cycle
+		// that postpones the excluded processors forever. The current
+		// state itself is already in visited, so a pure self-loop (e.g.
+		// "L: jmp L") trips the probe immediately. A tripped candidate's
+		// processor is skipped and the next candidate tried; only when
+		// all trip does the state expand fully.
+		for skip := uint32(0); pl.ample; {
+			seen := false
+			for _, i := range pl.tidx {
+				child := m.Clone()
+				apply(child, enabled[i], sc)
+				probeBuf = child.Fingerprint(probeBuf[:0])
+				if _, ok := visited[string(probeBuf)]; ok {
+					seen = true
+					break
+				}
+			}
+			if !seen {
+				break
+			}
+			skip |= 1 << uint(enabled[pl.tidx[0]].Proc)
+			proviso++
+			rd.choose(m, enabled, &pl, skip)
+		}
 		if pl.ample {
 			ample++
 		}
