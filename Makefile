@@ -9,7 +9,7 @@ COUNT ?= 5
 BENCH_SCALE ?= test
 BENCH_BASELINE ?= BENCH_baseline.json
 
-.PHONY: test race bench bench-litmus bench-por litmus-json synth bench-json bench-diff chaos
+.PHONY: test race bench bench-litmus bench-por bench-compress litmus-json synth bench-json bench-diff chaos
 
 # Seeds for the chaos fault schedules (comma-separated).
 CHAOS_SEEDS ?= 1,2,3
@@ -37,6 +37,14 @@ bench-litmus:
 bench-por:
 	$(GO) test -race -run 'Reduction|Visited' ./internal/litmus/
 	$(GO) run ./cmd/litmus -por -reduction
+
+# Representation-level scaling: the collapse/symmetry/spill
+# differential tests under the race detector, then the catalog plus the
+# 3-process generators through the whole stack under a deliberately
+# starved 1MB budget so cold stripes actually spill mid-run.
+bench-compress:
+	$(GO) test -race -run 'Collapse|Symmetry|Spill|Budget|Compress' -short ./internal/litmus/ ./internal/tso/
+	$(GO) run ./cmd/litmus -compress -membudget 1048576 -nproc 3
 
 # Machine-readable verification summary (states, states/sec per test);
 # redirect into BENCH_litmus.json to track checker throughput across PRs.

@@ -113,12 +113,22 @@ func exploreSpaces() map[string]func() *tso.Machine {
 }
 
 // exploreBench measures one engine on one space, reporting states/sec
-// and B/state (allocated bytes per explored state) so `-benchmem` runs
-// are directly comparable across engines.
+// and two bytes-per-state figures so `-benchmem` runs are directly
+// comparable across engines. The first run of an exploration pays
+// one-time warm-up allocations (engine structures, and under collapse
+// compression the interned component tables, which are exactly the
+// memory the compression trades the per-state savings against), so
+// B/state is the steady-state figure — warm-up excluded — and
+// B/state-total keeps the old everything-included semantics.
 func exploreBench(b *testing.B, build func() *tso.Machine, run func() litmus.Result) {
 	var states int
-	var before, after runtime.MemStats
+	var coldStart, before, after runtime.MemStats
 	runtime.GC()
+	runtime.ReadMemStats(&coldStart)
+	warm := run()
+	if warm.Truncated || warm.Deadlocks != 0 {
+		b.Fatalf("truncated=%v deadlocks=%d", warm.Truncated, warm.Deadlocks)
+	}
 	runtime.ReadMemStats(&before)
 	start := time.Now()
 	b.ResetTimer()
@@ -135,6 +145,8 @@ func exploreBench(b *testing.B, build func() *tso.Machine, run func() litmus.Res
 	total := float64(states) * float64(b.N)
 	b.ReportMetric(total/elapsed.Seconds(), "states/sec")
 	b.ReportMetric(float64(after.TotalAlloc-before.TotalAlloc)/total, "B/state")
+	b.ReportMetric(float64(after.TotalAlloc-coldStart.TotalAlloc)/
+		(total+float64(states)), "B/state-total")
 	b.ReportMetric(float64(states), "states")
 	_ = build
 }
@@ -164,6 +176,25 @@ func BenchmarkExploreParallel(b *testing.B) {
 			b.Run(fmt.Sprintf("%s/workers%d", name, workers), func(b *testing.B) {
 				exploreBench(b, build, func() litmus.Result {
 					return litmus.Explore(build, litmus.Options{Workers: workers})
+				})
+			})
+		}
+	}
+}
+
+// BenchmarkExploreCollapse is the parallel engine with the collapsed
+// visited set (interned component tables + index-tuple keys). The
+// steady-state B/state is the number to compare against
+// BenchmarkExploreParallel: the component tables amortize across runs,
+// so the per-state figure shows the encoding's net win.
+func BenchmarkExploreCollapse(b *testing.B) {
+	for name, build := range exploreSpaces() {
+		build := build
+		for _, workers := range []int{1, 4} {
+			workers := workers
+			b.Run(fmt.Sprintf("%s/workers%d", name, workers), func(b *testing.B) {
+				exploreBench(b, build, func() litmus.Result {
+					return litmus.Explore(build, litmus.Options{Workers: workers, Collapse: true})
 				})
 			})
 		}

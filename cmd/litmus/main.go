@@ -7,7 +7,12 @@
 // suitable for tracking checker throughput across changes. -reduction
 // explores the catalog with sleep-set partial-order reduction (same
 // verdicts, fewer states), and -por prints the reduced-vs-unreduced
-// state-count comparison over the protocol suite.
+// state-count comparison over the protocol suite. -compress stores
+// visited states collapse-compressed (interned component tables plus
+// index tuples), -membudget caps the visited set's resident bytes and
+// spills cold stripes to disk instead of truncating, and -nproc N
+// additionally model-checks the N-process bakery and Peterson
+// generators under cyclic-symmetry reduction.
 package main
 
 import (
@@ -31,11 +36,21 @@ func main() {
 	workers := flag.Int("workers", 0, "exploration worker-pool size (0 = GOMAXPROCS)")
 	reduction := flag.Bool("reduction", false, "explore the catalog with partial-order reduction")
 	por := flag.Bool("por", false, "print the reduced-vs-unreduced comparison over the protocol suite")
+	compress := flag.Bool("compress", false, "store visited states collapse-compressed")
+	memBudget := flag.Int64("membudget", 0, "visited-set resident-byte budget, spilling cold stripes to disk (0 = unlimited, implies -compress)")
+	nproc := flag.Int("nproc", 0, "also model-check the N-process bakery/Peterson generators under symmetry reduction (0 = skip)")
 	jsonOut := flag.Bool("json", false, "emit a machine-readable JSON summary instead of tables")
 	flag.Parse()
 
+	catOpts := litmus.Options{
+		Workers:   *workers,
+		Reduction: *reduction,
+		Collapse:  *compress || *memBudget > 0,
+		MemBudget: *memBudget,
+	}
+
 	if *jsonOut {
-		os.Exit(runJSON(*workers, *catalog, *reduction))
+		os.Exit(runJSON(*catalog, catOpts))
 	}
 
 	res := harness.RunTheoremsWorkers(*workers)
@@ -43,12 +58,15 @@ func main() {
 
 	failed := !res.AllPass()
 	if *catalog {
-		failed = printCatalog(*workers, *reduction) || failed
+		failed = printCatalog(catOpts) || failed
 	}
 	if *por {
 		pr := harness.RunPOR(*workers)
 		fmt.Println(pr.Table())
 		failed = failed || !pr.AllPass()
+	}
+	if *nproc > 0 {
+		failed = printNProc(*nproc, catOpts) || failed
 	}
 	if *trace {
 		printCounterexample(*workers)
@@ -61,11 +79,11 @@ func main() {
 
 // printCatalog runs the classic litmus tests and reports per-test
 // verdicts; it returns whether any failed.
-func printCatalog(workers int, reduction bool) bool {
+func printCatalog(opts litmus.Options) bool {
 	fmt.Println("Classic litmus tests (TSO ordering principles 1-4 + store atomicity):")
 	failed := false
 	for _, ct := range litmus.Catalog() {
-		res, err := litmus.RunCatalogTestOpts(ct, litmus.Options{Workers: workers, Reduction: reduction})
+		res, err := litmus.RunCatalogTestOpts(ct, opts)
 		verdict := "PASS"
 		if err != nil {
 			verdict = "FAIL: " + err.Error()
@@ -77,6 +95,63 @@ func printCatalog(workers int, reduction bool) bool {
 		}
 		fmt.Printf("  %-11s %6d states  %9.0f states/sec  relaxed outcome %-9s  %s\n",
 			ct.Name, res.States, res.StatesPerSec(), expect, verdict)
+	}
+	fmt.Println()
+	return failed
+}
+
+// printNProc model-checks the N-process bakery and Peterson generators
+// under cyclic-symmetry reduction and reports verdicts; it returns
+// whether any check failed. Partial-order reduction is always on here —
+// the unreduced interleaving space is intractable past n=3 — and the
+// -compress/-membudget settings carry over so the section exercises the
+// same representation stack the scaling tests pin.
+func printNProc(n int, catOpts litmus.Options) bool {
+	fmt.Printf("N-process generators at n=%d (cyclic-symmetry reduction + POR):\n", n)
+	failed := false
+	for _, gen := range []func(int, programs.DekkerVariant) *programs.SymProtocol{
+		programs.BakeryN, programs.PetersonN,
+	} {
+		for _, v := range []programs.DekkerVariant{
+			programs.DekkerNoFence, programs.DekkerMfence, programs.DekkerLmfence,
+		} {
+			sp := gen(n, v)
+			wantViolation := v == programs.DekkerNoFence
+			res := litmus.Explore(sp.Build, litmus.Options{
+				Properties: []litmus.Property{litmus.MutualExclusion},
+				Workers:    catOpts.Workers,
+				Reduction:  true,
+				Collapse:   catOpts.Collapse,
+				MemBudget:  catOpts.MemBudget,
+				Symmetry:   sp.Sym,
+				// The unfenced rows only need the counterexample; the safe
+				// rows need the whole orbit space, which outgrows the default
+				// cap past n=3.
+				StopOnViolation: wantViolation,
+				MaxStates:       64_000_000,
+			})
+			verdict := "PASS"
+			switch {
+			case res.Truncated:
+				verdict = "FAIL: truncated (raise -membudget or state cap)"
+				failed = true
+			case wantViolation && res.Violations == 0:
+				verdict = "FAIL: missed mutual-exclusion violation"
+				failed = true
+			case !wantViolation && res.Violations > 0:
+				verdict = "FAIL: false mutual-exclusion violation"
+				failed = true
+			case res.Deadlocks > 0:
+				verdict = fmt.Sprintf("FAIL: %d deadlocks", res.Deadlocks)
+				failed = true
+			}
+			expect := "safe"
+			if wantViolation {
+				expect = "violates"
+			}
+			fmt.Printf("  %-18s %9d orbits  %9.0f states/sec  expect %-8s  %s\n",
+				sp.Name, res.States, res.StatesPerSec(), expect, verdict)
+		}
 	}
 	fmt.Println()
 	return failed
@@ -107,21 +182,21 @@ type jsonSummary struct {
 	AllPass        bool       `json:"all_pass"`
 }
 
-func runJSON(workers int, catalog, reduction bool) int {
+func runJSON(catalog bool, opts litmus.Options) int {
 	// Report the resolved pool size, not the raw flag (0 = GOMAXPROCS).
-	resolved := workers
+	resolved := opts.Workers
 	if resolved <= 0 {
 		resolved = runtime.GOMAXPROCS(0)
 	}
 	sum := jsonSummary{
 		Workers:    resolved,
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
-		Reduction:  reduction,
+		Reduction:  opts.Reduction,
 		AllPass:    true,
 	}
 	start := time.Now()
 
-	th := harness.RunTheoremsWorkers(workers)
+	th := harness.RunTheoremsWorkers(opts.Workers)
 	for _, row := range th.Rows {
 		sum.Theorems = append(sum.Theorems, jsonTest{
 			Name:       row.Name,
@@ -135,7 +210,7 @@ func runJSON(workers int, catalog, reduction bool) int {
 	}
 	if catalog {
 		for _, ct := range litmus.Catalog() {
-			res, err := litmus.RunCatalogTestOpts(ct, litmus.Options{Workers: workers, Reduction: reduction})
+			res, err := litmus.RunCatalogTestOpts(ct, opts)
 			sum.Catalog = append(sum.Catalog, jsonTest{
 				Name:         ct.Name,
 				States:       res.States,

@@ -70,6 +70,57 @@ func TestDiffRegressionDirections(t *testing.T) {
 	}
 }
 
+// The litmus_compress contract: states_per_byte is higher-is-better (a
+// drop means the collapsed encoding got less dense), peak_visited_bytes
+// is lower-is-better (a rise is a memory regression), and losing either
+// key fails the diff outright.
+func TestDiffCompressMetricDirections(t *testing.T) {
+	base := func() *File {
+		return mkFile(map[string]map[string]Metric{
+			"litmus_compress": {
+				"states_per_byte/bakery3-mfence":    {Value: 0.040, Unit: "states/B", HigherIsBetter: true},
+				"peak_visited_bytes/bakery3-mfence": {Value: 2.0e6, Unit: "B", HigherIsBetter: false},
+				"sym_ratio/bakery3-mfence":          {Value: 2.9, Unit: "ratio", HigherIsBetter: true},
+			},
+		})
+	}
+
+	// Density drop + footprint rise: both directions regress.
+	bloated := base()
+	e := bloated.Experiments["litmus_compress"]
+	e.Metrics["states_per_byte/bakery3-mfence"] = Metric{Value: 0.020, Unit: "states/B", HigherIsBetter: true}
+	e.Metrics["peak_visited_bytes/bakery3-mfence"] = Metric{Value: 4.0e6, Unit: "B", HigherIsBetter: false}
+	rep := Diff(base(), bloated, 0.10)
+	if !rep.Failed() {
+		t.Fatalf("encoding bloat not flagged: %s", rep)
+	}
+	if regs := rep.Regressions(); len(regs) != 2 {
+		t.Fatalf("want 2 regressions, got %+v", regs)
+	}
+
+	// The same movements inverted are improvements, not failures.
+	denser := base()
+	e = denser.Experiments["litmus_compress"]
+	e.Metrics["states_per_byte/bakery3-mfence"] = Metric{Value: 0.080, Unit: "states/B", HigherIsBetter: true}
+	e.Metrics["peak_visited_bytes/bakery3-mfence"] = Metric{Value: 1.0e6, Unit: "B", HigherIsBetter: false}
+	if rep := Diff(base(), denser, 0.10); rep.Failed() {
+		t.Fatalf("improvement flagged as failure: %s", rep)
+	} else if len(rep.Changes) != 2 {
+		t.Fatalf("improvements not reported: %s", rep)
+	}
+
+	// A build that silently stops emitting the compression metrics must
+	// fail, not pass vacuously.
+	stripped := base()
+	e = stripped.Experiments["litmus_compress"]
+	delete(e.Metrics, "states_per_byte/bakery3-mfence")
+	delete(e.Metrics, "peak_visited_bytes/bakery3-mfence")
+	rep = Diff(base(), stripped, 0.10)
+	if !rep.Failed() || len(rep.Missing) != 2 {
+		t.Fatalf("dropped compression metrics not flagged: %s", rep)
+	}
+}
+
 func TestDiffThreshold(t *testing.T) {
 	old := mkFile(map[string]map[string]Metric{
 		"dekker": {"real_ns_per_iter/mfence": {Value: 100}},

@@ -13,7 +13,7 @@ import (
 // Names lists every experiment in canonical -exp all order. The golden
 // test pins that a full run records exactly these keys.
 var Names = []string{
-	"theorems", "litmus_por", "dekker", "overhead", "fig4",
+	"theorems", "litmus_por", "litmus_compress", "dekker", "overhead", "fig4",
 	"fig5a", "fig5b", "fig6a", "fig6b",
 	"ablation", "packetproc", "chaos",
 }
@@ -49,6 +49,12 @@ var ErrChaosFailed = fmt.Errorf("bench: chaos invariants violated")
 // diverged from the unreduced reference semantics. The Ran is complete,
 // so the divergence table still prints.
 var ErrPORFailed = fmt.Errorf("bench: partial-order reduction diverged from reference")
+
+// ErrCompressFailed marks a litmus_compress run where a compressed or
+// symmetry-reduced exploration broke the preservation contract against
+// its plain run. The Ran is complete, so the divergence table still
+// prints.
+var ErrCompressFailed = fmt.Errorf("bench: compressed exploration diverged from plain run")
 
 // metricKey flattens a label into a metric key segment.
 func metricKey(s string) string {
@@ -105,6 +111,32 @@ func RunExperiment(name string, opt harness.Options, asymMode core.Mode) (*Ran, 
 		ran.Tables = append(ran.Tables, res.Table())
 		if !res.AllPass() {
 			err = ErrPORFailed
+		}
+
+	case "litmus_compress":
+		res := harness.RunCompress(0)
+		e.Detail = res
+		e.setObs(res.Obs)
+		pass := 0.0
+		if res.AllPass() {
+			pass = 1
+		}
+		e.putMetric("all_pass", pass, "", true)
+		for _, row := range res.Rows {
+			k := metricKey(row.Name)
+			// The guarded pair: how densely the collapsed visited set
+			// stores orbits (drops mean the encoding bloated) and how much
+			// memory the run peaked at (rises mean a footprint regression).
+			e.putMetric("states_per_byte/"+k, row.StatesPerByte, "states/B", true)
+			e.putMetric("peak_visited_bytes/"+k, row.PeakVisitedBytes, "B", false)
+			// Orbit-merging payoff; bounded by the ring size.
+			e.putMetric("sym_ratio/"+k, row.SymRatio, "ratio", true)
+			e.putMetric("states_plain/"+k, float64(row.StatesPlain), "states", false)
+			e.putMetric("states_sym/"+k, float64(row.StatesSym), "states", false)
+		}
+		ran.Tables = append(ran.Tables, res.Table())
+		if !res.AllPass() {
+			err = ErrCompressFailed
 		}
 
 	case "dekker":

@@ -375,7 +375,16 @@ type engine struct {
 	traces    bool // record action traces (only needed to report violations)
 	maxStates int64
 	workers   []*worker
-	visited   *visitedSet
+	// visited is the hashed-key set; nil when the run uses the collapsed
+	// set instead (Options.Collapse / Options.MemBudget).
+	visited *visitedSet
+	// collapser and cset are the collapse-compression state: shared
+	// component intern tables plus the exact tuple-keyed visited set.
+	collapser *tso.Collapser
+	cset      *collapsedSet
+	// sym is the validated symmetry declaration; workers canonicalize
+	// states through per-worker tso.Canonicalizers when set.
+	sym *tso.Symmetry
 	// red is non-nil when Options.Reduction is on and the machine shape
 	// supports it; it holds the static footprint analysis.
 	red *reducer
@@ -420,6 +429,21 @@ type worker struct {
 	actBuf   []Action
 	outBuf   []byte
 	pl       plan // reduction scratch
+
+	// canon is this worker's symmetry canonicalizer (its scratch machine
+	// is worker-private). slot/slotBuf hold the claimed state's processor
+	// permutation: slot is nil for identity, otherwise a worker-owned
+	// copy (the canonicalizer reuses its own slice across calls, and the
+	// cycle proviso's probes re-canonicalize between claim and finalize).
+	canon   *tso.Canonicalizer
+	slot    []int
+	slotBuf []int
+	colBuf  []byte // collapse component scratch
+	// cm is the canonical representative of the frame being processed
+	// (the machine itself without symmetry), set by stateKey. Outcomes
+	// are recorded from it so every member of an orbit contributes the
+	// same outcome string, whichever member a worker reaches first.
+	cm *tso.Machine
 
 	// Reduction accounting: states where a single-processor ample set was
 	// chosen, transitions withheld by sleep sets, transitions re-expanded
@@ -534,6 +558,77 @@ func (w *worker) clone(src *tso.Machine) *tso.Machine {
 	return src.Clone()
 }
 
+// stateKey computes the visited-set key of m into w.fpBuf: the
+// canonical orbit representative under symmetry (recording the applied
+// processor permutation in w.slot, nil for identity), then either the
+// collapsed tuple or the full fingerprint per the engine's mode.
+func (w *worker) stateKey(m *tso.Machine) []byte {
+	e := w.eng
+	cm := m
+	w.slot = nil
+	if w.canon != nil {
+		var s []int
+		cm, s = w.canon.Canonicalize(m)
+		if s != nil {
+			w.slotBuf = append(w.slotBuf[:0], s...)
+			w.slot = w.slotBuf
+		}
+	}
+	w.cm = cm
+	if e.collapser != nil {
+		w.fpBuf = e.collapser.Collapse(cm, w.fpBuf[:0], &w.colBuf)
+	} else {
+		w.fpBuf = cm.Fingerprint(w.fpBuf[:0])
+	}
+	return w.fpBuf
+}
+
+// probeKey is stateKey for cycle-proviso successor probes: identical
+// keying into probeBuf, without touching w.slot or w.fpBuf (the claimed
+// state's key and permutation must stay live across the probes).
+func (w *worker) probeKey(m *tso.Machine) []byte {
+	e := w.eng
+	cm := m
+	if w.canon != nil {
+		cm, _ = w.canon.Canonicalize(m)
+	}
+	if e.collapser != nil {
+		w.probeBuf = e.collapser.Collapse(cm, w.probeBuf[:0], &w.colBuf)
+	} else {
+		w.probeBuf = cm.Fingerprint(w.probeBuf[:0])
+	}
+	return w.probeBuf
+}
+
+// claimKey dispatches a claim to the exact collapsed set or the hashed
+// set, returning the hash pair for the later finalizeKey when the
+// hashed set is in use. Sleep masks cross this boundary in canonical
+// processor numbering (see permuteMask).
+func (e *engine) claimKey(key []byte, z actionMask) (claimStatus, actionMask, uint64, uint64) {
+	if e.cset != nil {
+		st, missing := e.cset.claim(e, key, z)
+		return st, missing, 0, 0
+	}
+	h1, h2 := hashPair(key)
+	st, missing := e.claim(h1, h2, key, z)
+	return st, missing, h1, h2
+}
+
+func (e *engine) seenKey(key []byte) bool {
+	if e.cset != nil {
+		return e.cset.seen(key)
+	}
+	h1, h2 := hashPair(key)
+	return e.seen(h1, h2, key)
+}
+
+func (e *engine) finalizeKey(key []byte, h1, h2 uint64, tmask actionMask) actionMask {
+	if e.cset != nil {
+		return e.cset.finalize(key, tmask)
+	}
+	return e.finalize(h1, h2, key, tmask)
+}
+
 // process claims, checks, and expands one frame.
 func (w *worker) process(f pframe) {
 	e := w.eng
@@ -547,24 +642,29 @@ func (w *worker) process(f pframe) {
 		return
 	}
 
-	w.fpBuf = m.Fingerprint(w.fpBuf[:0])
-	h1, h2 := hashPair(w.fpBuf)
+	key := w.stateKey(m)
 	w.claimTries++
-	st, missing := e.claim(h1, h2, w.fpBuf, f.sleep)
+	st, missing, h1, h2 := e.claimKey(key, permuteMask(f.sleep, w.slot))
 	switch st {
 	case claimTruncated:
 		return
 	case claimDup:
 		if missing != 0 {
 			// A previous visit withheld actions this path's (smaller) sleep
-			// set cannot justify skipping; expand exactly those.
-			w.expandFrom(f, missing)
+			// set cannot justify skipping; expand exactly those. The entry's
+			// mask is canonical; translate back to this machine's numbering.
+			w.expandFrom(f, unpermuteMask(missing, w.slot))
 		} else {
 			w.recycle(m)
 		}
 		return
 	}
 	w.claimWins++
+	if e.cset != nil {
+		// Winning a claim is the only event that grows the resident set;
+		// shed cold stripes if the budget is now exceeded.
+		e.cset.maybeSpill()
+	}
 
 	violated := false
 	for _, prop := range e.opts.Properties {
@@ -584,7 +684,10 @@ func (w *worker) process(f pframe) {
 	enabled := w.actBuf
 	if len(enabled) == 0 {
 		if m.Quiesced() {
-			w.outBuf = appendOutcome(w.outBuf[:0], m)
+			// w.cm is still the canonical machine from stateKey: the proviso
+			// probes (the only other canonicalizer use) never run on a
+			// quiesced state.
+			w.outBuf = appendOutcome(w.outBuf[:0], w.cm)
 			w.res.Outcomes[Outcome(w.outBuf)]++
 		} else {
 			w.res.Deadlocks++
@@ -608,8 +711,19 @@ func (w *worker) process(f pframe) {
 			w.ampleStates++
 		}
 		// Publish the persistent set, fetch the sleep mask merged across
-		// every arrival so far, and expand the survivors.
-		z := e.finalize(h1, h2, w.fpBuf, w.pl.tmask)
+		// every arrival so far, and expand the survivors. The visited
+		// entry speaks canonical numbering; the expansion runs on the
+		// live machine, so both masks translate at the boundary. Under
+		// symmetry the sleep mask is forced empty: orbit merging can put
+		// two sibling children in one visited orbit, collapsing the
+		// well-founded coverage order that makes sleep sets sound, so
+		// symmetric runs reduce with ample sets and the proviso only
+		// (see the rationale in serial.go's exploreSerialReduced).
+		zc := e.finalizeKey(w.fpBuf, h1, h2, permuteMask(w.pl.tmask, w.slot))
+		z := unpermuteMask(zc, w.slot)
+		if w.canon != nil {
+			z = 0
+		}
 		e.red.expansion(enabled, &w.pl, z)
 		w.slept += uint64(w.pl.sleptCount())
 		w.res.Transitions += len(w.pl.idx)
@@ -625,7 +739,11 @@ func (w *worker) process(f pframe) {
 			if e.traces {
 				node = &traceNode{parent: f.trace, act: a}
 			}
-			w.push(pframe{m: child, trace: node, sleep: w.pl.childSleep[k]})
+			cs := w.pl.childSleep[k]
+			if w.canon != nil {
+				cs = 0
+			}
+			w.push(pframe{m: child, trace: node, sleep: cs})
 		}
 		if len(w.pl.idx) == 0 {
 			// Everything was slept; the machine is dead.
@@ -664,10 +782,9 @@ func (w *worker) ampleSuccessorSeen(m *tso.Machine, enabled []Action) bool {
 	for _, i := range w.pl.tidx {
 		child := w.clone(m)
 		apply(child, enabled[i], e.sc)
-		w.probeBuf = child.Fingerprint(w.probeBuf[:0])
+		pk := w.probeKey(child)
 		w.recycle(child)
-		h1, h2 := hashPair(w.probeBuf)
-		if e.seen(h1, h2, w.probeBuf) {
+		if e.seenKey(pk) {
 			return true
 		}
 	}
@@ -739,7 +856,32 @@ func Explore(build func() *tso.Machine, opts Options) Result {
 		sc:        opts.SequentialConsistency,
 		traces:    len(opts.Properties) > 0,
 		maxStates: int64(maxStates),
-		visited:   newVisitedSet(opts.VerifyVisited),
+	}
+	root := build()
+	if opts.Symmetry != nil {
+		progs := make([]*tso.Program, len(root.Procs))
+		for i, p := range root.Procs {
+			progs[i] = p.Prog
+		}
+		// An invalid declaration would silently merge inequivalent states;
+		// refuse to run rather than return unsound results.
+		if err := opts.Symmetry.Validate(progs, root.Cfg.MemWords); err != nil {
+			panic(err)
+		}
+		e.sym = opts.Symmetry
+	}
+	if opts.Reduction {
+		// nil when the machine has too many processors for the reduction's
+		// action masks; the exploration then runs unreduced.
+		e.red = newReducer(root, e.sc)
+	}
+	if opts.Collapse || opts.MemBudget > 0 {
+		e.collapser = tso.NewCollapser()
+		// Without a reducer no finalize call ever comes, so entries are
+		// born finalized (pruned stays zero) and immediately spillable.
+		e.cset = newCollapsedSet(tso.CollapsedWidth(len(root.Procs)), opts.MemBudget, e.red == nil)
+	} else {
+		e.visited = newVisitedSet(opts.VerifyVisited)
 	}
 	e.workers = make([]*worker, nw)
 	for i := range e.workers {
@@ -749,12 +891,9 @@ func Explore(build func() *tso.Machine, opts Options) Result {
 			fpBuf: make([]byte, 0, 256),
 			res:   Result{Outcomes: make(map[Outcome]int)},
 		}
-	}
-	root := build()
-	if opts.Reduction {
-		// nil when the machine has too many processors for the reduction's
-		// action masks; the exploration then runs unreduced.
-		e.red = newReducer(root, e.sc)
+		if e.sym != nil {
+			e.workers[i].canon = tso.NewCanonicalizer(e.sym, root)
+		}
 	}
 	e.workers[0].push(pframe{m: root})
 
@@ -798,9 +937,38 @@ func Explore(build func() *tso.Machine, opts Options) Result {
 	res.Obs.PutCounter("claim_tries", tries)
 	res.Obs.PutCounter("claim_wins", wins)
 	res.Obs.PutCounter("workers", uint64(nw))
-	res.Obs.PutCounter("visited_h1_collisions", e.h1Collisions.Load())
-	if opts.VerifyVisited {
-		res.Obs.PutCounter("visited_128bit_collisions", e.verifyCollisions.Load())
+	if e.visited != nil {
+		res.Obs.PutCounter("visited_h1_collisions", e.h1Collisions.Load())
+		if opts.VerifyVisited {
+			res.Obs.PutCounter("visited_128bit_collisions", e.verifyCollisions.Load())
+		}
+	}
+	if e.cset != nil {
+		components, tblBytes := e.collapser.Stats()
+		peak := e.cset.peak.Load()
+		res.Obs.PutGauge("collapse", 1)
+		res.Obs.PutCounter("collapse_components", components)
+		res.Obs.PutGauge("collapse_table_bytes", float64(tblBytes))
+		res.Obs.PutGauge("visited_resident_bytes", float64(peak))
+		// The honest memory figure: peak resident visited set PLUS the
+		// shared component tables the collapsed keys depend on.
+		total := peak + tblBytes
+		res.Obs.PutGauge("peak_visited_bytes", float64(total))
+		if total > 0 {
+			res.Obs.PutGauge("states_per_byte", float64(res.States)/float64(total))
+		}
+		if e.cset.budget > 0 {
+			res.Obs.PutCounter("visited_spill_events", e.cset.spillEvents.Load())
+			res.Obs.PutCounter("visited_spilled_states", e.cset.spilledStates.Load())
+			res.Obs.PutGauge("visited_spilled_bytes", float64(e.cset.spilledBytes.Load()))
+			if e.cset.disabled.Load() {
+				res.Obs.PutGauge("visited_spill_disabled", 1)
+			}
+		}
+		e.cset.close()
+	}
+	if e.sym != nil {
+		res.Obs.PutGauge("symmetry", 1)
 	}
 	if e.red != nil {
 		res.Obs.PutGauge("reduction", 1)

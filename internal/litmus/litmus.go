@@ -155,6 +155,40 @@ type Options struct {
 	// than 8 processors (maxReductionProcs) silently run unreduced.
 	Reduction bool
 
+	// Collapse enables collapse compression of the parallel engine's
+	// visited set: per-component intern tables shared across the run plus
+	// a short fixed-width index tuple per state (tso.Collapser). The
+	// tuple is an exact state identity — no hashing, no collision risk —
+	// and costs a fraction of the full serialization per state. Results
+	// are identical to the uncompressed engine's (differential tests pin
+	// this). Ignored by ExploreSerial, whose exact string-keyed map is
+	// already its own specification.
+	Collapse bool
+
+	// Symmetry declares a full symmetric group over interchangeable
+	// processors (tso.Symmetry, produced by the N-process protocol
+	// generators in internal/programs). Both engines then canonicalize
+	// every state to one representative per processor-permutation orbit
+	// before consulting the visited set, collapsing the factorial
+	// blow-up of symmetric protocols. States/Transitions shrink and
+	// Outcomes keep one representative per orbit; violation verdicts and
+	// Deadlocks are preserved (a violating or deadlocked state's orbit
+	// representative violates or deadlocks identically). The declaration
+	// is Validated against the loaded programs at exploration start and
+	// the engine panics on a declaration the programs do not satisfy.
+	Symmetry *tso.Symmetry
+
+	// MemBudget caps the resident bytes of the parallel engine's visited
+	// set (0 = unlimited). It implies Collapse: collapsed keys are
+	// fixed-width, so cold stripes of the visited set can spill to
+	// mmap'd temp files as sorted record runs and still answer exact
+	// membership queries. Exceeding the budget makes the run slower, not
+	// truncated — exploration stays exhaustive and exact. The collapse
+	// component tables are shared across the run and are NOT counted
+	// against the budget (reported separately via Obs). Ignored by
+	// ExploreSerial.
+	MemBudget int64
+
 	// VerifyVisited makes the parallel engine keep every full state
 	// fingerprint alongside its 128-bit hashed visited keys, using the
 	// fingerprints as the authoritative identity and counting how often

@@ -13,6 +13,24 @@ type serialFrame struct {
 	trace []Action
 }
 
+// serialCanonicalizer validates opts.Symmetry against the root machine's
+// programs and builds a canonicalizer for it; nil when no symmetry is
+// declared. Both serial paths (and their differential role as the oracle
+// for the parallel engine's symmetric runs) go through it.
+func serialCanonicalizer(root *tso.Machine, opts Options) *tso.Canonicalizer {
+	if opts.Symmetry == nil {
+		return nil
+	}
+	progs := make([]*tso.Program, len(root.Procs))
+	for i, p := range root.Procs {
+		progs[i] = p.Prog
+	}
+	if err := opts.Symmetry.Validate(progs, root.Cfg.MemWords); err != nil {
+		panic(err)
+	}
+	return tso.NewCanonicalizer(opts.Symmetry, root)
+}
+
 // ExploreSerial is the straightforward single-threaded reference engine:
 // one DFS stack, a string-keyed visited map over full fingerprints, a
 // fresh Machine clone per child, and per-frame trace copies. It is kept
@@ -39,6 +57,7 @@ func ExploreSerial(build func() *tso.Machine, opts Options) Result {
 	visited := make(map[string]struct{})
 
 	root := build()
+	canon := serialCanonicalizer(root, opts)
 	stack := []serialFrame{{m: root}}
 	buf := make([]byte, 0, 256)
 
@@ -47,7 +66,11 @@ func ExploreSerial(build func() *tso.Machine, opts Options) Result {
 		stack = stack[:len(stack)-1]
 		m := f.m
 
-		buf = m.Fingerprint(buf[:0])
+		cm := m
+		if canon != nil {
+			cm, _ = canon.Canonicalize(m)
+		}
+		buf = cm.Fingerprint(buf[:0])
 		key := string(buf)
 		if _, seen := visited[key]; seen {
 			continue
@@ -79,7 +102,11 @@ func ExploreSerial(build func() *tso.Machine, opts Options) Result {
 		enabled := appendEnabled(nil, m, opts.SequentialConsistency)
 		if len(enabled) == 0 {
 			if m.Quiesced() {
-				res.Outcomes[outcomeOf(m)]++
+				// Outcomes are recorded from the canonical representative so
+				// every member of a symmetry orbit contributes the same
+				// string, matching the parallel engine whichever member it
+				// happens to reach first.
+				res.Outcomes[outcomeOf(cm)]++
 			} else {
 				res.Deadlocks++
 			}
@@ -96,6 +123,9 @@ func ExploreSerial(build func() *tso.Machine, opts Options) Result {
 		}
 	}
 	res.Elapsed = time.Since(start)
+	if canon != nil {
+		res.Obs.PutGauge("symmetry", 1)
+	}
 	return res
 }
 
@@ -132,9 +162,23 @@ func exploreSerialReduced(build func() *tso.Machine, opts Options, maxStates int
 
 	res := Result{Outcomes: make(map[Outcome]int)}
 	visited := make(map[string]*serialVentry)
+	canon := serialCanonicalizer(root, opts)
+	// Sleep sets are sound only on the CONCRETE graph: sleeping an action
+	// at child a(s) is justified by the sibling branch b(s), and the
+	// inductive coverage argument is well-founded because siblings are
+	// distinct states ordered by the expansion. Under symmetry two
+	// siblings can land in the SAME visited orbit (b = rho(a) with
+	// rho(s) = s), so a slept action's coverage can chain back to the very
+	// orbit entry that slept it — the promises form a cycle and a whole
+	// terminal region is lost (caught by TestSymmetryReducedDifferential).
+	// The sound combination is the classic one (Emerson–Jutla–Sistla):
+	// ample sets plus the cycle proviso on the quotient graph, with sleep
+	// sets disabled.
+	sleepOn := canon == nil
 	stack := []serialRedFrame{{m: root}}
 	buf := make([]byte, 0, 256)
 	probeBuf := make([]byte, 0, 256)
+	var slotBuf []int
 	var pl plan
 	var ample, slept, reexp, proviso uint64
 
@@ -145,6 +189,9 @@ func exploreSerialReduced(build func() *tso.Machine, opts Options, maxStates int
 		res.Obs.PutCounter("por_slept_transitions", slept)
 		res.Obs.PutCounter("por_reexpansions", reexp)
 		res.Obs.PutCounter("por_proviso_fallbacks", proviso)
+		if canon != nil {
+			res.Obs.PutGauge("symmetry", 1)
+		}
 		return res
 	}
 
@@ -153,15 +200,30 @@ func exploreSerialReduced(build func() *tso.Machine, opts Options, maxStates int
 		stack = stack[:len(stack)-1]
 		m := f.m
 
-		buf = m.Fingerprint(buf[:0])
+		// Visited entries are keyed by (and their masks speak) the
+		// canonical orbit representative; slot translates between the
+		// live machine's processor numbering and the entry's. It is
+		// copied out because the proviso probes below re-canonicalize.
+		cm := m
+		var slot []int
+		if canon != nil {
+			var s []int
+			cm, s = canon.Canonicalize(m)
+			if s != nil {
+				slotBuf = append(slotBuf[:0], s...)
+				slot = slotBuf
+			}
+		}
+		buf = cm.Fingerprint(buf[:0])
 		if ve, seen := visited[string(buf)]; seen {
-			missing := ve.pruned &^ f.sleep
+			sleepC := permuteMask(f.sleep, slot)
+			missing := unpermuteMask(ve.pruned&^sleepC, slot)
 			if missing == 0 {
 				continue
 			}
 			// The first visit slept actions this arrival's sleep set does
 			// not justify; re-expand them (with empty child sleep sets).
-			ve.pruned &= f.sleep
+			ve.pruned &= sleepC
 			enabled := appendEnabled(nil, m, sc)
 			for _, a := range enabled {
 				if missing&maskOf(a) == 0 {
@@ -205,7 +267,8 @@ func exploreSerialReduced(build func() *tso.Machine, opts Options, maxStates int
 		enabled := appendEnabled(nil, m, sc)
 		if len(enabled) == 0 {
 			if m.Quiesced() {
-				res.Outcomes[outcomeOf(m)]++
+				// Canonical representative, as in the unreduced path.
+				res.Outcomes[outcomeOf(cm)]++
 			} else {
 				res.Deadlocks++
 			}
@@ -226,7 +289,11 @@ func exploreSerialReduced(build func() *tso.Machine, opts Options, maxStates int
 			for _, i := range pl.tidx {
 				child := m.Clone()
 				apply(child, enabled[i], sc)
-				probeBuf = child.Fingerprint(probeBuf[:0])
+				pcm := child
+				if canon != nil {
+					pcm, _ = canon.Canonicalize(child)
+				}
+				probeBuf = pcm.Fingerprint(probeBuf[:0])
 				if _, ok := visited[string(probeBuf)]; ok {
 					seen = true
 					break
@@ -242,8 +309,12 @@ func exploreSerialReduced(build func() *tso.Machine, opts Options, maxStates int
 		if pl.ample {
 			ample++
 		}
-		rd.expansion(enabled, &pl, f.sleep)
-		ve.pruned = pl.pruned
+		z := f.sleep
+		if !sleepOn {
+			z = 0
+		}
+		rd.expansion(enabled, &pl, z)
+		ve.pruned = permuteMask(pl.pruned, slot)
 		slept += uint64(pl.sleptCount())
 		for k, i := range pl.idx {
 			a := enabled[i]
@@ -253,7 +324,11 @@ func exploreSerialReduced(build func() *tso.Machine, opts Options, maxStates int
 			tr := make([]Action, len(f.trace)+1)
 			copy(tr, f.trace)
 			tr[len(f.trace)] = a
-			stack = append(stack, serialRedFrame{m: child, trace: tr, sleep: pl.childSleep[k]})
+			cs := pl.childSleep[k]
+			if !sleepOn {
+				cs = 0
+			}
+			stack = append(stack, serialRedFrame{m: child, trace: tr, sleep: cs})
 		}
 	}
 	return finish()

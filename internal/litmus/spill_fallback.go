@@ -1,0 +1,17 @@
+//go:build !unix
+
+package litmus
+
+// spillSeg without mmap support keeps the spilled run on the heap. The
+// visited set's budget accounting still sheds the per-entry map overhead
+// (the bulk of the resident cost) and membership stays exact; only the
+// page-out-under-pressure benefit of the unix implementation is lost.
+type spillSeg struct {
+	data []byte
+}
+
+func newSpillSeg(records []byte) (*spillSeg, error) {
+	return &spillSeg{data: records}, nil
+}
+
+func (g *spillSeg) close() { g.data = nil }

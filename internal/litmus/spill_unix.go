@@ -1,0 +1,50 @@
+//go:build unix
+
+package litmus
+
+import (
+	"os"
+	"syscall"
+)
+
+// spillSeg is one spilled run of sorted fixed-width visited records,
+// backed by an unlinked mmap'd temp file: the kernel can page the run
+// out under pressure (the point of spilling), the file vanishes with the
+// process even on a crash, and the mapping is read-write so duplicate
+// arrivals can shrink a spilled entry's pruned mask in place.
+type spillSeg struct {
+	data []byte
+	f    *os.File
+}
+
+func newSpillSeg(records []byte) (*spillSeg, error) {
+	f, err := os.CreateTemp("", "litmus-spill-*")
+	if err != nil {
+		return nil, err
+	}
+	// Unlink immediately: the open descriptor and the mapping keep the
+	// blocks alive; nothing is left behind however the process exits.
+	os.Remove(f.Name())
+	if _, err := f.Write(records); err != nil {
+		f.Close()
+		return nil, err
+	}
+	data, err := syscall.Mmap(int(f.Fd()), 0, len(records),
+		syscall.PROT_READ|syscall.PROT_WRITE, syscall.MAP_SHARED)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	return &spillSeg{data: data, f: f}, nil
+}
+
+func (g *spillSeg) close() {
+	if g.data != nil {
+		syscall.Munmap(g.data)
+		g.data = nil
+	}
+	if g.f != nil {
+		g.f.Close()
+		g.f = nil
+	}
+}

@@ -135,6 +135,10 @@ type System struct {
 	// fpAddrs is scratch for Fingerprint; it is not part of the
 	// coherence state and deliberately not cloned or copied.
 	fpAddrs []arch.Addr
+
+	// lineFree recycles line structs through CopyRenamedFrom; like
+	// fpAddrs it is scratch, not state.
+	lineFree []*line
 }
 
 // NewSystem builds a coherent system for cfg. Caches are unbounded unless
@@ -670,39 +674,126 @@ func (s *System) CopyFrom(src *System) {
 // to dst. LRU tick values are excluded so that states differing only in
 // access history hash identically.
 func (s *System) Fingerprint(dst []byte) []byte {
+	dst = s.FingerprintMem(dst)
+	for i := range s.caches {
+		dst = s.FingerprintCache(i, dst)
+	}
+	return dst
+}
+
+// FingerprintMem appends the backing-memory component of Fingerprint:
+// every memory word in address order. It is one of the interned
+// components of the collapse-compressed state encoding (tso.Collapser).
+func (s *System) FingerprintMem(dst []byte) []byte {
 	for _, w := range s.mem {
 		dst = append(dst, byte(w), byte(w>>8), byte(w>>16), byte(w>>24))
 	}
+	return dst
+}
+
+// FingerprintCache appends cache i's component of Fingerprint: its
+// non-Invalid lines (sorted by address) and armed guard addresses. The
+// collapse compressor interns each cache's encoding separately, so a
+// processor whose cache is unchanged between states contributes one
+// small table index instead of re-hashed bytes.
+func (s *System) FingerprintCache(i int, dst []byte) []byte {
 	// The model checker fingerprints every explored state, so this path
 	// reuses one scratch slice and an allocation-free insertion sort
 	// (line counts are tiny) instead of make+sort.Slice per cache.
-	addrs := s.fpAddrs
-	for _, c := range s.caches {
-		addrs = addrs[:0]
-		for a, l := range c.lines {
-			if l.state != Invalid {
-				addrs = append(addrs, a)
-			}
-		}
-		sortAddrs(addrs)
-		dst = append(dst, byte(len(addrs)))
-		for _, a := range addrs {
-			l := c.lines[a]
-			dst = append(dst, byte(a), byte(a>>8), byte(l.state),
-				byte(l.val), byte(l.val>>8), byte(l.val>>16), byte(l.val>>24))
-		}
-		addrs = addrs[:0]
-		for a := range c.guards {
+	c := s.caches[i]
+	addrs := s.fpAddrs[:0]
+	for a, l := range c.lines {
+		if l.state != Invalid {
 			addrs = append(addrs, a)
 		}
-		sortAddrs(addrs)
-		dst = append(dst, byte(len(addrs)))
-		for _, a := range addrs {
-			dst = append(dst, byte(a), byte(a>>8))
-		}
+	}
+	sortAddrs(addrs)
+	dst = append(dst, byte(len(addrs)))
+	for _, a := range addrs {
+		l := c.lines[a]
+		dst = append(dst, byte(a), byte(a>>8), byte(l.state),
+			byte(l.val), byte(l.val>>8), byte(l.val>>16), byte(l.val>>24))
+	}
+	addrs = addrs[:0]
+	for a := range c.guards {
+		addrs = append(addrs, a)
+	}
+	sortAddrs(addrs)
+	dst = append(dst, byte(len(addrs)))
+	for _, a := range addrs {
+		dst = append(dst, byte(a), byte(a>>8))
 	}
 	s.fpAddrs = addrs
 	return dst
+}
+
+// VisitLines calls f for every non-Invalid line of processor p's cache,
+// in no particular order. The symmetry canonicalizer uses it to build
+// renaming-invariant per-processor signatures without copying maps.
+func (s *System) VisitLines(p arch.ProcID, f func(addr arch.Addr, st State, val arch.Word)) {
+	for a, l := range s.cacheOf(p).lines {
+		if l.state != Invalid {
+			f(a, l.state, l.val)
+		}
+	}
+}
+
+// VisitGuards calls f for every address p's controller watches, in no
+// particular order.
+func (s *System) VisitGuards(p arch.ProcID, f func(addr arch.Addr)) {
+	for a := range s.cacheOf(p).guards {
+		f(a)
+	}
+}
+
+// CopyRenamedFrom overwrites s with a renamed copy of src's coherence
+// state: cache i's content lands in cache slot slotOf[i], every address
+// a is rewritten to addrOf[a] (a permutation of the address space), and
+// every stored value is filtered through valOf keyed by the ORIGINAL
+// address (so pid-valued words can be relabeled consistently). Guard
+// handlers installed on s are preserved, like CopyFrom; both systems
+// must share a shape. The symmetry canonicalizer uses it to apply a
+// processor permutation to a scratch machine that is only ever
+// fingerprinted, never stepped.
+func (s *System) CopyRenamedFrom(src *System, slotOf []int, addrOf []arch.Addr, valOf func(arch.Addr, arch.Word) arch.Word) {
+	if len(s.mem) != len(src.mem) || len(s.caches) != len(src.caches) {
+		panic("mesi: CopyRenamedFrom across different system shapes")
+	}
+	s.cfg = src.cfg
+	s.useTick = src.useTick
+	s.stats = src.stats
+	for a, w := range src.mem {
+		s.mem[addrOf[a]] = valOf(arch.Addr(a), w)
+	}
+	for i, sc := range src.caches {
+		dc := s.caches[slotOf[i]]
+		dc.capacity = sc.capacity
+		// Recycle the destination's line structs through a free list so
+		// per-state canonicalization does not allocate once warm.
+		for a, dl := range dc.lines {
+			s.lineFree = append(s.lineFree, dl)
+			delete(dc.lines, a)
+		}
+		for a, l := range sc.lines {
+			var dl *line
+			if n := len(s.lineFree); n > 0 {
+				dl, s.lineFree = s.lineFree[n-1], s.lineFree[:n-1]
+			} else {
+				dl = new(line)
+			}
+			*dl = line{state: l.state, val: valOf(a, l.val), lastUse: l.lastUse}
+			dc.lines[addrOf[a]] = dl
+		}
+		for a := range dc.guards {
+			delete(dc.guards, a)
+		}
+		if len(sc.guards) > 0 && dc.guards == nil {
+			dc.guards = make(map[arch.Addr]struct{}, len(sc.guards))
+		}
+		for a := range sc.guards {
+			dc.guards[addrOf[a]] = struct{}{}
+		}
+	}
 }
 
 // sortAddrs is an in-place insertion sort; Fingerprint's slices hold a

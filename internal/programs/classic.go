@@ -35,13 +35,17 @@ import (
 // ... be careful as to where to place the l-mfence and which memory
 // location to guard".
 
-// Memory layout for the classic protocols.
+// Memory layout for the classic 2-process protocols, expressed through
+// the N-indexed layout of nproc.go at n=2 so the hand-written pairs and
+// the generators agree on addresses. AddrTurn and AddrNum0 share word
+// 10 — harmless, the protocols are disjoint (Peterson never touches
+// num[], the bakery never touches turn).
 const (
-	AddrFlag0 arch.Addr = 8  // Peterson flag[0] / bakery choosing[0]
-	AddrFlag1 arch.Addr = 9  // Peterson flag[1] / bakery choosing[1]
-	AddrTurn  arch.Addr = 10 // Peterson turn
-	AddrNum0  arch.Addr = 11 // bakery num[0]
-	AddrNum1  arch.Addr = 12 // bakery num[1]
+	AddrFlag0 = nprocBase + 0 // Peterson flag[0] / bakery choosing[0]
+	AddrFlag1 = nprocBase + 1 // Peterson flag[1] / bakery choosing[1]
+	AddrTurn  = nprocBase + 2 // Peterson turn (= AddrTurnN(2, 1))
+	AddrNum0  = nprocBase + 2 // bakery num[0] (= AddrNumN(2, 0))
+	AddrNum1  = nprocBase + 3 // bakery num[1] (= AddrNumN(2, 1))
 )
 
 // petersonThread encodes one single-shot Peterson attempt for thread i.

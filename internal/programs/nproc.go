@@ -1,0 +1,270 @@
+package programs
+
+import (
+	"fmt"
+
+	"repro/internal/arch"
+	"repro/internal/tso"
+)
+
+// This file generalizes the classic protocols to N interchangeable
+// processors: Lamport's bakery and the Peterson filter lock, emitted
+// from one shared template per thread so the programs are cyclic
+// renamings of each other — the property tso.Symmetry.Validate checks
+// and the symmetry-reduced model checker exploits. The templates scan
+// peers in RING order (i+1, i+2, ... mod n), never ascending thread-id
+// order: a deterministic scan order is part of the state, and only ring
+// order survives renaming (rotating the ring maps each template
+// position-for-position onto the next thread's; see the discussion in
+// tso/symmetry.go for why the full symmetric group is unattainable).
+// Every address is an immediate (no register-indexed addressing), which
+// keeps the partial-order reduction's static address analysis precise;
+// thread identity enters only through which block word each thread owns
+// and, for the filter lock, the pid-encoded values written to the
+// shared turn[] words.
+//
+// Single-shot discipline as in classic.go: threads bail out ("skip")
+// instead of spinning, so the state space is finite and the checker's
+// outcome register r6 records who entered. The bakery template breaks
+// no ties — equal tickets make both threads skip — because a tie-break
+// needs the thread id in a comparison, which would break the renaming
+// property; mutual exclusion (what the checker verifies) is unaffected.
+
+// nprocBase is the first memory word of the N-indexed protocol arrays;
+// the shared Dekker/litmus words of programs.go live below it.
+const nprocBase arch.Addr = 8
+
+// AddrFlagN is thread i's own protocol word: Peterson's level[i],
+// the bakery's choosing[i] (and, at N=2, the classic flag words).
+func AddrFlagN(i int) arch.Addr { return nprocBase + arch.Addr(i) }
+
+// AddrTurnN is the Peterson filter lock's turn[l] word for level
+// l = 1..n-1 in an n-thread instance.
+func AddrTurnN(n, l int) arch.Addr { return nprocBase + arch.Addr(n) + arch.Addr(l-1) }
+
+// AddrNumN is the bakery's num[i] ticket word in an n-thread instance.
+func AddrNumN(n, i int) arch.Addr { return nprocBase + arch.Addr(n) + arch.Addr(i) }
+
+// NProcMemWords is the smallest memory size covering the N-indexed
+// layout (never below the catalog's 16-word machines).
+func NProcMemWords(n int) int {
+	if w := int(nprocBase) + 2*n; w > 16 {
+		return w
+	}
+	return 16
+}
+
+// SymProtocol is an N-process protocol instance ready for the model
+// checker: the per-thread programs, the symmetry declaration the
+// generator guarantees (and litmus re-validates), and a machine
+// configuration sized for the layout.
+type SymProtocol struct {
+	Name  string
+	Progs []*tso.Program
+	Sym   *tso.Symmetry
+	Cfg   arch.Config
+}
+
+// Build constructs the root machine of the instance.
+func (sp *SymProtocol) Build() *tso.Machine {
+	return tso.NewMachine(sp.Cfg, sp.Progs...)
+}
+
+func nprocConfig(n int) arch.Config {
+	cfg := arch.DefaultConfig()
+	cfg.Procs = n
+	cfg.MemWords = NProcMemWords(n)
+	cfg.StoreBufferDepth = 4
+	return cfg
+}
+
+func nprocProcs(n int) []arch.ProcID {
+	ps := make([]arch.ProcID, n)
+	for i := range ps {
+		ps[i] = arch.ProcID(i)
+	}
+	return ps
+}
+
+// BakeryN returns the n-thread single-shot bakery under the given fence
+// discipline. Thread i's registers: r2 own ticket, r3/r4 peer
+// observations, r6 entered-CS flag, r7 l-mfence scratch. The protocol
+// is fully symmetric — no pid-encoded data — so the symmetry
+// declaration is just the two address blocks (choosing[] and num[]).
+func BakeryN(n int, v DekkerVariant) *SymProtocol {
+	if n < 2 {
+		panic(fmt.Sprintf("programs: BakeryN needs n >= 2, got %d", n))
+	}
+	progs := make([]*tso.Program, n)
+	for i := 0; i < n; i++ {
+		progs[i] = bakeryNThread(n, i, v)
+	}
+	return &SymProtocol{
+		Name:  fmt.Sprintf("bakery%d-%v", n, v),
+		Progs: progs,
+		Sym: &tso.Symmetry{
+			Procs: nprocProcs(n),
+			Blocks: []tso.SymBlock{
+				{Base: AddrFlagN(0), Stride: 1},   // choosing[]
+				{Base: AddrNumN(n, 0), Stride: 1}, // num[]
+			},
+		},
+		Cfg: nprocConfig(n),
+	}
+}
+
+func bakeryNThread(n, i int, v DekkerVariant) *tso.Program {
+	choosing := AddrFlagN(i)
+	num := AddrNumN(n, i)
+	b := tso.NewBuilder(fmt.Sprintf("bakery%d-%v-t%d", n, v, i))
+
+	// Doorway entry: announce choosing[i]=1 before reading tickets. The
+	// l-mfence variant guards choosing[i] because every peer reads it in
+	// its wait section (the coverage rule of classic.go).
+	switch v {
+	case DekkerLmfence, DekkerLmfenceMirrored:
+		b.Lmfence(choosing, 1, RegScratch)
+	case DekkerMfence:
+		b.StoreI(choosing, 1).Mfence()
+	default:
+		b.StoreI(choosing, 1)
+	}
+
+	// Ticket: r2 = 1 + max over peers' num[j], scanning peers in RING
+	// order (i+1, i+2, ... mod n). Ring order is what makes the program
+	// vector rotation-symmetric: position d of every thread's scan
+	// refers to its distance-d neighbor, so rotating the ring maps each
+	// template position-for-position onto the next thread's.
+	b.LoadI(2, 0)
+	for d := 1; d < n; d++ {
+		j := (i + d) % n
+		upd, next := fmt.Sprintf("dmax%d", d), fmt.Sprintf("dnext%d", d)
+		b.Load(3, AddrNumN(n, j)).
+			Blt(2, 3, upd).
+			Jmp(next).
+			Label(upd).
+			AddI(2, 3, 0).
+			Label(next)
+	}
+	b.AddI(2, 2, 1)
+
+	// Publish the ticket, then leave the doorway. Peers read num[i] both
+	// in their doorway and their wait section, so the l-mfence variant
+	// guards it as its own link.
+	switch v {
+	case DekkerLmfence, DekkerLmfenceMirrored:
+		b.LmfenceReg(num, 2, RegScratch)
+		b.StoreI(choosing, 0)
+	case DekkerMfence:
+		b.Store(num, 2).
+			StoreI(choosing, 0).
+			Mfence()
+	default:
+		b.Store(num, 2).
+			StoreI(choosing, 0)
+	}
+
+	// Wait section, single shot, again in ring order: bail out unless
+	// this thread's ticket strictly beats every competing peer's. Ties
+	// make both sides skip — safe, and it keeps the program free of
+	// thread-id comparisons.
+	for d := 1; d < n; d++ {
+		j := (i + d) % n
+		next := fmt.Sprintf("wnext%d", d)
+		b.Load(3, AddrFlagN(j)).
+			Bne(3, 0, "skip"). // peer mid-doorway: conservative skip
+			Load(4, AddrNumN(n, j)).
+			Beq(4, 0, next). // peer not competing
+			Blt(2, 4, next). // strictly smaller ticket beats j
+			Jmp("skip")      // tie or larger: bail
+		b.Label(next)
+	}
+	b.CSEnter().
+		LoadI(RegFlag, 1).
+		CSExit().
+		Label("skip").
+		StoreI(num, 0).
+		Halt()
+	return b.Build()
+}
+
+// PetersonN returns the n-thread Peterson filter lock under the given
+// fence discipline. Thread i climbs levels 1..n-1; at each level it
+// writes level[i]=l, then turn[l]=i+1 (pid-encoded: 0 unset, k+1 for
+// thread k), and may pass the level once it is not the most recent
+// turn[l] writer or no peer is at its level or above. The turn[] words
+// and the registers observing them (r4, and the l-mfence scratch r7)
+// are declared pid-encoded so renamings relabel them.
+//
+// At n=2 this is classic Peterson with the last-writer-waits
+// convention. The l-mfence variant guards turn[l] — the last store of
+// each level's doorway — publishing the preceding level[i] write via
+// the same FIFO flush, exactly like the 2-process placement that
+// classic.go's model checking validated.
+func PetersonN(n int, v DekkerVariant) *SymProtocol {
+	if n < 2 {
+		panic(fmt.Sprintf("programs: PetersonN needs n >= 2, got %d", n))
+	}
+	progs := make([]*tso.Program, n)
+	for i := 0; i < n; i++ {
+		progs[i] = petersonNThread(n, i, v)
+	}
+	pidWords := make([]arch.Addr, 0, n-1)
+	for l := 1; l < n; l++ {
+		pidWords = append(pidWords, AddrTurnN(n, l))
+	}
+	return &SymProtocol{
+		Name:  fmt.Sprintf("peterson%d-%v", n, v),
+		Progs: progs,
+		Sym: &tso.Symmetry{
+			Procs:    nprocProcs(n),
+			Blocks:   []tso.SymBlock{{Base: AddrFlagN(0), Stride: 1}}, // level[]
+			PidWords: pidWords,
+			PidRegs:  []tso.Reg{4, RegScratch},
+		},
+		Cfg: nprocConfig(n),
+	}
+}
+
+func petersonNThread(n, i int, v DekkerVariant) *tso.Program {
+	level := AddrFlagN(i)
+	self := arch.Word(i) + 1 // pid encoding of thread i
+	b := tso.NewBuilder(fmt.Sprintf("peterson%d-%v-t%d", n, v, i))
+
+	for l := 1; l < n; l++ {
+		turn := AddrTurnN(n, l)
+		switch v {
+		case DekkerLmfence, DekkerLmfenceMirrored:
+			b.StoreI(level, arch.Word(l))
+			b.Lmfence(turn, self, RegScratch)
+		case DekkerMfence:
+			b.StoreI(level, arch.Word(l)).
+				StoreI(turn, self).
+				Mfence()
+		default:
+			b.StoreI(level, arch.Word(l)).
+				StoreI(turn, self)
+		}
+		// Pass the level unless some peer is at this level or higher
+		// while this thread is still the most recent turn[l] writer.
+		// Peers are scanned in ring order for rotation symmetry (see
+		// bakeryNThread).
+		b.LoadI(5, arch.Word(l))
+		for d := 1; d < n; d++ {
+			j := (i + d) % n
+			next := fmt.Sprintf("l%dnext%d", l, d)
+			b.Load(3, AddrFlagN(j)).
+				Blt(3, 5, next). // level[j] < l: j not in the way
+				Load(4, turn).
+				Beq(4, arch.Word(self), "skip") // still our turn: bail
+			b.Label(next)
+		}
+	}
+	b.CSEnter().
+		LoadI(RegFlag, 1).
+		CSExit().
+		Label("skip").
+		StoreI(level, 0).
+		Halt()
+	return b.Build()
+}

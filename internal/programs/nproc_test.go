@@ -1,0 +1,83 @@
+package programs
+
+import (
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/tso"
+)
+
+// The generators must emit programs that really are renamings of each
+// other under the declared symmetry — tso.Symmetry.Validate is the
+// soundness gate the model checker relies on, so every (protocol, n,
+// variant) the catalog can reach has to pass it.
+func TestNProcSymmetryValidates(t *testing.T) {
+	variants := []DekkerVariant{DekkerNoFence, DekkerMfence, DekkerLmfence}
+	for n := 2; n <= 5; n++ {
+		for _, v := range variants {
+			for _, sp := range []*SymProtocol{BakeryN(n, v), PetersonN(n, v)} {
+				if err := sp.Sym.Validate(sp.Progs, sp.Cfg.MemWords); err != nil {
+					t.Errorf("%s: symmetry declaration rejected: %v", sp.Name, err)
+				}
+				if got := sp.Sym.N(); got != n {
+					t.Errorf("%s: class size %d, want %d", sp.Name, got, n)
+				}
+			}
+		}
+	}
+}
+
+// The N-indexed layout must stay inside the configured memory and keep
+// the two bakery arrays disjoint.
+func TestNProcLayout(t *testing.T) {
+	for n := 2; n <= 8; n++ {
+		words := NProcMemWords(n)
+		for i := 0; i < n; i++ {
+			if int(AddrFlagN(i)) >= words {
+				t.Fatalf("n=%d: flag[%d]=%d outside %d words", n, i, AddrFlagN(i), words)
+			}
+			if int(AddrNumN(n, i)) >= words {
+				t.Fatalf("n=%d: num[%d]=%d outside %d words", n, i, AddrNumN(n, i), words)
+			}
+			if AddrNumN(n, i) <= AddrFlagN(n-1) {
+				t.Fatalf("n=%d: num[%d]=%d overlaps flag block", n, i, AddrNumN(n, i))
+			}
+		}
+		for l := 1; l < n; l++ {
+			if int(AddrTurnN(n, l)) >= words {
+				t.Fatalf("n=%d: turn[%d]=%d outside %d words", n, l, AddrTurnN(n, l), words)
+			}
+		}
+	}
+}
+
+// At n=2 the N-indexed layout must coincide with the classic constants;
+// the synth corpus and the catalog's address comments depend on it.
+func TestNProcMatchesClassicLayout(t *testing.T) {
+	if AddrFlagN(0) != AddrFlag0 || AddrFlagN(1) != AddrFlag1 {
+		t.Fatalf("flag layout mismatch: %d,%d vs %d,%d", AddrFlagN(0), AddrFlagN(1), AddrFlag0, AddrFlag1)
+	}
+	if AddrTurnN(2, 1) != AddrTurn {
+		t.Fatalf("turn layout mismatch: %d vs %d", AddrTurnN(2, 1), AddrTurn)
+	}
+	if AddrNumN(2, 0) != AddrNum0 || AddrNumN(2, 1) != AddrNum1 {
+		t.Fatalf("num layout mismatch: %d,%d vs %d,%d", AddrNumN(2, 0), AddrNumN(2, 1), AddrNum0, AddrNum1)
+	}
+}
+
+// Declaring full symmetry over the classic hand-written Peterson pair
+// must be rejected: its threads break ties asymmetrically (thread 0
+// wins), so they are not renamings of each other. A generator bug that
+// smuggled thread-id asymmetry into the templates would be caught the
+// same way.
+func TestValidateRejectsAsymmetricPrograms(t *testing.T) {
+	p0, p1 := PetersonPair(DekkerNoFence)
+	sym := &tso.Symmetry{
+		Procs:    []arch.ProcID{0, 1},
+		Blocks:   []tso.SymBlock{{Base: AddrFlag0, Stride: 1}},
+		PidWords: nil,
+	}
+	if err := sym.Validate([]*tso.Program{p0, p1}, 16); err == nil {
+		t.Fatal("classic PetersonPair accepted as symmetric; want rejection")
+	}
+}

@@ -161,6 +161,17 @@ func (b *Buffer) Clone() *Buffer {
 	return nb
 }
 
+// Remap rewrites each pending entry's address and value through f,
+// preserving FIFO order, capacity, and sequence numbers. The symmetry
+// canonicalizer in internal/tso uses it to apply a processor-renaming's
+// address permutation and pid-value relabeling to a scratch machine's
+// buffers.
+func (b *Buffer) Remap(f func(Entry) (arch.Addr, arch.Word)) {
+	for i := range b.entries {
+		b.entries[i].Addr, b.entries[i].Val = f(b.entries[i])
+	}
+}
+
 // Fingerprint appends a canonical encoding of the buffer contents to dst
 // for use in hashed state signatures. Sequence numbers are deliberately
 // excluded: two states that differ only in how many stores ever passed

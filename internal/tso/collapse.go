@@ -1,0 +1,130 @@
+package tso
+
+import "sync"
+
+// This file implements SPIN-style collapse compression for machine
+// states (Holzmann, "State compression in SPIN"). A state's full
+// serialization (Machine.Fingerprint) concatenates four component
+// kinds: per-processor core state, per-processor store-buffer contents,
+// per-processor cache state, and the memory image. Across a run the
+// number of DISTINCT values each component takes is tiny compared to
+// the number of distinct full states — a processor's core cycles
+// through a few hundred encodings while the product space runs to
+// millions — so the compressor interns each component's bytes into a
+// shared table once and represents a state as a short fixed-width tuple
+// of table indices.
+//
+// The tuple is an EXACT identity, not a hash: two states collapse to
+// the same tuple iff their full fingerprints are byte-identical. The
+// model checker's visited set can therefore key on tuples directly,
+// dropping both the per-state full serialization and the (sound but
+// memory-hungry) 128-bit hashed key, and the fixed width is what makes
+// the memory-budgeted visited set's spill records possible.
+
+// internEntryOverhead approximates the per-entry bookkeeping of an
+// intern table beyond the key bytes themselves: the Go map bucket
+// share, the string header, and the uint32 index.
+const internEntryOverhead = 56
+
+// internTable interns byte strings, assigning dense uint32 indices in
+// first-seen order. Safe for concurrent use; lookups of already-interned
+// components (the overwhelmingly common case once the run warms up)
+// take only the read lock.
+type internTable struct {
+	mu    sync.RWMutex
+	idx   map[string]uint32
+	bytes int64
+}
+
+func (t *internTable) intern(key []byte) uint32 {
+	t.mu.RLock()
+	id, ok := t.idx[string(key)] // map lookup by []byte→string does not allocate
+	t.mu.RUnlock()
+	if ok {
+		return id
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if id, ok := t.idx[string(key)]; ok {
+		return id
+	}
+	id = uint32(len(t.idx))
+	t.idx[string(key)] = id
+	t.bytes += int64(len(key)) + internEntryOverhead
+	return id
+}
+
+func (t *internTable) stats() (entries uint64, bytes int64) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return uint64(len(t.idx)), t.bytes
+}
+
+// Collapser holds the shared component tables of one exploration run.
+// One Collapser serves all workers; Collapse is safe for concurrent
+// use.
+type Collapser struct {
+	core  internTable // per-processor FingerprintCore encodings
+	sb    internTable // per-processor store-buffer encodings
+	cache internTable // per-processor mesi cache encodings
+	mem   internTable // whole-memory images
+}
+
+// NewCollapser returns an empty component-table set.
+func NewCollapser() *Collapser {
+	c := &Collapser{}
+	for _, t := range []*internTable{&c.core, &c.sb, &c.cache, &c.mem} {
+		t.idx = make(map[string]uint32, 256)
+	}
+	return c
+}
+
+// CollapsedWidth reports the fixed byte width of a collapsed key for a
+// machine with procs processors: one 4-byte component index each for
+// core, store buffer, and cache per processor, one for memory, plus the
+// CS-violation byte.
+func CollapsedWidth(procs int) int { return 4*(3*procs+1) + 1 }
+
+func appendU32(dst []byte, v uint32) []byte {
+	return append(dst, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+}
+
+// Collapse appends m's collapsed key to dst and returns it. scratch is
+// a caller-owned reusable buffer for component encodings (one per
+// worker keeps the hot path allocation-free). The key has
+// CollapsedWidth(len(m.Procs)) bytes and equals another state's key iff
+// the two full fingerprints are equal.
+func (c *Collapser) Collapse(m *Machine, dst []byte, scratch *[]byte) []byte {
+	buf := *scratch
+	for i := range m.Procs {
+		buf = m.FingerprintCore(i, buf[:0])
+		dst = appendU32(dst, c.core.intern(buf))
+		buf = m.Procs[i].SB.Fingerprint(buf[:0])
+		dst = appendU32(dst, c.sb.intern(buf))
+		buf = m.Sys.FingerprintCache(i, buf[:0])
+		dst = appendU32(dst, c.cache.intern(buf))
+	}
+	buf = m.Sys.FingerprintMem(buf[:0])
+	dst = appendU32(dst, c.mem.intern(buf))
+	if m.CSViolation {
+		dst = append(dst, 1)
+	} else {
+		dst = append(dst, 0)
+	}
+	*scratch = buf
+	return dst
+}
+
+// Stats reports the total interned component count and the approximate
+// resident bytes of the shared tables. The tables are shared across the
+// run and are NOT covered by the model checker's memory budget (they
+// grow with distinct component values, not with states); the checker
+// reports them separately so states-per-byte metrics stay honest.
+func (c *Collapser) Stats() (entries uint64, bytes int64) {
+	for _, t := range []*internTable{&c.core, &c.sb, &c.cache, &c.mem} {
+		e, b := t.stats()
+		entries += e
+		bytes += b
+	}
+	return entries, bytes
+}

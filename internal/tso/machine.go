@@ -503,40 +503,16 @@ func (m *Machine) CopyFrom(src *Machine) {
 // machine state to dst: per-processor PC, registers, link registers, CS
 // flag, store buffer, plus the coherence system. Clocks and statistics
 // are excluded so states differing only in timing hash identically.
+//
+// The encoding is the concatenation of the per-component encoders below
+// (FingerprintCore and storebuf.Buffer.Fingerprint per processor, the
+// CS byte, then mesi.System.Fingerprint); the collapse compressor
+// interns each component separately instead of hashing the whole
+// serialization.
 func (m *Machine) Fingerprint(dst []byte) []byte {
-	for _, p := range m.Procs {
-		dst = append(dst, byte(p.PC), byte(p.PC>>8))
-		for _, r := range p.Regs {
-			dst = append(dst, byte(r), byte(r>>8), byte(r>>16), byte(r>>24))
-		}
-		flags := byte(0)
-		if p.Halted {
-			flags |= 1
-		}
-		if p.InCS {
-			flags |= 2
-		}
-		if p.LEBit {
-			flags |= 4
-		}
-		dst = append(dst, flags, byte(p.LEAddr), byte(p.LEAddr>>8))
-		// Encode each live link: its address, whether its guarded store
-		// has committed, and — identifying the store by position rather
-		// than the history-dependent raw sequence number — where that
-		// store sits in the buffer (an O(1) lookup; pending seqs are
-		// contiguous).
-		dst = append(dst, byte(len(p.links)))
-		for _, l := range p.links {
-			dst = append(dst, byte(l.addr), byte(l.addr>>8))
-			linkedIdx := byte(0xff)
-			if l.seqSet {
-				if i := p.SB.IndexOfSeq(l.seq); i >= 0 {
-					linkedIdx = byte(i)
-				}
-			}
-			dst = append(dst, linkedIdx)
-		}
-		dst = p.SB.Fingerprint(dst)
+	for i := range m.Procs {
+		dst = m.FingerprintCore(i, dst)
+		dst = m.Procs[i].SB.Fingerprint(dst)
 	}
 	if m.CSViolation {
 		dst = append(dst, 1)
@@ -544,4 +520,43 @@ func (m *Machine) Fingerprint(dst []byte) []byte {
 		dst = append(dst, 0)
 	}
 	return m.Sys.Fingerprint(dst)
+}
+
+// FingerprintCore appends processor i's core component of Fingerprint:
+// PC, registers, flags, and link registers (store buffer excluded — it
+// is its own component). Link entries identify their guarded store by
+// buffer position rather than the history-dependent raw sequence
+// number.
+func (m *Machine) FingerprintCore(i int, dst []byte) []byte {
+	p := m.Procs[i]
+	dst = append(dst, byte(p.PC), byte(p.PC>>8))
+	for _, r := range p.Regs {
+		dst = append(dst, byte(r), byte(r>>8), byte(r>>16), byte(r>>24))
+	}
+	flags := byte(0)
+	if p.Halted {
+		flags |= 1
+	}
+	if p.InCS {
+		flags |= 2
+	}
+	if p.LEBit {
+		flags |= 4
+	}
+	dst = append(dst, flags, byte(p.LEAddr), byte(p.LEAddr>>8))
+	// Encode each live link: its address, whether its guarded store has
+	// committed, and — by position, an O(1) lookup since pending seqs
+	// are contiguous — where that store sits in the buffer.
+	dst = append(dst, byte(len(p.links)))
+	for _, l := range p.links {
+		dst = append(dst, byte(l.addr), byte(l.addr>>8))
+		linkedIdx := byte(0xff)
+		if l.seqSet {
+			if i := p.SB.IndexOfSeq(l.seq); i >= 0 {
+				linkedIdx = byte(i)
+			}
+		}
+		dst = append(dst, linkedIdx)
+	}
+	return dst
 }
