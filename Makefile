@@ -9,7 +9,10 @@ COUNT ?= 5
 BENCH_SCALE ?= test
 BENCH_BASELINE ?= BENCH_baseline.json
 
-.PHONY: test race bench bench-litmus bench-por bench-compress litmus-json synth bench-json bench-diff chaos
+.PHONY: test race bench bench-litmus bench-por bench-compress litmus-json synth bench-json bench-diff chaos fuzz
+
+# Per-target budget for the coverage-guided fuzzing runs.
+FUZZTIME ?= 30s
 
 # Seeds for the chaos fault schedules (comma-separated).
 CHAOS_SEEDS ?= 1,2,3
@@ -70,6 +73,14 @@ bench-diff:
 chaos:
 	$(GO) test -race -run 'Chaos|Fault|Stall|Abandon|Watchdog|Close|Starvation|Deadline' ./internal/harness/ ./internal/signals/ ./internal/sched/ ./internal/fault/
 	$(GO) run ./cmd/lbmfbench -exp chaos -scale test -faults $(CHAOS_SEEDS)
+
+# Coverage-guided fuzzing: the .litmus parser/compiler/renderer round
+# trip, then the differential engine matrix over generated scenarios.
+# Each target runs its seed corpus (testdata/fuzz/) plus FUZZTIME of
+# new coverage-guided inputs; raise FUZZTIME for a longer hunt.
+fuzz:
+	$(GO) test -run '^$$' -fuzz FuzzParse -fuzztime $(FUZZTIME) ./internal/litmuslang/
+	$(GO) test -run '^$$' -fuzz FuzzDifferential -fuzztime $(FUZZTIME) ./internal/litmusgen/
 
 # Counterexample-guided fence synthesis over the protocol registry,
 # printing the minimal frontier per problem. The dekker row must show

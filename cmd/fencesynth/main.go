@@ -19,14 +19,17 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"repro/internal/harness"
+	"repro/internal/litmuslang"
 	"repro/internal/synth"
 )
 
 func main() {
 	problem := flag.String("problem", "all", "registry problem to synthesize (dekker|peterson|bakery|sb|mp|all)")
+	file := flag.String("file", "", "synthesize fences for a .litmus scenario file (must declare an assertion) instead of the registry")
 	kind := flag.String("kind", "both", "fence kinds the synthesizer may place (mfence|lmfence|both)")
 	ratio := flag.Float64("ratio", synth.DefaultPrimaryWeight, "assumed primary:secondary execution-frequency ratio for the cost objective")
 	workers := flag.Int("workers", 0, "exploration worker-pool size per verification (0 = GOMAXPROCS)")
@@ -34,6 +37,14 @@ func main() {
 	verbose := flag.Bool("v", false, "print the full minimal frontier per problem")
 	jsonOut := flag.Bool("json", false, "emit a machine-readable JSON report instead of tables")
 	flag.Parse()
+
+	set := make(map[string]bool)
+	flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
+	if err := validateFlags(set); err != nil {
+		fmt.Fprintln(os.Stderr, "fencesynth:", err)
+		flag.Usage()
+		os.Exit(2)
+	}
 
 	opts := synth.Options{
 		Workers:       *workers,
@@ -51,6 +62,10 @@ func main() {
 		os.Exit(2)
 	}
 
+	if *file != "" {
+		os.Exit(runFile(*file, opts, *verbose, *jsonOut, os.Stdout))
+	}
+
 	probs := synth.Problems()
 	if *problem != "all" {
 		p, err := synth.LookupProblem(*problem)
@@ -65,6 +80,84 @@ func main() {
 		os.Exit(runJSON(probs, opts))
 	}
 	os.Exit(runText(probs, opts, *verbose))
+}
+
+// validateFlags rejects mutually inconsistent flag combinations before
+// any synthesis starts. set holds the names of the flags the user
+// passed explicitly (collected via flag.Visit).
+func validateFlags(set map[string]bool) error {
+	if set["file"] && set["problem"] {
+		return fmt.Errorf("-file is incompatible with -problem: the scenario file replaces the registry")
+	}
+	return nil
+}
+
+// runFile compiles a .litmus scenario, synthesizes a repair for its
+// declared assertion, and — unless the protocol is unrepairable —
+// emits the cost-optimal placement spliced back in as parseable litmus
+// source. Exit codes: 0 repaired (or already safe), 1 unrepairable or
+// synthesis failure, 2 on I/O or compile errors.
+func runFile(path string, opts synth.Options, verbose, jsonOut bool, w io.Writer) int {
+	src, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fencesynth:", err)
+		return 2
+	}
+	c, err := litmuslang.CompileSource(string(src))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "fencesynth: %s: %v\n", path, err)
+		return 2
+	}
+	prob, err := c.Problem()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "fencesynth: %s: %v\n", path, err)
+		return 2
+	}
+	r, err := synth.Synthesize(prob, opts)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "fencesynth: %s: %v\n", prob.Name, err)
+		return 1
+	}
+
+	repaired := ""
+	if r.Optimal != nil {
+		progs := r.Optimal.Placement.Apply(prob.Programs, opts.Scratch)
+		repaired = litmuslang.Render(c.Name, c.Config, progs, c.Assert)
+	}
+
+	if jsonOut {
+		jp := toJSONProblem(r)
+		jp.RepairedSource = repaired
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(jp); err != nil {
+			fmt.Fprintln(os.Stderr, "fencesynth:", err)
+			return 1
+		}
+	} else {
+		report := &harness.SynthesisResult{Rows: []harness.SynthRow{rowOf(prob.Name, r)}}
+		fmt.Fprintln(w, report.Table())
+		if verbose {
+			printDetailTo(w, r)
+		}
+		if r.Optimal != nil {
+			if len(r.Optimal.Placement) == 0 {
+				fmt.Fprintln(w, "already safe: no fences needed")
+			} else {
+				fmt.Fprintln(w, "repaired protocol (cost-optimal placement spliced in):")
+				fmt.Fprintln(w)
+				fmt.Fprint(w, repaired)
+			}
+		}
+	}
+	if r.Unrepairable {
+		if !jsonOut {
+			fmt.Fprintln(w, "UNREPAIRABLE — counterexample without store/load reordering:")
+			fmt.Fprint(w, indent(r.Counterexample, "  "))
+		}
+		return 1
+	}
+	return 0
 }
 
 func runText(probs []synth.Problem, opts synth.Options, verbose bool) int {
@@ -113,12 +206,14 @@ func rowOf(name string, r *synth.Result) harness.SynthRow {
 	return row
 }
 
-func printDetail(r *synth.Result) {
-	fmt.Printf("%s: %d candidate sites, %d minimal repair(s)\n", r.Problem, len(r.Sites), len(r.Minimal))
+func printDetail(r *synth.Result) { printDetailTo(os.Stdout, r) }
+
+func printDetailTo(w io.Writer, r *synth.Result) {
+	fmt.Fprintf(w, "%s: %d candidate sites, %d minimal repair(s)\n", r.Problem, len(r.Sites), len(r.Minimal))
 	if r.Unrepairable {
-		fmt.Println("  UNREPAIRABLE — counterexample without store/load reordering:")
-		fmt.Print(indent(r.Counterexample, "    "))
-		fmt.Println()
+		fmt.Fprintln(w, "  UNREPAIRABLE — counterexample without store/load reordering:")
+		fmt.Fprint(w, indent(r.Counterexample, "    "))
+		fmt.Fprintln(w)
 		return
 	}
 	for i, c := range r.Minimal {
@@ -126,9 +221,9 @@ func printDetail(r *synth.Result) {
 		if i == 0 {
 			marker = "*" // cost-optimal
 		}
-		fmt.Printf("  %s cost %8.0f  %v\n", marker, c.Cost, c.Placement)
+		fmt.Fprintf(w, "  %s cost %8.0f  %v\n", marker, c.Cost, c.Placement)
 	}
-	fmt.Println()
+	fmt.Fprintln(w)
 }
 
 func indent(s, pad string) string {
@@ -181,6 +276,32 @@ type jsonProblem struct {
 	Minimal         []jsonPlacement `json:"minimal"`
 	Optimal         *jsonPlacement  `json:"optimal,omitempty"`
 	ElapsedSeconds  float64         `json:"elapsed_seconds"`
+	// RepairedSource is the optimal placement spliced back into the
+	// input and re-rendered as litmus source; -file mode only.
+	RepairedSource string `json:"repaired_source,omitempty"`
+}
+
+// toJSONProblem flattens one synthesis result into the report shape.
+func toJSONProblem(r *synth.Result) jsonProblem {
+	jp := jsonProblem{
+		Problem:         r.Problem,
+		Sites:           len(r.Sites),
+		Rounds:          r.Rounds,
+		Candidates:      r.CandidatesChecked,
+		Counterexamples: r.Counterexamples,
+		States:          r.StatesExplored,
+		Unrepairable:    r.Unrepairable,
+		Minimal:         []jsonPlacement{},
+		ElapsedSeconds:  r.Elapsed.Seconds(),
+	}
+	for _, c := range r.Minimal {
+		jp.Minimal = append(jp.Minimal, toJSONPlacement(c))
+	}
+	if r.Optimal != nil {
+		op := toJSONPlacement(*r.Optimal)
+		jp.Optimal = &op
+	}
+	return jp
 }
 
 func toJSONPlacement(c synth.Candidate) jsonPlacement {
@@ -206,25 +327,7 @@ func runJSON(probs []synth.Problem, opts synth.Options) int {
 			failed = true
 			continue
 		}
-		jp := jsonProblem{
-			Problem:         r.Problem,
-			Sites:           len(r.Sites),
-			Rounds:          r.Rounds,
-			Candidates:      r.CandidatesChecked,
-			Counterexamples: r.Counterexamples,
-			States:          r.StatesExplored,
-			Unrepairable:    r.Unrepairable,
-			Minimal:         []jsonPlacement{},
-			ElapsedSeconds:  r.Elapsed.Seconds(),
-		}
-		for _, c := range r.Minimal {
-			jp.Minimal = append(jp.Minimal, toJSONPlacement(c))
-		}
-		if r.Optimal != nil {
-			op := toJSONPlacement(*r.Optimal)
-			jp.Optimal = &op
-		}
-		out = append(out, jp)
+		out = append(out, toJSONProblem(r))
 	}
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")

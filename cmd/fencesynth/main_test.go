@@ -1,0 +1,116 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/litmus"
+	"repro/internal/litmuslang"
+	"repro/internal/synth"
+)
+
+func TestValidateFlags(t *testing.T) {
+	if err := validateFlags(map[string]bool{"file": true, "problem": true}); err == nil ||
+		!strings.Contains(err.Error(), "-file is incompatible with -problem") {
+		t.Errorf("file+problem: got %v, want incompatibility error", err)
+	}
+	for _, set := range []map[string]bool{
+		{},
+		{"problem": true, "kind": true, "v": true},
+		{"file": true, "kind": true, "ratio": true, "json": true},
+	} {
+		if err := validateFlags(set); err != nil {
+			t.Errorf("valid set %v rejected: %v", set, err)
+		}
+	}
+}
+
+const sbRelaxed = `litmus "sb"
+config { memwords 16 sbdepth 4 }
+shared x @ 4, y @ 5
+thread "w0" {
+  storei [x], 1
+  load r0, [y]
+  halt
+}
+thread "w1" {
+  storei [y], 1
+  load r0, [x]
+  halt
+}
+forbid P0:r0=0 & P1:r0=0
+`
+
+func writeScenario(t *testing.T, src string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "scenario.litmus")
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestRunFileRepairsSB is the end-to-end loop the README advertises: a
+// broken scenario goes in, repaired litmus source comes out, and the
+// repaired source — recompiled from the emitted text alone — verifies
+// safe against its own assertion.
+func TestRunFileRepairsSB(t *testing.T) {
+	var out bytes.Buffer
+	code := runFile(writeScenario(t, sbRelaxed), synth.Options{}, true, false, &out)
+	if code != 0 {
+		t.Fatalf("exit code %d, want 0\noutput:\n%s", code, out.String())
+	}
+	got := out.String()
+	if !strings.Contains(got, "repaired protocol") {
+		t.Fatalf("output missing repaired source:\n%s", got)
+	}
+
+	// The repaired source is everything from the litmus header on.
+	i := strings.Index(got, "litmus \"sb\"")
+	if i < 0 {
+		t.Fatalf("no rendered litmus source in output:\n%s", got)
+	}
+	c, err := litmuslang.CompileSource(got[i:])
+	if err != nil {
+		t.Fatalf("repaired source does not recompile: %v\n%s", err, got[i:])
+	}
+	res := litmus.ExploreSerial(c.Build, litmus.Options{Properties: c.Properties()})
+	if res.Violations != 0 || res.Truncated || res.Deadlocks != 0 {
+		t.Errorf("repaired SB is not safe: violations=%d truncated=%v deadlocks=%d",
+			res.Violations, res.Truncated, res.Deadlocks)
+	}
+}
+
+func TestRunFileJSONCarriesRepairedSource(t *testing.T) {
+	var out bytes.Buffer
+	code := runFile(writeScenario(t, sbRelaxed), synth.Options{}, false, true, &out)
+	if code != 0 {
+		t.Fatalf("exit code %d, want 0\noutput:\n%s", code, out.String())
+	}
+	var jp jsonProblem
+	if err := json.Unmarshal(out.Bytes(), &jp); err != nil {
+		t.Fatalf("output is not JSON: %v\n%s", err, out.String())
+	}
+	if jp.Problem != "sb" || jp.Optimal == nil || jp.RepairedSource == "" {
+		t.Fatalf("report incomplete: %+v", jp)
+	}
+	if _, err := litmuslang.CompileSource(jp.RepairedSource); err != nil {
+		t.Errorf("repaired_source does not recompile: %v", err)
+	}
+}
+
+func TestRunFileErrors(t *testing.T) {
+	if code := runFile(filepath.Join(t.TempDir(), "missing.litmus"), synth.Options{}, false, false, os.Stderr); code != 2 {
+		t.Errorf("missing file: exit code %d, want 2", code)
+	}
+	noAssert := `thread "a" { storei [0x4], 1
+halt }
+`
+	if code := runFile(writeScenario(t, noAssert), synth.Options{}, false, false, os.Stderr); code != 2 {
+		t.Errorf("assertion-free file: exit code %d, want 2", code)
+	}
+}

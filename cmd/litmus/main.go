@@ -19,6 +19,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"time"
@@ -26,6 +27,7 @@ import (
 	"repro/internal/arch"
 	"repro/internal/harness"
 	"repro/internal/litmus"
+	"repro/internal/litmuslang"
 	"repro/internal/programs"
 	"repro/internal/tso"
 )
@@ -37,16 +39,29 @@ func main() {
 	reduction := flag.Bool("reduction", false, "explore the catalog with partial-order reduction")
 	por := flag.Bool("por", false, "print the reduced-vs-unreduced comparison over the protocol suite")
 	compress := flag.Bool("compress", false, "store visited states collapse-compressed")
-	memBudget := flag.Int64("membudget", 0, "visited-set resident-byte budget, spilling cold stripes to disk (0 = unlimited, implies -compress)")
+	memBudget := flag.Int64("membudget", 0, "visited-set resident-byte budget, spilling cold stripes to disk (0 = unlimited; requires -compress)")
 	nproc := flag.Int("nproc", 0, "also model-check the N-process bakery/Peterson generators under symmetry reduction (0 = skip)")
+	file := flag.String("file", "", "model-check a single .litmus scenario file instead of the built-in suite")
 	jsonOut := flag.Bool("json", false, "emit a machine-readable JSON summary instead of tables")
 	flag.Parse()
+
+	set := make(map[string]bool)
+	flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
+	if err := validateFlags(set); err != nil {
+		fmt.Fprintln(os.Stderr, "litmus:", err)
+		flag.Usage()
+		os.Exit(2)
+	}
 
 	catOpts := litmus.Options{
 		Workers:   *workers,
 		Reduction: *reduction,
 		Collapse:  *compress || *memBudget > 0,
 		MemBudget: *memBudget,
+	}
+
+	if *file != "" {
+		os.Exit(runFile(*file, catOpts, *jsonOut, os.Stdout))
 	}
 
 	if *jsonOut {
@@ -75,6 +90,104 @@ func main() {
 		fmt.Fprintln(os.Stderr, "litmus: verification FAILED")
 		os.Exit(1)
 	}
+}
+
+// validateFlags rejects mutually inconsistent flag combinations up
+// front, before any exploration starts. set holds the names of the
+// flags the user passed explicitly (collected via flag.Visit), which
+// distinguishes "-catalog=true" spelled out from the same default.
+func validateFlags(set map[string]bool) error {
+	if set["membudget"] && !set["compress"] {
+		return fmt.Errorf("-membudget requires -compress: the disk-spill store holds collapse-compressed states, so a budget without compression has nothing to spill")
+	}
+	if set["file"] {
+		for _, name := range []string{"nproc", "trace", "por", "catalog"} {
+			if set[name] {
+				return fmt.Errorf("-file is incompatible with -%s: the scenario file replaces the built-in suite", name)
+			}
+		}
+	}
+	return nil
+}
+
+// fileSummary is the -file -json output shape.
+type fileSummary struct {
+	Name        string         `json:"name"`
+	Threads     int            `json:"threads"`
+	States      int            `json:"states"`
+	Transitions int            `json:"transitions"`
+	Outcomes    map[string]int `json:"outcomes"`
+	Deadlocks   int            `json:"deadlocks"`
+	Violations  int            `json:"violations"`
+	Property    string         `json:"property,omitempty"`
+	Pass        bool           `json:"pass"`
+}
+
+// runFile compiles and model-checks one .litmus scenario, reporting its
+// outcome set and (when the file declares an assertion) the verdict.
+// The return value is the process exit code: 0 clean, 1 when the
+// assertion is violated or the exploration truncated, 2 on I/O or
+// compile errors.
+func runFile(path string, opts litmus.Options, jsonOut bool, w io.Writer) int {
+	src, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "litmus:", err)
+		return 2
+	}
+	c, err := litmuslang.CompileSource(string(src))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "litmus: %s: %v\n", path, err)
+		return 2
+	}
+	opts.Properties = c.Properties()
+	res := litmus.Explore(c.Build, opts)
+	pass := res.Violations == 0 && !res.Truncated
+
+	if jsonOut {
+		sum := fileSummary{
+			Name:        c.Name,
+			Threads:     len(c.Programs),
+			States:      res.States,
+			Transitions: res.Transitions,
+			Outcomes:    make(map[string]int, len(res.Outcomes)),
+			Deadlocks:   res.Deadlocks,
+			Violations:  res.Violations,
+			Property:    c.PropertyDoc,
+			Pass:        pass,
+		}
+		for o, n := range res.Outcomes {
+			sum.Outcomes[string(o)] = n
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(sum); err != nil {
+			fmt.Fprintln(os.Stderr, "litmus:", err)
+			return 1
+		}
+	} else {
+		fmt.Fprintf(w, "%s: %d threads, %d states, %d transitions, %d deadlocks\n",
+			c.Name, len(c.Programs), res.States, res.Transitions, res.Deadlocks)
+		fmt.Fprintf(w, "quiesced outcomes (%d distinct):\n", len(res.Outcomes))
+		for _, o := range res.SortedOutcomes() {
+			fmt.Fprintf(w, "  %-40s ×%d\n", o, res.Outcomes[o])
+		}
+		if c.HasProperty() {
+			verdict := "PASS"
+			if res.Violations > 0 {
+				verdict = fmt.Sprintf("FAIL (%d violating states)", res.Violations)
+			}
+			fmt.Fprintf(w, "property %q: %s\n", c.PropertyDoc, verdict)
+		} else {
+			fmt.Fprintln(w, "no assertion declared: outcome report only")
+		}
+		if res.Truncated {
+			fmt.Fprintln(w, "WARNING: exploration truncated — results are a lower bound")
+		}
+	}
+	if !pass {
+		return 1
+	}
+	return 0
 }
 
 // printCatalog runs the classic litmus tests and reports per-test

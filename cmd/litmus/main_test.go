@@ -1,0 +1,171 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/litmus"
+)
+
+func TestValidateFlags(t *testing.T) {
+	cases := []struct {
+		name    string
+		set     []string
+		wantErr string // substring of the error, "" = valid
+	}{
+		{"empty", nil, ""},
+		{"suite flags", []string{"trace", "por", "nproc", "workers"}, ""},
+		{"membudget with compress", []string{"membudget", "compress"}, ""},
+		{"membudget alone", []string{"membudget"}, "-membudget requires -compress"},
+		{"file alone", []string{"file"}, ""},
+		{"file with engine knobs", []string{"file", "workers", "reduction", "compress", "json"}, ""},
+		{"file with nproc", []string{"file", "nproc"}, "-file is incompatible with -nproc"},
+		{"file with trace", []string{"file", "trace"}, "-file is incompatible with -trace"},
+		{"file with por", []string{"file", "por"}, "-file is incompatible with -por"},
+		{"file with explicit catalog", []string{"file", "catalog"}, "-file is incompatible with -catalog"},
+		{"file with membudget alone", []string{"file", "membudget"}, "-membudget requires -compress"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			set := make(map[string]bool, len(tc.set))
+			for _, f := range tc.set {
+				set[f] = true
+			}
+			err := validateFlags(set)
+			switch {
+			case tc.wantErr == "" && err != nil:
+				t.Fatalf("unexpected error: %v", err)
+			case tc.wantErr != "" && err == nil:
+				t.Fatalf("expected error containing %q, got nil", tc.wantErr)
+			case tc.wantErr != "" && !strings.Contains(err.Error(), tc.wantErr):
+				t.Fatalf("error %q does not contain %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+// writeScenario drops src into a temp .litmus file and returns its path.
+func writeScenario(t *testing.T, src string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "scenario.litmus")
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+const sbFenced = `litmus "sb+mfence"
+config { memwords 16 sbdepth 4 }
+shared x @ 4, y @ 5
+thread "w0" {
+  storei [x], 1
+  mfence
+  load r0, [y]
+  halt
+}
+thread "w1" {
+  storei [y], 1
+  mfence
+  load r0, [x]
+  halt
+}
+forbid P0:r0=0 & P1:r0=0
+`
+
+const sbRelaxed = `litmus "sb"
+config { memwords 16 sbdepth 4 }
+shared x @ 4, y @ 5
+thread "w0" {
+  storei [x], 1
+  load r0, [y]
+  halt
+}
+thread "w1" {
+  storei [y], 1
+  load r0, [x]
+  halt
+}
+forbid P0:r0=0 & P1:r0=0
+`
+
+func TestRunFilePass(t *testing.T) {
+	var out bytes.Buffer
+	code := runFile(writeScenario(t, sbFenced), litmus.Options{}, false, &out)
+	if code != 0 {
+		t.Fatalf("exit code %d, want 0\noutput:\n%s", code, out.String())
+	}
+	got := out.String()
+	for _, want := range []string{"sb+mfence: 2 threads", "PASS", "quiesced outcomes"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestRunFileViolation(t *testing.T) {
+	var out bytes.Buffer
+	code := runFile(writeScenario(t, sbRelaxed), litmus.Options{}, false, &out)
+	if code != 1 {
+		t.Fatalf("exit code %d, want 1\noutput:\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "FAIL") {
+		t.Errorf("output missing FAIL verdict:\n%s", out.String())
+	}
+}
+
+func TestRunFileJSON(t *testing.T) {
+	var out bytes.Buffer
+	code := runFile(writeScenario(t, sbFenced), litmus.Options{}, true, &out)
+	if code != 0 {
+		t.Fatalf("exit code %d, want 0\noutput:\n%s", code, out.String())
+	}
+	var sum fileSummary
+	if err := json.Unmarshal(out.Bytes(), &sum); err != nil {
+		t.Fatalf("output is not JSON: %v\n%s", err, out.String())
+	}
+	if sum.Name != "sb+mfence" || sum.Threads != 2 || !sum.Pass || sum.States == 0 {
+		t.Errorf("summary fields wrong: %+v", sum)
+	}
+	// Both fenced threads must be able to observe each other's store:
+	// the relaxed outcome is absent, the three SC outcomes are present.
+	if len(sum.Outcomes) != 3 {
+		t.Errorf("fenced SB has %d outcomes, want 3: %v", len(sum.Outcomes), sum.Outcomes)
+	}
+}
+
+func TestRunFileErrors(t *testing.T) {
+	if code := runFile(filepath.Join(t.TempDir(), "missing.litmus"), litmus.Options{}, false, os.Stderr); code != 2 {
+		t.Errorf("missing file: exit code %d, want 2", code)
+	}
+	if code := runFile(writeScenario(t, "thread { jmp @nowhere }"), litmus.Options{}, false, os.Stderr); code != 2 {
+		t.Errorf("compile error: exit code %d, want 2", code)
+	}
+}
+
+// TestRunFileOnExamples sweeps the checked-in corpus through the same
+// entry point the CLI uses; every example must compile and check clean.
+func TestRunFileOnExamples(t *testing.T) {
+	files, err := filepath.Glob(filepath.Join("..", "..", "examples", "*.litmus"))
+	if err != nil || len(files) == 0 {
+		t.Fatalf("no examples found: %v", err)
+	}
+	for _, f := range files {
+		f := f
+		t.Run(filepath.Base(f), func(t *testing.T) {
+			want := 0
+			// The unfenced protocol variants are checked-in violation
+			// demonstrations; the CLI reports those as exit 1.
+			if strings.Contains(f, "nofence") {
+				want = 1
+			}
+			var out bytes.Buffer
+			if code := runFile(f, litmus.Options{Reduction: true}, false, &out); code != want {
+				t.Errorf("exit code %d, want %d\noutput:\n%s", code, want, out.String())
+			}
+		})
+	}
+}

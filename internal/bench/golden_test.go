@@ -93,6 +93,18 @@ func TestGoldenAllExperiments(t *testing.T) {
 		}
 	}
 
+	// The fuzz experiment must have cross-checked a non-degenerate
+	// corpus with zero divergences at every generator mix.
+	fz := back.Experiments["litmus_fuzz"]
+	for _, k := range []string{"divergences/default", "divergences/3thread", "divergences/deep-sb"} {
+		if m, ok := fz.Metrics[k]; !ok || m.Value != 0 {
+			t.Errorf("litmus_fuzz %s = %+v, want present and 0", k, m)
+		}
+	}
+	if m := fz.Metrics["programs/default"]; m.Value < 30 {
+		t.Errorf("litmus_fuzz default mix fully checked %v programs, want >= 30", m.Value)
+	}
+
 	// A self-diff of the freshly produced file must be clean — this is
 	// the same invariant the acceptance pipeline checks with
 	// `benchdiff out.json out.json`.

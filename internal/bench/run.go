@@ -13,7 +13,8 @@ import (
 // Names lists every experiment in canonical -exp all order. The golden
 // test pins that a full run records exactly these keys.
 var Names = []string{
-	"theorems", "litmus_por", "litmus_compress", "dekker", "overhead", "fig4",
+	"theorems", "litmus_por", "litmus_compress", "litmus_fuzz", "dekker",
+	"overhead", "fig4",
 	"fig5a", "fig5b", "fig6a", "fig6b",
 	"ablation", "packetproc", "chaos",
 }
@@ -44,6 +45,12 @@ var ErrTheoremsFailed = fmt.Errorf("bench: theorem checks failed")
 // an injected fault schedule. As with ErrTheoremsFailed the Ran is
 // complete, so the failing table still prints.
 var ErrChaosFailed = fmt.Errorf("bench: chaos invariants violated")
+
+// ErrFuzzFailed marks a litmus_fuzz run where a generated scenario
+// exposed a divergence between engine configurations (or the corpus
+// degenerated into skips). The Ran is complete, so the failing table
+// still prints.
+var ErrFuzzFailed = fmt.Errorf("bench: differential fuzzing found an engine divergence")
 
 // ErrPORFailed marks a litmus_por run where a reduced exploration
 // diverged from the unreduced reference semantics. The Ran is complete,
@@ -137,6 +144,30 @@ func RunExperiment(name string, opt harness.Options, asymMode core.Mode) (*Ran, 
 		ran.Tables = append(ran.Tables, res.Table())
 		if !res.AllPass() {
 			err = ErrCompressFailed
+		}
+
+	case "litmus_fuzz":
+		res := harness.RunFuzz(opt)
+		e.Detail = res
+		pass := 0.0
+		if res.AllPass() {
+			pass = 1
+		}
+		e.putMetric("all_pass", pass, "", true)
+		for _, row := range res.Rows {
+			k := metricKey(row.Mix)
+			// The guarded number: zero engine divergences across the
+			// generated corpus. Any rise is a soundness bug somewhere in
+			// the parallel/POR/collapse stack (or the DSL round trip).
+			e.putMetric("divergences/"+k, float64(row.Divergences), "count", false)
+			e.putMetric("programs/"+k, float64(row.Programs), "count", true)
+			e.putMetric("skipped/"+k, float64(row.Skipped), "count", false)
+			e.putMetric("programs_per_sec/"+k, row.ProgramsPerSec, "programs/s", true)
+			e.putMetric("ref_states/"+k, float64(row.States), "states", false)
+		}
+		ran.Tables = append(ran.Tables, res.Table())
+		if !res.AllPass() {
+			err = ErrFuzzFailed
 		}
 
 	case "dekker":

@@ -1,0 +1,141 @@
+package harness
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/litmusgen"
+	"repro/internal/stats"
+	"repro/internal/workloads"
+)
+
+// fuzzDiffMaxStates bounds each generated scenario's serial reference
+// exploration; a run past the bound is skipped, not compared.
+const fuzzDiffMaxStates = 200_000
+
+// FuzzRow is one generator mix's differential sweep: every generated
+// scenario is explored under the full engine-configuration matrix
+// (serial vs parallel, reduced vs unreduced, collapse/symmetry on vs
+// off) and any outcome-set or verdict divergence is a failure.
+type FuzzRow struct {
+	Mix string
+	// Programs is how many generated scenarios ran to a comparison;
+	// Skipped counts scenarios whose reference exploration outgrew the
+	// state budget (generated, but not comparable).
+	Programs int
+	Skipped  int
+	// Divergences counts engine-configuration disagreements — the
+	// guarded number, which must stay zero.
+	Divergences int
+	// States sums the serial reference explorations.
+	States  int
+	Elapsed time.Duration
+	// ProgramsPerSec is differential throughput: scenarios fully
+	// cross-checked per second, the fuzzing budget's exchange rate.
+	ProgramsPerSec float64
+}
+
+// FuzzResult is the litmus_fuzz experiment: differential fuzzing
+// throughput and soundness over the generator's parameter mixes.
+type FuzzResult struct {
+	Rows []FuzzRow
+}
+
+// fuzzMix pairs a label with generator parameters.
+type fuzzMix struct {
+	name   string
+	params litmusgen.Params
+}
+
+// fuzzMixes are the generator parameter mixes the experiment sweeps:
+// the default racy two-thread mix, a three-thread mix (more
+// interleaving, no critical sections), and a deep-store-buffer mix
+// (longer reorder windows, critical sections on).
+func fuzzMixes() []fuzzMix {
+	return []fuzzMix{
+		{"default", litmusgen.DefaultParams()},
+		{"3thread", litmusgen.Params{
+			Threads: 3, BodyInstrs: 5, Addrs: 3, SBDepth: 2, LoopBound: 2,
+			Lmfence: true,
+		}},
+		{"deep-sb", litmusgen.Params{
+			Threads: 2, BodyInstrs: 8, Addrs: 2, SBDepth: 4, LoopBound: 2,
+			Lmfence: true, CS: true,
+		}},
+	}
+}
+
+// fuzzSeedsPerMix sizes the sweep per scale; the CI acceptance bar
+// (500 programs, zero divergences) is enforced separately by the
+// litmusgen corpus test, so test scale here can stay quick.
+func fuzzSeedsPerMix(s workloads.Scale) int {
+	switch s {
+	case workloads.ScaleTest:
+		return 40
+	case workloads.ScaleSmall:
+		return 150
+	case workloads.ScaleMedium:
+		return 400
+	default:
+		return 1000
+	}
+}
+
+// RunFuzz generates seeded random litmus scenarios per mix and runs
+// each through the differential engine matrix, reporting throughput
+// and (crucially) divergence counts.
+func RunFuzz(opt Options) *FuzzResult {
+	res := &FuzzResult{}
+	n := fuzzSeedsPerMix(opt.Scale)
+	for mi, mix := range fuzzMixes() {
+		row := FuzzRow{Mix: mix.name}
+		start := time.Now()
+		for i := 0; i < n; i++ {
+			// Disjoint seed ranges keep the mixes' corpora independent.
+			seed := int64(mi)*1_000_000 + int64(i)
+			src := litmusgen.Generate(seed, mix.params)
+			rep, err := litmusgen.RunDifferential(src, fuzzDiffMaxStates)
+			if err != nil {
+				row.Divergences++
+				continue
+			}
+			if rep.Skipped {
+				row.Skipped++
+				continue
+			}
+			row.Programs++
+			row.States += rep.States
+		}
+		row.Elapsed = time.Since(start)
+		if row.Elapsed > 0 {
+			row.ProgramsPerSec = float64(row.Programs) / row.Elapsed.Seconds()
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res
+}
+
+// AllPass reports whether every mix cross-checked divergence-free with
+// a non-degenerate corpus (skips must stay a small minority).
+func (r *FuzzResult) AllPass() bool {
+	for _, row := range r.Rows {
+		if row.Divergences > 0 || row.Programs == 0 || row.Skipped > row.Programs/4 {
+			return false
+		}
+	}
+	return true
+}
+
+// Table renders the differential-fuzzing report.
+func (r *FuzzResult) Table() *stats.Table {
+	t := stats.NewTable(
+		"Differential fuzzing: generated scenarios vs the engine-configuration matrix",
+		"mix", "programs", "skipped", "divergences", "ref states", "programs/sec")
+	for _, row := range r.Rows {
+		t.AddRow(row.Mix, row.Programs, row.Skipped, row.Divergences,
+			row.States, fmt.Sprintf("%.0f", row.ProgramsPerSec))
+	}
+	t.AddNote("each program: serial reference vs parallel / POR / collapse legs, plus a")
+	t.AddNote("render-recompile round trip; any outcome or verdict divergence fails")
+	return t
+}

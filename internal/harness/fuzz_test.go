@@ -1,0 +1,27 @@
+package harness
+
+import "testing"
+
+func TestRunFuzz(t *testing.T) {
+	res := RunFuzz(QuickDefaults())
+	if len(res.Rows) != len(fuzzMixes()) {
+		t.Fatalf("rows = %d, want one per mix (%d)", len(res.Rows), len(fuzzMixes()))
+	}
+	if !res.AllPass() {
+		t.Fatalf("differential fuzzing failed:\n%s", res.Table())
+	}
+	for _, row := range res.Rows {
+		if row.Divergences != 0 {
+			t.Errorf("%s: %d divergences", row.Mix, row.Divergences)
+		}
+		if row.Programs == 0 {
+			t.Errorf("%s: no programs fully checked", row.Mix)
+		}
+		if row.States == 0 || row.ProgramsPerSec <= 0 {
+			t.Errorf("%s: degenerate counters: %+v", row.Mix, row)
+		}
+	}
+	if res.Table().String() == "" {
+		t.Error("empty table")
+	}
+}

@@ -1,0 +1,246 @@
+// Package litmusgen generates random litmus-DSL programs and runs them
+// differentially through the exploration engine's configuration matrix
+// (serial vs parallel, reduced vs unreduced, collapse on vs off). The
+// generator is the fuzzing front end of the litmus toolchain: every
+// program it emits is valid DSL source, terminates (loops are bounded
+// by construction), and touches a small racy address pool so that the
+// engines have genuine reorderings to disagree about — if they ever
+// disagree, RunDifferential reports it as a Divergence.
+package litmusgen
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// Params bounds the generated programs. The zero value is unusable; use
+// DefaultParams as a base.
+type Params struct {
+	// Threads is the number of generated threads (processors).
+	Threads int
+
+	// BodyInstrs is the approximate number of instruction slots per
+	// thread body, before loop/branch scaffolding is added.
+	BodyInstrs int
+
+	// Addrs is the size of the shared racy address pool.
+	Addrs int
+
+	// SBDepth is the generated store-buffer depth.
+	SBDepth int
+
+	// LoopBound caps generated loop iteration counts (loops always
+	// terminate: a counter increments towards a preloaded bound).
+	LoopBound int
+
+	// Lmfence permits the l-mfence macro in the opcode mix.
+	Lmfence bool
+
+	// CS permits balanced cs.enter/cs.exit blocks (and, when emitted on
+	// at least one thread, an "assert mutex" line).
+	CS bool
+}
+
+// DefaultParams keeps state spaces small enough that a differential run
+// over hundreds of seeds stays cheap: 2-3 threads, short bodies, a
+// 2-deep store buffer, and 1-2 loop iterations.
+func DefaultParams() Params {
+	return Params{
+		Threads:    2,
+		BodyInstrs: 6,
+		Addrs:      3,
+		SBDepth:    2,
+		LoopBound:  2,
+		Lmfence:    true,
+		CS:         true,
+	}
+}
+
+// Generate emits a random, self-contained litmus-DSL source file for
+// the given seed. Output is deterministic in (seed, p). The program is
+// guaranteed to parse, compile, and quiesce: all loops count toward a
+// preloaded bound, branches only target generated labels, and all
+// addresses come from the declared shared pool.
+func Generate(seed int64, p Params) string {
+	rng := rand.New(rand.NewSource(seed))
+	g := &gen{rng: rng, p: sanitize(p, rng)}
+	return g.file(seed)
+}
+
+func sanitize(p Params, rng *rand.Rand) Params {
+	if p.Threads <= 0 {
+		p.Threads = 2 + rng.Intn(2)
+	}
+	if p.BodyInstrs <= 0 {
+		p.BodyInstrs = 6
+	}
+	if p.Addrs <= 0 {
+		p.Addrs = 3
+	}
+	if p.SBDepth <= 0 {
+		p.SBDepth = 2
+	}
+	if p.LoopBound <= 0 {
+		p.LoopBound = 2
+	}
+	// Keep the state space within reach of a differential run.
+	if p.Threads > 3 {
+		p.Threads = 3
+	}
+	if p.BodyInstrs > 10 {
+		p.BodyInstrs = 10
+	}
+	if p.Addrs > 4 {
+		p.Addrs = 4
+	}
+	return p
+}
+
+type gen struct {
+	rng    *rand.Rand
+	p      Params
+	sb     strings.Builder
+	labels int  // per-thread label counter
+	sawCS  bool // some thread emitted a critical section
+}
+
+// addr picks a random shared name from the pool.
+func (g *gen) addr() string { return fmt.Sprintf("w%d", g.rng.Intn(g.p.Addrs)) }
+
+// obsReg picks an outcome-visible register (litmus.OutcomeRegs covers
+// r0, r1, r2, r6).
+func (g *gen) obsReg() int { return g.rng.Intn(3) }
+
+// val picks a small stored value.
+func (g *gen) val() int { return 1 + g.rng.Intn(3) }
+
+func (g *gen) line(format string, args ...any) {
+	fmt.Fprintf(&g.sb, "  "+format+"\n", args...)
+}
+
+func (g *gen) file(seed int64) string {
+	fmt.Fprintf(&g.sb, "litmus \"gen-%d\"\n", seed)
+	fmt.Fprintf(&g.sb, "config { sbdepth %d }\n", g.p.SBDepth)
+	names := make([]string, g.p.Addrs)
+	for i := range names {
+		names[i] = fmt.Sprintf("w%d", i)
+	}
+	fmt.Fprintf(&g.sb, "shared %s\n", strings.Join(names, ", "))
+
+	for i := 0; i < g.p.Threads; i++ {
+		g.thread(i)
+	}
+	g.assert()
+	return g.sb.String()
+}
+
+func (g *gen) thread(i int) {
+	g.labels = 0
+	fmt.Fprintf(&g.sb, "\nthread \"t%d\" {\n", i)
+
+	n := 1 + g.rng.Intn(g.p.BodyInstrs)
+	// Optionally wrap a middle chunk in a bounded loop, and optionally
+	// skip a chunk behind a forward branch.
+	loop := g.rng.Intn(3) == 0
+	fwd := g.rng.Intn(3) == 0
+
+	emitted := 0
+	if loop {
+		bound := 1 + g.rng.Intn(g.p.LoopBound)
+		g.line("loadi r5, 0")
+		g.line("loadi r4, %d", bound)
+		lbl := g.label()
+		fmt.Fprintf(&g.sb, "%s:\n", lbl)
+		for k := 1 + g.rng.Intn(2); k > 0; k-- {
+			g.instr()
+			emitted++
+		}
+		g.line("addi r5, r5, 1")
+		g.line("blt r5, r4, @%s", lbl)
+	}
+	if fwd {
+		lbl := g.label()
+		g.line("beq r%d, %d, @%s", g.obsReg(), g.rng.Intn(2), lbl)
+		for k := 1 + g.rng.Intn(2); k > 0; k-- {
+			g.instr()
+			emitted++
+		}
+		fmt.Fprintf(&g.sb, "%s:\n", lbl)
+	}
+	if g.p.CS && g.rng.Intn(4) == 0 {
+		g.sawCS = true
+		g.line("cs.enter")
+		g.line("loadi r6, 1")
+		g.instr()
+		g.line("cs.exit")
+		emitted++
+	}
+	for emitted < n {
+		g.instr()
+		emitted++
+	}
+	g.line("halt")
+	g.sb.WriteString("}\n")
+}
+
+func (g *gen) label() string {
+	g.labels++
+	return fmt.Sprintf("l%d", g.labels)
+}
+
+// instr emits one straight-line instruction from the weighted mix. No
+// indexed addressing (a runtime-computed address could escape the
+// configured memory) and no raw branches (all control flow comes from
+// the loop/forward scaffolding, which terminates by construction).
+func (g *gen) instr() {
+	w := g.rng.Intn(16)
+	switch {
+	case w < 4: // 4/16: immediate store to the racy pool
+		g.line("storei [%s], %d", g.addr(), g.val())
+	case w < 6: // 2/16: register store
+		g.line("store [%s], r%d", g.addr(), g.obsReg())
+	case w < 10: // 4/16: load into an outcome register
+		g.line("load r%d, [%s]", g.obsReg(), g.addr())
+	case w < 12: // 2/16: register arithmetic
+		if g.rng.Intn(2) == 0 {
+			g.line("addi r%d, r%d, 1", g.obsReg(), g.obsReg())
+		} else {
+			g.line("add r%d, r%d, r%d", g.obsReg(), g.obsReg(), g.obsReg())
+		}
+	case w < 13: // 1/16: immediate load
+		g.line("loadi r%d, %d", g.obsReg(), g.val())
+	case w < 14: // 1/16: full fence
+		g.line("mfence")
+	case w < 15: // 1/16: l-mfence on a pool address
+		if g.p.Lmfence {
+			g.line("lmfence [%s], %d, r7", g.addr(), g.val())
+		} else {
+			g.line("mfence")
+		}
+	default: // 1/16
+		g.line("nop")
+	}
+}
+
+// assert emits the property: mutex when a critical section was
+// generated, otherwise (usually) a random forbidden quiesced outcome
+// over the observable registers.
+func (g *gen) assert() {
+	if g.sawCS {
+		g.sb.WriteString("\nassert mutex\n")
+		return
+	}
+	if g.rng.Intn(3) == 0 {
+		return // no property: the differential still compares outcome sets
+	}
+	g.sb.WriteString("\n")
+	for lines := 1 + g.rng.Intn(2); lines > 0; lines-- {
+		var conds []string
+		for n := 1 + g.rng.Intn(2); n > 0; n-- {
+			conds = append(conds, fmt.Sprintf("P%d:r%d=%d",
+				g.rng.Intn(g.p.Threads), g.obsReg(), g.rng.Intn(2)))
+		}
+		fmt.Fprintf(&g.sb, "forbid %s\n", strings.Join(conds, " & "))
+	}
+}

@@ -1,0 +1,96 @@
+package litmusgen
+
+import (
+	"testing"
+
+	"repro/internal/litmuslang"
+)
+
+// corpusSize is the acceptance floor: the differential corpus runs at
+// least this many generated programs in CI with zero divergences.
+const corpusSize = 500
+
+// diffMaxStates bounds each exploration in the differential matrix;
+// generated programs are sized to stay far below it, and runs that do
+// hit it are skipped rather than compared.
+const diffMaxStates = 200_000
+
+func TestGenerateIsDeterministic(t *testing.T) {
+	p := DefaultParams()
+	for seed := int64(0); seed < 20; seed++ {
+		if a, b := Generate(seed, p), Generate(seed, p); a != b {
+			t.Fatalf("seed %d: Generate is not deterministic:\n%s\n---\n%s", seed, a, b)
+		}
+	}
+}
+
+func TestGeneratedProgramsCompile(t *testing.T) {
+	p := DefaultParams()
+	for seed := int64(0); seed < 200; seed++ {
+		src := Generate(seed, p)
+		c, err := litmuslang.CompileSource(src)
+		if err != nil {
+			t.Fatalf("seed %d: generated source failed to compile: %v\n%s", seed, err, src)
+		}
+		if len(c.Programs) < 2 {
+			t.Fatalf("seed %d: want >= 2 threads, got %d", seed, len(c.Programs))
+		}
+	}
+}
+
+// TestDifferentialCorpus is the fuzz harness's deterministic anchor:
+// a fixed corpus of generated programs, every engine configuration in
+// agreement on each. Any divergence is a model-checker bug.
+func TestDifferentialCorpus(t *testing.T) {
+	n := corpusSize
+	if testing.Short() {
+		n = 120
+	}
+	p := DefaultParams()
+	ran, skipped := 0, 0
+	for seed := int64(0); seed < int64(n); seed++ {
+		rep, err := RunDifferential(Generate(seed, p), diffMaxStates)
+		if err != nil {
+			t.Fatalf("seed %d: %v\nsource:\n%s", seed, err, Generate(seed, p))
+		}
+		ran++
+		if rep.Skipped {
+			skipped++
+		}
+	}
+	t.Logf("differential corpus: %d programs, %d truncated/skipped", ran, skipped)
+	if skipped > ran/10 {
+		t.Errorf("%d/%d runs truncated — shrink DefaultParams or raise diffMaxStates", skipped, ran)
+	}
+}
+
+// TestDivergenceErrorShape pins the harness's failure mode: feeding it
+// source that does not compile reports a compile-stage Divergence
+// rather than a panic or a silent skip. (This is the regression shape a
+// real fuzz-found divergence would take.)
+func TestDivergenceErrorShape(t *testing.T) {
+	_, err := RunDifferential("thread { jmp @nowhere }", diffMaxStates)
+	d, ok := err.(*Divergence)
+	if !ok {
+		t.Fatalf("want *Divergence, got %T: %v", err, err)
+	}
+	if d.Config != "compile" {
+		t.Fatalf("want compile-stage divergence, got %q", d.Config)
+	}
+}
+
+// FuzzDifferential is the engine-differential fuzz target: any seed the
+// fuzzer invents must produce agreeing engines. The interesting mutation
+// surface is the generator's whole parameter space, reached determin-
+// istically through the seed.
+func FuzzDifferential(f *testing.F) {
+	for seed := int64(0); seed < 8; seed++ {
+		f.Add(seed)
+	}
+	p := DefaultParams()
+	f.Fuzz(func(t *testing.T, seed int64) {
+		if _, err := RunDifferential(Generate(seed, p), diffMaxStates); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+	})
+}

@@ -1,0 +1,183 @@
+// Package litmuslang is the textual litmus language of this repository:
+// a small DSL for writing multiprocessor litmus tests and protocol
+// attempts — named shared words, per-thread instruction blocks with
+// labels and branches, mfence / l-mfence, and assertions (forbidden
+// quiesced outcomes, mutual-exclusion of critical sections) — together
+// with a lexer/parser producing an AST, a compiler lowering the AST
+// through tso.Builder to per-processor tso.Programs plus an arch.Config
+// and a litmus.Property, and a renderer that emits parseable source
+// from compiled programs so that programs round-trip (tso's
+// Program.Disasm produces the thread-body dialect this package parses).
+//
+// A file looks like:
+//
+//	litmus "sb"
+//	config { sbdepth 4 }
+//	shared x
+//	shared y
+//
+//	thread "sb0" {
+//	  storei [x], 1
+//	  load r0, [y]
+//	  halt
+//	}
+//	thread "sb1" {
+//	  storei [y], 1
+//	  load r0, [x]
+//	  halt
+//	}
+//
+//	forbid P0:r0=0 & P1:r0=0
+//
+// Memory starts zeroed (as everywhere in this repository). Shared
+// declarations bind a name to a word address — explicitly with
+// "shared x @ 5", otherwise the next free word. Bracketed operands
+// accept either a shared name or a literal address. "assert mutex"
+// declares the mutual-exclusion property over cs.enter/cs.exit blocks;
+// "forbid" lines (one conjunction each, several lines disjoin) declare
+// a forbidden quiesced outcome. The "lmfence [x], v, rD" and
+// "lmfence.r [x], rA, rD" macros expand to the four-instruction
+// Fig. 3(b) translation exactly as tso.Builder.Lmfence emits it.
+package litmuslang
+
+import (
+	"fmt"
+
+	"repro/internal/arch"
+	"repro/internal/tso"
+)
+
+// File is the parsed form of one .litmus source file.
+type File struct {
+	// Name is the litmus test's declared name ("" when the litmus line
+	// is absent).
+	Name string
+
+	// Config holds the explicitly set machine options; nil fields keep
+	// their defaults at compile time.
+	Config ConfigDecl
+
+	// Shared lists the shared-word declarations in source order.
+	Shared []SharedDecl
+
+	// Threads lists the per-processor instruction blocks in source
+	// order; thread i runs on processor i.
+	Threads []Thread
+
+	// Assert is the declared property (zero value: none).
+	Assert Assert
+}
+
+// ConfigDecl carries the config-block options; pointers distinguish
+// "absent" from an explicit zero.
+type ConfigDecl struct {
+	MemWords *int
+	SBDepth  *int
+	Links    *int
+	Protocol *arch.Protocol
+}
+
+// SharedDecl binds a name to a word address. HasAddr marks an explicit
+// "@ addr"; otherwise the compiler assigns the next free word.
+type SharedDecl struct {
+	Name    string
+	Addr    arch.Addr
+	HasAddr bool
+	Line    int
+}
+
+// Thread is one processor's instruction block.
+type Thread struct {
+	// Name labels the compiled tso.Program; defaults to "p<index>".
+	Name  string
+	Stmts []Stmt
+	Line  int
+}
+
+// Stmt is one line of a thread block: either a label definition or an
+// instruction.
+type Stmt struct {
+	// Label is non-empty for a "name:" line (Instr is then unused).
+	Label string
+
+	// Op is the instruction mnemonic as written ("storei", "lmfence",
+	// "cs.enter", ...).
+	Op string
+
+	// Operands are the parsed operands in source order.
+	Operands []Operand
+
+	// Note is the optional trailing quoted annotation.
+	Note string
+
+	Line int
+}
+
+// OperandKind distinguishes the operand forms.
+type OperandKind uint8
+
+const (
+	// OpndReg is a register rN.
+	OpndReg OperandKind = iota
+	// OpndInt is an integer literal (immediate).
+	OpndInt
+	// OpndAddr is a bracketed address: [name], [0x4], or indexed
+	// [name+rN] / [0x4+rN].
+	OpndAddr
+	// OpndLabel is a branch target @name.
+	OpndLabel
+)
+
+// Operand is one parsed operand.
+type Operand struct {
+	Kind OperandKind
+
+	// Reg is the register for OpndReg, and the index register for an
+	// indexed OpndAddr (Indexed true).
+	Reg tso.Reg
+
+	// Int is the literal for OpndInt.
+	Int int64
+
+	// Sym is the shared name for a symbolic OpndAddr ("" when the
+	// address was written as a literal, which is then in Addr), and the
+	// target label for OpndLabel.
+	Sym string
+
+	// Addr is the literal address for a non-symbolic OpndAddr.
+	Addr arch.Addr
+
+	// Indexed marks an [base+rN] address operand.
+	Indexed bool
+}
+
+// AssertKind is the declared property kind.
+type AssertKind uint8
+
+const (
+	// AssertNone: the file declares no property.
+	AssertNone AssertKind = iota
+	// AssertMutex: mutual exclusion over cs.enter/cs.exit blocks.
+	AssertMutex
+	// AssertForbid: the listed quiesced outcomes must be unreachable.
+	AssertForbid
+)
+
+// Cond is one conjunct of a forbidden outcome: processor Proc quiesces
+// with register Reg holding Val.
+type Cond struct {
+	Proc int
+	Reg  tso.Reg
+	Val  arch.Word
+}
+
+func (c Cond) String() string {
+	return fmt.Sprintf("P%d:r%d=%d", c.Proc, c.Reg, int64(c.Val))
+}
+
+// Assert is the declared property: for AssertForbid, Forbidden is a
+// disjunction of conjunctions (one inner slice per forbid line).
+type Assert struct {
+	Kind      AssertKind
+	Forbidden [][]Cond
+}

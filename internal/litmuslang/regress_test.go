@@ -1,0 +1,48 @@
+package litmuslang_test
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/litmuslang"
+	"repro/internal/tso"
+)
+
+// TestRegressionLELosesDestination pins a bug the catalog round-trip
+// property found when the DSL was introduced: tso.Instr.String()
+// rendered OpLE as "le [addr]", dropping the destination register, so
+// any program using a non-default LE scratch register disassembled to
+// source that recompiled with Rd=0 — a silent divergence between the
+// hand-built program and its DSL round trip. LE must render and
+// round-trip its Rd like every other destination-carrying op.
+func TestRegressionLELosesDestination(t *testing.T) {
+	in := tso.NewBuilder("x").LE(5, 3).Build().Instrs[0]
+	if got, want := in.String(), "le r5, [0x3]"; got != want {
+		t.Fatalf("Instr.String() = %q, want %q", got, want)
+	}
+	if got, want := tso.DisasmInstr(in), "le r5, [0x3]"; got != want {
+		t.Fatalf("DisasmInstr = %q, want %q", got, want)
+	}
+	c, err := litmuslang.CompileSource("thread {\n  " + tso.DisasmInstr(in) + "\n}\n")
+	if err != nil {
+		t.Fatalf("recompile: %v", err)
+	}
+	if got := c.Programs[0].Instrs[0]; !reflect.DeepEqual(got, in) {
+		t.Fatalf("round trip lost the LE destination: got %+v, want %+v", got, in)
+	}
+}
+
+// TestRegressionBackslashEOF pins the lexer's handling of a string
+// whose escape runs off the end of the input: the two-byte escape skip
+// must not read past len(src) (the parser fuzz target's crash shape).
+func TestRegressionBackslashEOF(t *testing.T) {
+	for _, src := range []string{
+		"litmus \"\\",
+		"litmus \"\\\"",
+		"thread { halt \"\\",
+	} {
+		if _, err := litmuslang.Parse(src); err == nil {
+			t.Fatalf("Parse(%q) must fail", src)
+		}
+	}
+}

@@ -1,0 +1,57 @@
+package litmuslang
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/arch"
+	"repro/internal/tso"
+)
+
+// Render emits a complete, parseable .litmus file for the given
+// programs, configuration, and assertion. Thread bodies come from
+// tso.Program.Disasm, so Render(Compile(f)) round-trips: compiling the
+// rendered source reproduces the same instruction slices and machine
+// configuration. Addresses render literally (the reverse name mapping
+// is not tracked), and the configuration is spelled out in full so the
+// compiled defaults cannot drift.
+func Render(name string, cfg arch.Config, progs []*tso.Program, assert Assert) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "litmus %s\n", strconv.Quote(name))
+	fmt.Fprintf(&sb, "config { memwords %d sbdepth %d", cfg.MemWords, cfg.StoreBufferDepth)
+	if cfg.Links > 0 {
+		fmt.Fprintf(&sb, " links %d", cfg.Links)
+	}
+	if cfg.Protocol != arch.MESI {
+		fmt.Fprintf(&sb, " protocol %s", cfg.Protocol)
+	}
+	sb.WriteString(" }\n")
+
+	for _, p := range progs {
+		sb.WriteString("\n")
+		fmt.Fprintf(&sb, "thread %s {\n", strconv.Quote(p.Name))
+		sb.WriteString(p.Disasm())
+		sb.WriteString("}\n")
+	}
+
+	switch assert.Kind {
+	case AssertMutex:
+		sb.WriteString("\nassert mutex\n")
+	case AssertForbid:
+		sb.WriteString("\n")
+		for _, conj := range assert.Forbidden {
+			parts := make([]string, len(conj))
+			for i, cd := range conj {
+				parts[i] = cd.String()
+			}
+			fmt.Fprintf(&sb, "forbid %s\n", strings.Join(parts, " & "))
+		}
+	}
+	return sb.String()
+}
+
+// Render emits the compiled unit back as parseable source.
+func (c *Compiled) Render() string {
+	return Render(c.Name, c.Config, c.Programs, c.Assert)
+}

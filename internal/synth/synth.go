@@ -261,6 +261,22 @@ func (p Placement) edits(thread int, scratch tso.Reg) []tso.FenceEdit {
 	return out
 }
 
+// Apply splices the placement into each thread's base program, using
+// scratch as the LE destination register for l-mfence atoms (0 means
+// DefaultScratchReg). Repaired programs are returned in thread order;
+// the bases are not mutated. This is how a caller turns a synthesis
+// result back into runnable (or renderable) programs.
+func (p Placement) Apply(progs []*tso.Program, scratch tso.Reg) []*tso.Program {
+	if scratch == 0 {
+		scratch = DefaultScratchReg
+	}
+	out := make([]*tso.Program, len(progs))
+	for t, prog := range progs {
+		out[t] = tso.Splice(prog, p.edits(t, scratch)).Prog
+	}
+	return out
+}
+
 // constraint is the repair set extracted from one counterexample: any
 // placement eliminating that counterexample must include at least one of
 // these atoms (or a stronger fence at the same site).

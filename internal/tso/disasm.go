@@ -1,0 +1,113 @@
+package tso
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// This file is the inverse of the Builder: a disassembler that renders a
+// finished Program as litmus-DSL source (the thread-body dialect parsed
+// by internal/litmuslang). The output is designed to round-trip: for
+// every program p the catalog can produce, compiling Disasm(p) yields an
+// instruction slice DeepEqual to p.Instrs, including trace notes (which
+// Disasm emits as trailing quoted strings). Branch targets become
+// synthesized labels "L<index>"; a branch one past the last instruction
+// gets a trailing label line.
+
+// disasmLabels collects the set of branch-target indices of p, in
+// increasing order.
+func disasmLabels(p *Program) []int {
+	seen := make(map[int]bool)
+	var out []int
+	for _, in := range p.Instrs {
+		switch in.Op {
+		case OpBeq, OpBne, OpBlt, OpJmp:
+			if !seen[in.Target] {
+				seen[in.Target] = true
+				out = append(out, in.Target)
+			}
+		}
+	}
+	sortInts(out)
+	return out
+}
+
+func sortInts(a []int) {
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j] < a[j-1]; j-- {
+			a[j], a[j-1] = a[j-1], a[j]
+		}
+	}
+}
+
+// disasmLabel names the synthesized label at instruction index i.
+func disasmLabel(i int) string { return "L" + strconv.Itoa(i) }
+
+// DisasmInstr renders one instruction in parseable litmus-DSL syntax,
+// without its note. Branch targets render as "@L<target>" to match the
+// labels Disasm synthesizes.
+func DisasmInstr(in Instr) string {
+	addr := func(a uint32) string { return "[0x" + strconv.FormatUint(uint64(a), 16) + "]" }
+	switch in.Op {
+	case OpLoadI:
+		return fmt.Sprintf("%s r%d, %d", in.Op, in.Rd, in.Imm)
+	case OpLoad, OpLE:
+		return fmt.Sprintf("%s r%d, %s", in.Op, in.Rd, addr(uint32(in.Addr)))
+	case OpLoadIdx:
+		return fmt.Sprintf("%s r%d, [0x%x+r%d]", in.Op, in.Rd, uint32(in.Addr), in.Ra)
+	case OpStore, OpStoreLinkedReg:
+		return fmt.Sprintf("%s %s, r%d", in.Op, addr(uint32(in.Addr)), in.Ra)
+	case OpStoreI, OpStoreLinked:
+		return fmt.Sprintf("%s %s, %d", in.Op, addr(uint32(in.Addr)), in.Imm)
+	case OpStoreIdx:
+		return fmt.Sprintf("%s [0x%x+r%d], r%d", in.Op, uint32(in.Addr), in.Ra, in.Rb)
+	case OpAdd, OpSub:
+		return fmt.Sprintf("%s r%d, r%d, r%d", in.Op, in.Rd, in.Ra, in.Rb)
+	case OpAddI:
+		return fmt.Sprintf("%s r%d, r%d, %d", in.Op, in.Rd, in.Ra, in.Imm)
+	case OpBeq, OpBne:
+		return fmt.Sprintf("%s r%d, %d, @%s", in.Op, in.Ra, in.Imm, disasmLabel(in.Target))
+	case OpBlt:
+		return fmt.Sprintf("%s r%d, r%d, @%s", in.Op, in.Ra, in.Rb, disasmLabel(in.Target))
+	case OpJmp:
+		return fmt.Sprintf("%s @%s", in.Op, disasmLabel(in.Target))
+	case OpLinkBegin:
+		return fmt.Sprintf("%s %s", in.Op, addr(uint32(in.Addr)))
+	default:
+		return in.Op.String()
+	}
+}
+
+// Disasm renders the program body as litmus-DSL source: one instruction
+// per line (two-space indent), labels synthesized at branch targets,
+// notes as trailing quoted strings. The result parses back (wrapped in
+// a thread block) to an instruction slice DeepEqual to p.Instrs.
+func (p *Program) Disasm() string {
+	labels := disasmLabels(p)
+	labelAt := make(map[int]bool, len(labels))
+	for _, i := range labels {
+		labelAt[i] = true
+	}
+
+	var sb strings.Builder
+	for i, in := range p.Instrs {
+		if labelAt[i] {
+			sb.WriteString(disasmLabel(i))
+			sb.WriteString(":\n")
+		}
+		sb.WriteString("  ")
+		sb.WriteString(DisasmInstr(in))
+		if in.Note != "" {
+			sb.WriteString(" ")
+			sb.WriteString(strconv.Quote(in.Note))
+		}
+		sb.WriteString("\n")
+	}
+	// A branch may legally target one past the last instruction.
+	if labelAt[len(p.Instrs)] {
+		sb.WriteString(disasmLabel(len(p.Instrs)))
+		sb.WriteString(":\n")
+	}
+	return sb.String()
+}

@@ -160,7 +160,7 @@ func (in Instr) String() string {
 	switch in.Op {
 	case OpLoadI:
 		return fmt.Sprintf("%s r%d, %d", in.Op, in.Rd, in.Imm)
-	case OpLoad:
+	case OpLoad, OpLE:
 		return fmt.Sprintf("%s r%d, [0x%x]", in.Op, in.Rd, uint32(in.Addr))
 	case OpLoadIdx:
 		return fmt.Sprintf("%s r%d, [0x%x+r%d]", in.Op, in.Rd, uint32(in.Addr), in.Ra)
@@ -182,7 +182,7 @@ func (in Instr) String() string {
 		return fmt.Sprintf("%s r%d, r%d, @%d", in.Op, in.Ra, in.Rb, in.Target)
 	case OpJmp:
 		return fmt.Sprintf("%s @%d", in.Op, in.Target)
-	case OpLinkBegin, OpLE:
+	case OpLinkBegin:
 		return fmt.Sprintf("%s [0x%x]", in.Op, uint32(in.Addr))
 	default:
 		return in.Op.String()
@@ -296,6 +296,42 @@ func (b *Builder) Jmp(label string) *Builder {
 
 // Mfence emits a full memory fence.
 func (b *Builder) Mfence() *Builder { return b.emit(Instr{Op: OpMfence}) }
+
+// LinkBegin emits the raw link-arming instruction (l-mfence line
+// K1.1-2). Most callers want the Lmfence macro; the litmus-DSL compiler
+// needs the individual instruction so disassembled programs round-trip.
+func (b *Builder) LinkBegin(addr arch.Addr) *Builder {
+	return b.emit(Instr{Op: OpLinkBegin, Addr: addr})
+}
+
+// LE emits the raw load-exclusive instruction (l-mfence line K1.3).
+func (b *Builder) LE(rd Reg, addr arch.Addr) *Builder {
+	return b.emit(Instr{Op: OpLE, Rd: rd, Addr: addr})
+}
+
+// StoreLinked emits the raw guarded immediate store (l-mfence line K1.4).
+func (b *Builder) StoreLinked(addr arch.Addr, imm arch.Word) *Builder {
+	return b.emit(Instr{Op: OpStoreLinked, Addr: addr, Imm: imm})
+}
+
+// StoreLinkedReg emits the raw guarded register store (l-mfence line
+// K1.4, register-valued).
+func (b *Builder) StoreLinkedReg(addr arch.Addr, ra Reg) *Builder {
+	return b.emit(Instr{Op: OpStoreLinkedReg, Addr: addr, Ra: ra})
+}
+
+// LinkBranch emits the raw link-check branch (l-mfence lines K1.5-7).
+func (b *Builder) LinkBranch() *Builder { return b.emit(Instr{Op: OpLinkBranch}) }
+
+// Note annotates the most recently emitted instruction with a trace
+// note. It panics if nothing has been emitted yet.
+func (b *Builder) Note(note string) *Builder {
+	if len(b.instrs) == 0 {
+		panic(fmt.Sprintf("tso: Note(%q) before any instruction in %q", note, b.name))
+	}
+	b.instrs[len(b.instrs)-1].Note = note
+	return b
+}
 
 // CSEnter / CSExit bracket a critical section.
 func (b *Builder) CSEnter() *Builder { return b.emit(Instr{Op: OpCSEnter}) }
