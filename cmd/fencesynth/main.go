@@ -13,6 +13,14 @@
 //	fencesynth -problem dekker -v   # one problem, with the minimal frontier
 //	fencesynth -kind lmfence        # restrict the placement lattice
 //	fencesynth -ratio 1 -json       # symmetric workload, JSON report
+//	fencesynth -corpus 100          # repair 100 generated scenarios end-to-end
+//
+// Corpus mode generates seeded litmus scenarios (skipping the ones that
+// declare no assertion), synthesizes a repair for each, splices the
+// optimal placement back in, and re-verifies every spliced program with
+// the exact engine; the static prefilter and the reorder-bounded screen
+// are on by default there (disable with -prefilter=false and
+// -reorder-bound 0).
 package main
 
 import (
@@ -36,6 +44,10 @@ func main() {
 	maxStates := flag.Int("max-states", 0, "per-candidate exploration budget in states (0 = checker default)")
 	verbose := flag.Bool("v", false, "print the full minimal frontier per problem")
 	jsonOut := flag.Bool("json", false, "emit a machine-readable JSON report instead of tables")
+	corpus := flag.Int("corpus", 0, "repair N generated scenarios end-to-end (generate → synthesize → splice → exact re-verify) instead of the registry")
+	corpusSeed := flag.Int64("corpus-seed", 0, "base generator seed for -corpus scanning")
+	prefilter := flag.Bool("prefilter", false, "seed and prune the lattice with the static critical-cycle analysis (default on under -corpus)")
+	reorderBound := flag.Int("reorder-bound", 0, "screen candidates with a reorder-bounded exploration before the exact check; 0 = off (default 2 under -corpus)")
 	flag.Parse()
 
 	set := make(map[string]bool)
@@ -50,6 +62,18 @@ func main() {
 		Workers:       *workers,
 		MaxStates:     *maxStates,
 		PrimaryWeight: *ratio,
+		Prefilter:     *prefilter,
+		ReorderBound:  *reorderBound,
+	}
+	if *corpus > 0 {
+		// The accelerators are what make a corpus-size run practical, so
+		// they default on there; an explicit flag still wins.
+		if !set["prefilter"] {
+			opts.Prefilter = true
+		}
+		if !set["reorder-bound"] {
+			opts.ReorderBound = 2
+		}
 	}
 	switch *kind {
 	case "both":
@@ -62,6 +86,9 @@ func main() {
 		os.Exit(2)
 	}
 
+	if *corpus > 0 {
+		os.Exit(runCorpus(*corpus, *corpusSeed, opts, *verbose, os.Stdout))
+	}
 	if *file != "" {
 		os.Exit(runFile(*file, opts, *verbose, *jsonOut, os.Stdout))
 	}
@@ -89,7 +116,55 @@ func validateFlags(set map[string]bool) error {
 	if set["file"] && set["problem"] {
 		return fmt.Errorf("-file is incompatible with -problem: the scenario file replaces the registry")
 	}
+	for _, f := range []string{"file", "problem", "json"} {
+		if set["corpus"] && set[f] {
+			return fmt.Errorf("-corpus is incompatible with -%s: corpus mode generates its own scenarios and reports a table", f)
+		}
+	}
+	if set["corpus-seed"] && !set["corpus"] {
+		return fmt.Errorf("-corpus-seed only applies to -corpus mode")
+	}
 	return nil
+}
+
+// runCorpus repairs a corpus of generated scenarios end-to-end and
+// prints the aggregate table (with -v, one line per scenario). Exit
+// codes: 0 when every scenario resolved cleanly, 1 when any errored —
+// a spliced repair the exact engine refuted above all.
+func runCorpus(n int, seed int64, opts synth.Options, verbose bool, w io.Writer) int {
+	res := harness.RunCorpus(harness.CorpusOptions{
+		Scenarios: n,
+		Seed:      seed,
+		Synth:     opts,
+	})
+	fmt.Fprintln(w, res.Table())
+	if verbose {
+		for _, row := range res.Rows {
+			switch {
+			case row.Err != nil:
+				fmt.Fprintf(w, "  seed %-6d %-12s ERROR: %v\n", row.Seed, row.Name, row.Err)
+			case row.Unrepairable:
+				fmt.Fprintf(w, "  seed %-6d %-12s unrepairable\n", row.Seed, row.Name)
+			case row.AlreadySafe:
+				fmt.Fprintf(w, "  seed %-6d %-12s already safe (%d states re-verified)\n",
+					row.Seed, row.Name, row.ReverifyStates)
+			default:
+				fmt.Fprintf(w, "  seed %-6d %-12s %d fence(s), cost %.0f (%d states re-verified)\n",
+					row.Seed, row.Name, row.Fences, row.Cost, row.ReverifyStates)
+			}
+		}
+	}
+	if len(res.Rows) < n {
+		fmt.Fprintf(os.Stderr, "fencesynth: collected only %d of %d scenarios after scanning %d seeds\n",
+			len(res.Rows), n, res.SeedsScanned)
+		return 1
+	}
+	if res.Errors > 0 {
+		fmt.Fprintf(os.Stderr, "fencesynth: %d scenario(s) errored (%d repair contract failures)\n",
+			res.Errors, res.ContractFailures)
+		return 1
+	}
+	return 0
 }
 
 // runFile compiles a .litmus scenario, synthesizes a repair for its

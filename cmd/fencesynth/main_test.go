@@ -19,13 +19,44 @@ func TestValidateFlags(t *testing.T) {
 		t.Errorf("file+problem: got %v, want incompatibility error", err)
 	}
 	for _, set := range []map[string]bool{
+		{"corpus": true, "file": true},
+		{"corpus": true, "problem": true},
+		{"corpus": true, "json": true},
+		{"corpus-seed": true},
+	} {
+		if err := validateFlags(set); err == nil ||
+			!strings.Contains(err.Error(), "corpus") {
+			t.Errorf("invalid set %v: got %v, want a corpus incompatibility error", set, err)
+		}
+	}
+	for _, set := range []map[string]bool{
 		{},
 		{"problem": true, "kind": true, "v": true},
 		{"file": true, "kind": true, "ratio": true, "json": true},
+		{"corpus": true, "corpus-seed": true, "prefilter": true, "reorder-bound": true},
 	} {
 		if err := validateFlags(set); err != nil {
 			t.Errorf("valid set %v rejected: %v", set, err)
 		}
+	}
+}
+
+// TestRunCorpusHundred is the ISSUE's acceptance bar: `fencesynth
+// -corpus` must repair at least 100 generated scenarios end-to-end —
+// every non-unrepairable verdict backed by an exact re-verification of
+// the spliced program — and exit 0.
+func TestRunCorpusHundred(t *testing.T) {
+	if testing.Short() {
+		t.Skip("100-scenario corpus")
+	}
+	var out bytes.Buffer
+	opts := synth.Options{Prefilter: true, ReorderBound: 2}
+	if code := runCorpus(100, 0, opts, false, &out); code != 0 {
+		t.Fatalf("exit code %d, want 0\noutput:\n%s", code, out.String())
+	}
+	got := out.String()
+	if !strings.Contains(got, "exact re-verify") {
+		t.Errorf("corpus table missing the re-verification note:\n%s", got)
 	}
 }
 

@@ -13,7 +13,8 @@ import (
 // Names lists every experiment in canonical -exp all order. The golden
 // test pins that a full run records exactly these keys.
 var Names = []string{
-	"theorems", "litmus_por", "litmus_compress", "litmus_fuzz", "dekker",
+	"theorems", "litmus_por", "litmus_compress", "litmus_fuzz",
+	"synth_throughput", "dekker",
 	"overhead", "fig4",
 	"fig5a", "fig5b", "fig6a", "fig6b",
 	"ablation", "packetproc", "chaos",
@@ -51,6 +52,13 @@ var ErrChaosFailed = fmt.Errorf("bench: chaos invariants violated")
 // degenerated into skips). The Ran is complete, so the failing table
 // still prints.
 var ErrFuzzFailed = fmt.Errorf("bench: differential fuzzing found an engine divergence")
+
+// ErrSynthThroughputFailed marks a synth_throughput run that broke the
+// corpus-repair contract: a verdict mismatch between the accelerated
+// and control legs, a spliced repair the exact engine refuted, or an
+// accelerated leg that was not strictly cheaper in exact checks. The
+// Ran is complete, so the failing table still prints.
+var ErrSynthThroughputFailed = fmt.Errorf("bench: synthesis corpus run broke the repair contract")
 
 // ErrPORFailed marks a litmus_por run where a reduced exploration
 // diverged from the unreduced reference semantics. The Ran is complete,
@@ -168,6 +176,35 @@ func RunExperiment(name string, opt harness.Options, asymMode core.Mode) (*Ran, 
 		ran.Tables = append(ran.Tables, res.Table())
 		if !res.AllPass() {
 			err = ErrFuzzFailed
+		}
+
+	case "synth_throughput":
+		res := harness.RunSynthThroughput(opt)
+		e.Detail = res
+		pass := 0.0
+		if res.AllPass() {
+			pass = 1
+		}
+		e.putMetric("all_pass", pass, "", true)
+		e.putMetric("scenarios", float64(res.Scenarios), "count", true)
+		for _, leg := range []struct {
+			name string
+			res  *harness.CorpusResult
+		}{{"accelerated", res.Accelerated}, {"control", res.Control}} {
+			e.putMetric("repairs_per_min/"+leg.name, leg.res.RepairsPerMinute(), "repairs/min", true)
+			// The guarded numbers: exact model-checks per resolved
+			// scenario (what the accelerators exist to push down) and the
+			// contract counter (a spliced repair the exact engine refuted
+			// — must stay zero on both legs).
+			e.putMetric("exact_checks_per_repair/"+leg.name, leg.res.ExactChecksPerRepair(), "checks", false)
+			e.putMetric("contract_failures/"+leg.name, float64(leg.res.ContractFailures), "count", false)
+		}
+		e.putMetric("screen_hit_rate", res.Accelerated.ScreenHitRate(), "ratio", true)
+		e.putMetric("pruned_sites", float64(res.Accelerated.PrunedSites), "count", true)
+		e.putMetric("exact_reduction_ratio", res.ExactReductionRatio(), "ratio", true)
+		ran.Tables = append(ran.Tables, res.Table())
+		if !res.AllPass() {
+			err = ErrSynthThroughputFailed
 		}
 
 	case "dekker":

@@ -1,0 +1,386 @@
+package harness
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/litmus"
+	"repro/internal/litmusgen"
+	"repro/internal/litmuslang"
+	"repro/internal/stats"
+	"repro/internal/synth"
+	"repro/internal/tso"
+	"repro/internal/workloads"
+)
+
+// This file is the synthesis-at-scale driver: a corpus of generated
+// litmus scenarios pushed through the full repair pipeline —
+// generate → compile → synthesize → splice the optimal placement back
+// in → re-verify the spliced program on the exact engine. It backs both
+// `fencesynth -corpus` and the synth_throughput bench experiment, whose
+// two legs (static prefilter + reorder-bounded screen on, vs. the plain
+// CEGAR loop) share one scenario list so their exact-check counts are
+// directly comparable.
+
+// corpusMaxStates bounds every exploration of a corpus run (candidate
+// verifications and the final re-verification alike) when the caller
+// sets no budget; generated scenarios are sized to stay far below it.
+const corpusMaxStates = 200_000
+
+// CorpusOptions configures one corpus repair sweep.
+type CorpusOptions struct {
+	// Scenarios is how many generated scenarios *with a property* to
+	// repair; property-free seeds are skipped during scanning (about a
+	// third of non-critical-section seeds decline to assert anything).
+	Scenarios int
+	// Seed is the base generator seed; scanning walks upward from it.
+	Seed int64
+	// Workers is the repair worker-pool size (0 = GOMAXPROCS). Each
+	// worker runs whole scenarios; per-candidate exploration parallelism
+	// inside a scenario is governed by Synth.Workers.
+	Workers int
+	// Params bounds the generated scenarios (zero value =
+	// litmusgen.CorpusParams, the planted-race mix that makes a sweep
+	// exercise actual repairs instead of only safe/unrepairable
+	// verdicts).
+	Params litmusgen.Params
+	// Synth configures the synthesizer — this is where the accelerators
+	// (Prefilter, ReorderBound) are switched per leg.
+	Synth synth.Options
+}
+
+// CorpusRow is one scenario's trip through the pipeline.
+type CorpusRow struct {
+	Seed int64
+	Name string
+
+	// Fences/Cost describe the optimal repair; AlreadySafe marks the
+	// empty placement (the scenario's own fences, if any, suffice).
+	Fences      int
+	Cost        float64
+	AlreadySafe bool
+	// Unrepairable marks a property that fails without any TSO
+	// reordering (always concluded from an exact run).
+	Unrepairable bool
+
+	// Synthesis counters, straight from synth.Result.
+	ExactChecks     int
+	BoundedChecks   int
+	BoundedHits     int
+	PrefilterCycles int
+	PrunedSites     int
+	RestoredSites   int
+	States          int
+
+	// ReverifyStates is the exact re-verification of the spliced repair
+	// (the end-to-end acceptance step: the placement the synthesizer
+	// reported, spliced into the base programs, explored exhaustively).
+	ReverifyStates int
+
+	Err error
+}
+
+// CorpusResult aggregates a sweep.
+type CorpusResult struct {
+	Rows []CorpusRow
+	// SeedsScanned counts generator seeds consumed, including the
+	// property-free ones that were skipped.
+	SeedsScanned int
+
+	Repaired     int // non-empty optimal placement, re-verified exactly
+	AlreadySafe  int // empty optimal placement, re-verified exactly
+	Unrepairable int
+	Errors       int
+	// ContractFailures counts spliced repairs the exact engine refuted —
+	// the must-stay-zero number: a synthesis result that does not
+	// survive its own re-verification is a synthesizer bug.
+	ContractFailures int
+
+	ExactChecks     int
+	BoundedChecks   int
+	BoundedHits     int
+	PrefilterCycles int
+	PrunedSites     int
+	RestoredSites   int
+	StatesExplored  int
+	Elapsed         time.Duration
+}
+
+// Resolved counts scenarios that reached a definite verdict.
+func (r *CorpusResult) Resolved() int { return r.Repaired + r.AlreadySafe + r.Unrepairable }
+
+// RepairsPerMinute is end-to-end pipeline throughput over resolved
+// scenarios.
+func (r *CorpusResult) RepairsPerMinute() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(r.Resolved()) / r.Elapsed.Minutes()
+}
+
+// ExactChecksPerRepair is the cost headline: how many exact (unbounded)
+// model-checking runs each resolved scenario needed. The accelerators
+// exist to push this down — every bounded screen hit and every pruned
+// lattice site is an exact exploration that never ran.
+func (r *CorpusResult) ExactChecksPerRepair() float64 {
+	if r.Resolved() == 0 {
+		return 0
+	}
+	return float64(r.ExactChecks) / float64(r.Resolved())
+}
+
+// ScreenHitRate is the fraction of bounded screens that refuted their
+// candidate outright (zero when the screen is off).
+func (r *CorpusResult) ScreenHitRate() float64 {
+	if r.BoundedChecks == 0 {
+		return 0
+	}
+	return float64(r.BoundedHits) / float64(r.BoundedChecks)
+}
+
+// scanScenarios generates seeds upward from co.Seed until it has
+// collected co.Scenarios compiled scenarios with a property (or hits the
+// scan cap, so degenerate params cannot loop forever).
+func scanScenarios(co CorpusOptions) (scenarios []*litmuslang.Compiled, seeds []int64, scanned int) {
+	scanCap := co.Scenarios * 10
+	for seed := co.Seed; len(scenarios) < co.Scenarios && scanned < scanCap; seed++ {
+		scanned++
+		src := litmusgen.Generate(seed, co.Params)
+		c, err := litmuslang.CompileSource(src)
+		if err != nil || !c.HasProperty() {
+			// The generator guarantees compilation; a property is optional.
+			continue
+		}
+		scenarios = append(scenarios, c)
+		seeds = append(seeds, seed)
+	}
+	return scenarios, seeds, scanned
+}
+
+// repairOne runs the whole pipeline for one compiled scenario.
+func repairOne(c *litmuslang.Compiled, seed int64, opts synth.Options) CorpusRow {
+	row := CorpusRow{Seed: seed, Name: c.Name}
+	prob, err := c.Problem()
+	if err != nil {
+		row.Err = err
+		return row
+	}
+	r, err := synth.Synthesize(prob, opts)
+	if r != nil {
+		row.ExactChecks = r.ExactChecks
+		row.BoundedChecks = r.BoundedChecks
+		row.BoundedHits = r.BoundedHits
+		row.PrefilterCycles = r.PrefilterCycles
+		row.PrunedSites = r.PrunedSites
+		row.RestoredSites = r.RestoredSites
+		row.States = r.StatesExplored
+	}
+	if err != nil {
+		row.Err = err
+		return row
+	}
+	if r.Unrepairable {
+		row.Unrepairable = true
+		return row
+	}
+
+	// End-to-end acceptance: splice the reported optimal placement into
+	// the base programs and re-verify the result exhaustively on the
+	// exact engine. Nothing the synthesizer believed along the way —
+	// bounded screens, static seeds, memoized verdicts — is taken on
+	// faith here.
+	p := r.Optimal.Placement
+	row.Fences = p.Len()
+	row.Cost = r.Optimal.Cost
+	row.AlreadySafe = p.Len() == 0
+	progs := p.Apply(prob.Programs, opts.Scratch)
+	build := func() *tso.Machine { return tso.NewMachine(prob.Config, progs...) }
+	vres := litmus.Explore(build, litmus.Options{
+		Properties: []litmus.Property{prob.Property},
+		MaxStates:  opts.MaxStates,
+		Reduction:  true,
+	})
+	row.ReverifyStates = vres.States
+	switch {
+	case vres.Truncated:
+		row.Err = fmt.Errorf("re-verification truncated after %d states", vres.States)
+	case vres.Violations > 0 || vres.Deadlocks > 0:
+		row.Err = fmt.Errorf("spliced repair %v refuted by the exact engine (violations=%d deadlocks=%d)",
+			p, vres.Violations, vres.Deadlocks)
+	}
+	return row
+}
+
+// RunCorpus repairs a corpus of generated scenarios with a worker pool
+// and aggregates the verdicts and counters.
+func RunCorpus(co CorpusOptions) *CorpusResult {
+	if co.Params == (litmusgen.Params{}) {
+		co.Params = litmusgen.CorpusParams()
+	}
+	if co.Synth.MaxStates <= 0 {
+		co.Synth.MaxStates = corpusMaxStates
+	}
+	workers := co.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+
+	start := time.Now()
+	scenarios, seeds, scanned := scanScenarios(co)
+	res := &CorpusResult{Rows: make([]CorpusRow, len(scenarios)), SeedsScanned: scanned}
+
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				res.Rows[i] = repairOne(scenarios[i], seeds[i], co.Synth)
+			}
+		}()
+	}
+	for i := range scenarios {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	res.Elapsed = time.Since(start)
+
+	for _, row := range res.Rows {
+		res.ExactChecks += row.ExactChecks
+		res.BoundedChecks += row.BoundedChecks
+		res.BoundedHits += row.BoundedHits
+		res.PrefilterCycles += row.PrefilterCycles
+		res.PrunedSites += row.PrunedSites
+		res.RestoredSites += row.RestoredSites
+		res.StatesExplored += row.States + row.ReverifyStates
+		switch {
+		case row.Err != nil:
+			res.Errors++
+			if row.ReverifyStates > 0 { // the exact engine refuted a reported repair
+				res.ContractFailures++
+			}
+		case row.Unrepairable:
+			res.Unrepairable++
+		case row.AlreadySafe:
+			res.AlreadySafe++
+		default:
+			res.Repaired++
+		}
+	}
+	return res
+}
+
+// Table renders a corpus sweep.
+func (r *CorpusResult) Table() *stats.Table {
+	t := stats.NewTable(
+		"Corpus repair: generated scenarios through synthesize → splice → exact re-verify",
+		"scenarios", "repaired", "safe", "unrepairable", "errors",
+		"exact checks", "exact/scenario", "screen hit %", "repairs/min")
+	t.AddRow(len(r.Rows), r.Repaired, r.AlreadySafe, r.Unrepairable, r.Errors,
+		r.ExactChecks, fmt.Sprintf("%.2f", r.ExactChecksPerRepair()),
+		fmt.Sprintf("%.0f", 100*r.ScreenHitRate()),
+		fmt.Sprintf("%.0f", r.RepairsPerMinute()))
+	t.AddNote("every reported repair is spliced into the base programs and re-verified by an")
+	t.AddNote("exhaustive (exact, reduced) exploration before it counts")
+	return t
+}
+
+// synthCorpusScenarios sizes the throughput sweep per scale.
+func synthCorpusScenarios(s workloads.Scale) int {
+	switch s {
+	case workloads.ScaleTest:
+		return 40
+	case workloads.ScaleSmall:
+		return 120
+	case workloads.ScaleMedium:
+		return 300
+	default:
+		return 600
+	}
+}
+
+// SynthThroughputResult is the synth_throughput experiment: the same
+// scenario corpus repaired twice — once with the static prefilter and
+// the reorder-bounded screen, once with the plain CEGAR loop — so the
+// accelerators' claim (fewer exact model checks per repair, same
+// verdicts) is measured, not assumed.
+type SynthThroughputResult struct {
+	Scenarios   int
+	Accelerated *CorpusResult
+	Control     *CorpusResult
+}
+
+// ExactReductionRatio is the headline: control exact-checks-per-repair
+// over accelerated. Above 1 means the accelerators pay for themselves.
+func (r *SynthThroughputResult) ExactReductionRatio() float64 {
+	a := r.Accelerated.ExactChecksPerRepair()
+	if a == 0 {
+		return 0
+	}
+	return r.Control.ExactChecksPerRepair() / a
+}
+
+// AllPass requires a clean sweep: no re-verification contract failures
+// on either leg, no errors, both legs resolving every scenario, the
+// same per-scenario verdicts, and the accelerated leg strictly cheaper
+// in exact checks per repair.
+func (r *SynthThroughputResult) AllPass() bool {
+	for _, leg := range []*CorpusResult{r.Accelerated, r.Control} {
+		if leg.ContractFailures > 0 || leg.Errors > 0 || leg.Resolved() != len(leg.Rows) {
+			return false
+		}
+	}
+	if len(r.Accelerated.Rows) != len(r.Control.Rows) {
+		return false
+	}
+	for i := range r.Accelerated.Rows {
+		a, c := r.Accelerated.Rows[i], r.Control.Rows[i]
+		if a.Unrepairable != c.Unrepairable || a.Fences != c.Fences || a.Cost != c.Cost {
+			return false
+		}
+	}
+	return r.Accelerated.ExactChecksPerRepair() < r.Control.ExactChecksPerRepair()
+}
+
+// RunSynthThroughput runs both legs over one scenario list.
+func RunSynthThroughput(opt Options) *SynthThroughputResult {
+	n := synthCorpusScenarios(opt.Scale)
+	accel := CorpusOptions{
+		Scenarios: n,
+		Synth:     synth.Options{Prefilter: true, ReorderBound: 2},
+	}
+	control := accel
+	control.Synth = synth.Options{}
+	return &SynthThroughputResult{
+		Scenarios:   n,
+		Accelerated: RunCorpus(accel),
+		Control:     RunCorpus(control),
+	}
+}
+
+// Table renders the two legs side by side.
+func (r *SynthThroughputResult) Table() *stats.Table {
+	t := stats.NewTable(
+		"Synthesis throughput: prefilter + reorder-bounded screen vs the plain CEGAR loop",
+		"leg", "scenarios", "repaired", "safe", "unrepairable", "errors",
+		"exact checks", "exact/scenario", "screen hit %", "pruned sites", "repairs/min")
+	for _, leg := range []struct {
+		name string
+		res  *CorpusResult
+	}{{"accelerated", r.Accelerated}, {"control", r.Control}} {
+		t.AddRow(leg.name, len(leg.res.Rows), leg.res.Repaired, leg.res.AlreadySafe,
+			leg.res.Unrepairable, leg.res.Errors, leg.res.ExactChecks,
+			fmt.Sprintf("%.2f", leg.res.ExactChecksPerRepair()),
+			fmt.Sprintf("%.0f", 100*leg.res.ScreenHitRate()),
+			leg.res.PrunedSites,
+			fmt.Sprintf("%.0f", leg.res.RepairsPerMinute()))
+	}
+	t.AddNote(fmt.Sprintf("identical scenario corpus on both legs; exact-check reduction %.2fx;",
+		r.ExactReductionRatio()))
+	t.AddNote("both legs must agree on every verdict, fence count, and cost")
+	return t
+}

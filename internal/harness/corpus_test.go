@@ -1,0 +1,94 @@
+package harness
+
+import (
+	"testing"
+
+	"repro/internal/synth"
+	"repro/internal/workloads"
+)
+
+// TestRunCorpusSmall pushes a small generated corpus through the full
+// pipeline with the accelerators on and checks the aggregate invariants:
+// every scenario resolves, nothing errors, and the must-stay-zero
+// contract counter stays zero (no spliced repair refuted by the exact
+// engine).
+func TestRunCorpusSmall(t *testing.T) {
+	n := 25
+	if testing.Short() {
+		n = 10
+	}
+	res := RunCorpus(CorpusOptions{
+		Scenarios: n,
+		Synth:     synth.Options{Prefilter: true, ReorderBound: 2},
+	})
+	if len(res.Rows) != n {
+		t.Fatalf("collected %d scenarios, want %d (scanned %d seeds)", len(res.Rows), n, res.SeedsScanned)
+	}
+	if res.SeedsScanned < n {
+		t.Errorf("SeedsScanned = %d < %d scenarios", res.SeedsScanned, n)
+	}
+	for _, row := range res.Rows {
+		if row.Err != nil {
+			t.Errorf("seed %d (%s): %v", row.Seed, row.Name, row.Err)
+		}
+	}
+	if res.ContractFailures != 0 {
+		t.Fatalf("ContractFailures = %d: a reported repair failed exact re-verification", res.ContractFailures)
+	}
+	if res.Resolved() != n {
+		t.Errorf("resolved %d of %d (repaired=%d safe=%d unrepairable=%d errors=%d)",
+			res.Resolved(), n, res.Repaired, res.AlreadySafe, res.Unrepairable, res.Errors)
+	}
+	// Every repaired or already-safe scenario paid for its exact
+	// end-to-end re-verification.
+	for _, row := range res.Rows {
+		if row.Err == nil && !row.Unrepairable && row.ReverifyStates == 0 {
+			t.Errorf("seed %d: verdict accepted without re-verification states", row.Seed)
+		}
+	}
+	// The planted-race mix must yield actual repairs, not just
+	// safe/unrepairable verdicts — otherwise the sweep never exercises
+	// splice-and-re-verify.
+	if res.Repaired == 0 {
+		t.Errorf("no scenario was repaired (safe=%d unrepairable=%d)", res.AlreadySafe, res.Unrepairable)
+	}
+	if res.ExactChecks == 0 || res.BoundedChecks == 0 {
+		t.Errorf("checks: exact=%d bounded=%d, want both engines exercised", res.ExactChecks, res.BoundedChecks)
+	}
+	if res.RepairsPerMinute() <= 0 {
+		t.Errorf("RepairsPerMinute = %v, want > 0", res.RepairsPerMinute())
+	}
+	if res.Table().Rows() != 1 {
+		t.Errorf("corpus table rows = %d, want 1", res.Table().Rows())
+	}
+}
+
+// TestRunSynthThroughput runs the two-leg experiment at a reduced size
+// and checks its acceptance contract: identical verdicts on both legs
+// and strictly fewer exact checks per repair on the accelerated one.
+func TestRunSynthThroughput(t *testing.T) {
+	if testing.Short() {
+		t.Skip("two full corpus legs")
+	}
+	opt := QuickDefaults()
+	opt.Scale = workloads.ScaleTest
+	res := RunSynthThroughput(opt)
+	if !res.AllPass() {
+		t.Fatalf("AllPass = false:\naccelerated: %+v errors, %d contract failures\ncontrol: %+v errors, %d contract failures\nexact/repair %.2f vs %.2f",
+			res.Accelerated.Errors, res.Accelerated.ContractFailures,
+			res.Control.Errors, res.Control.ContractFailures,
+			res.Accelerated.ExactChecksPerRepair(), res.Control.ExactChecksPerRepair())
+	}
+	if res.ExactReductionRatio() <= 1 {
+		t.Errorf("ExactReductionRatio = %.2f, want > 1", res.ExactReductionRatio())
+	}
+	if res.Control.BoundedChecks != 0 {
+		t.Errorf("control leg ran %d bounded screens, want 0", res.Control.BoundedChecks)
+	}
+	if res.Accelerated.BoundedHits == 0 {
+		t.Error("accelerated leg's screen never fired across the whole corpus")
+	}
+	if res.Table().Rows() != 2 {
+		t.Errorf("throughput table rows = %d, want 2", res.Table().Rows())
+	}
+}

@@ -1,0 +1,180 @@
+package litmus
+
+import (
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/programs"
+	"repro/internal/tso"
+)
+
+// The reorder-bounded mode (Options.ReorderBound) is an
+// under-approximation of TSO: every bounded run is a run of the full
+// semantics. These tests pin the contract on the catalog and the classic
+// protocols: bounded outcomes/states are subsets, bounds introduce no
+// deadlocks, a generous bound (≥ store-buffer depth) is exact, and a
+// violation found under a small bound replays as a real violation on the
+// unbounded machine.
+
+func TestReorderBoundSubsetOfExact(t *testing.T) {
+	for _, ct := range Catalog() {
+		ct := ct
+		t.Run(ct.Name, func(t *testing.T) {
+			exact, err := RunCatalogTestOpts(ct, Options{})
+			if err != nil {
+				t.Fatalf("exact: %v", err)
+			}
+			for _, bound := range []int{1, 2} {
+				for _, serial := range []bool{false, true} {
+					opts := Options{ReorderBound: bound}
+					progs := ct.Build()
+					cfg := arch.DefaultConfig()
+					cfg.Procs = len(progs)
+					cfg.MemWords = 16
+					cfg.StoreBufferDepth = 4
+					build := func() *tso.Machine { return tso.NewMachine(cfg, progs...) }
+					var res Result
+					if serial {
+						res = ExploreSerial(build, opts)
+					} else {
+						res = Explore(build, opts)
+					}
+					if res.Truncated {
+						t.Fatalf("bound=%d serial=%v: truncated", bound, serial)
+					}
+					if res.Deadlocks != 0 {
+						t.Errorf("bound=%d serial=%v: %d deadlocks (bound must not block)",
+							bound, serial, res.Deadlocks)
+					}
+					if res.States > exact.States {
+						t.Errorf("bound=%d serial=%v: %d states > exact %d",
+							bound, serial, res.States, exact.States)
+					}
+					for o := range res.Outcomes {
+						if _, ok := exact.Outcomes[o]; !ok {
+							t.Errorf("bound=%d serial=%v: outcome %q not reachable exactly",
+								bound, serial, o)
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// A bound at least the store-buffer depth can never disable an Exec
+// (SB.Len() ≤ depth always), so the bounded exploration must be
+// byte-identical to the exact one.
+func TestReorderBoundGenerousIsExact(t *testing.T) {
+	for _, ct := range Catalog() {
+		exact, err := RunCatalogTestOpts(ct, Options{})
+		if err != nil {
+			t.Fatalf("%s exact: %v", ct.Name, err)
+		}
+		bounded, err := RunCatalogTestOpts(ct, Options{ReorderBound: 4})
+		if err != nil {
+			t.Fatalf("%s bound=4: %v", ct.Name, err)
+		}
+		if bounded.States != exact.States || len(bounded.Outcomes) != len(exact.Outcomes) {
+			t.Errorf("%s: bound=depth diverged: states %d vs %d, outcomes %d vs %d",
+				ct.Name, bounded.States, exact.States, len(bounded.Outcomes), len(exact.Outcomes))
+		}
+		for o, n := range exact.Outcomes {
+			if bounded.Outcomes[o] != n {
+				t.Errorf("%s: outcome %q count %d vs exact %d", ct.Name, o, bounded.Outcomes[o], n)
+			}
+		}
+	}
+}
+
+// Bound=1 suffices to find the classic single-store reorderings: SB's
+// relaxed outcome and the unfenced Dekker/Peterson violations all need a
+// load to pass exactly one buffered store.
+func TestReorderBoundFindsClassicViolations(t *testing.T) {
+	sbTest := Catalog()[0] // SB
+	res, err := RunCatalogTestOpts(sbTest, Options{ReorderBound: 1})
+	if err != nil {
+		t.Fatalf("SB bound=1: %v", err)
+	}
+	if res.CountOutcomes(sbTest.Relaxed) == 0 {
+		t.Errorf("SB: relaxed outcome not found under bound=1")
+	}
+
+	for _, mk := range []struct {
+		name string
+		pair func(programs.DekkerVariant) (*tso.Program, *tso.Program)
+	}{
+		{"dekker", programs.DekkerPair},
+		{"peterson", programs.PetersonPair},
+	} {
+		p0, p1 := mk.pair(programs.DekkerNoFence)
+		build := classicMachine(p0, p1)
+		bres := Explore(build, Options{
+			Properties:      []Property{MutualExclusion},
+			ReorderBound:    1,
+			StopOnViolation: true,
+		})
+		if bres.Violations == 0 {
+			t.Fatalf("%s-nofence: no violation under bound=1", mk.name)
+		}
+		// The bounded trace must be a genuine run of the unbounded
+		// machine: replaying it (full semantics) reaches a violating
+		// state.
+		m := Replay(build, bres.ViolationTrace)
+		if !m.CSViolation {
+			t.Errorf("%s-nofence: bounded violation trace does not replay to a violation", mk.name)
+		}
+	}
+}
+
+// Reduction is defined over the full TSO enabledness relation; under a
+// bound both engines must silently fall back to the unreduced bounded
+// search and still agree with it exactly.
+func TestReorderBoundDisablesReduction(t *testing.T) {
+	for _, ct := range Catalog() {
+		plain, err := RunCatalogTestOpts(ct, Options{ReorderBound: 1})
+		if err != nil {
+			t.Fatalf("%s: %v", ct.Name, err)
+		}
+		red, err := RunCatalogTestOpts(ct, Options{ReorderBound: 1, Reduction: true})
+		if err != nil {
+			t.Fatalf("%s reduced: %v", ct.Name, err)
+		}
+		if red.States != plain.States || red.Transitions != plain.Transitions {
+			t.Errorf("%s: bounded run with Reduction set diverged (%d/%d states, %d/%d transitions) — reduction must be forced off",
+				ct.Name, red.States, plain.States, red.Transitions, plain.Transitions)
+		}
+		progs := ct.Build()
+		cfg := arch.DefaultConfig()
+		cfg.Procs = len(progs)
+		cfg.MemWords = 16
+		cfg.StoreBufferDepth = 4
+		build := func() *tso.Machine { return tso.NewMachine(cfg, progs...) }
+		sred := ExploreSerial(build, Options{ReorderBound: 1, Reduction: true})
+		if sred.States != plain.States {
+			t.Errorf("%s: serial bounded+Reduction states %d, want %d", ct.Name, sred.States, plain.States)
+		}
+	}
+}
+
+// The serial and parallel engines must agree under a bound (same visited
+// relation, different scheduling).
+func TestReorderBoundSerialParallelAgree(t *testing.T) {
+	p0, p1 := programs.DekkerPair(programs.DekkerNoFence)
+	build := classicMachine(p0, p1)
+	for _, bound := range []int{1, 2, 3} {
+		ser := ExploreSerial(build, Options{ReorderBound: bound})
+		par := Explore(build, Options{ReorderBound: bound, Workers: 4})
+		if ser.States != par.States || ser.Deadlocks != par.Deadlocks {
+			t.Fatalf("bound=%d: serial %d states vs parallel %d", bound, ser.States, par.States)
+		}
+		if len(ser.Outcomes) != len(par.Outcomes) {
+			t.Fatalf("bound=%d: outcome sets differ", bound)
+		}
+		for o, n := range ser.Outcomes {
+			if par.Outcomes[o] != n {
+				t.Fatalf("bound=%d: outcome %q: %d vs %d", bound, o, ser.Outcomes[o], par.Outcomes[o])
+			}
+		}
+	}
+}

@@ -231,7 +231,7 @@ func TestSymmetryOrbitProperty(t *testing.T) {
 				m1 := sp.Build()
 				m2 := sp.Build()
 				for step := 0; step < 40; step++ {
-					enabled := appendEnabled(nil, m1, false)
+					enabled := appendEnabled(nil, m1, false, 0)
 					if len(enabled) == 0 {
 						break
 					}

@@ -680,7 +680,7 @@ func (w *worker) process(f pframe) {
 		return
 	}
 
-	w.actBuf = appendEnabled(w.actBuf[:0], m, e.sc)
+	w.actBuf = appendEnabled(w.actBuf[:0], m, e.sc, e.opts.ReorderBound)
 	enabled := w.actBuf
 	if len(enabled) == 0 {
 		if m.Quiesced() {
@@ -798,7 +798,7 @@ func (w *worker) ampleSuccessorSeen(m *tso.Machine, enabled []Action) bool {
 func (w *worker) expandFrom(f pframe, mask actionMask) {
 	e := w.eng
 	m := f.m
-	w.actBuf = appendEnabled(w.actBuf[:0], m, e.sc)
+	w.actBuf = appendEnabled(w.actBuf[:0], m, e.sc, e.opts.ReorderBound)
 	var picked []int
 	for i, a := range w.actBuf {
 		if mask&maskOf(a) != 0 {
@@ -870,9 +870,11 @@ func Explore(build func() *tso.Machine, opts Options) Result {
 		}
 		e.sym = opts.Symmetry
 	}
-	if opts.Reduction {
+	if opts.Reduction && opts.ReorderBound <= 0 {
 		// nil when the machine has too many processors for the reduction's
-		// action masks; the exploration then runs unreduced.
+		// action masks; the exploration then runs unreduced. A reorder
+		// bound also forces the unreduced path: the ample-set analysis
+		// assumes the full TSO enabledness relation.
 		e.red = newReducer(root, e.sc)
 	}
 	if opts.Collapse || opts.MemBudget > 0 {

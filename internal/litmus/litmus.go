@@ -197,6 +197,25 @@ type Options struct {
 	// meant for soundness audits and tests, not routine exploration.
 	VerifyVisited bool
 
+	// ReorderBound, when positive, explores a *reorder-bounded
+	// under-approximation* of TSO (after Joshi & Kroening's
+	// property-driven fence insertion): a program load may commit only
+	// while at most ReorderBound of its own processor's stores remain
+	// undrained, so no load is ever reordered ahead of more than
+	// ReorderBound stores. Drains stay enabled whenever the buffer is
+	// non-empty, so the bound never introduces deadlocks — it only
+	// removes interleavings. Every bounded run is a real run of the full
+	// TSO semantics, which gives the under-approximation contract: a
+	// violation found under a bound is a genuine violation (and its
+	// trace replays on the unbounded machine), while a bounded-safe
+	// verdict proves nothing. The fence synthesizer uses it as a fast
+	// UNSAT screen before paying for the exact reduced check.
+	//
+	// Reduction is ignored (forced off) under a bound: the ample-set
+	// analysis assumes the full TSO enabledness relation. 0 means
+	// unbounded (exact TSO).
+	ReorderBound int
+
 	// SequentialConsistency explores the machine under SC semantics:
 	// every store completes (drains to the coherent cache) immediately
 	// after it commits, so no store-buffer reordering is observable.
@@ -341,11 +360,16 @@ func (r *Result) SortedOutcomes() []Outcome {
 }
 
 // appendEnabled appends every enabled action of m to dst. Callers pass a
-// reused buffer to keep expansion allocation-free.
-func appendEnabled(dst []Action, m *tso.Machine, sc bool) []Action {
+// reused buffer to keep expansion allocation-free. bound > 0 restricts
+// the Exec of a program load to states where the loading processor's own
+// store buffer holds at most bound undrained stores (Options.ReorderBound
+// — a reorder-bounded under-approximation of TSO). Drain enabledness is
+// never restricted, so every Exec the bound disables has an enabled
+// Drain on the same processor and the bound cannot introduce deadlocks.
+func appendEnabled(dst []Action, m *tso.Machine, sc bool, bound int) []Action {
 	for i := range m.Procs {
 		p := arch.ProcID(i)
-		if m.CanExec(p) {
+		if m.CanExec(p) && (bound <= 0 || execWithinBound(m, p, bound)) {
 			dst = append(dst, Action{Proc: p, Kind: Exec})
 		}
 		if !sc && m.CanDrain(p) {
@@ -353,6 +377,22 @@ func appendEnabled(dst []Action, m *tso.Machine, sc bool) []Action {
 		}
 	}
 	return dst
+}
+
+// execWithinBound reports whether committing pid's next instruction keeps
+// the run inside the reorder bound: a program load (OpLoad/OpLoadIdx) may
+// commit only while at most bound of its own stores remain buffered, i.e.
+// it is never reordered ahead of more than bound earlier stores. All
+// other instructions commit freely — they either don't read memory or
+// (LE, fence ops) are serialization points the synthesizer is inserting,
+// not the racy reads the bound is screening.
+func execWithinBound(m *tso.Machine, pid arch.ProcID, bound int) bool {
+	p := m.Procs[pid]
+	in := p.Prog.Instrs[p.PC]
+	if in.Op != tso.OpLoad && in.Op != tso.OpLoadIdx {
+		return true
+	}
+	return p.SB.Len() <= bound
 }
 
 func apply(m *tso.Machine, a Action, sc bool) {

@@ -49,7 +49,10 @@ func ExploreSerial(build func() *tso.Machine, opts Options) Result {
 	if maxStates == 0 {
 		maxStates = DefaultMaxStates
 	}
-	if opts.Reduction {
+	// A reorder bound changes the enabledness relation the ample-set
+	// analysis was derived for, so bounded runs always explore unreduced
+	// (Options.ReorderBound documents this).
+	if opts.Reduction && opts.ReorderBound <= 0 {
 		return exploreSerialReduced(build, opts, maxStates)
 	}
 	start := time.Now()
@@ -99,7 +102,7 @@ func ExploreSerial(build func() *tso.Machine, opts Options) Result {
 			return res
 		}
 
-		enabled := appendEnabled(nil, m, opts.SequentialConsistency)
+		enabled := appendEnabled(nil, m, opts.SequentialConsistency, opts.ReorderBound)
 		if len(enabled) == 0 {
 			if m.Quiesced() {
 				// Outcomes are recorded from the canonical representative so
@@ -224,7 +227,7 @@ func exploreSerialReduced(build func() *tso.Machine, opts Options, maxStates int
 			// The first visit slept actions this arrival's sleep set does
 			// not justify; re-expand them (with empty child sleep sets).
 			ve.pruned &= sleepC
-			enabled := appendEnabled(nil, m, sc)
+			enabled := appendEnabled(nil, m, sc, 0)
 			for _, a := range enabled {
 				if missing&maskOf(a) == 0 {
 					continue
@@ -264,7 +267,7 @@ func exploreSerialReduced(build func() *tso.Machine, opts Options, maxStates int
 			return finish()
 		}
 
-		enabled := appendEnabled(nil, m, sc)
+		enabled := appendEnabled(nil, m, sc, 0)
 		if len(enabled) == 0 {
 			if m.Quiesced() {
 				// Canonical representative, as in the unreduced path.

@@ -1,0 +1,95 @@
+package litmusgen
+
+import (
+	"testing"
+
+	"repro/internal/litmus"
+	"repro/internal/litmuslang"
+)
+
+// TestBoundedUnderApproximationSweep is the under-approximation contract
+// test over the generated corpus: for 200 seeded programs, a
+// reorder-bounded exploration must be a strict under-approximation of
+// the exact one — fewer or equal states, no outcome the exact engine
+// cannot reach, no deadlock the exact engine does not report, and above
+// all no violation verdict the exact engine disagrees with (a bounded
+// violation is a REAL violation; this is what lets the synthesizer's
+// screen refute candidates without an exact run). At a bound equal to
+// the generated store-buffer depth the restriction is vacuous and the
+// runs must agree exactly.
+func TestBoundedUnderApproximationSweep(t *testing.T) {
+	n := 200
+	if testing.Short() {
+		n = 60
+	}
+	p := DefaultParams()
+	checked, skipped, boundedViolations := 0, 0, 0
+	for seed := int64(0); seed < int64(n); seed++ {
+		src := Generate(seed, p)
+		c, err := litmuslang.CompileSource(src)
+		if err != nil {
+			t.Fatalf("seed %d: %v\n%s", seed, err, src)
+		}
+		base := litmus.Options{Properties: c.Properties(), MaxStates: diffMaxStates}
+		exact := litmus.Explore(c.Build, base)
+		if exact.Truncated {
+			skipped++
+			continue
+		}
+		checked++
+
+		for _, bound := range []int{1, 2} {
+			opts := base
+			opts.ReorderBound = bound
+			got := litmus.Explore(c.Build, opts)
+			if got.Truncated {
+				t.Fatalf("seed %d bound=%d: truncated below the exact run's budget", seed, bound)
+			}
+			if got.States > exact.States {
+				t.Errorf("seed %d bound=%d: %d states > exact %d\n%s",
+					seed, bound, got.States, exact.States, src)
+			}
+			if got.Deadlocks > exact.Deadlocks {
+				t.Errorf("seed %d bound=%d: %d deadlocks > exact %d (the bound must never block)\n%s",
+					seed, bound, got.Deadlocks, exact.Deadlocks, src)
+			}
+			for o := range got.Outcomes {
+				if _, ok := exact.Outcomes[o]; !ok {
+					t.Errorf("seed %d bound=%d: outcome %q unreachable exactly\n%s", seed, bound, o, src)
+				}
+			}
+			if c.HasProperty() && got.Violations > 0 {
+				boundedViolations++
+				if exact.Violations == 0 {
+					t.Errorf("seed %d bound=%d: bounded violation the exact engine refutes — under-approximation contract broken\n%s",
+						seed, bound, src)
+				}
+			}
+		}
+
+		// Bound == generated store-buffer depth: the restriction is
+		// vacuous (SB.Len() can never exceed the depth), so states and
+		// outcome multiplicities must match the exact run verbatim.
+		opts := base
+		opts.ReorderBound = p.SBDepth
+		full := litmus.Explore(c.Build, opts)
+		if full.States != exact.States || len(full.Outcomes) != len(exact.Outcomes) {
+			t.Errorf("seed %d bound=depth: diverged (states %d vs %d, outcomes %d vs %d)\n%s",
+				seed, full.States, exact.States, len(full.Outcomes), len(exact.Outcomes), src)
+		}
+		for o, cnt := range exact.Outcomes {
+			if full.Outcomes[o] != cnt {
+				t.Errorf("seed %d bound=depth: outcome %q count %d vs exact %d\n%s",
+					seed, o, full.Outcomes[o], cnt, src)
+			}
+		}
+	}
+	t.Logf("bounded sweep: %d programs checked, %d skipped (truncated), %d bounded violations cross-checked",
+		checked, skipped, boundedViolations)
+	if checked == 0 {
+		t.Fatal("every seed truncated; nothing was checked")
+	}
+	if boundedViolations == 0 {
+		t.Error("no generated program ever violated under a bound — the sweep exercised nothing")
+	}
+}

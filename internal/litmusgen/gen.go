@@ -40,6 +40,16 @@ type Params struct {
 	// CS permits balanced cs.enter/cs.exit blocks (and, when emitted on
 	// at least one thread, an "assert mutex" line).
 	CS bool
+
+	// Race plants the store-buffering skeleton: threads 0 and 1 each end
+	// with a store to one of two distinct pool addresses and a load of
+	// the other into their outcome register, and the assertion forbids
+	// the both-stale outcome. Random filler still precedes the skeleton
+	// (and may interfere with it), so a Race corpus mixes genuinely
+	// repairable scenarios — safe under SC, violating only via TSO
+	// store→load reordering — with already-safe and unrepairable ones.
+	// Race disables CS (mutex would shadow the planted assertion).
+	Race bool
 }
 
 // DefaultParams keeps state spaces small enough that a differential run
@@ -55,6 +65,16 @@ func DefaultParams() Params {
 		Lmfence:    true,
 		CS:         true,
 	}
+}
+
+// CorpusParams is the repair-corpus mix: DefaultParams with the planted
+// store-buffering race, so a corpus sweep exercises actual fence
+// synthesis rather than only safe/unrepairable verdicts.
+func CorpusParams() Params {
+	p := DefaultParams()
+	p.CS = false
+	p.Race = true
+	return p
 }
 
 // Generate emits a random, self-contained litmus-DSL source file for
@@ -93,6 +113,12 @@ func sanitize(p Params, rng *rand.Rand) Params {
 	}
 	if p.Addrs > 4 {
 		p.Addrs = 4
+	}
+	if p.Race {
+		p.CS = false
+		if p.Addrs < 2 {
+			p.Addrs = 2
+		}
 	}
 	return p
 }
@@ -180,6 +206,13 @@ func (g *gen) thread(i int) {
 		g.instr()
 		emitted++
 	}
+	if g.p.Race && i < 2 {
+		// The planted skeleton: store one racy address, then load the
+		// other into this thread's outcome register — last, so no filler
+		// can clobber the observation.
+		g.line("storei [w%d], %d", i, g.val())
+		g.line("load r%d, [w%d]", i, 1-i)
+	}
 	g.line("halt")
 	g.sb.WriteString("}\n")
 }
@@ -227,6 +260,14 @@ func (g *gen) instr() {
 // generated, otherwise (usually) a random forbidden quiesced outcome
 // over the observable registers.
 func (g *gen) assert() {
+	if g.p.Race {
+		// Forbid the both-stale outcome of the planted skeleton. Whether
+		// that outcome is TSO-only (repairable), SC-reachable
+		// (unrepairable), or unreachable (already safe) depends on the
+		// filler's interference with w0/w1.
+		g.sb.WriteString("\nforbid P0:r0=0 & P1:r1=0\n")
+		return
+	}
 	if g.sawCS {
 		g.sb.WriteString("\nassert mutex\n")
 		return

@@ -1,6 +1,7 @@
 package litmusgen
 
 import (
+	"strings"
 	"testing"
 
 	"repro/internal/litmuslang"
@@ -34,6 +35,30 @@ func TestGeneratedProgramsCompile(t *testing.T) {
 		}
 		if len(c.Programs) < 2 {
 			t.Fatalf("seed %d: want >= 2 threads, got %d", seed, len(c.Programs))
+		}
+	}
+}
+
+// TestCorpusParamsPlantRace pins the repair-corpus mix: every generated
+// source compiles, declares the planted forbid line, and ends threads 0
+// and 1 with the store-buffering skeleton (a store then a load of the
+// *other* racy address, untouched by filler).
+func TestCorpusParamsPlantRace(t *testing.T) {
+	p := CorpusParams()
+	for seed := int64(0); seed < 100; seed++ {
+		src := Generate(seed, p)
+		c, err := litmuslang.CompileSource(src)
+		if err != nil {
+			t.Fatalf("seed %d: %v\n%s", seed, err, src)
+		}
+		if !c.HasProperty() {
+			t.Fatalf("seed %d: race corpus source lacks a property\n%s", seed, src)
+		}
+		if !strings.Contains(src, "forbid P0:r0=0 & P1:r1=0") {
+			t.Fatalf("seed %d: planted forbid line missing\n%s", seed, src)
+		}
+		if strings.Contains(src, "cs.enter") || strings.Contains(src, "assert mutex") {
+			t.Fatalf("seed %d: Race must disable critical sections\n%s", seed, src)
 		}
 	}
 }

@@ -21,7 +21,8 @@ import (
 //
 //	mfence:    w[t] * (MfenceBase + StoreBufferDrainPerEntry)
 //	l-mfence:  w[t] * (LELinkSetup + L1Hit + 2*RegOp)
-//	         + Σ over other threads u, over static loads of the guarded
+//	         + Σ over other threads u, over static accesses (loads AND
+//	           stores, resolvable indexed included) of the guarded
 //	           location in u's base program: w[u] * LESTRoundTrip
 //
 // The mfence term charges the serialization base plus one expected
@@ -29,10 +30,16 @@ import (
 // fence executes). The l-mfence local term is the link-register setup,
 // the exclusive load of the guarded line, and the two bookkeeping ops
 // of the Fig. 3(b) sequence (link begin and the final branch). The
-// remote term counts each static load of the guarded location in
+// remote term counts each static access of the guarded location in
 // another thread's program as one link break: a round trip in which the
 // guard owner is notified, flushes, and replies before the toucher's
-// access completes.
+// access completes. The paper's §5 model makes no load/store
+// distinction here — *any* remote acquisition of the guarded line
+// breaks the link — so remote stores count equally, and register-
+// indexed accesses count whenever constant propagation (regConsts, in
+// static.go) pins their target; an earlier version counted only direct
+// OpLoad accesses, which undercounted remote traffic and could rank an
+// l-mfence under an mfence on store-heavy remote threads.
 
 // mfenceUnitCost is the per-execution cost of one inserted mfence.
 func mfenceUnitCost(cm arch.CostModel) float64 {
@@ -45,14 +52,17 @@ func lmfenceLocalCost(cm arch.CostModel) float64 {
 	return float64(cm.LELinkSetup + cm.L1Hit + 2*cm.RegOp)
 }
 
-// remoteLoadsOf counts static loads of addr in prog (nil-safe).
-func remoteLoadsOf(prog *tso.Program, addr arch.Addr) int {
+// remoteTouchesOf counts static accesses of addr in prog (nil-safe):
+// loads, LE reads, stores of every flavor, and indexed accesses whose
+// index register provably holds one constant. Each is one potential
+// link break charged a round trip.
+func remoteTouchesOf(prog *tso.Program, addr arch.Addr) int {
 	if prog == nil {
 		return 0
 	}
 	n := 0
-	for _, in := range prog.Instrs {
-		if in.Op == tso.OpLoad && in.Addr == addr {
+	for _, a := range staticAccesses(prog) {
+		if a.addr == addr {
 			n++
 		}
 	}
@@ -83,7 +93,7 @@ func placementCost(p Placement, progs []*tso.Program, cm arch.CostModel, w []flo
 					if u < len(w) {
 						wu = w[u]
 					}
-					total += float64(remoteLoadsOf(prog, a.Addr)) * wu * float64(cm.LESTRoundTrip)
+					total += float64(remoteTouchesOf(prog, a.Addr)) * wu * float64(cm.LESTRoundTrip)
 				}
 			}
 		}

@@ -1,0 +1,252 @@
+package synth
+
+import (
+	"testing"
+
+	"repro/internal/programs"
+	"repro/internal/tso"
+)
+
+// newTestSynthesizer builds a bare synthesizer for exercising internal
+// passes (minimality, restore) without running the CEGAR loop.
+func newTestSynthesizer(t *testing.T, name string) *synthesizer {
+	t.Helper()
+	prob := mustProblem(t, name)
+	sites := Sites(prob.Programs)
+	s := &synthesizer{
+		prob:   prob,
+		opts:   testOptions(),
+		sites:  sites,
+		bySite: make(map[siteKey]Site, len(sites)),
+		pruned: make(map[siteKey]Site),
+		tested: make(map[string]*verdict),
+		res:    &Result{Problem: prob.Name, Sites: sites},
+	}
+	for _, site := range sites {
+		s.bySite[siteKey{site.Thread, site.Instr}] = site
+	}
+	return s
+}
+
+// TestVerifyMinimalityFixpoint is the regression pin for the one-level
+// minimality bug: on a problem that is already safe, a placement with
+// TWO removable atoms must reduce all the way to the empty placement.
+// The historical pass stopped after one weakening level, so it would
+// report the two half-weakened single-fence children as "minimal"
+// without ever checking that their own weakenings (the empty placement)
+// also verify safe.
+func TestVerifyMinimalityFixpoint(t *testing.T) {
+	s := newTestSynthesizer(t, "mp") // already safe: every weakening verifies
+	if len(s.sites) < 2 {
+		t.Fatalf("mp exposes %d sites, need 2", len(s.sites))
+	}
+	var p Placement
+	for _, site := range s.sites[:2] {
+		p = p.with(Atom{
+			Thread: site.Thread, Instr: site.Instr, Kind: KindMfence,
+			Addr: site.Addr, AddrKnown: site.AddrKnown,
+		})
+	}
+
+	got := s.verifyMinimality([]Placement{p})
+	if len(got) != 1 || got[0].Len() != 0 {
+		t.Fatalf("verifyMinimality(%v) = %v, want the empty placement alone", p, got)
+	}
+	// The two singles plus the empty placement: each model-checked once.
+	if s.res.CandidatesChecked != 3 {
+		t.Errorf("CandidatesChecked = %d, want 3", s.res.CandidatesChecked)
+	}
+	// No counterexample-derived constraint exists, so stripping
+	// over-fencing is cleanup, not a monotonicity failure.
+	if s.res.AssumptionViolated {
+		t.Error("AssumptionViolated flagged with no counterexample constraints")
+	}
+}
+
+// TestRestoreImplicated pins the prune/restore contract: a
+// counterexample whose repair window lands on a pruned site moves
+// exactly that site back into the lattice and counts it.
+func TestRestoreImplicated(t *testing.T) {
+	s := newTestSynthesizer(t, "dekker")
+	k := siteKey{s.sites[0].Thread, s.sites[0].Instr}
+	s.pruned[k] = s.bySite[k]
+	delete(s.bySite, k)
+
+	ex := extraction{repair: map[siteKey]struct{}{
+		k:        {},
+		{99, 99}: {}, // never pruned: must not confuse the restore
+	}}
+	if n := s.restoreImplicated(ex); n != 1 {
+		t.Fatalf("restoreImplicated = %d, want 1", n)
+	}
+	if _, ok := s.bySite[k]; !ok {
+		t.Error("implicated site not restored to the lattice")
+	}
+	if len(s.pruned) != 0 {
+		t.Errorf("pruned set still holds %d sites", len(s.pruned))
+	}
+	if s.res.RestoredSites != 1 {
+		t.Errorf("RestoredSites = %d, want 1", s.res.RestoredSites)
+	}
+	// Restoring again is a no-op, not a double count.
+	if n := s.restoreImplicated(ex); n != 0 || s.res.RestoredSites != 1 {
+		t.Errorf("second restore: n=%d RestoredSites=%d, want 0 and 1", n, s.res.RestoredSites)
+	}
+}
+
+// TestAcceleratedMatchesVanilla is the tentpole equivalence pin: with
+// the static prefilter and the reorder-bounded screen both on, every
+// registry problem must report exactly the plain loop's minimal frontier
+// and optimal placement — the accelerators may only change how fast the
+// answer arrives, never the answer.
+func TestAcceleratedMatchesVanilla(t *testing.T) {
+	for _, prob := range Problems() {
+		prob := prob
+		t.Run(prob.Name, func(t *testing.T) {
+			van, err := Synthesize(prob, testOptions())
+			if err != nil {
+				t.Fatalf("vanilla: %v", err)
+			}
+			opts := testOptions()
+			opts.Prefilter = true
+			opts.ReorderBound = 2
+			acc, err := Synthesize(prob, opts)
+			if err != nil {
+				t.Fatalf("accelerated: %v", err)
+			}
+
+			if acc.Unrepairable != van.Unrepairable || acc.AssumptionViolated {
+				t.Fatalf("verdict drift: unrepairable %v vs %v, assumption violated %v",
+					acc.Unrepairable, van.Unrepairable, acc.AssumptionViolated)
+			}
+			wantKeys := make(map[string]float64, len(van.Minimal))
+			for _, c := range van.Minimal {
+				wantKeys[c.Placement.key()] = c.Cost
+			}
+			if len(acc.Minimal) != len(van.Minimal) {
+				t.Fatalf("minimal frontier: %d placements vs vanilla %d\naccelerated %v\nvanilla %v",
+					len(acc.Minimal), len(van.Minimal), acc.Minimal, van.Minimal)
+			}
+			for _, c := range acc.Minimal {
+				cost, ok := wantKeys[c.Placement.key()]
+				if !ok {
+					t.Errorf("placement %v not in the vanilla frontier", c.Placement)
+				} else if cost != c.Cost {
+					t.Errorf("placement %v cost %v, vanilla %v", c.Placement, c.Cost, cost)
+				}
+			}
+			if acc.Optimal.Placement.key() != van.Optimal.Placement.key() ||
+				acc.Optimal.Cost != van.Optimal.Cost {
+				t.Errorf("optimal drift: %v (%v) vs vanilla %v (%v)",
+					acc.Optimal.Placement, acc.Optimal.Cost, van.Optimal.Placement, van.Optimal.Cost)
+			}
+
+			// Counter invariants: every check either screened out bounded
+			// or paid the exact engine; screens ran at all; and whenever the
+			// problem has counterexamples, the screen caught at least one.
+			if acc.BoundedHits+acc.ExactChecks != acc.CandidatesChecked {
+				t.Errorf("BoundedHits %d + ExactChecks %d != CandidatesChecked %d",
+					acc.BoundedHits, acc.ExactChecks, acc.CandidatesChecked)
+			}
+			if acc.BoundedChecks == 0 || acc.BoundedChecks > acc.CandidatesChecked {
+				t.Errorf("BoundedChecks = %d of %d candidates", acc.BoundedChecks, acc.CandidatesChecked)
+			}
+			if van.Counterexamples > 0 && acc.BoundedHits == 0 {
+				t.Errorf("screen never fired on a problem with %d counterexamples", van.Counterexamples)
+			}
+		})
+	}
+}
+
+// TestPrefilterCountersDekker pins the prefilter's bookkeeping
+// end-to-end on Dekker: one static cycle, one seed constraint, the four
+// CS/release stores pruned, and no counterexample ever implicating a
+// pruned site.
+func TestPrefilterCountersDekker(t *testing.T) {
+	opts := testOptions()
+	opts.Prefilter = true
+	res := mustSynthesize(t, "dekker", opts)
+	if res.PrefilterCycles != 1 {
+		t.Errorf("PrefilterCycles = %d, want 1", res.PrefilterCycles)
+	}
+	if res.PrefilterSeeds != 1 {
+		t.Errorf("PrefilterSeeds = %d, want 1", res.PrefilterSeeds)
+	}
+	if res.PrunedSites != 4 {
+		t.Errorf("PrunedSites = %d, want 4 (CS and release stores)", res.PrunedSites)
+	}
+	if res.RestoredSites != 0 {
+		t.Errorf("RestoredSites = %d, want 0", res.RestoredSites)
+	}
+	p0 := atomAt(t, res.Optimal.Placement, 0)
+	if p0.Kind != KindLmfence || p0.Instr != 0 {
+		t.Errorf("optimal primary atom = %v, want the Fig. 3(a) l-mfence at the flag publish", p0)
+	}
+}
+
+// TestPrefilterSafeWithStaticCycles pins the seed quarantine: a program
+// the static analysis sees cycles in but which is actually safe (an SB
+// shape whose asserted outcome TSO cannot even produce) must still
+// report zero fences in one round — the empty placement is verified
+// before any seed is believed.
+func TestPrefilterSafeWithStaticCycles(t *testing.T) {
+	sb0, sb1 := programs.StoreBufferPair()
+	prob := Problem{
+		Name:     "sb-safe",
+		Programs: []*tso.Program{sb0, sb1},
+		Config:   ProblemConfig(),
+		Property: ForbiddenQuiesced("unreachable", func(m *tso.Machine) bool { return false }),
+	}
+	opts := testOptions()
+	opts.Prefilter = true
+	res, err := Synthesize(prob, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PrefilterCycles == 0 {
+		t.Fatal("static analysis found no cycle in the SB pair")
+	}
+	if res.Optimal == nil || res.Optimal.Placement.Len() != 0 {
+		t.Fatalf("optimal = %+v, want the empty placement", res.Optimal)
+	}
+	if res.Rounds != 1 || res.Counterexamples != 0 {
+		t.Errorf("rounds=%d cex=%d, want 1 round and no counterexamples", res.Rounds, res.Counterexamples)
+	}
+	if res.PrunedSites != 0 || res.PrefilterSeeds != 0 {
+		t.Errorf("pruned=%d seeds=%d: a safe empty placement must suppress seeding and pruning",
+			res.PrunedSites, res.PrefilterSeeds)
+	}
+}
+
+// TestUnrepairableConcludedExactly pins the screen's verdict discipline:
+// with the bounded screen on, a problem whose property fails in every
+// final state (no fence can help) must still be reported Unrepairable
+// off an *exact* run — the bounded verdict alone never supports a
+// terminal conclusion.
+func TestUnrepairableConcludedExactly(t *testing.T) {
+	sb0, sb1 := programs.StoreBufferPair()
+	prob := Problem{
+		Name:     "always-fails",
+		Programs: []*tso.Program{sb0, sb1},
+		Config:   ProblemConfig(),
+		Property: ForbiddenQuiesced("any final state", func(m *tso.Machine) bool { return true }),
+	}
+	opts := testOptions()
+	opts.ReorderBound = 1
+	res, err := Synthesize(prob, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Unrepairable {
+		t.Fatal("want Unrepairable")
+	}
+	if res.Counterexample == "" {
+		t.Error("Unrepairable reported without a counterexample trace")
+	}
+	if res.BoundedHits == 0 {
+		t.Error("screen never caught the (ubiquitous) violation")
+	}
+	if res.ExactChecks == 0 {
+		t.Error("Unrepairable concluded without any exact verification")
+	}
+}

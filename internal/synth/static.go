@@ -1,0 +1,343 @@
+package synth
+
+import (
+	"sort"
+
+	"repro/internal/arch"
+	"repro/internal/tso"
+)
+
+// This file is the static prefilter of Options.Prefilter: a cheap
+// program-order analysis in the spirit of "Don't sit on the fence"
+// (Alglave et al.) that runs before any model checking. On TSO the only
+// architectural relaxation is a load committing ahead of the processor's
+// own earlier stores, so every potential violation corresponds to a
+// *critical cycle* built from per-thread store→load program-order pairs
+// over racy (cross-thread-shared) locations: thread t delays store A
+// past its later load of B, some other thread on the cycle writes B and
+// reads the next location, and so on around the ring (SB is the
+// two-thread instance: (x,y) on P0 composed with (y,x) on P1). The
+// prefilter:
+//
+//  1. extracts, per thread, the (store site, store addr, load addr)
+//     program-order pairs whose addresses are statically resolvable and
+//     shared with another thread;
+//  2. composes pairs from distinct threads into potential critical
+//     cycles (pair_i's load address is pair_{i+1}'s store address,
+//     cyclically);
+//  3. turns each cycle into a *seed constraint* — any repair must fence
+//     at least one store site on the cycle — so round one of the CEGAR
+//     frontier starts from informed candidates instead of the empty
+//     placement;
+//  4. marks the store sites on no cycle as prunable: they cannot be the
+//     delayed store of any statically-visible relaxation, so the
+//     hitting-set lattice need not offer them.
+//
+// Everything here is heuristic and the driver treats it that way: seed
+// constraints are cleaned up by the minimality pass when a
+// false-positive cycle forced an unnecessary fence (without flagging
+// AssumptionViolated — only counterexample-derived constraints carry the
+// monotonicity assumption), and pruned sites are restored (counted in
+// Result.RestoredSites) the moment a real counterexample implicates one.
+// Addresses are resolved by a conservative constant propagation: an
+// indexed access participates only when its index register is provably a
+// single constant over the whole program.
+
+// poPair is one program-order store→load pair of a single thread.
+type poPair struct {
+	thread    int
+	store     siteKey
+	storeAddr arch.Addr
+	loadAddr  arch.Addr
+}
+
+// prefilterMaxCycles caps cycle enumeration; generated corpora can be
+// address-dense and the seeds are heuristic, so a truncated enumeration
+// (reported via prefilterInfo.truncated) costs recall, not soundness.
+const prefilterMaxCycles = 256
+
+// prefilterInfo is the static analysis' summary.
+type prefilterInfo struct {
+	pairs      []poPair
+	cycleSites [][]siteKey          // store sites of each cycle found
+	onCycle    map[siteKey]struct{} // union of cycleSites
+	resolved   map[siteKey]struct{} // store sites whose address resolved
+	truncated  bool                 // cycle cap hit
+}
+
+// regConsts computes, per register, whether the register provably holds
+// one known constant at every point of the program: never written
+// (zero) or written only by loadi of a single immediate. Any other
+// writer — memory loads, arithmetic, LE — makes the register unknown.
+func regConsts(prog *tso.Program) (val [tso.NumRegs]arch.Word, known [tso.NumRegs]bool) {
+	written := [tso.NumRegs]bool{}
+	for i := range known {
+		known[i] = true
+	}
+	for _, in := range prog.Instrs {
+		switch in.Op {
+		case tso.OpLoadI:
+			r := in.Rd
+			if written[r] && val[r] != in.Imm {
+				known[r] = false
+			}
+			written[r] = true
+			if known[r] {
+				val[r] = in.Imm
+			}
+		case tso.OpLoad, tso.OpLoadIdx, tso.OpLE, tso.OpAdd, tso.OpAddI, tso.OpSub:
+			known[in.Rd] = false
+		}
+	}
+	return val, known
+}
+
+// staticAccess is one statically-resolved memory access of a program.
+type staticAccess struct {
+	instr   int
+	addr    arch.Addr
+	isStore bool
+}
+
+// staticAccesses resolves the program's memory accesses. Indexed
+// accesses resolve only when regConsts proves the index; unresolvable
+// accesses are simply absent (and the prefilter never prunes their
+// sites — see prunable).
+func staticAccesses(prog *tso.Program) []staticAccess {
+	val, known := regConsts(prog)
+	var out []staticAccess
+	for i, in := range prog.Instrs {
+		switch in.Op {
+		case tso.OpLoad, tso.OpLE:
+			out = append(out, staticAccess{instr: i, addr: in.Addr})
+		case tso.OpLoadIdx:
+			if known[in.Ra] {
+				out = append(out, staticAccess{instr: i, addr: in.Addr + arch.Addr(val[in.Ra])})
+			}
+		case tso.OpStore, tso.OpStoreI, tso.OpStoreLinked, tso.OpStoreLinkedReg:
+			out = append(out, staticAccess{instr: i, addr: in.Addr, isStore: true})
+		case tso.OpStoreIdx:
+			if known[in.Ra] {
+				out = append(out, staticAccess{instr: i, addr: in.Addr + arch.Addr(val[in.Ra]), isStore: true})
+			}
+		}
+	}
+	return out
+}
+
+// hasBackEdge reports whether the program branches to an earlier (or
+// the same) instruction — i.e. loops. Loop bodies make instruction
+// indices only a partial proxy for program order (a store late in the
+// body precedes, in some executions, a load textually earlier), so pair
+// extraction falls back to all store/load combinations.
+func hasBackEdge(prog *tso.Program) bool {
+	for i, in := range prog.Instrs {
+		switch in.Op {
+		case tso.OpBeq, tso.OpBne, tso.OpBlt, tso.OpJmp:
+			if in.Target <= i {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// prefilterAnalyze runs the whole static analysis over the base
+// programs.
+func prefilterAnalyze(progs []*tso.Program) *prefilterInfo {
+	info := &prefilterInfo{
+		onCycle:  make(map[siteKey]struct{}),
+		resolved: make(map[siteKey]struct{}),
+	}
+
+	// Which threads touch each resolved address.
+	accesses := make([][]staticAccess, len(progs))
+	touchers := make(map[arch.Addr]map[int]struct{})
+	for t, prog := range progs {
+		accesses[t] = staticAccesses(prog)
+		for _, a := range accesses[t] {
+			if touchers[a.addr] == nil {
+				touchers[a.addr] = make(map[int]struct{})
+			}
+			touchers[a.addr][t] = struct{}{}
+		}
+	}
+	racyBeyond := func(addr arch.Addr, t int) bool {
+		for u := range touchers[addr] {
+			if u != t {
+				return true
+			}
+		}
+		return false
+	}
+
+	// Per-thread store→load program-order pairs over racy addresses.
+	for t, prog := range progs {
+		loop := hasBackEdge(prog)
+		for _, st := range accesses[t] {
+			if !st.isStore {
+				continue
+			}
+			info.resolved[siteKey{t, st.instr}] = struct{}{}
+			if !racyBeyond(st.addr, t) {
+				continue
+			}
+			for _, ld := range accesses[t] {
+				if ld.isStore || ld.addr == st.addr || !racyBeyond(ld.addr, t) {
+					continue
+				}
+				// Program order: by index for straight-line code; any
+				// order once a loop can wrap the body around.
+				if !loop && ld.instr < st.instr {
+					continue
+				}
+				info.pairs = append(info.pairs, poPair{
+					thread: t, store: siteKey{t, st.instr},
+					storeAddr: st.addr, loadAddr: ld.addr,
+				})
+			}
+		}
+	}
+
+	info.enumerateCycles(len(progs))
+	return info
+}
+
+// enumerateCycles composes pairs from distinct threads into potential
+// critical cycles: pair_i.loadAddr == pair_{i+1}.storeAddr, cyclically,
+// each thread contributing at most one pair. Rotations are deduped by
+// requiring the first pair's thread to be the smallest on the cycle.
+func (info *prefilterInfo) enumerateCycles(threads int) {
+	byThread := make([][]poPair, threads)
+	for _, p := range info.pairs {
+		byThread[p.thread] = append(byThread[p.thread], p)
+	}
+
+	var chain []poPair
+	used := make([]bool, threads)
+	var walk func(first poPair) bool
+	walk = func(first poPair) bool {
+		if len(info.cycleSites) >= prefilterMaxCycles {
+			info.truncated = true
+			return false
+		}
+		last := chain[len(chain)-1]
+		// Close the cycle (length ≥ 2: one thread cannot race with
+		// itself).
+		if len(chain) >= 2 && last.loadAddr == first.storeAddr {
+			sites := make([]siteKey, len(chain))
+			for i, p := range chain {
+				sites[i] = p.store
+				info.onCycle[p.store] = struct{}{}
+			}
+			info.cycleSites = append(info.cycleSites, sites)
+		}
+		for t := first.thread + 1; t < threads; t++ {
+			if used[t] {
+				continue
+			}
+			for _, q := range byThread[t] {
+				if q.storeAddr != last.loadAddr {
+					continue
+				}
+				used[t] = true
+				chain = append(chain, q)
+				ok := walk(first)
+				chain = chain[:len(chain)-1]
+				used[t] = false
+				if !ok {
+					return false
+				}
+			}
+		}
+		return true
+	}
+
+	for t := 0; t < threads; t++ {
+		for _, p := range byThread[t] {
+			used[t] = true
+			chain = append(chain, p)
+			ok := walk(p)
+			chain = chain[:len(chain)-1]
+			used[t] = false
+			if !ok {
+				return
+			}
+		}
+	}
+}
+
+// seedConstraints lowers the cycles to initial hitting-set constraints:
+// per cycle, "fence at least one of its store sites", with exactly the
+// atoms buildConstraint would emit for a counterexample whose windows
+// were the cycle's stores (relative to the empty placement). Duplicate
+// site sets (same stores, different load addresses) collapse.
+func (info *prefilterInfo) seedConstraints(bySite map[siteKey]Site, opts Options) []constraint {
+	var seeds []constraint
+	seen := make(map[string]struct{})
+	for _, sites := range info.cycleSites {
+		var c constraint
+		for _, k := range sites {
+			site, ok := bySite[k]
+			if !ok {
+				continue
+			}
+			if opts.allowLmfence() && site.LmfenceOK {
+				c = append(c, Atom{
+					Thread: k.thread, Instr: k.instr, Kind: KindLmfence,
+					Addr: site.Addr, AddrKnown: site.AddrKnown,
+				})
+			}
+			if opts.allowMfence() {
+				c = append(c, Atom{
+					Thread: k.thread, Instr: k.instr, Kind: KindMfence,
+					Addr: site.Addr, AddrKnown: site.AddrKnown,
+				})
+			}
+		}
+		if len(c) == 0 {
+			continue
+		}
+		sort.Slice(c, func(i, j int) bool {
+			if c[i].Thread != c[j].Thread {
+				return c[i].Thread < c[j].Thread
+			}
+			if c[i].Instr != c[j].Instr {
+				return c[i].Instr < c[j].Instr
+			}
+			return c[i].Kind < c[j].Kind
+		})
+		k := constraintKey(c)
+		if _, dup := seen[k]; dup {
+			continue
+		}
+		seen[k] = struct{}{}
+		seeds = append(seeds, c)
+	}
+	return seeds
+}
+
+// prunable returns the sites the prefilter can drop from the lattice:
+// store sites whose address the analysis resolved but which sit on no
+// potential critical cycle. Unresolvable sites are never pruned — the
+// analysis saw nothing there, so it may claim nothing. Pruning is only
+// offered when at least one cycle exists and the enumeration did not
+// truncate (a truncated walk may have missed the cycle that would have
+// kept a site).
+func (info *prefilterInfo) prunable(sites []Site) []Site {
+	if len(info.cycleSites) == 0 || info.truncated {
+		return nil
+	}
+	var out []Site
+	for _, s := range sites {
+		k := siteKey{s.Thread, s.Instr}
+		if _, ok := info.resolved[k]; !ok {
+			continue
+		}
+		if _, ok := info.onCycle[k]; ok {
+			continue
+		}
+		out = append(out, s)
+	}
+	return out
+}

@@ -1,0 +1,146 @@
+package synth
+
+import (
+	"testing"
+
+	"repro/internal/programs"
+	"repro/internal/tso"
+)
+
+// TestPrefilterAnalyzeSB pins the static analysis on the canonical
+// two-thread critical cycle: the SB pair composes (x→y) on P0 with
+// (y→x) on P1 into exactly one cycle covering both store sites, so
+// nothing is prunable.
+func TestPrefilterAnalyzeSB(t *testing.T) {
+	p0, p1 := programs.StoreBufferPair()
+	progs := []*tso.Program{p0, p1}
+	info := prefilterAnalyze(progs)
+
+	if info.truncated {
+		t.Fatal("two-pair analysis truncated")
+	}
+	if len(info.cycleSites) != 1 {
+		t.Fatalf("got %d cycles, want 1: %v", len(info.cycleSites), info.cycleSites)
+	}
+	if len(info.cycleSites[0]) != 2 {
+		t.Fatalf("cycle %v, want one store site per thread", info.cycleSites[0])
+	}
+	for _, site := range Sites(progs) {
+		if _, ok := info.onCycle[siteKey{site.Thread, site.Instr}]; !ok {
+			t.Errorf("store site %v not on the SB cycle", site)
+		}
+	}
+	if pr := info.prunable(Sites(progs)); len(pr) != 0 {
+		t.Errorf("prunable = %v, want none (every store is on the cycle)", pr)
+	}
+}
+
+// TestPrefilterAnalyzeDekker pins the analysis on the unfenced Dekker
+// pair: the only critical cycle runs through the two flag publishes
+// (instr 0 each), so the critical-section and release stores (instrs 5
+// and 8) are statically prunable — exactly the sites no minimal repair
+// ever uses.
+func TestPrefilterAnalyzeDekker(t *testing.T) {
+	p0, p1 := programs.DekkerPair(programs.DekkerNoFence)
+	progs := []*tso.Program{p0, p1}
+	info := prefilterAnalyze(progs)
+
+	if len(info.cycleSites) != 1 {
+		t.Fatalf("got %d cycles, want 1: %v", len(info.cycleSites), info.cycleSites)
+	}
+	for _, k := range []siteKey{{0, 0}, {1, 0}} {
+		if _, ok := info.onCycle[k]; !ok {
+			t.Errorf("flag publish %v not on the cycle", k)
+		}
+	}
+	pr := info.prunable(Sites(progs))
+	if len(pr) != 4 {
+		t.Fatalf("prunable = %v, want the 4 CS/release stores", pr)
+	}
+	for _, s := range pr {
+		if s.Instr != 5 && s.Instr != 8 {
+			t.Errorf("pruned site %v, want only instrs 5 and 8", s)
+		}
+	}
+}
+
+// TestPrefilterAnalyzeMP pins the no-cycle case: MP's consumer never
+// stores, so no cross-thread pair composition exists — and with zero
+// cycles the analysis offers no pruning at all (it saw nothing, so it
+// claims nothing).
+func TestPrefilterAnalyzeMP(t *testing.T) {
+	p0, p1 := programs.MessagePassingPair()
+	progs := []*tso.Program{p0, p1}
+	info := prefilterAnalyze(progs)
+
+	if len(info.cycleSites) != 0 {
+		t.Fatalf("got %d cycles, want 0: %v", len(info.cycleSites), info.cycleSites)
+	}
+	if pr := info.prunable(Sites(progs)); pr != nil {
+		t.Errorf("prunable = %v, want nil when no cycle exists", pr)
+	}
+}
+
+// TestSeedConstraintsDekker lowers the Dekker cycle to its seed: one
+// constraint offering, per flag publish, both the l-mfence and the
+// mfence atom.
+func TestSeedConstraintsDekker(t *testing.T) {
+	p0, p1 := programs.DekkerPair(programs.DekkerNoFence)
+	progs := []*tso.Program{p0, p1}
+	info := prefilterAnalyze(progs)
+
+	bySite := make(map[siteKey]Site)
+	for _, s := range Sites(progs) {
+		bySite[siteKey{s.Thread, s.Instr}] = s
+	}
+	seeds := info.seedConstraints(bySite, Options{})
+	if len(seeds) != 1 {
+		t.Fatalf("got %d seeds, want 1: %v", len(seeds), seeds)
+	}
+	c := seeds[0]
+	if len(c) != 4 {
+		t.Fatalf("seed constraint %v, want 4 atoms (2 kinds × 2 flag publishes)", c)
+	}
+	for _, a := range c {
+		if a.Instr != 0 {
+			t.Errorf("seed atom %v, want only the flag publishes at instr 0", a)
+		}
+	}
+	// Restricting the lattice restricts the seed the same way.
+	mfOnly := info.seedConstraints(bySite, Options{AllowMfence: true})
+	if len(mfOnly) != 1 || len(mfOnly[0]) != 2 {
+		t.Errorf("mfence-only seeds = %v, want one 2-atom constraint", mfOnly)
+	}
+	for _, a := range mfOnly[0] {
+		if a.Kind != KindMfence {
+			t.Errorf("mfence-only seed atom %v has kind %v", a, a.Kind)
+		}
+	}
+}
+
+// TestRegConstsAndStaticAccesses pins the conservative constant
+// propagation: a register is known only when never written or written by
+// loadi of a single immediate; everything else kills resolution.
+func TestRegConsts(t *testing.T) {
+	prog := tso.NewBuilder("consts").
+		LoadI(1, 3).
+		LoadI(1, 3). // same immediate twice: still known
+		LoadI(2, 1).
+		LoadI(2, 2).             // conflicting immediates: unknown
+		Load(3, programs.AddrX). // memory load: unknown
+		AddI(4, 1, 1).           // arithmetic: unknown
+		Halt().Build()
+	val, known := regConsts(prog)
+	if !known[1] || val[1] != 3 {
+		t.Errorf("r1: known=%v val=%v, want known constant 3", known[1], val[1])
+	}
+	for _, r := range []tso.Reg{2, 3, 4} {
+		if known[r] {
+			t.Errorf("r%d: marked known, want unknown", r)
+		}
+	}
+	// r5 is never written: known zero.
+	if !known[5] || val[5] != 0 {
+		t.Errorf("r5: known=%v val=%v, want known constant 0", known[5], val[5])
+	}
+}

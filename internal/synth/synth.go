@@ -361,6 +361,28 @@ type Options struct {
 	// SkipMinimalityCheck disables the final weakening verification
 	// pass (used by tests exercising the CEGAR core alone).
 	SkipMinimalityCheck bool
+
+	// Prefilter enables the static critical-cycle analysis (static.go):
+	// program-order store→load pairs over racy addresses are composed
+	// into potential cycles that seed the initial constraint set, and
+	// store sites on no cycle are pruned from the candidate lattice
+	// (Result.PrunedSites; restored automatically if a counterexample
+	// implicates one, Result.RestoredSites). Purely a search accelerator:
+	// reported placements are verified exactly either way, and seed-only
+	// over-fencing is removed by the minimality pass without flagging
+	// AssumptionViolated.
+	Prefilter bool
+
+	// ReorderBound, when positive, screens every candidate with a
+	// reorder-bounded exploration (litmus.Options.ReorderBound) before
+	// paying for the exact reduced check. A bounded violation is a real
+	// violation (the bounded semantics is an under-approximation), so
+	// UNSAT candidates usually resolve at a fraction of the exact cost;
+	// bounded-safe candidates always proceed to the exact check, and
+	// Unrepairable/ErrBudget conclusions are only ever drawn from exact
+	// runs. 2 is a good default for generated corpora (SB-style cycles
+	// need 1; the occasional deeper window needs 2).
+	ReorderBound int
 }
 
 // DefaultPrimaryWeight is the default primary:secondary frequency ratio.
@@ -445,13 +467,33 @@ type Result struct {
 
 	// CandidatesChecked counts verification queries (including the
 	// minimality pass); Counterexamples counts UNSAT verdicts among
-	// them; StatesExplored sums their explored states; Rounds counts
-	// CEGAR frontier iterations.
+	// them; StatesExplored sums their explored states (bounded screens
+	// included); Rounds counts CEGAR frontier iterations.
 	CandidatesChecked int
 	Counterexamples   int
 	StatesExplored    int
 	Rounds            int
 	Elapsed           time.Duration
+
+	// BoundedChecks / BoundedHits / ExactChecks break the verification
+	// queries down by engine mode when Options.ReorderBound is set: how
+	// many candidates ran the bounded screen, how many of those screens
+	// found a (real) violation and skipped the exact check, and how many
+	// exact explorations ran. With the screen off, ExactChecks ==
+	// CandidatesChecked.
+	BoundedChecks int
+	BoundedHits   int
+	ExactChecks   int
+
+	// PrefilterCycles / PrefilterSeeds / PrunedSites / RestoredSites
+	// report the static prefilter's work when Options.Prefilter is set:
+	// potential critical cycles found, seed constraints injected, sites
+	// pruned from the lattice, and pruned sites restored after a real
+	// counterexample implicated them.
+	PrefilterCycles int
+	PrefilterSeeds  int
+	PrunedSites     int
+	RestoredSites   int
 
 	// Obs renders the synthesis counters (plus states/sec across all
 	// verification queries) as an obs snapshot for the bench pipeline.
@@ -466,6 +508,13 @@ func (r *Result) FillObs() {
 	r.Obs.PutCounter("counterexamples", uint64(r.Counterexamples))
 	r.Obs.PutCounter("cegar_rounds", uint64(r.Rounds))
 	r.Obs.PutCounter("states_explored", uint64(r.StatesExplored))
+	r.Obs.PutCounter("bounded_checks", uint64(r.BoundedChecks))
+	r.Obs.PutCounter("bounded_hits", uint64(r.BoundedHits))
+	r.Obs.PutCounter("exact_checks", uint64(r.ExactChecks))
+	r.Obs.PutCounter("prefilter_cycles", uint64(r.PrefilterCycles))
+	r.Obs.PutCounter("prefilter_seeds", uint64(r.PrefilterSeeds))
+	r.Obs.PutCounter("pruned_sites", uint64(r.PrunedSites))
+	r.Obs.PutCounter("restored_sites", uint64(r.RestoredSites))
 	if r.Elapsed > 0 {
 		r.Obs.PutGauge("states_per_sec", float64(r.StatesExplored)/r.Elapsed.Seconds())
 	}
