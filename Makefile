@@ -9,7 +9,7 @@ COUNT ?= 5
 BENCH_SCALE ?= test
 BENCH_BASELINE ?= BENCH_baseline.json
 
-.PHONY: test race bench bench-litmus bench-por bench-compress litmus-json synth bench-json bench-diff chaos fuzz
+.PHONY: test race bench bench-litmus bench-por bench-compress litmus-json synth bench-json bench-diff chaos crash fuzz
 
 # Per-target budget for the coverage-guided fuzzing runs.
 FUZZTIME ?= 30s
@@ -73,6 +73,13 @@ bench-diff:
 chaos:
 	$(GO) test -race -run 'Chaos|Fault|Stall|Abandon|Watchdog|Close|Starvation|Deadline' ./internal/harness/ ./internal/signals/ ./internal/sched/ ./internal/fault/
 	$(GO) run ./cmd/lbmfbench -exp chaos -scale test -faults $(CHAOS_SEEDS)
+
+# Crash recovery: the checkpoint/resume, corpus-journal, and job-runner
+# suites under the race detector, then the litmus_resume experiment
+# (checkpoint overhead + exact-recovery contract).
+crash:
+	$(GO) test -race -run 'Checkpoint|Resume|Interrupt|Spill|Journal|Corpus|Daemon' ./internal/litmus/ ./internal/harness/ ./cmd/litmusd/
+	$(GO) run ./cmd/lbmfbench -exp litmus_resume -scale test
 
 # Coverage-guided fuzzing: the .litmus parser/compiler/renderer round
 # trip, then the differential engine matrix over generated scenarios.

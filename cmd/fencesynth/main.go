@@ -46,6 +46,7 @@ func main() {
 	jsonOut := flag.Bool("json", false, "emit a machine-readable JSON report instead of tables")
 	corpus := flag.Int("corpus", 0, "repair N generated scenarios end-to-end (generate → synthesize → splice → exact re-verify) instead of the registry")
 	corpusSeed := flag.Int64("corpus-seed", 0, "base generator seed for -corpus scanning")
+	corpusJournal := flag.String("corpus-journal", "", "journal file making -corpus resumable: completed scenarios persist as they finish and a rerun restores them instead of re-synthesizing")
 	prefilter := flag.Bool("prefilter", false, "seed and prune the lattice with the static critical-cycle analysis (default on under -corpus)")
 	reorderBound := flag.Int("reorder-bound", 0, "screen candidates with a reorder-bounded exploration before the exact check; 0 = off (default 2 under -corpus)")
 	flag.Parse()
@@ -87,7 +88,7 @@ func main() {
 	}
 
 	if *corpus > 0 {
-		os.Exit(runCorpus(*corpus, *corpusSeed, opts, *verbose, os.Stdout))
+		os.Exit(runCorpus(*corpus, *corpusSeed, *corpusJournal, opts, *verbose, os.Stdout))
 	}
 	if *file != "" {
 		os.Exit(runFile(*file, opts, *verbose, *jsonOut, os.Stdout))
@@ -124,6 +125,9 @@ func validateFlags(set map[string]bool) error {
 	if set["corpus-seed"] && !set["corpus"] {
 		return fmt.Errorf("-corpus-seed only applies to -corpus mode")
 	}
+	if set["corpus-journal"] && !set["corpus"] {
+		return fmt.Errorf("-corpus-journal only applies to -corpus mode")
+	}
 	return nil
 }
 
@@ -131,12 +135,20 @@ func validateFlags(set map[string]bool) error {
 // prints the aggregate table (with -v, one line per scenario). Exit
 // codes: 0 when every scenario resolved cleanly, 1 when any errored —
 // a spliced repair the exact engine refuted above all.
-func runCorpus(n int, seed int64, opts synth.Options, verbose bool, w io.Writer) int {
-	res := harness.RunCorpus(harness.CorpusOptions{
+func runCorpus(n int, seed int64, journal string, opts synth.Options, verbose bool, w io.Writer) int {
+	res, err := harness.RunCorpus(harness.CorpusOptions{
 		Scenarios: n,
 		Seed:      seed,
 		Synth:     opts,
+		Journal:   journal,
 	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fencesynth:", err)
+		return 2
+	}
+	if res.Resumed > 0 {
+		fmt.Fprintf(w, "resumed %d journaled scenario(s) from %s\n", res.Resumed, journal)
+	}
 	fmt.Fprintln(w, res.Table())
 	if verbose {
 		for _, row := range res.Rows {

@@ -51,7 +51,7 @@ func TestRunCorpusHundred(t *testing.T) {
 	}
 	var out bytes.Buffer
 	opts := synth.Options{Prefilter: true, ReorderBound: 2}
-	if code := runCorpus(100, 0, opts, false, &out); code != 0 {
+	if code := runCorpus(100, 0, "", opts, false, &out); code != 0 {
 		t.Fatalf("exit code %d, want 0\noutput:\n%s", code, out.String())
 	}
 	got := out.String()

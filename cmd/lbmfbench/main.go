@@ -44,7 +44,7 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "comma-separated experiments (dekker|fig4|fig5a|fig5b|fig6a|fig6b|overhead|theorems|litmus_por|litmus_compress|litmus_fuzz|ablation|packetproc|chaos) or 'all'")
+		exp      = flag.String("exp", "all", "comma-separated experiments (dekker|fig4|fig5a|fig5b|fig6a|fig6b|overhead|theorems|litmus_por|litmus_compress|litmus_fuzz|litmus_resume|ablation|packetproc|chaos) or 'all'")
 		scale    = flag.String("scale", "small", "workload scale: test|small|medium|paper")
 		reps     = flag.Int("reps", 0, "repetitions per measurement (0 = default)")
 		procs    = flag.Int("procs", 0, "workers for parallel runs (0 = default)")

@@ -1,0 +1,10 @@
+//go:build !unix
+
+package main
+
+import "os"
+
+// killSelf approximates SIGKILL on platforms without it: exit
+// immediately with the conventional kill status, skipping deferred
+// functions and flushes.
+func killSelf() { os.Exit(137) }

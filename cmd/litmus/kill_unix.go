@@ -1,0 +1,17 @@
+//go:build unix
+
+package main
+
+import (
+	"os"
+	"syscall"
+)
+
+// killSelf dies the hard way — SIGKILL, no deferred functions, no
+// flushes — so -crash-after exercises real crash recovery: the only
+// surviving state is what the checkpoint already committed. The
+// conventional 137 exit is what the kill-and-resume CI smoke asserts.
+func killSelf() {
+	syscall.Kill(os.Getpid(), syscall.SIGKILL)
+	os.Exit(137) // unreachable unless the signal is somehow swallowed
+}

@@ -43,6 +43,10 @@ func main() {
 	nproc := flag.Int("nproc", 0, "also model-check the N-process bakery/Peterson generators under symmetry reduction (0 = skip)")
 	file := flag.String("file", "", "model-check a single .litmus scenario file instead of the built-in suite")
 	jsonOut := flag.Bool("json", false, "emit a machine-readable JSON summary instead of tables")
+	checkpoint := flag.String("checkpoint", "", "checkpoint directory for the -file exploration: periodic durable snapshots a killed run resumes from (requires -file)")
+	ckptEvery := flag.Int("checkpoint-every", 5000, "checkpoint every N claimed states (requires -checkpoint)")
+	resume := flag.Bool("resume", false, "resume the -file exploration from the -checkpoint directory instead of starting fresh")
+	crashAfter := flag.Int("crash-after", 0, "SIGKILL this process right after the Nth checkpoint commit — crash-recovery testing only (requires -checkpoint)")
 	flag.Parse()
 
 	set := make(map[string]bool)
@@ -61,7 +65,8 @@ func main() {
 	}
 
 	if *file != "" {
-		os.Exit(runFile(*file, catOpts, *jsonOut, os.Stdout))
+		fc := fileCkpt{dir: *checkpoint, every: *ckptEvery, resume: *resume, crashAfter: *crashAfter}
+		os.Exit(runFile(*file, catOpts, fc, *jsonOut, os.Stdout))
 	}
 
 	if *jsonOut {
@@ -107,7 +112,23 @@ func validateFlags(set map[string]bool) error {
 			}
 		}
 	}
+	if set["checkpoint"] && !set["file"] {
+		return fmt.Errorf("-checkpoint requires -file: only single-scenario explorations are checkpointed")
+	}
+	for _, name := range []string{"resume", "checkpoint-every", "crash-after"} {
+		if set[name] && !set["checkpoint"] {
+			return fmt.Errorf("-%s requires -checkpoint: there is no snapshot directory without it", name)
+		}
+	}
 	return nil
+}
+
+// fileCkpt carries the -checkpoint flag family into runFile.
+type fileCkpt struct {
+	dir        string // checkpoint directory ("" = checkpointing off)
+	every      int    // snapshot cadence in claimed states
+	resume     bool   // resume from dir instead of exploring fresh
+	crashAfter int    // SIGKILL after the Nth commit (0 = never)
 }
 
 // fileSummary is the -file -json output shape.
@@ -121,14 +142,15 @@ type fileSummary struct {
 	Violations  int            `json:"violations"`
 	Property    string         `json:"property,omitempty"`
 	Pass        bool           `json:"pass"`
+	Resumed     bool           `json:"resumed,omitempty"`
 }
 
 // runFile compiles and model-checks one .litmus scenario, reporting its
 // outcome set and (when the file declares an assertion) the verdict.
 // The return value is the process exit code: 0 clean, 1 when the
 // assertion is violated or the exploration truncated, 2 on I/O or
-// compile errors.
-func runFile(path string, opts litmus.Options, jsonOut bool, w io.Writer) int {
+// compile errors (including an unusable checkpoint under -resume).
+func runFile(path string, opts litmus.Options, fc fileCkpt, jsonOut bool, w io.Writer) int {
 	src, err := os.ReadFile(path)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "litmus:", err)
@@ -140,7 +162,26 @@ func runFile(path string, opts litmus.Options, jsonOut bool, w io.Writer) int {
 		return 2
 	}
 	opts.Properties = c.Properties()
-	res := litmus.Explore(c.Build, opts)
+	if fc.dir != "" {
+		opts.Checkpoint = litmus.CheckpointOptions{Dir: fc.dir, EveryStates: fc.every}
+		if fc.crashAfter > 0 {
+			opts.Checkpoint.OnCommit = func(n int) {
+				if n >= fc.crashAfter {
+					killSelf()
+				}
+			}
+		}
+	}
+	var res litmus.Result
+	if fc.resume {
+		res, err = litmus.Resume(fc.dir, c.Build, opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "litmus: resuming from %s: %v\n", fc.dir, err)
+			return 2
+		}
+	} else {
+		res = litmus.Explore(c.Build, opts)
+	}
 	pass := res.Violations == 0 && !res.Truncated
 
 	if jsonOut {
@@ -154,6 +195,7 @@ func runFile(path string, opts litmus.Options, jsonOut bool, w io.Writer) int {
 			Violations:  res.Violations,
 			Property:    c.PropertyDoc,
 			Pass:        pass,
+			Resumed:     fc.resume,
 		}
 		for o, n := range res.Outcomes {
 			sum.Outcomes[string(o)] = n

@@ -3,8 +3,10 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"io"
 	"os"
 	"path/filepath"
+	"reflect"
 	"strings"
 	"testing"
 
@@ -28,6 +30,12 @@ func TestValidateFlags(t *testing.T) {
 		{"file with por", []string{"file", "por"}, "-file is incompatible with -por"},
 		{"file with explicit catalog", []string{"file", "catalog"}, "-file is incompatible with -catalog"},
 		{"file with membudget alone", []string{"file", "membudget"}, "-membudget requires -compress"},
+		{"file with checkpoint", []string{"file", "checkpoint"}, ""},
+		{"full checkpoint family", []string{"file", "checkpoint", "checkpoint-every", "resume", "crash-after"}, ""},
+		{"checkpoint without file", []string{"checkpoint"}, "-checkpoint requires -file"},
+		{"resume without checkpoint", []string{"file", "resume"}, "-resume requires -checkpoint"},
+		{"cadence without checkpoint", []string{"file", "checkpoint-every"}, "-checkpoint-every requires -checkpoint"},
+		{"crash-after without checkpoint", []string{"file", "crash-after"}, "-crash-after requires -checkpoint"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -94,7 +102,7 @@ forbid P0:r0=0 & P1:r0=0
 
 func TestRunFilePass(t *testing.T) {
 	var out bytes.Buffer
-	code := runFile(writeScenario(t, sbFenced), litmus.Options{}, false, &out)
+	code := runFile(writeScenario(t, sbFenced), litmus.Options{}, fileCkpt{}, false, &out)
 	if code != 0 {
 		t.Fatalf("exit code %d, want 0\noutput:\n%s", code, out.String())
 	}
@@ -108,7 +116,7 @@ func TestRunFilePass(t *testing.T) {
 
 func TestRunFileViolation(t *testing.T) {
 	var out bytes.Buffer
-	code := runFile(writeScenario(t, sbRelaxed), litmus.Options{}, false, &out)
+	code := runFile(writeScenario(t, sbRelaxed), litmus.Options{}, fileCkpt{}, false, &out)
 	if code != 1 {
 		t.Fatalf("exit code %d, want 1\noutput:\n%s", code, out.String())
 	}
@@ -119,7 +127,7 @@ func TestRunFileViolation(t *testing.T) {
 
 func TestRunFileJSON(t *testing.T) {
 	var out bytes.Buffer
-	code := runFile(writeScenario(t, sbFenced), litmus.Options{}, true, &out)
+	code := runFile(writeScenario(t, sbFenced), litmus.Options{}, fileCkpt{}, true, &out)
 	if code != 0 {
 		t.Fatalf("exit code %d, want 0\noutput:\n%s", code, out.String())
 	}
@@ -138,11 +146,52 @@ func TestRunFileJSON(t *testing.T) {
 }
 
 func TestRunFileErrors(t *testing.T) {
-	if code := runFile(filepath.Join(t.TempDir(), "missing.litmus"), litmus.Options{}, false, os.Stderr); code != 2 {
+	if code := runFile(filepath.Join(t.TempDir(), "missing.litmus"), litmus.Options{}, fileCkpt{}, false, os.Stderr); code != 2 {
 		t.Errorf("missing file: exit code %d, want 2", code)
 	}
-	if code := runFile(writeScenario(t, "thread { jmp @nowhere }"), litmus.Options{}, false, os.Stderr); code != 2 {
+	if code := runFile(writeScenario(t, "thread { jmp @nowhere }"), litmus.Options{}, fileCkpt{}, false, os.Stderr); code != 2 {
 		t.Errorf("compile error: exit code %d, want 2", code)
+	}
+}
+
+// TestRunFileCheckpointResume drives the -checkpoint/-resume flag
+// plumbing end to end in-process: a checkpointed run leaves a final
+// snapshot, and -resume reproduces its summary exactly from that
+// snapshot instead of re-exploring.
+func TestRunFileCheckpointResume(t *testing.T) {
+	scenario := writeScenario(t, sbRelaxed)
+	ckpt := filepath.Join(t.TempDir(), "ckpt")
+
+	var ref bytes.Buffer
+	if code := runFile(scenario, litmus.Options{}, fileCkpt{dir: ckpt, every: 50}, true, &ref); code != 1 {
+		t.Fatalf("checkpointed run: exit code %d, want 1 (forbidden outcome reached)\n%s", code, ref.String())
+	}
+	var refSum fileSummary
+	if err := json.Unmarshal(ref.Bytes(), &refSum); err != nil {
+		t.Fatal(err)
+	}
+
+	var out bytes.Buffer
+	if code := runFile(scenario, litmus.Options{}, fileCkpt{dir: ckpt, every: 50, resume: true}, true, &out); code != 1 {
+		t.Fatalf("resumed run: exit code %d, want 1\n%s", code, out.String())
+	}
+	var sum fileSummary
+	if err := json.Unmarshal(out.Bytes(), &sum); err != nil {
+		t.Fatal(err)
+	}
+	if !sum.Resumed {
+		t.Error("resumed summary not marked resumed")
+	}
+	sum.Resumed = refSum.Resumed
+	if !reflect.DeepEqual(sum, refSum) {
+		t.Errorf("resumed summary diverges:\nresumed:   %+v\nreference: %+v", sum, refSum)
+	}
+
+	// Resuming a directory with no checkpoint is an operator error, not
+	// a silent fresh run.
+	empty := filepath.Join(t.TempDir(), "empty")
+	if code := runFile(scenario, litmus.Options{}, fileCkpt{dir: empty, resume: true}, true, io.Discard); code != 2 {
+		t.Errorf("resume from empty dir: exit code %d, want 2", code)
 	}
 }
 
@@ -163,7 +212,7 @@ func TestRunFileOnExamples(t *testing.T) {
 				want = 1
 			}
 			var out bytes.Buffer
-			if code := runFile(f, litmus.Options{Reduction: true}, false, &out); code != want {
+			if code := runFile(f, litmus.Options{Reduction: true}, fileCkpt{}, false, &out); code != want {
 				t.Errorf("exit code %d, want %d\noutput:\n%s", code, want, out.String())
 			}
 		})

@@ -1,0 +1,532 @@
+package main
+
+import (
+	"encoding/json"
+	"io"
+	"log"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/fault"
+	"repro/internal/litmus"
+	"repro/internal/litmuslang"
+)
+
+// sbFenced passes: the mfences forbid the relaxed outcome.
+const sbFenced = `litmus "sb+mfence"
+config { memwords 16 sbdepth 4 }
+shared x @ 4, y @ 5
+thread "w0" {
+  storei [x], 1
+  mfence
+  load r0, [y]
+  halt
+}
+thread "w1" {
+  storei [y], 1
+  mfence
+  load r0, [x]
+  halt
+}
+forbid P0:r0=0 & P1:r0=0
+`
+
+// sbRelaxed fails: without fences TSO reaches the forbidden outcome.
+const sbRelaxed = `litmus "sb"
+config { memwords 16 sbdepth 4 }
+shared x @ 4, y @ 5
+thread "w0" {
+  storei [x], 1
+  load r0, [y]
+  halt
+}
+thread "w1" {
+  storei [y], 1
+  load r0, [x]
+  halt
+}
+forbid P0:r0=0 & P1:r0=0
+`
+
+// dekkerSrc is the paper's broken Dekker attempt: a medium-size space
+// (~1.8k states) with real violations — big enough for mid-run
+// checkpoints at a small cadence, small enough to finish instantly.
+const dekkerSrc = `litmus "dekker-nofence"
+config { memwords 16 sbdepth 4 }
+shared l1 @ 0, l2 @ 1, cs0 @ 2, cs1 @ 3
+thread "primary" {
+  storei [l1], 1
+  load r0, [l2]
+  bne r0, 0, @skip
+  cs.enter
+  cs.exit
+skip:
+  storei [l1], 0
+  halt
+}
+thread "secondary" {
+  storei [l2], 1
+  load r0, [l1]
+  bne r0, 0, @skip
+  cs.enter
+  cs.exit
+skip:
+  storei [l2], 0
+  halt
+}
+assert mutex
+`
+
+// bigSrc is a 4-thread interleaving bomb (millions of states uncapped):
+// the long-running job the timeout and drain tests need.
+const bigSrc = `litmus "big"
+config { memwords 16 sbdepth 4 }
+shared a @ 0, b @ 1, c @ 2, d @ 3
+thread "t0" {
+  storei [a], 1
+  load r0, [b]
+  storei [a], 2
+  load r1, [c]
+  storei [a], 3
+  load r2, [d]
+  halt
+}
+thread "t1" {
+  storei [b], 1
+  load r0, [c]
+  storei [b], 2
+  load r1, [d]
+  storei [b], 3
+  load r2, [a]
+  halt
+}
+thread "t2" {
+  storei [c], 1
+  load r0, [d]
+  storei [c], 2
+  load r1, [a]
+  storei [c], 3
+  load r2, [b]
+  halt
+}
+thread "t3" {
+  storei [d], 1
+  load r0, [a]
+  storei [d], 2
+  load r1, [b]
+  storei [d], 3
+  load r2, [c]
+  halt
+}
+`
+
+func TestValidateFlags(t *testing.T) {
+	cases := []struct {
+		name                     string
+		dir                      string
+		jobs, ckptEvery, retries int
+		wantErr                  string // substring, "" = valid
+	}{
+		{"defaults", "/tmp/spool", 2, 5000, 2, ""},
+		{"no dir", "", 2, 5000, 2, "-dir is required"},
+		{"zero jobs", "/tmp/spool", 0, 5000, 2, "-jobs must be positive"},
+		{"zero ckpt cadence", "/tmp/spool", 2, 0, 2, "-ckpt-every must be positive"},
+		{"negative retries", "/tmp/spool", 2, 5000, -1, "-retries must be non-negative"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := validateFlags(tc.dir, tc.jobs, tc.ckptEvery, tc.retries)
+			switch {
+			case tc.wantErr == "" && err != nil:
+				t.Fatalf("unexpected error: %v", err)
+			case tc.wantErr != "" && err == nil:
+				t.Fatalf("expected error containing %q, got nil", tc.wantErr)
+			case tc.wantErr != "" && !strings.Contains(err.Error(), tc.wantErr):
+				t.Fatalf("error %q does not contain %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+// startDaemon builds a daemon over cfg (fast poll, quiet log) and runs
+// serve in the background; the returned stop func drains and waits.
+func startDaemon(t *testing.T, cfg config) (*daemon, func()) {
+	t.Helper()
+	if cfg.Poll == 0 {
+		cfg.Poll = 10 * time.Millisecond
+	}
+	cfg.Log = log.New(io.Discard, "", 0)
+	d, err := newDaemon(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		d.serve(stop)
+		close(done)
+	}()
+	var once sync.Once
+	stopFn := func() {
+		once.Do(func() { close(stop) })
+		<-done
+	}
+	t.Cleanup(stopFn)
+	return d, stopFn
+}
+
+// submit drops src into the daemon's spool as <name>.litmus.
+func submit(t *testing.T, root, name, src string) {
+	t.Helper()
+	if err := os.WriteFile(filepath.Join(root, "spool", name+".litmus"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// waitFor polls cond until it holds or the deadline passes.
+func waitFor(t *testing.T, timeout time.Duration, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+func exists(path string) bool {
+	_, err := os.Stat(path)
+	return err == nil
+}
+
+// readVerdict loads done/<name>/verdict.json.
+func readVerdict(t *testing.T, root, name string) jobVerdict {
+	t.Helper()
+	data, err := os.ReadFile(filepath.Join(root, "done", name, "verdict.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var v jobVerdict
+	if err := json.Unmarshal(data, &v); err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+// explainRef explores src directly and returns the reference result the
+// daemon's verdict must reproduce.
+func explainRef(t *testing.T, src string) litmus.Result {
+	t.Helper()
+	c, err := litmuslang.CompileSource(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return litmus.Explore(c.Build, litmus.Options{Properties: c.Properties()})
+}
+
+// TestDaemonRunsSpooledJobs: the basic contract — drop jobs in spool/,
+// verdicts appear in done/, pass/fail decided by the assertion.
+func TestDaemonRunsSpooledJobs(t *testing.T) {
+	root := t.TempDir()
+	d, stop := startDaemon(t, config{Root: root, Jobs: 2, CkptEvery: 100})
+	submit(t, root, "fenced", sbFenced)
+	submit(t, root, "relaxed", sbRelaxed)
+
+	waitFor(t, 30*time.Second, "both verdicts", func() bool {
+		return exists(filepath.Join(root, "done", "fenced", "verdict.json")) &&
+			exists(filepath.Join(root, "done", "relaxed", "verdict.json"))
+	})
+	stop()
+
+	fenced := readVerdict(t, root, "fenced")
+	if !fenced.Pass || fenced.Violations != 0 || fenced.Threads != 2 || fenced.States == 0 || len(fenced.Outcomes) == 0 {
+		t.Errorf("fenced verdict = %+v, want pass with outcomes", fenced)
+	}
+	relaxed := readVerdict(t, root, "relaxed")
+	if relaxed.Pass || relaxed.Violations == 0 {
+		t.Errorf("relaxed verdict = %+v, want failing with violations", relaxed)
+	}
+	// The claimed job files travel with their verdicts; spool is empty.
+	if !exists(filepath.Join(root, "done", "fenced", "job.litmus")) {
+		t.Error("job.litmus missing from done/fenced")
+	}
+	if ents, _ := os.ReadDir(filepath.Join(root, "spool")); len(ents) != 0 {
+		t.Errorf("spool not drained: %d entries left", len(ents))
+	}
+	if got := d.completed.Load(); got != 2 {
+		t.Errorf("completed counter = %d, want 2", got)
+	}
+}
+
+// TestDaemonBadJobFails: an uncompilable job is failed permanently (no
+// retries) with the compile error recorded.
+func TestDaemonBadJobFails(t *testing.T) {
+	root := t.TempDir()
+	d, stop := startDaemon(t, config{Root: root, Retries: 3})
+	submit(t, root, "garbage", "this is not a litmus file\n")
+
+	errPath := filepath.Join(root, "failed", "garbage", "error.txt")
+	waitFor(t, 30*time.Second, "failed/garbage", func() bool { return exists(errPath) })
+	stop()
+
+	msg, err := os.ReadFile(errPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(msg), "compile") {
+		t.Errorf("error.txt = %q, want the compile error", msg)
+	}
+	if got := d.retried.Load(); got != 0 {
+		t.Errorf("retried counter = %d: a permanent failure must not burn retries", got)
+	}
+	if got := d.failures.Load(); got != 1 {
+		t.Errorf("failures counter = %d, want 1", got)
+	}
+}
+
+// TestDaemonJobTimeout: a job that cannot finish inside -job-timeout is
+// interrupted and failed with a timeout error.
+func TestDaemonJobTimeout(t *testing.T) {
+	root := t.TempDir()
+	_, stop := startDaemon(t, config{
+		Root:       root,
+		JobTimeout: 300 * time.Millisecond,
+		CkptEvery:  10000,
+	})
+	submit(t, root, "big", bigSrc)
+
+	errPath := filepath.Join(root, "failed", "big", "error.txt")
+	waitFor(t, 30*time.Second, "failed/big", func() bool { return exists(errPath) })
+	stop()
+
+	msg, err := os.ReadFile(errPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(msg), "timed out") {
+		t.Errorf("error.txt = %q, want a timeout error", msg)
+	}
+}
+
+// TestDaemonRetryResumesAfterCrash arms a one-shot crash right after
+// the first checkpoint commit: the first attempt dies mid-exploration,
+// the retry resumes from the committed snapshot through the backoff
+// ladder, and the final verdict matches an uninterrupted reference.
+func TestDaemonRetryResumesAfterCrash(t *testing.T) {
+	ref := explainRef(t, dekkerSrc)
+
+	root := t.TempDir()
+	inj := fault.New(1)
+	inj.Arm(fault.CkptCommit, fault.Plan{Prob: 1, Drop: true, MaxFires: 1})
+	d, stop := startDaemon(t, config{
+		Root:      root,
+		Retries:   2,
+		CkptEvery: 300,
+		Workers:   1,
+		Faults:    inj,
+	})
+	submit(t, root, "dekker", dekkerSrc)
+
+	waitFor(t, 30*time.Second, "done/dekker", func() bool {
+		return exists(filepath.Join(root, "done", "dekker", "verdict.json"))
+	})
+	stop()
+
+	v := readVerdict(t, root, "dekker")
+	if v.Attempts != 2 {
+		t.Errorf("Attempts = %d, want 2 (crash, then successful resume)", v.Attempts)
+	}
+	if !v.Resumed {
+		t.Error("verdict not marked resumed")
+	}
+	if v.States != ref.States || v.Violations != ref.Violations || v.Deadlocks != ref.Deadlocks {
+		t.Errorf("resumed verdict states/violations/deadlocks = %d/%d/%d, want %d/%d/%d",
+			v.States, v.Violations, v.Deadlocks, ref.States, ref.Violations, ref.Deadlocks)
+	}
+	if got := d.retried.Load(); got != 1 {
+		t.Errorf("retried counter = %d, want 1", got)
+	}
+	if got := d.resumed.Load(); got != 1 {
+		t.Errorf("resumed counter = %d, want 1", got)
+	}
+}
+
+// TestDaemonOrphanResume simulates a daemon killed mid-job: a claimed
+// job sits in work/ with a committed checkpoint from a crashed run. The
+// next daemon start must pick it up via Resume — not restart it — and
+// deliver the reference verdict.
+func TestDaemonOrphanResume(t *testing.T) {
+	ref := explainRef(t, dekkerSrc)
+
+	root := t.TempDir()
+	jobDir := filepath.Join(root, "work", "dekker")
+	if err := os.MkdirAll(jobDir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(jobDir, "job.litmus"), []byte(dekkerSrc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// Die mid-exploration with a committed checkpoint, exactly as a
+	// SIGKILL'd daemon would leave the job.
+	c, err := litmuslang.CompileSource(dekkerSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj := fault.New(2)
+	inj.Arm(fault.CkptCommit, fault.Plan{Prob: 1, Drop: true, MaxFires: 1})
+	dead := litmus.Explore(c.Build, litmus.Options{
+		Properties: c.Properties(),
+		Workers:    1,
+		Checkpoint: litmus.CheckpointOptions{Dir: filepath.Join(jobDir, "ckpt"), EveryStates: 300},
+		Faults:     inj,
+	})
+	if !dead.Crashed {
+		t.Fatal("setup: crash point never fired")
+	}
+	if !exists(filepath.Join(jobDir, "ckpt", "checkpoint.lbmf")) {
+		t.Fatal("setup: no committed checkpoint on disk")
+	}
+
+	d, stop := startDaemon(t, config{Root: root, CkptEvery: 300, Workers: 1})
+	waitFor(t, 30*time.Second, "done/dekker", func() bool {
+		return exists(filepath.Join(root, "done", "dekker", "verdict.json"))
+	})
+	stop()
+
+	v := readVerdict(t, root, "dekker")
+	if !v.Resumed {
+		t.Error("orphaned job was restarted, want resumed from its checkpoint")
+	}
+	if v.States != ref.States || v.Violations != ref.Violations {
+		t.Errorf("orphan-resumed verdict states/violations = %d/%d, want %d/%d",
+			v.States, v.Violations, ref.States, ref.Violations)
+	}
+	if got := d.resumed.Load(); got != 1 {
+		t.Errorf("resumed counter = %d, want 1", got)
+	}
+}
+
+// TestDaemonDrainParksAndRestartResumes is the graceful-shutdown
+// acceptance: a drain interrupts the in-flight job, which checkpoints
+// and stays claimed in work/; a fresh daemon on the same spool resumes
+// it to completion.
+func TestDaemonDrainParksAndRestartResumes(t *testing.T) {
+	root := t.TempDir()
+	// The state cap keeps both legs bounded; it is part of the options
+	// hash, so the restart must use the same value. Under the race
+	// detector the engine is an order of magnitude slower, so the cap
+	// shrinks to keep the resumed leg inside the test budget.
+	maxStates := 400000
+	if raceEnabled {
+		maxStates = 60000
+	}
+	cfg := config{Root: root, CkptEvery: 10000, MaxStates: maxStates, Workers: 2}
+
+	_, stop := startDaemon(t, cfg)
+	submit(t, root, "big", bigSrc)
+	waitFor(t, 30*time.Second, "job claim", func() bool {
+		return exists(filepath.Join(root, "work", "big", "job.litmus"))
+	})
+	// Let it explore a while (well short of the 400k-state cap), then
+	// drain: the interrupt barrier writes a final checkpoint.
+	time.Sleep(250 * time.Millisecond)
+	stop()
+
+	if exists(filepath.Join(root, "done", "big")) {
+		t.Fatal("job finished before the drain; the test needs it in flight")
+	}
+	if !exists(filepath.Join(root, "work", "big", "job.litmus")) {
+		t.Fatal("drained job not parked in work/")
+	}
+	if !exists(filepath.Join(root, "work", "big", "ckpt", "checkpoint.lbmf")) {
+		t.Fatal("drained job has no committed checkpoint")
+	}
+
+	d2, stop2 := startDaemon(t, cfg)
+	waitFor(t, 60*time.Second, "done/big after restart", func() bool {
+		return exists(filepath.Join(root, "done", "big", "verdict.json"))
+	})
+	stop2()
+
+	v := readVerdict(t, root, "big")
+	if !v.Resumed {
+		t.Error("restarted job did not resume from the drain checkpoint")
+	}
+	if v.States != maxStates {
+		t.Errorf("resumed run explored %d states, want the %d cap", v.States, maxStates)
+	}
+	if got := d2.resumed.Load(); got != 1 {
+		t.Errorf("resumed counter = %d, want 1", got)
+	}
+}
+
+// TestDaemonHTTPEndpoints exercises /healthz and /metrics directly
+// against the handler.
+func TestDaemonHTTPEndpoints(t *testing.T) {
+	root := t.TempDir()
+	d, stop := startDaemon(t, config{Root: root, CkptEvery: 100})
+	submit(t, root, "fenced", sbFenced)
+	waitFor(t, 30*time.Second, "done/fenced", func() bool {
+		return exists(filepath.Join(root, "done", "fenced", "verdict.json"))
+	})
+
+	h := d.handler()
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/healthz", nil))
+	if rec.Code != 200 || !strings.Contains(rec.Body.String(), "ok") {
+		t.Errorf("/healthz = %d %q, want 200 ok", rec.Code, rec.Body.String())
+	}
+
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if rec.Code != 200 {
+		t.Fatalf("/metrics = %d", rec.Code)
+	}
+	var m metricsPayload
+	if err := json.Unmarshal(rec.Body.Bytes(), &m); err != nil {
+		t.Fatalf("/metrics is not JSON: %v\n%s", err, rec.Body.String())
+	}
+	if m.Claimed != 1 || m.Completed != 1 || m.Draining {
+		t.Errorf("metrics = %+v, want 1 claimed, 1 completed, not draining", m)
+	}
+	if len(m.Engine.Counters) == 0 {
+		t.Error("metrics carry no merged engine counters")
+	}
+
+	stop() // drain flips /healthz to 503
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/healthz", nil))
+	if rec.Code != 503 {
+		t.Errorf("/healthz after drain = %d, want 503", rec.Code)
+	}
+}
+
+// TestDaemonDrainBroadcast checks registerInterrupt: flags registered
+// before the drain are flipped by it, flags registered after start out
+// interrupted.
+func TestDaemonDrainBroadcast(t *testing.T) {
+	d, err := newDaemon(config{Root: t.TempDir(), Log: log.New(io.Discard, "", 0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var before, after atomic.Bool
+	unreg := d.registerInterrupt(&before)
+	d.drainAndWait()
+	if !before.Load() {
+		t.Error("drain did not interrupt a registered job")
+	}
+	unreg()
+	d.registerInterrupt(&after)
+	if !after.Load() {
+		t.Error("job registered after drain not immediately interrupted")
+	}
+}

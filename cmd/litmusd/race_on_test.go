@@ -1,0 +1,8 @@
+//go:build race
+
+package main
+
+// raceEnabled reports whether the race detector is active; the
+// long-exploration tests shrink their state budgets under it (the
+// instrumentation slows the engine an order of magnitude).
+const raceEnabled = true

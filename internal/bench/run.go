@@ -14,7 +14,7 @@ import (
 // test pins that a full run records exactly these keys.
 var Names = []string{
 	"theorems", "litmus_por", "litmus_compress", "litmus_fuzz",
-	"synth_throughput", "dekker",
+	"litmus_resume", "synth_throughput", "dekker",
 	"overhead", "fig4",
 	"fig5a", "fig5b", "fig6a", "fig6b",
 	"ablation", "packetproc", "chaos",
@@ -70,6 +70,12 @@ var ErrPORFailed = fmt.Errorf("bench: partial-order reduction diverged from refe
 // its plain run. The Ran is complete, so the divergence table still
 // prints.
 var ErrCompressFailed = fmt.Errorf("bench: compressed exploration diverged from plain run")
+
+// ErrResumeFailed marks a litmus_resume run where a checkpointed or
+// kill-resumed exploration failed to reproduce the plain run's verdict
+// exactly (or never committed a snapshot). The Ran is complete, so the
+// failing table still prints.
+var ErrResumeFailed = fmt.Errorf("bench: checkpoint/resume broke exact-recovery contract")
 
 // metricKey flattens a label into a metric key segment.
 func metricKey(s string) string {
@@ -176,6 +182,29 @@ func RunExperiment(name string, opt harness.Options, asymMode core.Mode) (*Ran, 
 		ran.Tables = append(ran.Tables, res.Table())
 		if !res.AllPass() {
 			err = ErrFuzzFailed
+		}
+
+	case "litmus_resume":
+		res := harness.RunResume(0)
+		e.Detail = res
+		e.setObs(res.Obs)
+		pass := 0.0
+		if res.AllPass() {
+			pass = 1
+		}
+		e.putMetric("all_pass", pass, "", true)
+		for _, row := range res.Rows {
+			k := metricKey(row.Name)
+			// The guarded number: what periodic durable snapshots cost
+			// relative to the plain exploration. A rise means the
+			// checkpoint barrier or serialization path got slower.
+			e.putMetric("overhead/"+k, row.Overhead, "x", false)
+			e.putMetric("snapshots/"+k, float64(row.Writes), "count", false)
+			e.putMetric("states/"+k, float64(row.States), "states", false)
+		}
+		ran.Tables = append(ran.Tables, res.Table())
+		if !res.AllPass() {
+			err = ErrResumeFailed
 		}
 
 	case "synth_throughput":

@@ -56,6 +56,24 @@ const (
 	LockAck
 	// LockWriterWait fires on the rwlock writer's per-reader wait loop.
 	LockWriterWait
+	// SpillWrite fires when the budgeted visited set is about to write a
+	// spill segment; Drop fails the write, exercising the degrade-to-
+	// in-memory path (the budget is disabled, exploration stays exact).
+	SpillWrite
+	// CkptTemp fires after the model checker has written a checkpoint's
+	// temp file but before the atomic rename; Drop simulates a crash in
+	// that window — the rename is skipped, the run aborts, and the
+	// previously committed checkpoint must survive intact.
+	CkptTemp
+	// CkptCommit fires after a checkpoint's rename has committed; Drop
+	// simulates a crash immediately after the commit — the run aborts
+	// with the fresh checkpoint on disk.
+	CkptCommit
+	// CorpusJournal fires after a corpus worker has journaled one
+	// completed scenario; Drop simulates a crash of the corpus run — the
+	// dispatcher stops feeding scenarios, and a resumed run must restore
+	// every journaled row without re-repairing it.
+	CorpusJournal
 
 	// NumPoints bounds the Point space.
 	NumPoints
@@ -64,6 +82,7 @@ const (
 var pointNames = [NumPoints]string{
 	"mailbox_handle", "mailbox_ack", "mailbox_wait",
 	"deque_poll", "deque_steal", "lock_ack", "lock_writer_wait",
+	"spill_write", "ckpt_temp", "ckpt_commit", "corpus_journal",
 }
 
 func (p Point) String() string {
@@ -92,6 +111,13 @@ type Plan struct {
 	// cap). Use it to inject a bounded burst and then restore healthy
 	// behaviour, which is what recovery tests need.
 	MaxFires uint64
+	// MinArrivals suppresses the first MinArrivals arrivals at the
+	// point unconditionally (0 = fire from the first arrival on).
+	// Combined with MaxFires it schedules a fault at a precise arrival
+	// ordinal — "crash during the SECOND checkpoint write" — which is
+	// how the crash-recovery tests place a kill after known-good state
+	// already exists on disk.
+	MinArrivals uint64
 }
 
 // Injector is one seeded fault schedule. Arm it per point before the
@@ -161,10 +187,13 @@ func (in *Injector) At(p Point) bool {
 //go:noinline
 func (in *Injector) fire(p Point) bool {
 	n := in.arrivals[p].Add(1)
+	plan := in.plans[p]
+	if n <= plan.MinArrivals {
+		return false
+	}
 	if mix(in.seed, uint64(p), n) > in.thresh[p] {
 		return false
 	}
-	plan := in.plans[p]
 	if f := in.fires[p].Add(1); plan.MaxFires > 0 && f > plan.MaxFires {
 		in.fires[p].Add(^uint64(0)) // undo: the cap was already spent
 		return false

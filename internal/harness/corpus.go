@@ -4,11 +4,14 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"repro/internal/fault"
 	"repro/internal/litmus"
 	"repro/internal/litmusgen"
 	"repro/internal/litmuslang"
+	"repro/internal/obs"
 	"repro/internal/stats"
 	"repro/internal/synth"
 	"repro/internal/tso"
@@ -49,6 +52,32 @@ type CorpusOptions struct {
 	// Synth configures the synthesizer — this is where the accelerators
 	// (Prefilter, ReorderBound) are switched per leg.
 	Synth synth.Options
+
+	// Journal, when non-empty, is the path of the corpus journal: every
+	// completed scenario appends one fsynced verdict line, and a rerun
+	// with the same options restores the journaled rows instead of
+	// re-synthesizing them (CorpusResult.Resumed counts them). A journal
+	// from a run with different scenario- or verdict-determining options
+	// is refused with ErrJournalMismatch.
+	Journal string
+
+	// ScenarioTimeout bounds one scenario's wall-clock trip through the
+	// pipeline (0 = unbounded). A timed-out scenario is recorded as an
+	// errored row and the worker moves on; the abandoned repair keeps
+	// running in the background until its own state budget stops it,
+	// so timeouts bound the sweep's latency, not its peak load.
+	ScenarioTimeout time.Duration
+
+	// Faults is consulted at fault.CorpusJournal after each journaled
+	// scenario; a Drop there aborts the sweep mid-corpus
+	// (CorpusResult.Aborted) — the in-process stand-in for a kill, used
+	// by the crash-recovery tests to prove a resumed sweep restores
+	// every journaled verdict.
+	Faults *fault.Injector
+
+	// hook, when non-nil, runs on the worker goroutine before each
+	// scenario's repair. Tests use it to inject panics and stalls.
+	hook func(i int, seed int64)
 }
 
 // CorpusRow is one scenario's trip through the pipeline.
@@ -93,6 +122,22 @@ type CorpusResult struct {
 	AlreadySafe  int // empty optimal placement, re-verified exactly
 	Unrepairable int
 	Errors       int
+
+	// Resumed counts rows restored from the journal instead of being
+	// re-synthesized; Timeouts and Panics count this run's scenario
+	// failures by cause (both are also Errors). Aborted marks a sweep
+	// stopped mid-corpus by a fault.CorpusJournal crash injection —
+	// unprocessed scenarios are absent from Rows' tallies and the
+	// journal holds everything completed.
+	Resumed  int
+	Timeouts int
+	Panics   int
+	Aborted  bool
+
+	// Obs carries the sweep's robustness counters for the metrics
+	// endpoints (corpus_resumed, corpus_timeouts, corpus_panics,
+	// corpus_journal_errors).
+	Obs obs.Snapshot
 	// ContractFailures counts spliced repairs the exact engine refuted —
 	// the must-stay-zero number: a synthesis result that does not
 	// survive its own re-verification is a synthesizer bug.
@@ -213,9 +258,72 @@ func repairOne(c *litmuslang.Compiled, seed int64, opts synth.Options) CorpusRow
 	return row
 }
 
+// corpusOptionsHash fingerprints the options that determine the
+// scenario list and the verdicts — what a journal must agree on to be
+// resumable. Workers and timeouts are excluded: they change scheduling,
+// not results.
+func corpusOptionsHash(co CorpusOptions) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for _, b := range []byte(fmt.Sprintf("seed=%d n=%d params=%+v synth={mf=%v lmf=%v max=%d fences=%d pw=%v w=%v cost=%v scratch=%d skipmin=%v pre=%v rb=%d}",
+		co.Seed, co.Scenarios, co.Params,
+		co.Synth.AllowMfence, co.Synth.AllowLmfence, co.Synth.MaxStates,
+		co.Synth.MaxFences, co.Synth.PrimaryWeight, co.Synth.Weights,
+		co.Synth.Cost, co.Synth.Scratch, co.Synth.SkipMinimalityCheck,
+		co.Synth.Prefilter, co.Synth.ReorderBound)) {
+		h ^= uint64(b)
+		h *= prime64
+	}
+	return h
+}
+
+// runScenario executes one scenario with the per-worker safety rails:
+// a panic anywhere in the pipeline becomes an errored row instead of
+// killing the sweep, and ScenarioTimeout bounds the wall-clock wait.
+func runScenario(co CorpusOptions, c *litmuslang.Compiled, seed int64, i int) (row CorpusRow, timedOut, panicked bool) {
+	type verdict struct {
+		row      CorpusRow
+		panicked bool
+	}
+	run := func() (v verdict) {
+		defer func() {
+			if r := recover(); r != nil {
+				v = verdict{
+					row:      CorpusRow{Seed: seed, Name: c.Name, Err: fmt.Errorf("panic during repair: %v", r)},
+					panicked: true,
+				}
+			}
+		}()
+		if co.hook != nil {
+			co.hook(i, seed)
+		}
+		return verdict{row: repairOne(c, seed, co.Synth)}
+	}
+	if co.ScenarioTimeout <= 0 {
+		v := run()
+		return v.row, false, v.panicked
+	}
+	ch := make(chan verdict, 1)
+	go func() { ch <- run() }()
+	select {
+	case v := <-ch:
+		return v.row, false, v.panicked
+	case <-time.After(co.ScenarioTimeout):
+		return CorpusRow{Seed: seed, Name: c.Name,
+			Err: fmt.Errorf("scenario timed out after %v", co.ScenarioTimeout)}, true, false
+	}
+}
+
 // RunCorpus repairs a corpus of generated scenarios with a worker pool
-// and aggregates the verdicts and counters.
-func RunCorpus(co CorpusOptions) *CorpusResult {
+// and aggregates the verdicts and counters. With Journal set the sweep
+// is resumable: completed scenarios persist as they finish, and a
+// rerun restores them instead of re-synthesizing. The only error
+// returns are journal-level: an unusable journal file or one belonging
+// to a different run.
+func RunCorpus(co CorpusOptions) (*CorpusResult, error) {
 	if co.Params == (litmusgen.Params{}) {
 		co.Params = litmusgen.CorpusParams()
 	}
@@ -230,7 +338,28 @@ func RunCorpus(co CorpusOptions) *CorpusResult {
 	start := time.Now()
 	scenarios, seeds, scanned := scanScenarios(co)
 	res := &CorpusResult{Rows: make([]CorpusRow, len(scenarios)), SeedsScanned: scanned}
+	processed := make([]bool, len(scenarios))
 
+	var journal *corpusJournal
+	if co.Journal != "" {
+		var done map[int]CorpusRow
+		var err error
+		journal, done, err = openCorpusJournal(co.Journal, corpusOptionsHash(co))
+		if err != nil {
+			return nil, err
+		}
+		defer journal.close()
+		for i, row := range done {
+			if i >= 0 && i < len(res.Rows) {
+				res.Rows[i] = row
+				processed[i] = true
+				res.Resumed++
+			}
+		}
+	}
+
+	var aborted atomic.Bool
+	var timeouts, panics, journalErrs atomic.Uint64
 	var wg sync.WaitGroup
 	next := make(chan int)
 	for w := 0; w < workers; w++ {
@@ -238,18 +367,51 @@ func RunCorpus(co CorpusOptions) *CorpusResult {
 		go func() {
 			defer wg.Done()
 			for i := range next {
-				res.Rows[i] = repairOne(scenarios[i], seeds[i], co.Synth)
+				if aborted.Load() {
+					continue // drain the channel without doing work
+				}
+				row, timedOut, panicked := runScenario(co, scenarios[i], seeds[i], i)
+				res.Rows[i] = row
+				processed[i] = true
+				if timedOut {
+					timeouts.Add(1)
+				}
+				if panicked {
+					panics.Add(1)
+				}
+				if journal != nil {
+					if err := journal.append(i, row); err != nil {
+						journalErrs.Add(1)
+					}
+					if co.Faults.At(fault.CorpusJournal) {
+						// Injected kill mid-corpus: stop dispatching. The
+						// journal keeps everything completed so far.
+						aborted.Store(true)
+					}
+				}
 			}
 		}()
 	}
 	for i := range scenarios {
+		if processed[i] {
+			continue // journaled by a previous run
+		}
+		if aborted.Load() {
+			break
+		}
 		next <- i
 	}
 	close(next)
 	wg.Wait()
 	res.Elapsed = time.Since(start)
+	res.Aborted = aborted.Load()
+	res.Timeouts = int(timeouts.Load())
+	res.Panics = int(panics.Load())
 
-	for _, row := range res.Rows {
+	for i, row := range res.Rows {
+		if !processed[i] {
+			continue // aborted before this scenario ran
+		}
 		res.ExactChecks += row.ExactChecks
 		res.BoundedChecks += row.BoundedChecks
 		res.BoundedHits += row.BoundedHits
@@ -271,7 +433,17 @@ func RunCorpus(co CorpusOptions) *CorpusResult {
 			res.Repaired++
 		}
 	}
-	return res
+	res.Obs.PutCounter("corpus_scenarios", uint64(len(res.Rows)))
+	res.Obs.PutCounter("corpus_resumed", uint64(res.Resumed))
+	res.Obs.PutCounter("corpus_timeouts", uint64(res.Timeouts))
+	res.Obs.PutCounter("corpus_panics", uint64(res.Panics))
+	if je := journalErrs.Load(); je > 0 {
+		res.Obs.PutCounter("corpus_journal_errors", je)
+	}
+	if res.Aborted {
+		res.Obs.PutGauge("corpus_aborted", 1)
+	}
+	return res, nil
 }
 
 // Table renders a corpus sweep.
@@ -355,10 +527,13 @@ func RunSynthThroughput(opt Options) *SynthThroughputResult {
 	}
 	control := accel
 	control.Synth = synth.Options{}
+	// Neither leg journals, so RunCorpus cannot fail.
+	accelRes, _ := RunCorpus(accel)
+	controlRes, _ := RunCorpus(control)
 	return &SynthThroughputResult{
 		Scenarios:   n,
-		Accelerated: RunCorpus(accel),
-		Control:     RunCorpus(control),
+		Accelerated: accelRes,
+		Control:     controlRes,
 	}
 }
 

@@ -17,10 +17,13 @@ func TestRunCorpusSmall(t *testing.T) {
 	if testing.Short() {
 		n = 10
 	}
-	res := RunCorpus(CorpusOptions{
+	res, err := RunCorpus(CorpusOptions{
 		Scenarios: n,
 		Synth:     synth.Options{Prefilter: true, ReorderBound: 2},
 	})
+	if err != nil {
+		t.Fatalf("RunCorpus: %v", err)
+	}
 	if len(res.Rows) != n {
 		t.Fatalf("collected %d scenarios, want %d (scanned %d seeds)", len(res.Rows), n, res.SeedsScanned)
 	}

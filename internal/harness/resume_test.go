@@ -1,0 +1,33 @@
+package harness
+
+import "testing"
+
+// TestRunResume pins the litmus_resume experiment contract: every
+// workload's checkpointed run and kill-resumed run must reproduce the
+// plain verdict exactly, with at least one snapshot actually committed.
+func TestRunResume(t *testing.T) {
+	res := RunResume(0)
+	if len(res.Rows) != 4 {
+		t.Fatalf("rows = %d, want 4", len(res.Rows))
+	}
+	if !res.AllPass() {
+		t.Fatalf("AllPass = false:\n%s", res.Table())
+	}
+	for _, row := range res.Rows {
+		if row.Writes == 0 {
+			t.Errorf("%s: no snapshots committed", row.Name)
+		}
+		if row.Overhead <= 0 {
+			t.Errorf("%s: overhead = %v, want > 0", row.Name, row.Overhead)
+		}
+	}
+	if res.Obs.Counters["checkpoint_writes"] == 0 {
+		t.Error("aggregated obs lost checkpoint_writes")
+	}
+	if res.Obs.Gauges["resumed_states"] == 0 {
+		t.Error("aggregated obs lost resumed_states")
+	}
+	if res.Table().Rows() != 4 {
+		t.Errorf("table rows = %d, want 4", res.Table().Rows())
+	}
+}

@@ -1,0 +1,462 @@
+package litmus
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/fault"
+	"repro/internal/programs"
+	"repro/internal/tso"
+)
+
+// crashInjector arms an in-process "SIGKILL" at the given checkpoint
+// point: the first after arrival fires unconditionally and the run
+// aborts with Result.Crashed, leaving the on-disk state exactly as a
+// real kill at that instant would.
+func crashInjector(p fault.Point, after uint64) *fault.Injector {
+	in := fault.New(1)
+	in.Arm(p, fault.Plan{Prob: 1, Drop: true, MinArrivals: after, MaxFires: 1})
+	return in
+}
+
+// assertSameVerdict compares the parts of two Results that every
+// crash/resume cycle must preserve exactly: outcomes, deadlocks, and
+// the violation verdict. States/Transitions/Violations are compared
+// only when exact is set (they are scheduling-dependent under
+// Reduction).
+func assertSameVerdict(t *testing.T, got, want Result, exact bool) {
+	t.Helper()
+	if !reflect.DeepEqual(got.Outcomes, want.Outcomes) {
+		t.Errorf("Outcomes diverge:\nresumed:   %v\nreference: %v", got.Outcomes, want.Outcomes)
+	}
+	if got.Deadlocks != want.Deadlocks {
+		t.Errorf("Deadlocks=%d, reference %d", got.Deadlocks, want.Deadlocks)
+	}
+	if (got.FirstViolation != nil) != (want.FirstViolation != nil) {
+		t.Errorf("violation verdict %v, reference %v", got.FirstViolation, want.FirstViolation)
+	}
+	if got.Truncated != want.Truncated {
+		t.Errorf("Truncated=%v, reference %v", got.Truncated, want.Truncated)
+	}
+	if exact {
+		if got.States != want.States {
+			t.Errorf("States=%d, reference %d", got.States, want.States)
+		}
+		if got.Transitions != want.Transitions {
+			t.Errorf("Transitions=%d, reference %d", got.Transitions, want.Transitions)
+		}
+		if got.Violations != want.Violations {
+			t.Errorf("Violations=%d, reference %d", got.Violations, want.Violations)
+		}
+	}
+}
+
+// TestCheckpointResumeDifferential is the crash/resume soundness pin:
+// for every catalog test plus the Dekker variants, under several engine
+// configurations, a run killed at a fault-scheduled checkpoint commit
+// and resumed from disk must produce the same result as an
+// uninterrupted run.
+func TestCheckpointResumeDifferential(t *testing.T) {
+	type space struct {
+		name  string
+		build func() *tso.Machine
+		props []Property
+	}
+	var spaces []space
+	for _, ct := range Catalog() {
+		progs := ct.Build()
+		cfg := arch.DefaultConfig()
+		cfg.Procs = len(progs)
+		cfg.MemWords = 16
+		cfg.StoreBufferDepth = 4
+		spaces = append(spaces, space{
+			name:  "catalog/" + ct.Name,
+			build: func() *tso.Machine { return tso.NewMachine(cfg, progs...) },
+		})
+	}
+	for _, v := range []programs.DekkerVariant{programs.DekkerNoFence, programs.DekkerMfence} {
+		p0, p1 := programs.DekkerPair(v)
+		spaces = append(spaces, space{
+			name:  "dekker/" + v.String(),
+			build: machineFor(p0, p1),
+			props: []Property{MutualExclusion},
+		})
+	}
+
+	legs := []struct {
+		name  string
+		mod   func(*Options)
+		exact bool
+	}{
+		{"plain", func(o *Options) {}, true},
+		{"budget", func(o *Options) { o.MemBudget = 1 << 12 }, true},
+		{"reduction", func(o *Options) { o.Reduction = true }, false},
+	}
+
+	for _, sp := range spaces {
+		sp := sp
+		for _, leg := range legs {
+			leg := leg
+			t.Run(sp.name+"/"+leg.name, func(t *testing.T) {
+				base := Options{Properties: sp.props, Workers: 1}
+				leg.mod(&base)
+				ref := Explore(sp.build, base)
+
+				dir := t.TempDir()
+				crashed := base
+				// Size the cadence to the space so even tiny reduced
+				// spaces get several periodic commits before the final
+				// write — the crash needs a second commit to fire on.
+				crashed.Checkpoint = CheckpointOptions{Dir: dir, EveryStates: ref.States/5 + 1}
+				crashed.Faults = crashInjector(fault.CkptCommit, 1)
+				run := Explore(sp.build, crashed)
+				if !run.Crashed {
+					t.Fatalf("crash point never fired (states=%d)", run.States)
+				}
+
+				// Resume with a different worker count: the checkpoint
+				// must be engine-shape independent.
+				resumeOpts := base
+				resumeOpts.Workers = 4
+				res, err := Resume(dir, sp.build, resumeOpts)
+				if err != nil {
+					t.Fatalf("Resume: %v", err)
+				}
+				if res.Obs.Gauges["resumed"] != 1 {
+					t.Error("resumed gauge not set")
+				}
+				assertSameVerdict(t, res, ref, leg.exact)
+				if res.Violations > 0 {
+					m := Replay(sp.build, res.ViolationTrace)
+					if !m.CSViolation {
+						t.Error("resumed violation trace does not replay to a violation")
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestRepeatedKillResume proves monotonic progress: a run killed after
+// every single checkpoint commit, resumed each time, still terminates
+// with the uninterrupted result.
+func TestRepeatedKillResume(t *testing.T) {
+	p0, p1 := programs.DekkerPair(programs.DekkerNoFence)
+	build := machineFor(p0, p1)
+	base := Options{Properties: []Property{MutualExclusion}, Workers: 1}
+	ref := Explore(build, base)
+
+	dir := t.TempDir()
+	opts := base
+	opts.Checkpoint = CheckpointOptions{Dir: dir, EveryStates: 250}
+	opts.Faults = crashInjector(fault.CkptCommit, 1)
+	run := Explore(build, opts)
+	if !run.Crashed {
+		t.Fatalf("first kill never fired (states=%d)", run.States)
+	}
+
+	var res Result
+	for cycle := 0; ; cycle++ {
+		if cycle > 200 {
+			t.Fatal("no progress after 200 kill/resume cycles")
+		}
+		ropts := base
+		// Every resumed run survives its first commit and dies at the
+		// second, so each cycle durably advances by one checkpoint
+		// period. The last cycle's frontier drains before a second
+		// commit can happen — its only commit is the final write — and
+		// the run completes.
+		ropts.Faults = crashInjector(fault.CkptCommit, 1)
+		var err error
+		res, err = Resume(dir, build, ropts)
+		if err != nil {
+			t.Fatalf("cycle %d: Resume: %v", cycle, err)
+		}
+		if !res.Crashed && !res.Interrupted {
+			break
+		}
+	}
+	assertSameVerdict(t, res, ref, true)
+}
+
+// TestCheckpointTempCrashAtomicity kills the writer in the vulnerable
+// window — temp file written, rename not yet executed — and checks the
+// previously committed checkpoint survives and still resumes correctly.
+func TestCheckpointTempCrashAtomicity(t *testing.T) {
+	p0, p1 := programs.DekkerPair(programs.DekkerNoFence)
+	build := machineFor(p0, p1)
+	base := Options{Properties: []Property{MutualExclusion}, Workers: 1}
+	ref := Explore(build, base)
+
+	dir := t.TempDir()
+	opts := base
+	opts.Checkpoint = CheckpointOptions{Dir: dir, EveryStates: 40}
+	// MinArrivals 1: the first temp write succeeds and commits; the
+	// crash hits during the SECOND write, before its rename.
+	opts.Faults = crashInjector(fault.CkptTemp, 1)
+	run := Explore(build, opts)
+	if !run.Crashed {
+		t.Fatalf("temp-write crash never fired (states=%d)", run.States)
+	}
+	if _, err := os.Stat(filepath.Join(dir, ckptTempName)); err != nil {
+		t.Errorf("crash window should leave the temp file behind: %v", err)
+	}
+
+	ck, err := loadCheckpoint(filepath.Join(dir, ckptFileName))
+	if err != nil {
+		t.Fatalf("committed checkpoint did not survive the torn write: %v", err)
+	}
+	if ck.hdr.States < 40 || ck.hdr.States >= run.States {
+		t.Errorf("committed checkpoint has %d states, want the FIRST snapshot (>=40, < %d)", ck.hdr.States, run.States)
+	}
+
+	res, err := Resume(dir, build, base)
+	if err != nil {
+		t.Fatalf("Resume: %v", err)
+	}
+	assertSameVerdict(t, res, ref, true)
+}
+
+// TestInterruptThenResume stops a checkpointed run via the cooperative
+// Interrupt flag and resumes it: the reassembled result must match an
+// uninterrupted run, and the interrupted one must say so.
+func TestInterruptThenResume(t *testing.T) {
+	p0, p1 := programs.StoreBufferPair()
+	build := machineFor(p0, p1)
+	base := Options{Workers: 1}
+	ref := Explore(build, base)
+
+	dir := t.TempDir()
+	var stop atomic.Bool
+	stop.Store(true) // workers see it at their first frame
+	opts := base
+	opts.Checkpoint = CheckpointOptions{Dir: dir}
+	opts.Interrupt = &stop
+	run := Explore(build, opts)
+	if !run.Interrupted {
+		t.Fatal("Interrupted not set")
+	}
+	if run.States >= ref.States {
+		t.Fatalf("interrupted run explored everything (%d states)", run.States)
+	}
+
+	res, err := Resume(dir, build, base)
+	if err != nil {
+		t.Fatalf("Resume: %v", err)
+	}
+	assertSameVerdict(t, res, ref, true)
+}
+
+// TestResumeOfCompletedRun: the final snapshot written when a
+// checkpointed run drains means resuming it is a no-op restore of the
+// full result, not a re-exploration.
+func TestResumeOfCompletedRun(t *testing.T) {
+	p0, p1 := programs.StoreBufferPair()
+	build := machineFor(p0, p1)
+	dir := t.TempDir()
+	opts := Options{Workers: 1, Checkpoint: CheckpointOptions{Dir: dir}}
+	ref := Explore(build, opts)
+	if ref.Obs.Counters["checkpoint_writes"] == 0 {
+		t.Fatal("final checkpoint not written")
+	}
+
+	res, err := Resume(dir, build, Options{Workers: 1})
+	if err != nil {
+		t.Fatalf("Resume: %v", err)
+	}
+	assertSameVerdict(t, res, ref, true)
+	if got := res.Obs.Gauges["resumed_states"]; int(got) != ref.States {
+		t.Errorf("resumed_states=%v, want %d", got, ref.States)
+	}
+}
+
+// TestCheckpointOnCommit pins the commit callback: called once per
+// committed snapshot with a 1-based ordinal.
+func TestCheckpointOnCommit(t *testing.T) {
+	p0, p1 := programs.DekkerPair(programs.DekkerNoFence)
+	build := machineFor(p0, p1)
+	dir := t.TempDir()
+	var commits []int
+	res := Explore(build, Options{
+		Workers: 1,
+		Checkpoint: CheckpointOptions{
+			Dir:         dir,
+			EveryStates: 500,
+			OnCommit:    func(n int) { commits = append(commits, n) },
+		},
+	})
+	if len(commits) < 2 {
+		t.Fatalf("want at least 2 commits (periodic + final), got %v", commits)
+	}
+	for i, n := range commits {
+		if n != i+1 {
+			t.Fatalf("commit ordinals not sequential: %v", commits)
+		}
+	}
+	if got := res.Obs.Counters["checkpoint_writes"]; got != uint64(len(commits)) {
+		t.Errorf("checkpoint_writes=%d, OnCommit saw %d", got, len(commits))
+	}
+}
+
+// TestResumeRejections is the rejection table: every way a checkpoint
+// can be unusable must map to the right sentinel, with no panics.
+func TestResumeRejections(t *testing.T) {
+	p0, p1 := programs.StoreBufferPair()
+	build := machineFor(p0, p1)
+	opts := Options{Workers: 1}
+	dir := t.TempDir()
+	ckOpts := opts
+	ckOpts.Checkpoint = CheckpointOptions{Dir: dir}
+	Explore(build, ckOpts) // leaves a valid final checkpoint in dir
+
+	good, err := os.ReadFile(filepath.Join(dir, ckptFileName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// corruptDir writes a mutated copy of the good checkpoint into a
+	// fresh dir and returns the dir.
+	corruptDir := func(t *testing.T, mutate func([]byte) []byte) string {
+		t.Helper()
+		d := t.TempDir()
+		if err := os.WriteFile(filepath.Join(d, ckptFileName), mutate(append([]byte(nil), good...)), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return d
+	}
+
+	dp0, dp1 := programs.DekkerPair(programs.DekkerNoFence)
+	cases := []struct {
+		name  string
+		dir   func(t *testing.T) string
+		build func() *tso.Machine
+		opts  Options
+		want  error
+	}{
+		{
+			name:  "wrong program",
+			dir:   func(*testing.T) string { return dir },
+			build: machineFor(dp0, dp1),
+			opts:  opts,
+			want:  ErrCheckpointMismatch,
+		},
+		{
+			name: "wrong options/reorder bound",
+			dir:  func(*testing.T) string { return dir },
+			opts: Options{Workers: 1, ReorderBound: 2},
+			want: ErrCheckpointMismatch,
+		},
+		{
+			name: "wrong options/max states",
+			dir:  func(*testing.T) string { return dir },
+			opts: Options{Workers: 1, MaxStates: 123},
+			want: ErrCheckpointMismatch,
+		},
+		{
+			name: "wrong options/reduction",
+			dir:  func(*testing.T) string { return dir },
+			opts: Options{Workers: 1, Reduction: true},
+			want: ErrCheckpointMismatch,
+		},
+		{
+			name: "truncated half",
+			dir:  func(t *testing.T) string { return corruptDir(t, func(b []byte) []byte { return b[:len(b)/2] }) },
+			opts: opts,
+			want: ErrCheckpointTruncated,
+		},
+		{
+			name: "truncated below fixed header",
+			dir:  func(t *testing.T) string { return corruptDir(t, func(b []byte) []byte { return b[:10] }) },
+			opts: opts,
+			want: ErrCheckpointTruncated,
+		},
+		{
+			name: "bad magic",
+			dir: func(t *testing.T) string {
+				return corruptDir(t, func(b []byte) []byte { b[0] ^= 0xFF; return b })
+			},
+			opts: opts,
+			want: ErrCheckpointCorrupt,
+		},
+		{
+			name: "flipped body byte",
+			dir: func(t *testing.T) string {
+				return corruptDir(t, func(b []byte) []byte { b[len(b)-1] ^= 0x01; return b })
+			},
+			opts: opts,
+			want: ErrCheckpointCorrupt,
+		},
+		{
+			name: "trailing garbage",
+			dir: func(t *testing.T) string {
+				return corruptDir(t, func(b []byte) []byte { return append(b, 0xAB, 0xCD) })
+			},
+			opts: opts,
+			want: ErrCheckpointCorrupt,
+		},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			b := tc.build
+			if b == nil {
+				b = build
+			}
+			_, err := Resume(tc.dir(t), b, tc.opts)
+			if !errors.Is(err, tc.want) {
+				t.Errorf("Resume error = %v, want errors.Is(%v)", err, tc.want)
+			}
+		})
+	}
+
+	t.Run("missing file", func(t *testing.T) {
+		if _, err := Resume(t.TempDir(), build, opts); err == nil {
+			t.Error("Resume of empty dir succeeded")
+		}
+	})
+}
+
+// TestSpillFailureDegradation injects a spill-write failure into a
+// memory-budgeted run: the budget must disable itself (counted in Obs),
+// and the exploration must stay exhaustive and exact.
+func TestSpillFailureDegradation(t *testing.T) {
+	p0, p1 := programs.DekkerPair(programs.DekkerNoFence)
+	build := machineFor(p0, p1)
+	ref := Explore(build, Options{Workers: 1})
+
+	in := fault.New(7)
+	in.Arm(fault.SpillWrite, fault.Plan{Prob: 1, Drop: true})
+	res := Explore(build, Options{Workers: 1, MemBudget: 1 << 10, Faults: in})
+	if res.Obs.Counters["visited_spill_failures"] == 0 {
+		t.Fatalf("no spill failure recorded (arrivals=%d)", in.Arrivals(fault.SpillWrite))
+	}
+	if res.Obs.Gauges["visited_spill_disabled"] != 1 {
+		t.Error("budget not marked disabled after spill failure")
+	}
+	assertSameVerdict(t, res, ref, true)
+}
+
+// TestCheckpointDirUncreatable: checkpointing into an impossible dir
+// degrades to an ordinary run instead of failing it.
+func TestCheckpointDirUncreatable(t *testing.T) {
+	p0, p1 := programs.StoreBufferPair()
+	build := machineFor(p0, p1)
+	blocker := filepath.Join(t.TempDir(), "f")
+	if err := os.WriteFile(blocker, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	ref := Explore(build, Options{Workers: 1})
+	res := Explore(build, Options{Workers: 1,
+		Checkpoint: CheckpointOptions{Dir: filepath.Join(blocker, "sub")}})
+	if res.Obs.Gauges["checkpoint_disabled"] != 1 {
+		t.Error("checkpoint_disabled gauge not set")
+	}
+	if res.Obs.Counters["checkpoint_errors"] == 0 {
+		t.Error("checkpoint_errors not counted")
+	}
+	assertSameVerdict(t, res, ref, true)
+}

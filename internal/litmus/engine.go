@@ -324,11 +324,15 @@ func (e *engine) seen(h1, h2 uint64, fp []byte) bool {
 // cancelling the exploration when it would exceed maxStates. Called with
 // the stripe lock held, immediately before the insert it guards.
 func (e *engine) bumpStates() bool {
-	if n := e.states.Add(1); n > e.maxStates {
+	n := e.states.Add(1)
+	if n > e.maxStates {
 		e.states.Add(-1)
 		e.truncated.Store(true)
 		e.cancel.Store(true)
 		return false
+	}
+	if c := e.ck; c != nil && c.opts.EveryStates > 0 && n%int64(c.opts.EveryStates) == 0 {
+		c.req.Store(true)
 	}
 	return true
 }
@@ -372,9 +376,17 @@ func (e *engine) finalize(h1, h2 uint64, fp []byte, tmask actionMask) actionMask
 type engine struct {
 	opts      Options
 	sc        bool
-	traces    bool // record action traces (only needed to report violations)
+	traces    bool // record action traces (violation reports, checkpoint frontiers)
 	maxStates int64
 	workers   []*worker
+	// ck coordinates checkpoint barriers; nil when Options.Checkpoint is
+	// off. base holds the partial totals restored by Resume (zero for a
+	// fresh run); rootH1/rootH2 fingerprint the root machine for the
+	// checkpoint header, and nprocs its processor count.
+	ck             *ckptCoord
+	base           Result
+	rootH1, rootH2 uint64
+	nprocs         int
 	// visited is the hashed-key set; nil when the run uses the collapsed
 	// set instead (Options.Collapse / Options.MemBudget).
 	visited *visitedSet
@@ -405,10 +417,47 @@ type engine struct {
 	states atomic.Int64
 	cancel atomic.Bool
 
-	truncated      atomic.Bool
+	truncated atomic.Bool
+	// interrupted is set when Options.Interrupt stopped the run;
+	// crashed when an armed fault crash point fired (the in-process
+	// stand-in for SIGKILL in the chaos tests).
+	interrupted atomic.Bool
+	crashed     atomic.Bool
+
 	violMu         sync.Mutex
 	firstViolation error
 	violTrace      []Action
+}
+
+// partialResult merges the resumed base totals with every worker's
+// partial result: the counts an uninterrupted run would report for the
+// states explored so far. Callers must hold the exploration quiescent
+// (the checkpoint barrier) or drained (final assembly).
+func (e *engine) partialResult() Result {
+	res := Result{
+		States:      int(e.states.Load()),
+		Transitions: e.base.Transitions,
+		Violations:  e.base.Violations,
+		Deadlocks:   e.base.Deadlocks,
+		Truncated:   e.truncated.Load(),
+		Outcomes:    make(map[Outcome]int, len(e.base.Outcomes)),
+	}
+	for o, c := range e.base.Outcomes {
+		res.Outcomes[o] += c
+	}
+	for _, w := range e.workers {
+		res.Transitions += w.res.Transitions
+		res.Violations += w.res.Violations
+		res.Deadlocks += w.res.Deadlocks
+		for o, c := range w.res.Outcomes {
+			res.Outcomes[o] += c
+		}
+	}
+	e.violMu.Lock()
+	res.FirstViolation = e.firstViolation
+	res.ViolationTrace = e.violTrace
+	e.violMu.Unlock()
+	return res
 }
 
 // maxFreeMachines bounds each worker's machine free list.
@@ -519,7 +568,17 @@ func (w *worker) steal() (pframe, bool) {
 
 func (w *worker) run() {
 	e := w.eng
+	if e.ck != nil {
+		defer e.ck.exit()
+	}
 	for {
+		if c := e.ck; c != nil && c.req.Load() {
+			c.barrier()
+		}
+		if e.opts.Interrupt != nil && e.opts.Interrupt.Load() {
+			e.interrupted.Store(true)
+			e.cancel.Store(true)
+		}
 		if e.cancel.Load() {
 			return
 		}
@@ -841,6 +900,15 @@ func (e *engine) recordViolation(err error, tr *traceNode) {
 // it forks. The merged result is deterministic — identical to a serial
 // exploration — except for which violation is designated first.
 func Explore(build func() *tso.Machine, opts Options) Result {
+	return exploreFrom(build, opts, nil)
+}
+
+// explore is Explore plus an optional decoded checkpoint to resume
+// from: restored component tables and visited records seed the
+// collapsed set, the saved partial result seeds the totals, and the
+// saved frontier traces replay into the workers' stacks in place of the
+// root frame.
+func exploreFrom(build func() *tso.Machine, opts Options, ck *checkpoint) Result {
 	nw := opts.Workers
 	if nw <= 0 {
 		nw = runtime.GOMAXPROCS(0)
@@ -850,14 +918,21 @@ func Explore(build func() *tso.Machine, opts Options) Result {
 		maxStates = DefaultMaxStates
 	}
 	start := time.Now()
+	ckptOn := opts.Checkpoint.enabled()
 
 	e := &engine{
-		opts:      opts,
-		sc:        opts.SequentialConsistency,
-		traces:    len(opts.Properties) > 0,
+		opts: opts,
+		sc:   opts.SequentialConsistency,
+		// Checkpoints serialize frontier frames as action traces, so
+		// checkpointed runs record traces even without properties.
+		traces:    len(opts.Properties) > 0 || ckptOn,
 		maxStates: int64(maxStates),
 	}
 	root := build()
+	e.nprocs = len(root.Procs)
+	if ckptOn || ck != nil {
+		e.rootH1, e.rootH2 = rootIdentity(root)
+	}
 	if opts.Symmetry != nil {
 		progs := make([]*tso.Program, len(root.Procs))
 		for i, p := range root.Procs {
@@ -877,11 +952,15 @@ func Explore(build func() *tso.Machine, opts Options) Result {
 		// assumes the full TSO enabledness relation.
 		e.red = newReducer(root, e.sc)
 	}
-	if opts.Collapse || opts.MemBudget > 0 {
+	if opts.Collapse || opts.MemBudget > 0 || ckptOn || ck != nil {
+		// Checkpointing implies Collapse: collapsed tuples are exact
+		// fixed-width identities, which is what makes visited stripes
+		// serializable as spill-format records.
 		e.collapser = tso.NewCollapser()
 		// Without a reducer no finalize call ever comes, so entries are
 		// born finalized (pruned stays zero) and immediately spillable.
 		e.cset = newCollapsedSet(tso.CollapsedWidth(len(root.Procs)), opts.MemBudget, e.red == nil)
+		e.cset.faults = opts.Faults
 	} else {
 		e.visited = newVisitedSet(opts.VerifyVisited)
 	}
@@ -897,7 +976,48 @@ func Explore(build func() *tso.Machine, opts Options) Result {
 			e.workers[i].canon = tso.NewCanonicalizer(e.sym, root)
 		}
 	}
-	e.workers[0].push(pframe{m: root})
+	if ck != nil {
+		// Seed the resumed run: intern tables first (the saved visited
+		// keys are index tuples into them), then the visited records,
+		// the partial totals, and the frontier — each saved frame
+		// replayed from a fresh root and dealt round-robin.
+		e.collapser.RestoreTables(ck.tables)
+		e.cset.restoreRecords(ck.visited)
+		e.base = ck.baseResult()
+		e.states.Store(int64(e.base.States))
+		if e.base.Truncated {
+			e.truncated.Store(true)
+			e.cancel.Store(true)
+		}
+		if e.base.FirstViolation != nil {
+			e.firstViolation = e.base.FirstViolation
+			e.violTrace = e.base.ViolationTrace
+			if opts.stopOnViolation() {
+				e.cancel.Store(true)
+			}
+		}
+		for i, fr := range ck.frontier {
+			m := build()
+			var node *traceNode
+			for _, a := range fr.trace {
+				apply(m, a, e.sc)
+				if e.traces {
+					node = &traceNode{parent: node, act: a}
+				}
+			}
+			e.workers[i%nw].push(pframe{m: m, trace: node, sleep: fr.sleep})
+		}
+	} else {
+		e.workers[0].push(pframe{m: root})
+	}
+
+	var ckptSetupErr error
+	if ckptOn {
+		e.ck, ckptSetupErr = newCkptCoord(e, opts.Checkpoint)
+		// An uncreatable checkpoint dir degrades to an uncheckpointed
+		// run (reported via checkpoint_errors) rather than failing the
+		// exploration.
+	}
 
 	if nw == 1 {
 		e.workers[0].run()
@@ -913,21 +1033,20 @@ func Explore(build func() *tso.Machine, opts Options) Result {
 		wg.Wait()
 	}
 
-	res := Result{
-		States:         int(e.states.Load()),
-		Truncated:      e.truncated.Load(),
-		FirstViolation: e.firstViolation,
-		ViolationTrace: e.violTrace,
-		Outcomes:       make(map[Outcome]int),
+	if e.ck != nil {
+		e.ck.stop()
+		// A final snapshot after the pool drains lets a resume of a
+		// completed (or interrupted) run restore its result without
+		// re-exploration; skipped when a crash point fired, since a dead
+		// process writes nothing.
+		e.ck.writeFinal()
 	}
+
+	res := e.partialResult()
+	res.Interrupted = e.interrupted.Load()
+	res.Crashed = e.crashed.Load()
 	var tries, wins, ample, slept, reexp, proviso uint64
 	for _, w := range e.workers {
-		res.Transitions += w.res.Transitions
-		res.Violations += w.res.Violations
-		res.Deadlocks += w.res.Deadlocks
-		for o, c := range w.res.Outcomes {
-			res.Outcomes[o] += c
-		}
 		tries += w.claimTries
 		wins += w.claimWins
 		ample += w.ampleStates
@@ -966,6 +1085,9 @@ func Explore(build func() *tso.Machine, opts Options) Result {
 			if e.cset.disabled.Load() {
 				res.Obs.PutGauge("visited_spill_disabled", 1)
 			}
+			if f := e.cset.spillFailures.Load(); f > 0 {
+				res.Obs.PutCounter("visited_spill_failures", f)
+			}
 		}
 		e.cset.close()
 	}
@@ -983,6 +1105,26 @@ func Explore(build func() *tso.Machine, opts Options) Result {
 		// Fraction of claim attempts that found the state already visited:
 		// the duplicate work the per-worker frontiers did not avoid.
 		res.Obs.PutGauge("visited_hit_rate", float64(tries-wins)/float64(tries))
+	}
+	if ckptOn {
+		var writes, errs uint64
+		var bytes int64
+		if e.ck != nil {
+			writes, errs, bytes = e.ck.stats()
+		}
+		if ckptSetupErr != nil {
+			errs++
+			res.Obs.PutGauge("checkpoint_disabled", 1)
+		}
+		res.Obs.PutCounter("checkpoint_writes", writes)
+		if errs > 0 {
+			res.Obs.PutCounter("checkpoint_errors", errs)
+		}
+		res.Obs.PutGauge("checkpoint_bytes", float64(bytes))
+	}
+	if ck != nil {
+		res.Obs.PutGauge("resumed", 1)
+		res.Obs.PutGauge("resumed_states", float64(ck.hdr.States))
 	}
 	res.Obs.PutGauge("states_per_sec", res.StatesPerSec())
 	return res

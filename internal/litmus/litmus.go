@@ -18,9 +18,11 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/arch"
+	"repro/internal/fault"
 	"repro/internal/obs"
 	"repro/internal/tso"
 )
@@ -216,6 +218,33 @@ type Options struct {
 	// unbounded (exact TSO).
 	ReorderBound int
 
+	// Checkpoint configures periodic durable snapshots of the
+	// exploration (visited set + frontier) so a killed run resumes via
+	// Resume instead of restarting; see CheckpointOptions. A set Dir
+	// implies Collapse — checkpointed visited stripes reuse the
+	// fixed-width collapsed spill-record encoding — and forces trace
+	// recording so the frontier can be serialized as replayable action
+	// traces. Ignored by ExploreSerial.
+	Checkpoint CheckpointOptions
+
+	// Interrupt, when non-nil, is polled by every worker between frames:
+	// the exploration stops cooperatively (Result.Interrupted set, the
+	// partial result returned) once it reads true. External controllers
+	// — per-job timeouts, drain requests — use it to stop a run they
+	// cannot otherwise reach; combined with Checkpoint the interrupted
+	// run is resumable. Ignored by ExploreSerial.
+	Interrupt *atomic.Bool
+
+	// Faults is the chaos hook schedule for the robustness tests: the
+	// engine consults it at fault.SpillWrite (spill I/O failure →
+	// degrade to in-memory), fault.CkptTemp (crash after the checkpoint
+	// temp write, before the atomic rename), and fault.CkptCommit
+	// (crash right after a commit). A crash point aborts the run with
+	// Result.Crashed set — in-process stand-in for SIGKILL, leaving the
+	// on-disk checkpoint state exactly as a real kill would. Nil (the
+	// default) injects nothing and costs nothing.
+	Faults *fault.Injector
+
 	// SequentialConsistency explores the machine under SC semantics:
 	// every store completes (drains to the coherent cache) immediately
 	// after it commits, so no store-buffer reordering is observable.
@@ -258,6 +287,15 @@ type Result struct {
 	// nothing draining — cannot happen since Drain is always enabled when
 	// the buffer is non-empty, but the checker verifies that).
 	Deadlocks int
+	// Interrupted is set when Options.Interrupt stopped the run early;
+	// like Truncated, the rest of the Result is a valid partial summary.
+	Interrupted bool
+	// Crashed is set when an armed Options.Faults crash point fired: the
+	// run aborted as if the process had died at that instant. The
+	// returned partial result is what the dying process knew; the
+	// authoritative state for recovery is the on-disk checkpoint, which
+	// Resume picks up.
+	Crashed bool
 	// Elapsed is the wall-clock duration of the exploration.
 	Elapsed time.Duration
 	// Obs carries the engine's observability counters: per-worker

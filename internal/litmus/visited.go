@@ -2,9 +2,12 @@ package litmus
 
 import (
 	"bytes"
+	"errors"
 	"sort"
 	"sync"
 	"sync/atomic"
+
+	"repro/internal/fault"
 )
 
 // This file implements the collapsed visited set behind Options.Collapse
@@ -70,6 +73,10 @@ type collapsedSet struct {
 	spillEvents   atomic.Uint64
 	spilledStates atomic.Uint64
 	spilledBytes  atomic.Int64
+	// spillFailures counts segment-creation failures (real I/O errors or
+	// fault.SpillWrite injections); each one disables the budget.
+	spillFailures atomic.Uint64
+	faults        *fault.Injector
 }
 
 func newCollapsedSet(keyWidth int, budget int64, finalOnInsert bool) *collapsedSet {
@@ -232,8 +239,15 @@ func (cs *collapsedSet) spillStripe(s *cstripe) {
 		p := uint32(ve.pruned)
 		buf = append(buf, byte(p), byte(p>>8), byte(p>>16), byte(p>>24))
 	}
-	seg, err := newSpillSeg(buf)
+	var seg *spillSeg
+	var err error
+	if cs.faults.At(fault.SpillWrite) {
+		err = errors.New("litmus: injected spill-write failure")
+	} else {
+		seg, err = newSpillSeg(buf)
+	}
 	if err != nil {
+		cs.spillFailures.Add(1)
 		cs.disabled.Store(true)
 		return
 	}
@@ -247,6 +261,63 @@ func (cs *collapsedSet) spillStripe(s *cstripe) {
 	cs.spillEvents.Add(1)
 	cs.spilledStates.Add(uint64(len(keys)))
 	cs.spilledBytes.Add(int64(len(buf)))
+}
+
+// snapshotRecords serializes every visited entry — live map entries and
+// spilled segments alike — as a flat run of fixed-width spill-format
+// records (key bytes + 4-byte little-endian pruned mask). Callers must
+// have quiesced the run (the checkpoint barrier does); the stripe locks
+// are taken only against torn reads. Entries that are still unfinalized
+// at the barrier are terminal states under Reduction (their winner
+// returned without a finalize call, pruned is zero and will stay zero),
+// so recording them as finalized-with-zero-pruned is behaviorally
+// identical. Returns the records and the entry count.
+func (cs *collapsedSet) snapshotRecords() ([]byte, int) {
+	var total int
+	for i := range cs.stripes {
+		s := &cs.stripes[i]
+		s.mu.Lock()
+		total += len(s.m)
+		for _, seg := range s.segs {
+			total += len(seg.data) / cs.recWidth
+		}
+		s.mu.Unlock()
+	}
+	out := make([]byte, 0, total*cs.recWidth)
+	count := 0
+	for i := range cs.stripes {
+		s := &cs.stripes[i]
+		s.mu.Lock()
+		for k, ve := range s.m {
+			out = append(out, k...)
+			p := uint32(ve.pruned)
+			out = append(out, byte(p), byte(p>>8), byte(p>>16), byte(p>>24))
+			count++
+		}
+		for _, seg := range s.segs {
+			out = append(out, seg.data...)
+			count += len(seg.data) / cs.recWidth
+		}
+		s.mu.Unlock()
+	}
+	return out, count
+}
+
+// restoreRecords seeds a fresh set from snapshotRecords output. Every
+// restored entry is finalized — a checkpoint is only written at a
+// barrier, where each visited state's expansion choice is settled — so
+// the records land as ordinary resident entries, spillable as usual if
+// a budget later demands it.
+func (cs *collapsedSet) restoreRecords(recs []byte) {
+	for off := 0; off+cs.recWidth <= len(recs); off += cs.recWidth {
+		key := recs[off : off+cs.keyWidth]
+		b := recs[off+cs.keyWidth : off+cs.recWidth]
+		pruned := actionMask(uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24)
+		s := cs.stripeOf(key)
+		s.m[string(key)] = ventry{pruned: pruned, finalized: true}
+		s.bytes += int64(len(key)) + centryOverhead
+		cs.addResident(int64(len(key)) + centryOverhead)
+	}
 }
 
 // close releases every spill segment's mapping and file.

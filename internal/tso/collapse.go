@@ -115,6 +115,56 @@ func (c *Collapser) Collapse(m *Machine, dst []byte, scratch *[]byte) []byte {
 	return dst
 }
 
+// tables returns the Collapser's four component tables in their fixed
+// serialization order.
+func (c *Collapser) tables() [4]*internTable {
+	return [4]*internTable{&c.core, &c.sb, &c.cache, &c.mem}
+}
+
+// NumComponentTables is the number of component tables a Collapser
+// holds, fixed by the collapsed-key layout.
+const NumComponentTables = 4
+
+// TableSnapshot returns each component table's interned byte strings in
+// index order: snapshot[t][i] is the component that table t assigned
+// index i. Interning the same sequences into a fresh Collapser (see
+// RestoreTables) reproduces the index assignment exactly, which is what
+// makes collapsed visited-set keys meaningful across process restarts —
+// the model checker's checkpoint files persist this snapshot alongside
+// the key tuples. Callers must quiesce the run first (the checkpoint
+// barrier does); the per-table locks only protect against torn reads.
+func (c *Collapser) TableSnapshot() [NumComponentTables][][]byte {
+	var out [NumComponentTables][][]byte
+	for ti, t := range c.tables() {
+		t.mu.RLock()
+		keys := make([][]byte, len(t.idx))
+		for k, id := range t.idx {
+			keys[id] = []byte(k)
+		}
+		t.mu.RUnlock()
+		out[ti] = keys
+	}
+	return out
+}
+
+// RestoreTables replays a TableSnapshot into a fresh Collapser,
+// re-interning every component in index order so each table reproduces
+// the snapshot's exact index assignment. It panics if the Collapser has
+// already interned anything — restoring into a warm table would silently
+// renumber components and corrupt every previously collapsed key.
+func (c *Collapser) RestoreTables(snapshot [NumComponentTables][][]byte) {
+	for ti, t := range c.tables() {
+		if len(t.idx) != 0 {
+			panic("tso: RestoreTables on a non-empty Collapser")
+		}
+		for want, key := range snapshot[ti] {
+			if got := t.intern(key); got != uint32(want) {
+				panic("tso: RestoreTables index mismatch")
+			}
+		}
+	}
+}
+
 // Stats reports the total interned component count and the approximate
 // resident bytes of the shared tables. The tables are shared across the
 // run and are NOT covered by the model checker's memory budget (they
