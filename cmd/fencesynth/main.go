@@ -30,6 +30,7 @@ import (
 	"io"
 	"os"
 
+	"repro/internal/arch"
 	"repro/internal/harness"
 	"repro/internal/litmuslang"
 	"repro/internal/synth"
@@ -49,7 +50,15 @@ func main() {
 	corpusJournal := flag.String("corpus-journal", "", "journal file making -corpus resumable: completed scenarios persist as they finish and a rerun restores them instead of re-synthesizing")
 	prefilter := flag.Bool("prefilter", false, "seed and prune the lattice with the static critical-cycle analysis (default on under -corpus)")
 	reorderBound := flag.Int("reorder-bound", 0, "screen candidates with a reorder-bounded exploration before the exact check; 0 = off (default 2 under -corpus)")
+	model := flag.String("model", "", "memory model every candidate is verified under: tso (default) or pso; overrides a file's config { model }")
 	flag.Parse()
+
+	mm, err := arch.ParseMemModel(*model)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fencesynth:", err)
+		flag.Usage()
+		os.Exit(2)
+	}
 
 	set := make(map[string]bool)
 	flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
@@ -91,7 +100,8 @@ func main() {
 		os.Exit(runCorpus(*corpus, *corpusSeed, *corpusJournal, opts, *verbose, os.Stdout))
 	}
 	if *file != "" {
-		os.Exit(runFile(*file, opts, *verbose, *jsonOut, os.Stdout))
+		fm := fileModel{model: mm, set: set["model"]}
+		os.Exit(runFile(*file, opts, fm, *verbose, *jsonOut, os.Stdout))
 	}
 
 	probs := synth.Problems()
@@ -102,6 +112,9 @@ func main() {
 			os.Exit(2)
 		}
 		probs = []synth.Problem{p}
+	}
+	for i := range probs {
+		probs[i].Config.Model = mm
 	}
 
 	if *jsonOut {
@@ -128,7 +141,17 @@ func validateFlags(set map[string]bool) error {
 	if set["corpus-journal"] && !set["corpus"] {
 		return fmt.Errorf("-corpus-journal only applies to -corpus mode")
 	}
+	if set["corpus"] && set["model"] {
+		return fmt.Errorf("-model is incompatible with -corpus: generated scenarios are verified under the model their config declares")
+	}
 	return nil
+}
+
+// fileModel carries the -model flag into runFile: the flag overrides
+// the scenario file's config { model } only when passed explicitly.
+type fileModel struct {
+	model arch.MemModel
+	set   bool
 }
 
 // runCorpus repairs a corpus of generated scenarios end-to-end and
@@ -184,7 +207,7 @@ func runCorpus(n int, seed int64, journal string, opts synth.Options, verbose bo
 // emits the cost-optimal placement spliced back in as parseable litmus
 // source. Exit codes: 0 repaired (or already safe), 1 unrepairable or
 // synthesis failure, 2 on I/O or compile errors.
-func runFile(path string, opts synth.Options, verbose, jsonOut bool, w io.Writer) int {
+func runFile(path string, opts synth.Options, fm fileModel, verbose, jsonOut bool, w io.Writer) int {
 	src, err := os.ReadFile(path)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "fencesynth:", err)
@@ -194,6 +217,11 @@ func runFile(path string, opts synth.Options, verbose, jsonOut bool, w io.Writer
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "fencesynth: %s: %v\n", path, err)
 		return 2
+	}
+	if fm.set {
+		// An explicit -model wins over the file's config { model }; the
+		// override lands in c.Config so the repaired render carries it.
+		c.Config.Model = fm.model
 	}
 	prob, err := c.Problem()
 	if err != nil {

@@ -91,7 +91,7 @@ func writeScenario(t *testing.T, src string) string {
 // safe against its own assertion.
 func TestRunFileRepairsSB(t *testing.T) {
 	var out bytes.Buffer
-	code := runFile(writeScenario(t, sbRelaxed), synth.Options{}, true, false, &out)
+	code := runFile(writeScenario(t, sbRelaxed), synth.Options{}, fileModel{}, true, false, &out)
 	if code != 0 {
 		t.Fatalf("exit code %d, want 0\noutput:\n%s", code, out.String())
 	}
@@ -118,7 +118,7 @@ func TestRunFileRepairsSB(t *testing.T) {
 
 func TestRunFileJSONCarriesRepairedSource(t *testing.T) {
 	var out bytes.Buffer
-	code := runFile(writeScenario(t, sbRelaxed), synth.Options{}, false, true, &out)
+	code := runFile(writeScenario(t, sbRelaxed), synth.Options{}, fileModel{}, false, true, &out)
 	if code != 0 {
 		t.Fatalf("exit code %d, want 0\noutput:\n%s", code, out.String())
 	}
@@ -135,13 +135,13 @@ func TestRunFileJSONCarriesRepairedSource(t *testing.T) {
 }
 
 func TestRunFileErrors(t *testing.T) {
-	if code := runFile(filepath.Join(t.TempDir(), "missing.litmus"), synth.Options{}, false, false, os.Stderr); code != 2 {
+	if code := runFile(filepath.Join(t.TempDir(), "missing.litmus"), synth.Options{}, fileModel{}, false, false, os.Stderr); code != 2 {
 		t.Errorf("missing file: exit code %d, want 2", code)
 	}
 	noAssert := `thread "a" { storei [0x4], 1
 halt }
 `
-	if code := runFile(writeScenario(t, noAssert), synth.Options{}, false, false, os.Stderr); code != 2 {
+	if code := runFile(writeScenario(t, noAssert), synth.Options{}, fileModel{}, false, false, os.Stderr); code != 2 {
 		t.Errorf("assertion-free file: exit code %d, want 2", code)
 	}
 }

@@ -15,9 +15,11 @@
 // (ARW / ARW+ vs SRW read throughput), overhead (§5 round-trip costs),
 // theorems (Section 4, machine-checked), litmus_por (partial-order
 // reduction: reduced-vs-unreduced state counts over the protocol
-// suite, with the preservation contract checked), litmus_fuzz
-// (differential fuzzing: generated .litmus scenarios cross-checked
-// over the engine-configuration matrix), ablation, packetproc, chaos
+// suite, with the preservation contract checked), litmus_pso (the
+// classic catalog under per-address store buffers, with the
+// TSO-embedding contract checked), litmus_fuzz (differential fuzzing:
+// generated .litmus scenarios cross-checked over the
+// engine-configuration matrix), ablation, packetproc, chaos
 // (paper invariants under seeded fault injection; -faults picks the
 // schedule seeds).
 //
@@ -44,7 +46,7 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "comma-separated experiments (dekker|fig4|fig5a|fig5b|fig6a|fig6b|overhead|theorems|litmus_por|litmus_compress|litmus_fuzz|litmus_resume|ablation|packetproc|chaos) or 'all'")
+		exp      = flag.String("exp", "all", "comma-separated experiments (dekker|fig4|fig5a|fig5b|fig6a|fig6b|overhead|theorems|litmus_por|litmus_pso|litmus_compress|litmus_fuzz|litmus_resume|ablation|packetproc|chaos) or 'all'")
 		scale    = flag.String("scale", "small", "workload scale: test|small|medium|paper")
 		reps     = flag.Int("reps", 0, "repetitions per measurement (0 = default)")
 		procs    = flag.Int("procs", 0, "workers for parallel runs (0 = default)")

@@ -47,11 +47,19 @@ func main() {
 	ckptEvery := flag.Int("checkpoint-every", 5000, "checkpoint every N claimed states (requires -checkpoint)")
 	resume := flag.Bool("resume", false, "resume the -file exploration from the -checkpoint directory instead of starting fresh")
 	crashAfter := flag.Int("crash-after", 0, "SIGKILL this process right after the Nth checkpoint commit — crash-recovery testing only (requires -checkpoint)")
+	model := flag.String("model", "", "memory model for the catalog, -file, and -trace explorations: tso (default) or pso")
 	flag.Parse()
+
+	mm, err := arch.ParseMemModel(*model)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "litmus:", err)
+		flag.Usage()
+		os.Exit(2)
+	}
 
 	set := make(map[string]bool)
 	flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
-	if err := validateFlags(set); err != nil {
+	if err := validateFlags(set, mm); err != nil {
 		fmt.Fprintln(os.Stderr, "litmus:", err)
 		flag.Usage()
 		os.Exit(2)
@@ -62,11 +70,12 @@ func main() {
 		Reduction: *reduction,
 		Collapse:  *compress || *memBudget > 0,
 		MemBudget: *memBudget,
+		Model:     mm,
 	}
 
 	if *file != "" {
 		fc := fileCkpt{dir: *checkpoint, every: *ckptEvery, resume: *resume, crashAfter: *crashAfter}
-		os.Exit(runFile(*file, catOpts, fc, *jsonOut, os.Stdout))
+		os.Exit(runFile(*file, catOpts, fc, set["model"], *jsonOut, os.Stdout))
 	}
 
 	if *jsonOut {
@@ -89,7 +98,7 @@ func main() {
 		failed = printNProc(*nproc, catOpts) || failed
 	}
 	if *trace {
-		printCounterexample(*workers)
+		printCounterexample(*workers, mm)
 	}
 	if failed {
 		fmt.Fprintln(os.Stderr, "litmus: verification FAILED")
@@ -101,9 +110,20 @@ func main() {
 // front, before any exploration starts. set holds the names of the
 // flags the user passed explicitly (collected via flag.Visit), which
 // distinguishes "-catalog=true" spelled out from the same default.
-func validateFlags(set map[string]bool) error {
+func validateFlags(set map[string]bool, model arch.MemModel) error {
 	if set["membudget"] && !set["compress"] {
 		return fmt.Errorf("-membudget requires -compress: the disk-spill store holds collapse-compressed states, so a budget without compression has nothing to spill")
+	}
+	if model != arch.TSO {
+		if set["reduction"] {
+			return fmt.Errorf("-reduction is incompatible with -model %s: sleep-set reduction assumes TSO's FIFO drain enabledness and the %s engine runs unreduced", model, model)
+		}
+		if set["por"] {
+			return fmt.Errorf("-por is incompatible with -model %s: the reduced-vs-unreduced comparison only exists for TSO", model)
+		}
+		if set["nproc"] {
+			return fmt.Errorf("-nproc is incompatible with -model %s: the N-process generators rely on partial-order reduction, which the %s engine does not support", model, model)
+		}
 	}
 	if set["file"] {
 		for _, name := range []string{"nproc", "trace", "por", "catalog"} {
@@ -150,7 +170,7 @@ type fileSummary struct {
 // The return value is the process exit code: 0 clean, 1 when the
 // assertion is violated or the exploration truncated, 2 on I/O or
 // compile errors (including an unusable checkpoint under -resume).
-func runFile(path string, opts litmus.Options, fc fileCkpt, jsonOut bool, w io.Writer) int {
+func runFile(path string, opts litmus.Options, fc fileCkpt, modelSet bool, jsonOut bool, w io.Writer) int {
 	src, err := os.ReadFile(path)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "litmus:", err)
@@ -162,6 +182,11 @@ func runFile(path string, opts litmus.Options, fc fileCkpt, jsonOut bool, w io.W
 		return 2
 	}
 	opts.Properties = c.Properties()
+	// The file's config { model ... } selects the engine unless -model
+	// was passed explicitly, in which case the flag wins.
+	if !modelSet {
+		opts.Model = c.Config.Model
+	}
 	if fc.dir != "" {
 		opts.Checkpoint = litmus.CheckpointOptions{Dir: fc.dir, EveryStates: fc.every}
 		if fc.crashAfter > 0 {
@@ -235,7 +260,11 @@ func runFile(path string, opts litmus.Options, fc fileCkpt, jsonOut bool, w io.W
 // printCatalog runs the classic litmus tests and reports per-test
 // verdicts; it returns whether any failed.
 func printCatalog(opts litmus.Options) bool {
-	fmt.Println("Classic litmus tests (TSO ordering principles 1-4 + store atomicity):")
+	if opts.Model == arch.PSO {
+		fmt.Println("Classic litmus tests under PSO (per-address store buffers):")
+	} else {
+		fmt.Println("Classic litmus tests (TSO ordering principles 1-4 + store atomicity):")
+	}
 	failed := false
 	for _, ct := range litmus.Catalog() {
 		res, err := litmus.RunCatalogTestOpts(ct, opts)
@@ -245,7 +274,7 @@ func printCatalog(opts litmus.Options) bool {
 			failed = true
 		}
 		expect := "forbidden"
-		if ct.AllowedUnderTSO {
+		if ct.Allowed(opts.Model) {
 			expect = "allowed"
 		}
 		fmt.Printf("  %-11s %6d states  %9.0f states/sec  relaxed outcome %-9s  %s\n",
@@ -396,17 +425,19 @@ func runJSON(catalog bool, opts litmus.Options) int {
 	return 0
 }
 
-func printCounterexample(workers int) {
+func printCounterexample(workers int, model arch.MemModel) {
 	cfg := arch.DefaultConfig()
 	cfg.Procs = 2
 	cfg.MemWords = 16
 	cfg.StoreBufferDepth = 4
+	cfg.Model = model
 	p0, p1 := programs.DekkerPair(programs.DekkerNoFence)
 	build := func() *tso.Machine { return tso.NewMachine(cfg, p0, p1) }
 	r := litmus.Explore(build, litmus.Options{
 		Properties:      []litmus.Property{litmus.MutualExclusion},
 		StopOnViolation: true,
 		Workers:         workers,
+		Model:           model,
 	})
 	if r.Violations == 0 {
 		fmt.Println("no violation found (unexpected)")

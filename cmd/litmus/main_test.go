@@ -10,6 +10,7 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/arch"
 	"repro/internal/litmus"
 )
 
@@ -43,7 +44,7 @@ func TestValidateFlags(t *testing.T) {
 			for _, f := range tc.set {
 				set[f] = true
 			}
-			err := validateFlags(set)
+			err := validateFlags(set, arch.TSO)
 			switch {
 			case tc.wantErr == "" && err != nil:
 				t.Fatalf("unexpected error: %v", err)
@@ -102,7 +103,7 @@ forbid P0:r0=0 & P1:r0=0
 
 func TestRunFilePass(t *testing.T) {
 	var out bytes.Buffer
-	code := runFile(writeScenario(t, sbFenced), litmus.Options{}, fileCkpt{}, false, &out)
+	code := runFile(writeScenario(t, sbFenced), litmus.Options{}, fileCkpt{}, false, false, &out)
 	if code != 0 {
 		t.Fatalf("exit code %d, want 0\noutput:\n%s", code, out.String())
 	}
@@ -116,7 +117,7 @@ func TestRunFilePass(t *testing.T) {
 
 func TestRunFileViolation(t *testing.T) {
 	var out bytes.Buffer
-	code := runFile(writeScenario(t, sbRelaxed), litmus.Options{}, fileCkpt{}, false, &out)
+	code := runFile(writeScenario(t, sbRelaxed), litmus.Options{}, fileCkpt{}, false, false, &out)
 	if code != 1 {
 		t.Fatalf("exit code %d, want 1\noutput:\n%s", code, out.String())
 	}
@@ -127,7 +128,7 @@ func TestRunFileViolation(t *testing.T) {
 
 func TestRunFileJSON(t *testing.T) {
 	var out bytes.Buffer
-	code := runFile(writeScenario(t, sbFenced), litmus.Options{}, fileCkpt{}, true, &out)
+	code := runFile(writeScenario(t, sbFenced), litmus.Options{}, fileCkpt{}, false, true, &out)
 	if code != 0 {
 		t.Fatalf("exit code %d, want 0\noutput:\n%s", code, out.String())
 	}
@@ -146,10 +147,10 @@ func TestRunFileJSON(t *testing.T) {
 }
 
 func TestRunFileErrors(t *testing.T) {
-	if code := runFile(filepath.Join(t.TempDir(), "missing.litmus"), litmus.Options{}, fileCkpt{}, false, os.Stderr); code != 2 {
+	if code := runFile(filepath.Join(t.TempDir(), "missing.litmus"), litmus.Options{}, fileCkpt{}, false, false, os.Stderr); code != 2 {
 		t.Errorf("missing file: exit code %d, want 2", code)
 	}
-	if code := runFile(writeScenario(t, "thread { jmp @nowhere }"), litmus.Options{}, fileCkpt{}, false, os.Stderr); code != 2 {
+	if code := runFile(writeScenario(t, "thread { jmp @nowhere }"), litmus.Options{}, fileCkpt{}, false, false, os.Stderr); code != 2 {
 		t.Errorf("compile error: exit code %d, want 2", code)
 	}
 }
@@ -163,7 +164,7 @@ func TestRunFileCheckpointResume(t *testing.T) {
 	ckpt := filepath.Join(t.TempDir(), "ckpt")
 
 	var ref bytes.Buffer
-	if code := runFile(scenario, litmus.Options{}, fileCkpt{dir: ckpt, every: 50}, true, &ref); code != 1 {
+	if code := runFile(scenario, litmus.Options{}, fileCkpt{dir: ckpt, every: 50}, false, true, &ref); code != 1 {
 		t.Fatalf("checkpointed run: exit code %d, want 1 (forbidden outcome reached)\n%s", code, ref.String())
 	}
 	var refSum fileSummary
@@ -172,7 +173,7 @@ func TestRunFileCheckpointResume(t *testing.T) {
 	}
 
 	var out bytes.Buffer
-	if code := runFile(scenario, litmus.Options{}, fileCkpt{dir: ckpt, every: 50, resume: true}, true, &out); code != 1 {
+	if code := runFile(scenario, litmus.Options{}, fileCkpt{dir: ckpt, every: 50, resume: true}, false, true, &out); code != 1 {
 		t.Fatalf("resumed run: exit code %d, want 1\n%s", code, out.String())
 	}
 	var sum fileSummary
@@ -190,7 +191,7 @@ func TestRunFileCheckpointResume(t *testing.T) {
 	// Resuming a directory with no checkpoint is an operator error, not
 	// a silent fresh run.
 	empty := filepath.Join(t.TempDir(), "empty")
-	if code := runFile(scenario, litmus.Options{}, fileCkpt{dir: empty, resume: true}, true, io.Discard); code != 2 {
+	if code := runFile(scenario, litmus.Options{}, fileCkpt{dir: empty, resume: true}, false, true, io.Discard); code != 2 {
 		t.Errorf("resume from empty dir: exit code %d, want 2", code)
 	}
 }
@@ -212,7 +213,7 @@ func TestRunFileOnExamples(t *testing.T) {
 				want = 1
 			}
 			var out bytes.Buffer
-			if code := runFile(f, litmus.Options{Reduction: true}, fileCkpt{}, false, &out); code != want {
+			if code := runFile(f, litmus.Options{Reduction: true}, fileCkpt{}, false, false, &out); code != want {
 				t.Errorf("exit code %d, want %d\noutput:\n%s", code, want, out.String())
 			}
 		})

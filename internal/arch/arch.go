@@ -135,6 +135,49 @@ func (p Protocol) String() string {
 	}
 }
 
+// MemModel selects the memory consistency model the machine's store
+// buffers implement — equivalently, which drain transitions the model
+// checker's transition system exposes. The machine state is identical
+// across models; only the enabled-action relation differs.
+type MemModel uint8
+
+const (
+	// TSO is Total Store Order, the paper's model: one FIFO store
+	// buffer per processor, so stores complete in program order and
+	// the only visible relaxation is a load passing an older store.
+	TSO MemModel = iota
+	// PSO is Partial Store Order: per-address store buffers, so
+	// pending stores to *different* addresses drain in any order while
+	// same-address stores stay FIFO. Every TSO execution is a PSO
+	// execution (FIFO drain order is one valid per-address order).
+	PSO
+)
+
+func (m MemModel) String() string {
+	switch m {
+	case TSO:
+		return "tso"
+	case PSO:
+		return "pso"
+	default:
+		return fmt.Sprintf("MemModel(%d)", uint8(m))
+	}
+}
+
+// ParseMemModel parses a memory-model name as spelled in the DSL's
+// config block and the CLIs' -model flag. The empty string means the
+// default (TSO).
+func ParseMemModel(s string) (MemModel, error) {
+	switch s {
+	case "", "tso", "TSO":
+		return TSO, nil
+	case "pso", "PSO":
+		return PSO, nil
+	default:
+		return TSO, fmt.Errorf("arch: unknown memory model %q (want tso or pso)", s)
+	}
+}
+
 // Config describes a simulated machine.
 type Config struct {
 	// Procs is the number of processors.
@@ -142,6 +185,9 @@ type Config struct {
 
 	// Protocol is the coherence protocol flavour (default MESI).
 	Protocol Protocol
+
+	// Model is the memory consistency model (default TSO).
+	Model MemModel
 
 	// Links is the number of LE/ST link register pairs per processor.
 	// The paper's proposal has exactly one (values <= 0 mean 1); larger
@@ -184,6 +230,9 @@ func (c Config) Validate() error {
 	}
 	if c.StoreBufferDepth <= 0 {
 		return fmt.Errorf("arch: store buffer depth must be positive, got %d", c.StoreBufferDepth)
+	}
+	if c.Model > PSO {
+		return fmt.Errorf("arch: unknown memory model %d", uint8(c.Model))
 	}
 	return nil
 }

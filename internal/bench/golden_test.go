@@ -93,6 +93,19 @@ func TestGoldenAllExperiments(t *testing.T) {
 		}
 	}
 
+	// The PSO experiment must classify the whole catalog correctly
+	// under both models, and the Principle-3 tests must actually widen
+	// under per-address buffering.
+	pso := back.Experiments["litmus_pso"]
+	if m, ok := pso.Metrics["all_pass"]; !ok || m.Value != 1 {
+		t.Errorf("litmus_pso all_pass = %+v, want 1", m)
+	}
+	for _, k := range []string{"ratio/MP", "ratio/2+2W"} {
+		if m, ok := pso.Metrics[k]; !ok || m.Value <= 1 {
+			t.Errorf("litmus_pso %s = %+v, want > 1x PSO widening", k, m)
+		}
+	}
+
 	// The fuzz experiment must have cross-checked a non-degenerate
 	// corpus with zero divergences at every generator mix.
 	fz := back.Experiments["litmus_fuzz"]

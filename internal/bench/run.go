@@ -13,7 +13,7 @@ import (
 // Names lists every experiment in canonical -exp all order. The golden
 // test pins that a full run records exactly these keys.
 var Names = []string{
-	"theorems", "litmus_por", "litmus_compress", "litmus_fuzz",
+	"theorems", "litmus_por", "litmus_pso", "litmus_compress", "litmus_fuzz",
 	"litmus_resume", "synth_throughput", "dekker",
 	"overhead", "fig4",
 	"fig5a", "fig5b", "fig6a", "fig6b",
@@ -64,6 +64,12 @@ var ErrSynthThroughputFailed = fmt.Errorf("bench: synthesis corpus run broke the
 // diverged from the unreduced reference semantics. The Ran is complete,
 // so the divergence table still prints.
 var ErrPORFailed = fmt.Errorf("bench: partial-order reduction diverged from reference")
+
+// ErrPSOFailed marks a litmus_pso run where a catalog test classified
+// wrongly under a memory model or the PSO exploration failed to reach
+// every TSO behaviour. The Ran is complete, so the failing table still
+// prints.
+var ErrPSOFailed = fmt.Errorf("bench: PSO backend misclassified the catalog or lost TSO behaviour")
 
 // ErrCompressFailed marks a litmus_compress run where a compressed or
 // symmetry-reduced exploration broke the preservation contract against
@@ -132,6 +138,29 @@ func RunExperiment(name string, opt harness.Options, asymMode core.Mode) (*Ran, 
 		ran.Tables = append(ran.Tables, res.Table())
 		if !res.AllPass() {
 			err = ErrPORFailed
+		}
+
+	case "litmus_pso":
+		res := harness.RunPSO(0)
+		e.Detail = res
+		pass := 0.0
+		if res.AllPass() {
+			pass = 1
+		}
+		e.putMetric("all_pass", pass, "", true)
+		e.putMetric("states_per_sec", res.StatesPerSec(), "states/sec", false)
+		for _, row := range res.Rows {
+			k := metricKey(row.Name)
+			// The guarded number: how much wider the PSO state space is.
+			// A drop means the per-address drain classes stopped opening
+			// reorderings; a jump means the encoding exploded.
+			e.putMetric("ratio/"+k, row.Ratio, "ratio", true)
+			e.putMetric("states_tso/"+k, float64(row.StatesTSO), "states", false)
+			e.putMetric("states_pso/"+k, float64(row.StatesPSO), "states", false)
+		}
+		ran.Tables = append(ran.Tables, res.Table())
+		if !res.AllPass() {
+			err = ErrPSOFailed
 		}
 
 	case "litmus_compress":

@@ -49,8 +49,10 @@ type fuzzMix struct {
 
 // fuzzMixes are the generator parameter mixes the experiment sweeps:
 // the default racy two-thread mix, a three-thread mix (more
-// interleaving, no critical sections), and a deep-store-buffer mix
-// (longer reorder windows, critical sections on).
+// interleaving, no critical sections), a deep-store-buffer mix (longer
+// reorder windows, critical sections on), and an indexed mix
+// (loadidx/storeidx with proven-in-range indices, exercising the
+// static analysis' constant propagation).
 func fuzzMixes() []fuzzMix {
 	return []fuzzMix{
 		{"default", litmusgen.DefaultParams()},
@@ -61,6 +63,10 @@ func fuzzMixes() []fuzzMix {
 		{"deep-sb", litmusgen.Params{
 			Threads: 2, BodyInstrs: 8, Addrs: 2, SBDepth: 4, LoopBound: 2,
 			Lmfence: true, CS: true,
+		}},
+		{"indexed", litmusgen.Params{
+			Threads: 2, BodyInstrs: 6, Addrs: 3, SBDepth: 2, LoopBound: 2,
+			Lmfence: true, Indexed: true,
 		}},
 	}
 }

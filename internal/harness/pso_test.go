@@ -1,0 +1,52 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestRunPSO runs the TSO-vs-PSO catalog experiment end to end: every
+// row must pass (correct classification under both models plus the
+// TSO-embedding contract), and the Principle-3 tests must show the
+// per-address widening the experiment exists to measure.
+func TestRunPSO(t *testing.T) {
+	res := RunPSO(0)
+	if len(res.Rows) != 10 {
+		t.Fatalf("rows = %d, want the 10 catalog tests", len(res.Rows))
+	}
+	if !res.AllPass() {
+		t.Errorf("catalog failed under the model matrix:\n%s", res.Table())
+	}
+	byName := map[string]PSORow{}
+	for _, row := range res.Rows {
+		byName[row.Name] = row
+		if !row.Superset {
+			t.Errorf("%s: PSO lost TSO behaviour", row.Name)
+		}
+	}
+	for _, name := range []string{"MP", "2+2W"} {
+		row, ok := byName[name]
+		if !ok {
+			t.Fatalf("catalog row %s missing", name)
+		}
+		if !row.AllowedPSO || row.AllowedTSO {
+			t.Errorf("%s: expected forbidden under TSO, allowed under PSO; got TSO=%v PSO=%v",
+				name, row.AllowedTSO, row.AllowedPSO)
+		}
+		if row.Ratio <= 1 {
+			t.Errorf("%s: ratio %.2f, want > 1 (store→store windows must open states)", name, row.Ratio)
+		}
+	}
+	if row := byName["SB"]; !row.AllowedTSO || !row.AllowedPSO || row.Ratio != 1 {
+		t.Errorf("SB row off the hand-checked table: %+v", row)
+	}
+	if res.StatesPerSec() <= 0 {
+		t.Errorf("states/sec = %v", res.StatesPerSec())
+	}
+	tab := res.Table().String()
+	for _, want := range []string{"MP", "1.00x", "PASS"} {
+		if !strings.Contains(tab, want) {
+			t.Errorf("table missing %q:\n%s", want, tab)
+		}
+	}
+}

@@ -31,6 +31,20 @@ type CatalogTest struct {
 	// AllowedUnderTSO states whether the relaxed outcome must be
 	// reachable (true) or forbidden (false) on this machine.
 	AllowedUnderTSO bool
+	// AllowedUnderPSO states the expected classification under the PSO
+	// model (per-address store buffers): everything TSO allows stays
+	// allowed, and tests whose forbidden verdict rests on Principle 3
+	// (W-W order) additionally flip to allowed.
+	AllowedUnderPSO bool
+}
+
+// Allowed reports the expected classification of the relaxed outcome
+// under the given memory model.
+func (t CatalogTest) Allowed(model arch.MemModel) bool {
+	if model == arch.PSO {
+		return t.AllowedUnderPSO
+	}
+	return t.AllowedUnderTSO
 }
 
 // has matches an outcome fragment: proc, then whole "rK=V" tokens.
@@ -57,6 +71,7 @@ func Catalog() []CatalogTest {
 				return has(o, 0, "r0=0") && has(o, 1, "r0=0")
 			},
 			AllowedUnderTSO: true,
+			AllowedUnderPSO: true,
 		},
 		{
 			Name: "SB+mfence",
@@ -71,6 +86,7 @@ func Catalog() []CatalogTest {
 				return has(o, 0, "r0=0") && has(o, 1, "r0=0")
 			},
 			AllowedUnderTSO: false,
+			AllowedUnderPSO: false,
 		},
 		{
 			Name: "SB+lmfence",
@@ -85,6 +101,7 @@ func Catalog() []CatalogTest {
 				return has(o, 0, "r0=0") && has(o, 1, "r0=0")
 			},
 			AllowedUnderTSO: false,
+			AllowedUnderPSO: false,
 		},
 		{
 			Name: "MP",
@@ -99,6 +116,7 @@ func Catalog() []CatalogTest {
 				return has(o, 1, "r1=1", "r2=0")
 			},
 			AllowedUnderTSO: false,
+			AllowedUnderPSO: true,
 		},
 		{
 			Name: "LB",
@@ -113,6 +131,7 @@ func Catalog() []CatalogTest {
 				return has(o, 0, "r1=1") && has(o, 1, "r1=1")
 			},
 			AllowedUnderTSO: false,
+			AllowedUnderPSO: false,
 		},
 		{
 			Name: "2+2W",
@@ -131,6 +150,7 @@ func Catalog() []CatalogTest {
 				return has(o, 0, "r1=1", "r2=1") && has(o, 1, "r1=1", "r2=1")
 			},
 			AllowedUnderTSO: false,
+			AllowedUnderPSO: true,
 		},
 		{
 			Name: "CoRR",
@@ -145,6 +165,7 @@ func Catalog() []CatalogTest {
 				return has(o, 1, "r1=2", "r2=1")
 			},
 			AllowedUnderTSO: false,
+			AllowedUnderPSO: false,
 		},
 		{
 			Name: "WRC",
@@ -160,6 +181,7 @@ func Catalog() []CatalogTest {
 				return has(o, 1, "r1=1") && has(o, 2, "r1=1", "r2=0")
 			},
 			AllowedUnderTSO: false,
+			AllowedUnderPSO: false,
 		},
 		{
 			Name: "RWC",
@@ -175,6 +197,7 @@ func Catalog() []CatalogTest {
 				return has(o, 1, "r1=1", "r2=0") && has(o, 2, "r1=0")
 			},
 			AllowedUnderTSO: true,
+			AllowedUnderPSO: true,
 		},
 		{
 			Name: "IRIW",
@@ -192,6 +215,7 @@ func Catalog() []CatalogTest {
 				return has(o, 2, "r1=1", "r2=0") && has(o, 3, "r1=1", "r2=0")
 			},
 			AllowedUnderTSO: false,
+			AllowedUnderPSO: false,
 		},
 	}
 }
@@ -228,9 +252,9 @@ func RunCatalogTestOpts(t CatalogTest, opts Options) (Result, error) {
 		return res, fmt.Errorf("litmus: %s deadlocked %d times", t.Name, res.Deadlocks)
 	}
 	reached := res.CountOutcomes(func(o Outcome) bool { return t.Relaxed(o) }) > 0
-	if reached != t.AllowedUnderTSO {
-		return res, fmt.Errorf("litmus: %s relaxed outcome reachable=%v, want %v",
-			t.Name, reached, t.AllowedUnderTSO)
+	if want := t.Allowed(opts.Model); reached != want {
+		return res, fmt.Errorf("litmus: %s relaxed outcome reachable=%v under %s, want %v",
+			t.Name, reached, modelFor(opts).Name(), want)
 	}
 	return res, nil
 }

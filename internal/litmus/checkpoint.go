@@ -143,6 +143,10 @@ type ckptHeader struct {
 	RootH2   string `json:"root_h2"`
 	Procs    int    `json:"procs"`
 	KeyWidth int    `json:"key_width"`
+	// Model is the memory model the snapshot was taken under
+	// (Model.Name()); empty in pre-model checkpoints, which were all
+	// TSO or SC and stay covered by OptionsHash.
+	Model string `json:"model,omitempty"`
 
 	States       int            `json:"states"`
 	Transitions  int            `json:"transitions"`
@@ -173,11 +177,16 @@ type checkpoint struct {
 	frontier []ckptFrame
 }
 
-// packAction / unpackAction encode one Action in a uvarint.
-func packAction(a Action) uint64 { return uint64(a.Proc)<<1 | uint64(a.Kind) }
+// packAction / unpackAction encode one Action in a uvarint: kind in
+// bit 0, proc in bits 1-7, the drain-class arg in bits 8+. TSO/SC
+// actions carry Arg == 0, so their encoding (and every pre-Arg
+// checkpoint) is unchanged.
+func packAction(a Action) uint64 {
+	return uint64(a.Arg)<<8 | uint64(a.Proc)<<1 | uint64(a.Kind)
+}
 
 func unpackAction(v uint64) Action {
-	return Action{Proc: arch.ProcID(v >> 1), Kind: ActionKind(v & 1)}
+	return Action{Proc: arch.ProcID((v >> 1) & 0x7f), Kind: ActionKind(v & 1), Arg: uint8(v >> 8)}
 }
 
 // optionsHash fingerprints the Options fields that determine an
@@ -213,6 +222,14 @@ func optionsHash(o Options) uint64 {
 	appBool(o.Symmetry != nil)
 	for _, r := range OutcomeRegs {
 		app(int(r))
+	}
+	// Fold the memory model in only when it is non-default, so every
+	// pre-model TSO/SC checkpoint keeps its historical hash and stays
+	// resumable. (Resume also checks the header's Model field first,
+	// for a readable error; this is the belt to that suspender.)
+	if o.Model != arch.TSO {
+		b = append(b, o.Model.String()...)
+		b = append(b, 0)
 	}
 	return fnv64a(b)
 }
@@ -473,6 +490,7 @@ func encodeCheckpoint(e *engine) []byte {
 		RootH2:        hex64(e.rootH2),
 		Procs:         e.nprocs,
 		KeyWidth:      e.cset.keyWidth,
+		Model:         e.model.Name(),
 		States:        part.States,
 		Transitions:   part.Transitions,
 		Violations:    part.Violations,
@@ -627,6 +645,16 @@ func Resume(dir string, build func() *tso.Machine, opts Options) (Result, error)
 	ck, err := loadCheckpoint(filepath.Join(dir, ckptFileName))
 	if err != nil {
 		return Result{}, err
+	}
+	// Check the memory model first and by name: resuming a TSO snapshot
+	// under -model pso (or vice versa) is the mismatch a user can
+	// actually fix from the message, so it must not hide behind the
+	// generic options-hash hex dump. Pre-model checkpoints have no
+	// Model field; they were all TSO or SC and the options hash below
+	// still distinguishes those.
+	if want := modelFor(opts).Name(); ck.hdr.Model != "" && ck.hdr.Model != want {
+		return Result{}, fmt.Errorf("%w: checkpoint was taken under the %s memory model but this run selects %s; resume with the original model or start fresh",
+			ErrCheckpointMismatch, ck.hdr.Model, want)
 	}
 	root := build()
 	h1, h2 := rootIdentity(root)

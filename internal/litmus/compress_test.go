@@ -231,16 +231,16 @@ func TestSymmetryOrbitProperty(t *testing.T) {
 				m1 := sp.Build()
 				m2 := sp.Build()
 				for step := 0; step < 40; step++ {
-					enabled := appendEnabled(nil, m1, false, 0)
+					enabled := tsoModel{}.Enabled(nil, m1, 0)
 					if len(enabled) == 0 {
 						break
 					}
 					a := enabled[rng.Intn(len(enabled))]
-					apply(m1, a, false)
+					replayApply(m1, a)
 					// The same action under the rotation; enabledness
 					// transfers because the root is ring-symmetric.
 					pa := Action{Proc: arch.ProcID(perm[int(a.Proc)]), Kind: a.Kind}
-					apply(m2, pa, false)
+					replayApply(m2, pa)
 				}
 				cm1, _ := canon.Canonicalize(m1)
 				fp1 := append([]byte(nil), cm1.Fingerprint(nil)...)

@@ -375,7 +375,7 @@ func (e *engine) finalize(h1, h2 uint64, fp []byte, tmask actionMask) actionMask
 // engine is the shared state of one Explore call.
 type engine struct {
 	opts      Options
-	sc        bool
+	model     Model
 	traces    bool // record action traces (violation reports, checkpoint frontiers)
 	maxStates int64
 	workers   []*worker
@@ -739,7 +739,7 @@ func (w *worker) process(f pframe) {
 		return
 	}
 
-	w.actBuf = appendEnabled(w.actBuf[:0], m, e.sc, e.opts.ReorderBound)
+	w.actBuf = e.model.Enabled(w.actBuf[:0], m, e.opts.ReorderBound)
 	enabled := w.actBuf
 	if len(enabled) == 0 {
 		if m.Quiesced() {
@@ -793,7 +793,7 @@ func (w *worker) process(f pframe) {
 			if k < last {
 				child = w.clone(m)
 			}
-			apply(child, a, e.sc)
+			e.model.Apply(child, a)
 			var node *traceNode
 			if e.traces {
 				node = &traceNode{parent: f.trace, act: a}
@@ -820,7 +820,7 @@ func (w *worker) process(f pframe) {
 		}
 		// The last child mutates the parent machine in place: the
 		// parent's fingerprint is already claimed, so its state is dead.
-		apply(child, a, e.sc)
+		e.model.Apply(child, a)
 		var node *traceNode
 		if e.traces {
 			node = &traceNode{parent: f.trace, act: a}
@@ -840,7 +840,7 @@ func (w *worker) ampleSuccessorSeen(m *tso.Machine, enabled []Action) bool {
 	e := w.eng
 	for _, i := range w.pl.tidx {
 		child := w.clone(m)
-		apply(child, enabled[i], e.sc)
+		e.model.Apply(child, enabled[i])
 		pk := w.probeKey(child)
 		w.recycle(child)
 		if e.seenKey(pk) {
@@ -857,7 +857,7 @@ func (w *worker) ampleSuccessorSeen(m *tso.Machine, enabled []Action) bool {
 func (w *worker) expandFrom(f pframe, mask actionMask) {
 	e := w.eng
 	m := f.m
-	w.actBuf = appendEnabled(w.actBuf[:0], m, e.sc, e.opts.ReorderBound)
+	w.actBuf = e.model.Enabled(w.actBuf[:0], m, e.opts.ReorderBound)
 	var picked []int
 	for i, a := range w.actBuf {
 		if mask&maskOf(a) != 0 {
@@ -873,7 +873,7 @@ func (w *worker) expandFrom(f pframe, mask actionMask) {
 		if k < last {
 			child = w.clone(m)
 		}
-		apply(child, a, e.sc)
+		e.model.Apply(child, a)
 		var node *traceNode
 		if e.traces {
 			node = &traceNode{parent: f.trace, act: a}
@@ -921,8 +921,8 @@ func exploreFrom(build func() *tso.Machine, opts Options, ck *checkpoint) Result
 	ckptOn := opts.Checkpoint.enabled()
 
 	e := &engine{
-		opts: opts,
-		sc:   opts.SequentialConsistency,
+		opts:  opts,
+		model: modelFor(opts),
 		// Checkpoints serialize frontier frames as action traces, so
 		// checkpointed runs record traces even without properties.
 		traces:    len(opts.Properties) > 0 || ckptOn,
@@ -945,12 +945,13 @@ func exploreFrom(build func() *tso.Machine, opts Options, ck *checkpoint) Result
 		}
 		e.sym = opts.Symmetry
 	}
-	if opts.Reduction && opts.ReorderBound <= 0 {
+	if opts.Reduction && opts.ReorderBound <= 0 && e.model.ReductionOK() {
 		// nil when the machine has too many processors for the reduction's
 		// action masks; the exploration then runs unreduced. A reorder
-		// bound also forces the unreduced path: the ample-set analysis
-		// assumes the full TSO enabledness relation.
-		e.red = newReducer(root, e.sc)
+		// bound forces the unreduced path the same way, as does a model
+		// whose enabledness relation the ample-set analysis does not
+		// cover (PSO): Model.ReductionOK gates it per model.
+		e.red = newReducer(root, opts.SequentialConsistency)
 	}
 	if opts.Collapse || opts.MemBudget > 0 || ckptOn || ck != nil {
 		// Checkpointing implies Collapse: collapsed tuples are exact
@@ -1000,7 +1001,7 @@ func exploreFrom(build func() *tso.Machine, opts Options, ck *checkpoint) Result
 			m := build()
 			var node *traceNode
 			for _, a := range fr.trace {
-				apply(m, a, e.sc)
+				e.model.Apply(m, a)
 				if e.traces {
 					node = &traceNode{parent: node, act: a}
 				}

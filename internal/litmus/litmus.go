@@ -48,9 +48,18 @@ func (k ActionKind) String() string {
 type Action struct {
 	Proc arch.ProcID
 	Kind ActionKind
+	// Arg is the drain-class index for PSO drains: which distinct
+	// pending address (ordered by first occurrence in the buffer) the
+	// drain completes the oldest store of. TSO and SC actions always
+	// carry 0, and class 0 is the FIFO drain, so the zero value keeps
+	// the historical TSO action encoding.
+	Arg uint8
 }
 
 func (a Action) String() string {
+	if a.Kind == Drain && a.Arg != 0 {
+		return fmt.Sprintf("%v:%v#%d", a.Proc, a.Kind, a.Arg)
+	}
 	return fmt.Sprintf("%v:%v", a.Proc, a.Kind)
 }
 
@@ -250,8 +259,19 @@ type Options struct {
 	// after it commits, so no store-buffer reordering is observable.
 	// Used as the reference model in differential tests — TSO outcomes
 	// must be a superset of SC outcomes, and fully fenced programs must
-	// coincide with SC.
+	// coincide with SC. Takes precedence over Model (under SC the drain
+	// policy the models differ in is unobservable).
 	SequentialConsistency bool
+
+	// Model selects the store-buffer memory model the exploration runs
+	// under (see Model and internal/arch.MemModel). The zero value is
+	// arch.TSO, the historical transition relation — default-model runs
+	// are byte-identical to pre-Model results. arch.PSO explores
+	// per-address store buffers: one drain transition per distinct
+	// pending address, so stores to different addresses complete out of
+	// order. Reduction is silently forced off under PSO, like under
+	// ReorderBound: the ample-set analysis assumes TSO's enabledness.
+	Model arch.MemModel
 }
 
 // stopOnViolation folds the canonical flag with its deprecated alias.
@@ -397,26 +417,6 @@ func (r *Result) SortedOutcomes() []Outcome {
 	return out
 }
 
-// appendEnabled appends every enabled action of m to dst. Callers pass a
-// reused buffer to keep expansion allocation-free. bound > 0 restricts
-// the Exec of a program load to states where the loading processor's own
-// store buffer holds at most bound undrained stores (Options.ReorderBound
-// — a reorder-bounded under-approximation of TSO). Drain enabledness is
-// never restricted, so every Exec the bound disables has an enabled
-// Drain on the same processor and the bound cannot introduce deadlocks.
-func appendEnabled(dst []Action, m *tso.Machine, sc bool, bound int) []Action {
-	for i := range m.Procs {
-		p := arch.ProcID(i)
-		if m.CanExec(p) && (bound <= 0 || execWithinBound(m, p, bound)) {
-			dst = append(dst, Action{Proc: p, Kind: Exec})
-		}
-		if !sc && m.CanDrain(p) {
-			dst = append(dst, Action{Proc: p, Kind: Drain})
-		}
-	}
-	return dst
-}
-
 // execWithinBound reports whether committing pid's next instruction keeps
 // the run inside the reorder bound: a program load (OpLoad/OpLoadIdx) may
 // commit only while at most bound of its own stores remain buffered, i.e.
@@ -433,28 +433,14 @@ func execWithinBound(m *tso.Machine, pid arch.ProcID, bound int) bool {
 	return p.SB.Len() <= bound
 }
 
-func apply(m *tso.Machine, a Action, sc bool) {
-	switch a.Kind {
-	case Exec:
-		m.ExecStep(a.Proc)
-		if sc {
-			// SC semantics: the store (if any) becomes globally visible
-			// atomically with its commit.
-			for m.CanDrain(a.Proc) {
-				m.DrainStep(a.Proc)
-			}
-		}
-	case Drain:
-		m.DrainStep(a.Proc)
-	}
-}
-
 // Replay applies a recorded trace to a fresh machine from build,
 // returning the resulting machine. Used to render violation traces.
+// Traces recorded under any model replay exactly: each Drain action
+// carries the class of the entry it completed (see replayApply).
 func Replay(build func() *tso.Machine, trace []Action) *tso.Machine {
 	m := build()
 	for _, a := range trace {
-		apply(m, a, false)
+		replayApply(m, a)
 	}
 	return m
 }
@@ -471,10 +457,10 @@ func FormatTrace(build func() *tso.Machine, trace []Action) string {
 			in := p.Prog.Instrs[p.PC]
 			fmt.Fprintf(&sb, "%3d. %v exec  %v\n", i, a.Proc, in)
 		case Drain:
-			e, _ := m.Procs[a.Proc].SB.Oldest()
+			e := m.Procs[a.Proc].SB.At(m.Procs[a.Proc].SB.ClassOldestIndex(int(a.Arg)))
 			fmt.Fprintf(&sb, "%3d. %v drain [0x%x]=%d\n", i, a.Proc, uint32(e.Addr), int64(e.Val))
 		}
-		apply(m, a, false)
+		replayApply(m, a)
 	}
 	return sb.String()
 }

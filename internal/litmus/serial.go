@@ -49,10 +49,12 @@ func ExploreSerial(build func() *tso.Machine, opts Options) Result {
 	if maxStates == 0 {
 		maxStates = DefaultMaxStates
 	}
+	mdl := modelFor(opts)
 	// A reorder bound changes the enabledness relation the ample-set
 	// analysis was derived for, so bounded runs always explore unreduced
-	// (Options.ReorderBound documents this).
-	if opts.Reduction && opts.ReorderBound <= 0 {
+	// (Options.ReorderBound documents this); so does a model whose
+	// relation the analysis does not cover (Model.ReductionOK).
+	if opts.Reduction && opts.ReorderBound <= 0 && mdl.ReductionOK() {
 		return exploreSerialReduced(build, opts, maxStates)
 	}
 	start := time.Now()
@@ -102,7 +104,7 @@ func ExploreSerial(build func() *tso.Machine, opts Options) Result {
 			return res
 		}
 
-		enabled := appendEnabled(nil, m, opts.SequentialConsistency, opts.ReorderBound)
+		enabled := mdl.Enabled(nil, m, opts.ReorderBound)
 		if len(enabled) == 0 {
 			if m.Quiesced() {
 				// Outcomes are recorded from the canonical representative so
@@ -117,7 +119,7 @@ func ExploreSerial(build func() *tso.Machine, opts Options) Result {
 		}
 		for _, a := range enabled {
 			child := m.Clone()
-			apply(child, a, opts.SequentialConsistency)
+			mdl.Apply(child, a)
 			res.Transitions++
 			tr := make([]Action, len(f.trace)+1)
 			copy(tr, f.trace)
@@ -155,6 +157,7 @@ type serialVentry struct {
 func exploreSerialReduced(build func() *tso.Machine, opts Options, maxStates int) Result {
 	start := time.Now()
 	sc := opts.SequentialConsistency
+	mdl := modelFor(opts)
 	root := build()
 	rd := newReducer(root, sc)
 	if rd == nil {
@@ -227,13 +230,13 @@ func exploreSerialReduced(build func() *tso.Machine, opts Options, maxStates int
 			// The first visit slept actions this arrival's sleep set does
 			// not justify; re-expand them (with empty child sleep sets).
 			ve.pruned &= sleepC
-			enabled := appendEnabled(nil, m, sc, 0)
+			enabled := mdl.Enabled(nil, m, 0)
 			for _, a := range enabled {
 				if missing&maskOf(a) == 0 {
 					continue
 				}
 				child := m.Clone()
-				apply(child, a, sc)
+				mdl.Apply(child, a)
 				res.Transitions++
 				reexp++
 				tr := make([]Action, len(f.trace)+1)
@@ -267,7 +270,7 @@ func exploreSerialReduced(build func() *tso.Machine, opts Options, maxStates int
 			return finish()
 		}
 
-		enabled := appendEnabled(nil, m, sc, 0)
+		enabled := mdl.Enabled(nil, m, 0)
 		if len(enabled) == 0 {
 			if m.Quiesced() {
 				// Canonical representative, as in the unreduced path.
@@ -291,7 +294,7 @@ func exploreSerialReduced(build func() *tso.Machine, opts Options, maxStates int
 			seen := false
 			for _, i := range pl.tidx {
 				child := m.Clone()
-				apply(child, enabled[i], sc)
+				mdl.Apply(child, enabled[i])
 				pcm := child
 				if canon != nil {
 					pcm, _ = canon.Canonicalize(child)
@@ -322,7 +325,7 @@ func exploreSerialReduced(build func() *tso.Machine, opts Options, maxStates int
 		for k, i := range pl.idx {
 			a := enabled[i]
 			child := m.Clone()
-			apply(child, a, sc)
+			mdl.Apply(child, a)
 			res.Transitions++
 			tr := make([]Action, len(f.trace)+1)
 			copy(tr, f.trace)

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"reflect"
 
+	"repro/internal/arch"
 	"repro/internal/litmus"
 	"repro/internal/litmuslang"
 	"repro/internal/tso"
@@ -62,7 +63,10 @@ func RunDifferentialSym(c *litmuslang.Compiled, sym *tso.Symmetry, maxStates int
 
 func runMatrix(c *litmuslang.Compiled, sym *tso.Symmetry, maxStates int) (Report, error) {
 	props := c.Properties()
-	base := litmus.Options{Properties: props, MaxStates: maxStates}
+	// The matrix explores under the model the file's config declares
+	// (historically it always ran TSO, silently ignoring a parsed
+	// "model pso" the same way it once ignored the protocol).
+	base := litmus.Options{Properties: props, MaxStates: maxStates, Model: c.Config.Model}
 
 	ref := litmus.ExploreSerial(c.Build, base)
 	rep := Report{Name: c.Name, States: ref.States}
@@ -115,10 +119,120 @@ func runMatrix(c *litmuslang.Compiled, sym *tso.Symmetry, maxStates int) (Report
 		}
 	}
 
+	skip, err := protocolLegs(c, base, ref, len(props) > 0)
+	if skip || err != nil {
+		rep.Skipped = skip
+		return rep, err
+	}
+	skip, err = psoLegs(c, base, ref, len(props) > 0)
+	if skip || err != nil {
+		rep.Skipped = skip
+		return rep, err
+	}
+
 	if err := roundTrip(c); err != nil {
 		return rep, err
 	}
 	return rep, nil
+}
+
+// protocolLegs re-explores the program under each coherence protocol
+// the DSL can declare besides the compiled one. All three protocols
+// implement the same coherent-memory contract, so the quiesced outcome
+// *set* and the verdict must agree with the reference; state counts
+// (and with them outcome multiplicities) legitimately differ, because
+// the protocols have different cache-state spaces.
+func protocolLegs(c *litmuslang.Compiled, base litmus.Options, ref litmus.Result, hasProp bool) (skipped bool, err error) {
+	for _, proto := range []arch.Protocol{arch.MESI, arch.MSI, arch.MOESI} {
+		if proto == c.Config.Protocol {
+			continue
+		}
+		cc := *c
+		cc.Config.Protocol = proto
+		name := fmt.Sprintf("serial+protocol-%s", proto)
+		got := litmus.ExploreSerial(cc.Build, base)
+		if got.Truncated {
+			return true, nil
+		}
+		if hasProp {
+			if refV, gotV := ref.Violations > 0, got.Violations > 0; refV != gotV {
+				return false, &Divergence{Config: name, Detail: fmt.Sprintf(
+					"verdict mismatch: reference violations=%d, got=%d", ref.Violations, got.Violations)}
+			}
+		}
+		if (ref.Deadlocks > 0) != (got.Deadlocks > 0) {
+			return false, &Divergence{Config: name, Detail: fmt.Sprintf(
+				"deadlock mismatch: reference %d, got %d", ref.Deadlocks, got.Deadlocks)}
+		}
+		if err := compareOutcomeSets(name, ref, got); err != nil {
+			return false, err
+		}
+	}
+	return false, nil
+}
+
+// psoLegs checks the TSO/PSO weakening contract on a TSO-model program:
+// every TSO action is a PSO action (a TSO drain is the PSO drain of
+// address class 0), so the PSO exploration must reach a superset of the
+// TSO states and outcomes, and a TSO violation must stay a violation.
+// The PSO engine is then differentially tested against itself — a
+// parallel collapsed run must reproduce the serial PSO run exactly.
+// Programs that already declare "model pso" get the whole main matrix
+// under PSO instead, so there is nothing extra to check here.
+func psoLegs(c *litmuslang.Compiled, base litmus.Options, ref litmus.Result, hasProp bool) (skipped bool, err error) {
+	if c.Config.Model != arch.TSO {
+		return false, nil
+	}
+	psoOpts := with(base, func(o *litmus.Options) { o.Model = arch.PSO })
+	psoRef := litmus.ExploreSerial(c.Build, psoOpts)
+	if psoRef.Truncated {
+		return true, nil
+	}
+	if psoRef.States < ref.States {
+		return false, &Divergence{Config: "pso-serial", Detail: fmt.Sprintf(
+			"PSO reached fewer states than TSO: %d < %d (PSO must weaken TSO)", psoRef.States, ref.States)}
+	}
+	for o := range ref.Outcomes {
+		if _, ok := psoRef.Outcomes[o]; !ok {
+			return false, &Divergence{Config: "pso-serial", Detail: fmt.Sprintf(
+				"TSO outcome %v unreachable under PSO (PSO must weaken TSO)", o)}
+		}
+	}
+	if psoRef.Deadlocks < ref.Deadlocks {
+		return false, &Divergence{Config: "pso-serial", Detail: fmt.Sprintf(
+			"PSO reached fewer deadlocks than TSO: %d < %d", psoRef.Deadlocks, ref.Deadlocks)}
+	}
+	if hasProp && ref.Violations > 0 && psoRef.Violations == 0 {
+		return false, &Divergence{Config: "pso-serial", Detail: "TSO violation not reproduced under PSO (PSO must weaken TSO)"}
+	}
+
+	got := litmus.Explore(c.Build, with(psoOpts, func(o *litmus.Options) {
+		o.Workers = 4
+		o.Collapse = true
+	}))
+	if got.Truncated {
+		return true, nil
+	}
+	if err := compare("pso-parallel-4+collapse", true, true, psoRef, got, hasProp); err != nil {
+		return false, err
+	}
+	return false, nil
+}
+
+// compareOutcomeSets checks that two runs reached exactly the same set
+// of quiesced outcomes, ignoring multiplicity.
+func compareOutcomeSets(name string, ref, got litmus.Result) error {
+	for o := range ref.Outcomes {
+		if _, ok := got.Outcomes[o]; !ok {
+			return &Divergence{Config: name, Detail: fmt.Sprintf("outcome %v lost", o)}
+		}
+	}
+	for o := range got.Outcomes {
+		if _, ok := ref.Outcomes[o]; !ok {
+			return &Divergence{Config: name, Detail: fmt.Sprintf("outcome %v invented", o)}
+		}
+	}
+	return nil
 }
 
 func with(o litmus.Options, f func(*litmus.Options)) litmus.Options {

@@ -50,6 +50,14 @@ type Params struct {
 	// store→load reordering — with already-safe and unrepairable ones.
 	// Race disables CS (mutex would shadow the planted assertion).
 	Race bool
+
+	// Indexed adds loadidx/storeidx to the opcode mix. Every indexed
+	// access is proven in range by construction: the dedicated index
+	// register r3 is written only by an immediately preceding
+	// "loadi r3, k" with k < Addrs, and the base is always w0 — the
+	// pool's first word — so base+index stays inside the declared pool
+	// and the static constant propagation can discharge the access.
+	Indexed bool
 }
 
 // DefaultParams keeps state spaces small enough that a differential run
@@ -222,12 +230,18 @@ func (g *gen) label() string {
 	return fmt.Sprintf("l%d", g.labels)
 }
 
-// instr emits one straight-line instruction from the weighted mix. No
-// indexed addressing (a runtime-computed address could escape the
-// configured memory) and no raw branches (all control flow comes from
-// the loop/forward scaffolding, which terminates by construction).
+// instr emits one straight-line instruction from the weighted mix.
+// Indexed addressing only appears under Params.Indexed and always as a
+// loadi/access pair whose index is in range by construction (a free
+// runtime-computed address could escape the configured memory). No raw
+// branches: all control flow comes from the loop/forward scaffolding,
+// which terminates by construction.
 func (g *gen) instr() {
-	w := g.rng.Intn(16)
+	span := 16
+	if g.p.Indexed {
+		span = 20
+	}
+	w := g.rng.Intn(span)
 	switch {
 	case w < 4: // 4/16: immediate store to the racy pool
 		g.line("storei [%s], %d", g.addr(), g.val())
@@ -251,8 +265,14 @@ func (g *gen) instr() {
 		} else {
 			g.line("mfence")
 		}
-	default: // 1/16
+	case w < 16: // 1/16
 		g.line("nop")
+	case w < 18: // 2/20 under Indexed: in-range indexed store
+		g.line("loadi r3, %d", g.rng.Intn(g.p.Addrs))
+		g.line("storeidx [w0+r3], r%d", g.obsReg())
+	default: // 2/20 under Indexed: in-range indexed load
+		g.line("loadi r3, %d", g.rng.Intn(g.p.Addrs))
+		g.line("loadidx r%d, [w0+r3]", g.obsReg())
 	}
 }
 

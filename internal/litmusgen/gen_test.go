@@ -89,6 +89,42 @@ func TestDifferentialCorpus(t *testing.T) {
 	}
 }
 
+// TestIndexedCorpus fuzz-tests the indexed-addressing path end to end:
+// a corpus generated with Params.Indexed must cross-check divergence-
+// free under the whole engine matrix, and the loadidx/storeidx
+// instructions must actually appear in a solid majority of scenarios
+// (the mode is pointless if the weighted mix never picks them).
+func TestIndexedCorpus(t *testing.T) {
+	n := corpusSize
+	if testing.Short() {
+		n = 120
+	}
+	p := DefaultParams()
+	p.Indexed = true
+	ran, skipped, indexed := 0, 0, 0
+	for seed := int64(0); seed < int64(n); seed++ {
+		src := Generate(seed, p)
+		if strings.Contains(src, "loadidx") || strings.Contains(src, "storeidx") {
+			indexed++
+		}
+		rep, err := RunDifferential(src, diffMaxStates)
+		if err != nil {
+			t.Fatalf("seed %d: %v\nsource:\n%s", seed, err, src)
+		}
+		ran++
+		if rep.Skipped {
+			skipped++
+		}
+	}
+	t.Logf("indexed corpus: %d programs, %d with indexed accesses, %d truncated/skipped", ran, indexed, skipped)
+	if indexed < ran/2 {
+		t.Errorf("only %d/%d scenarios contain an indexed access — the mix degenerated", indexed, ran)
+	}
+	if skipped > ran/10 {
+		t.Errorf("%d/%d runs truncated — shrink the indexed mix or raise diffMaxStates", skipped, ran)
+	}
+}
+
 // TestDivergenceErrorShape pins the harness's failure mode: feeding it
 // source that does not compile reports a compile-stage Divergence
 // rather than a panic or a silent skip. (This is the regression shape a

@@ -75,6 +75,7 @@ type ConfigDecl struct {
 	SBDepth  *int
 	Links    *int
 	Protocol *arch.Protocol
+	Model    *arch.MemModel
 }
 
 // SharedDecl binds a name to a word address. HasAddr marks an explicit

@@ -163,6 +163,9 @@ func resolveConfig(f *File, c *Compiled) error {
 	if f.Config.Protocol != nil {
 		cfg.Protocol = *f.Config.Protocol
 	}
+	if f.Config.Model != nil {
+		cfg.Model = *f.Config.Model
+	}
 
 	maxAddr := arch.Addr(0)
 	for _, a := range c.Shared {

@@ -193,6 +193,19 @@ func (p *parser) config(f *File) error {
 				return p.lex.errorf(key.line, "duplicate protocol option")
 			}
 			f.Config.Protocol = &proto
+		case "model":
+			t, err := p.expect(tokIdent, "model option")
+			if err != nil {
+				return err
+			}
+			model, perr := arch.ParseMemModel(strings.ToLower(t.text))
+			if perr != nil {
+				return p.lex.errorf(t.line, "unknown memory model %q (want tso or pso)", t.text)
+			}
+			if f.Config.Model != nil {
+				return p.lex.errorf(key.line, "duplicate model option")
+			}
+			f.Config.Model = &model
 		default:
 			return p.lex.errorf(key.line, "unknown config option %q", key.text)
 		}

@@ -26,6 +26,9 @@ func Render(name string, cfg arch.Config, progs []*tso.Program, assert Assert) s
 	if cfg.Protocol != arch.MESI {
 		fmt.Fprintf(&sb, " protocol %s", cfg.Protocol)
 	}
+	if cfg.Model != arch.TSO {
+		fmt.Fprintf(&sb, " model %s", cfg.Model)
+	}
 	sb.WriteString(" }\n")
 
 	for _, p := range progs {

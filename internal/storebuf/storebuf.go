@@ -124,20 +124,93 @@ func (b *Buffer) Entries() []Entry {
 }
 
 // IndexOfSeq returns the FIFO position of the pending entry with the
-// given sequence number, or -1 when no such entry is pending. Sequence
-// numbers are assigned contiguously at Push and entries complete from
-// the front, so the pending seqs always form a contiguous run and the
-// lookup is O(1). The machine's state fingerprint uses this to encode
-// guarded-store positions without scanning the buffer.
+// given sequence number, or -1 when no such entry is pending. Under
+// front-only completion (TSO) the pending seqs form a contiguous run
+// and the lookup is O(1); per-address-class completion (PSO) can pop
+// mid-buffer entries and leave gaps, so the contiguity guess is
+// verified and falls back to a linear scan. The machine's state
+// fingerprint uses this to encode guarded-store positions.
 func (b *Buffer) IndexOfSeq(seq uint64) int {
 	if len(b.entries) == 0 {
 		return -1
 	}
 	first := b.entries[0].Seq
-	if seq < first || seq >= first+uint64(len(b.entries)) {
+	if seq < first {
 		return -1
 	}
-	return int(seq - first)
+	if i := int(seq - first); i < len(b.entries) && b.entries[i].Seq == seq {
+		return i
+	}
+	for i, e := range b.entries {
+		if e.Seq == seq {
+			return i
+		}
+	}
+	return -1
+}
+
+// DistinctAddrs reports the number of distinct target addresses among
+// the pending stores — the number of drain classes a per-address
+// (PSO-style) buffer exposes. Pending stores to the same address stay
+// FIFO within their class; classes are indexed by first occurrence in
+// FIFO order (class 0 always contains the overall oldest entry).
+func (b *Buffer) DistinctAddrs() int {
+	n := 0
+	for i, e := range b.entries {
+		fresh := true
+		for j := 0; j < i; j++ {
+			if b.entries[j].Addr == e.Addr {
+				fresh = false
+				break
+			}
+		}
+		if fresh {
+			n++
+		}
+	}
+	return n
+}
+
+// ClassOldestIndex returns the FIFO position of the oldest pending
+// store of the class-th distinct address (classes ordered by first
+// occurrence, see DistinctAddrs), or -1 when fewer classes are
+// pending. ClassOldestIndex(0) is always 0 on a non-empty buffer: the
+// first distinct address is, by definition, the overall oldest entry's.
+func (b *Buffer) ClassOldestIndex(class int) int {
+	if class < 0 {
+		return -1
+	}
+	n := 0
+	for i, e := range b.entries {
+		fresh := true
+		for j := 0; j < i; j++ {
+			if b.entries[j].Addr == e.Addr {
+				fresh = false
+				break
+			}
+		}
+		if fresh {
+			if n == class {
+				return i
+			}
+			n++
+		}
+	}
+	return -1
+}
+
+// PopAt removes and returns the i-th pending entry (0 = oldest),
+// preserving the FIFO order of the rest. PopAt(0) is Pop. The PSO
+// drain step uses it to complete the oldest store of a chosen address
+// class while older stores to other addresses stay pending.
+func (b *Buffer) PopAt(i int) Entry {
+	if i < 0 || i >= len(b.entries) {
+		panic(fmt.Sprintf("storebuf: PopAt(%d) with %d pending", i, len(b.entries)))
+	}
+	e := b.entries[i]
+	copy(b.entries[i:], b.entries[i+1:])
+	b.entries = b.entries[:len(b.entries)-1]
+	return e
 }
 
 // CopyFrom replaces b's contents with a copy of src's, reusing b's

@@ -298,3 +298,135 @@ func TestQuickFIFOAndForwarding(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// --- PSO drain classes ------------------------------------------------
+
+func TestPSODrainClassIndexing(t *testing.T) {
+	b := New(8)
+	if b.DistinctAddrs() != 0 {
+		t.Errorf("empty DistinctAddrs = %d", b.DistinctAddrs())
+	}
+	if b.ClassOldestIndex(0) != -1 || b.ClassOldestIndex(-1) != -1 {
+		t.Error("ClassOldestIndex on empty buffer must be -1")
+	}
+	b.Push(1, 10) // class 0 opens
+	b.Push(2, 20) // class 1 opens
+	b.Push(1, 11) // joins class 0
+	b.Push(3, 30) // class 2 opens
+	if got := b.DistinctAddrs(); got != 3 {
+		t.Errorf("DistinctAddrs = %d, want 3", got)
+	}
+	for class, want := range []int{0, 1, 3} {
+		if got := b.ClassOldestIndex(class); got != want {
+			t.Errorf("ClassOldestIndex(%d) = %d, want %d", class, got, want)
+		}
+	}
+	if got := b.ClassOldestIndex(3); got != -1 {
+		t.Errorf("ClassOldestIndex past the last class = %d, want -1", got)
+	}
+	// Draining class 1 (addr 2) renumbers: addr 3 becomes class 1.
+	if e := b.PopAt(b.ClassOldestIndex(1)); e.Addr != 2 || e.Val != 20 {
+		t.Errorf("class-1 drain completed %+v, want addr=2 val=20", e)
+	}
+	if got := b.DistinctAddrs(); got != 2 {
+		t.Errorf("DistinctAddrs after class drain = %d, want 2", got)
+	}
+	if got := b.ClassOldestIndex(1); got != 2 {
+		t.Errorf("ClassOldestIndex(1) after renumbering = %d, want 2", got)
+	}
+}
+
+func TestPSOPopAtPreservesFIFO(t *testing.T) {
+	b := New(8)
+	b.Push(1, 10)
+	b.Push(2, 20)
+	b.Push(1, 11)
+	if e := b.PopAt(1); e.Addr != 2 || e.Val != 20 {
+		t.Fatalf("PopAt(1) = %+v, want addr=2 val=20", e)
+	}
+	if _, ok := b.Lookup(2); ok {
+		t.Error("completed entry still forwards")
+	}
+	// The same-address pair must still drain in program order.
+	for i, want := range []arch.Word{10, 11} {
+		if e := b.Pop(); e.Addr != 1 || e.Val != want {
+			t.Errorf("pop %d after PopAt = %+v, want addr=1 val=%d", i, e, want)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("PopAt out of range did not panic")
+		}
+	}()
+	b.PopAt(0)
+}
+
+// A mid-buffer PopAt leaves a gap in the pending sequence numbers; the
+// contiguity fast path of IndexOfSeq then mis-guesses and must fall
+// back to the scan.
+func TestPSOIndexOfSeqGapFallback(t *testing.T) {
+	b := New(8)
+	e0 := b.Push(1, 10)
+	b.Push(2, 20)
+	e2 := b.Push(3, 30)
+	e3 := b.Push(1, 11)
+	b.PopAt(1) // complete addr 2, leaving seqs {e0, e2, e3}
+	for i, e := range []Entry{e0, e2, e3} {
+		if got := b.IndexOfSeq(e.Seq); got != i {
+			t.Errorf("IndexOfSeq(%d) = %d, want %d", e.Seq, got, i)
+		}
+	}
+	for _, e := range b.Entries() {
+		if got := b.IndexOfSeq(e.Seq); b.At(got).Seq != e.Seq {
+			t.Errorf("IndexOfSeq(%d) disagrees with scan", e.Seq)
+		}
+	}
+}
+
+// Property: completing drain classes in arbitrary order empties the
+// buffer while every address's stores complete in program order — the
+// PSO guarantee (no class ever reorders same-address stores).
+func TestQuickPSOClassDrainOrder(t *testing.T) {
+	f := func(addrs []uint8, picks []uint8) bool {
+		n := len(addrs)
+		if n > 12 {
+			n = 12
+		}
+		b := New(12)
+		next := map[arch.Addr]arch.Word{}
+		for i := 0; i < n; i++ {
+			a := arch.Addr(addrs[i] % 3)
+			b.Push(a, arch.Word(i))
+			if _, ok := next[a]; !ok {
+				next[a] = arch.Word(i)
+			}
+		}
+		for pi := 0; !b.Empty(); pi++ {
+			classes := b.DistinctAddrs()
+			if b.ClassOldestIndex(0) != 0 {
+				return false // class 0 must be the overall oldest
+			}
+			class := 0
+			if pi < len(picks) {
+				class = int(picks[pi]) % classes
+			}
+			e := b.PopAt(b.ClassOldestIndex(class))
+			if next[e.Addr] != e.Val {
+				return false // same-address order violated
+			}
+			// The next completion of this address is the next value
+			// pushed to it, found by scanning the survivors.
+			delete(next, e.Addr)
+			for _, p := range b.Entries() {
+				if p.Addr == e.Addr {
+					next[e.Addr] = p.Val
+					break
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

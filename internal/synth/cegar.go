@@ -114,6 +114,7 @@ func (s *synthesizer) verifyOne(p Placement) *verdict {
 			MaxStates:       s.opts.MaxStates,
 			StopOnViolation: true,
 			ReorderBound:    b,
+			Model:           s.prob.Config.Model,
 		})
 		if br.Violations > 0 {
 			// The bounded state graph is a subgraph of the exact one, so
@@ -130,9 +131,11 @@ func (s *synthesizer) verifyOne(p Placement) *verdict {
 		Workers:         s.opts.Workers,
 		MaxStates:       s.opts.MaxStates,
 		StopOnViolation: true,
+		Model:           s.prob.Config.Model,
 		// Partial-order reduction preserves exactly what the verifier
 		// needs — violation reachability for the stable safety property —
-		// while shrinking each query's state space.
+		// while shrinking each query's state space. (Under PSO the
+		// engine forces reduction off; the flag is then inert.)
 		Reduction: true,
 	})
 	return v
@@ -198,6 +201,7 @@ func (s *synthesizer) reverifyExact(p Placement) (*verdict, error) {
 		MaxStates:       s.opts.MaxStates,
 		StopOnViolation: true,
 		Reduction:       true,
+		Model:           s.prob.Config.Model,
 	})
 	s.record(p, v)
 	if v.res.Truncated {

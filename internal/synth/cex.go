@@ -15,11 +15,15 @@ import (
 // buffer (the splice provenance map translates spliced PCs back to base
 // sites). Every load that executes while its own processor has pending
 // stores is a TSO reordering the trace exhibits: those stores are being
-// delayed past the load. The union of those delayed-store sites, over
-// every load of the trace, is the counterexample's repair set — to
-// eliminate this trace a placement must fence at least one of those
-// windows, and must do so strictly more strongly than the candidate
-// already did (the candidate itself demonstrably fails).
+// delayed past the load. Under the PSO model a drain can additionally
+// complete a mid-buffer entry while older stores to other addresses
+// stay pending — a store→store reordering window whose delayed (older)
+// stores join the repair set the same way. The union of those
+// delayed-store sites, over every window of the trace, is the
+// counterexample's repair set — to eliminate this trace a placement
+// must fence at least one of those windows, and must do so strictly
+// more strongly than the candidate already did (the candidate itself
+// demonstrably fails).
 //
 // The extraction is exact for the candidate that produced the trace:
 // the returned constraint is never hit by that candidate (every atom is
@@ -33,10 +37,13 @@ import (
 // removable.
 
 // pendingStore is one undrained store-buffer entry attributed to a base
-// site, with the runtime address it targets.
+// site, with the runtime address it targets and the buffer sequence
+// number it was committed under (which identifies the entry even after
+// PSO drains pop mid-buffer neighbours).
 type pendingStore struct {
 	site siteKey
 	addr arch.Addr
+	seq  uint64
 }
 
 // extraction is the analysis of one violating trace.
@@ -93,22 +100,45 @@ func analyzeTrace(build func() *tso.Machine, spliced []*tso.Spliced, trace []lit
 			}
 			m.ExecStep(act.Proc)
 			if isStore {
+				sb := m.Procs[pid].SB
 				pending[pid] = append(pending[pid], pendingStore{
 					site: siteKey{pid, base}, addr: storeAddr,
+					seq: sb.At(sb.Len() - 1).Seq,
 				})
 			}
 		case litmus.Drain:
-			m.DrainStep(act.Proc)
+			// A drain completing a non-oldest entry (PSO address-class
+			// drains; class 0 is always the overall oldest) is a
+			// store→store reordering: every older still-pending program
+			// store is being delayed past the completing one, so a fence
+			// at any of those sites breaks this window.
+			sb := m.Procs[pid].SB
+			if idx := sb.ClassOldestIndex(int(act.Arg)); idx > 0 {
+				done := sb.At(idx)
+				for _, ps := range pending[pid] {
+					if ps.seq < done.Seq {
+						ex.windows = true
+						ex.repair[ps.site] = struct{}{}
+					}
+				}
+			}
+			m.DrainClassStep(act.Proc, int(act.Arg))
 		}
 
-		// Reconcile every processor's tracker with its actual buffer
-		// length: drains and flushes (mfence, link-branch fallback,
-		// link-register pressure, and remote guard breaks on *any*
-		// processor) all complete stores oldest-first.
+		// Reconcile every processor's tracker against the entries still
+		// in its buffer. Completion is no longer strictly oldest-first
+		// (PSO class drains pop mid-buffer), and flushes (mfence,
+		// link-branch fallback, link-register pressure, and remote guard
+		// breaks on *any* processor) can empty a buffer wholesale, so
+		// membership is checked by sequence number rather than by count.
 		for q := range pending {
-			if d := len(pending[q]) - m.Procs[q].SB.Len(); d > 0 {
-				pending[q] = pending[q][d:]
+			kept := pending[q][:0]
+			for _, ps := range pending[q] {
+				if m.Procs[q].SB.IndexOfSeq(ps.seq) >= 0 {
+					kept = append(kept, ps)
+				}
 			}
+			pending[q] = kept
 		}
 	}
 	return ex

@@ -175,7 +175,14 @@ func (m *Machine) flush(p *Proc) {
 
 // drainOne completes the oldest pending store, returning its bus cost.
 func (m *Machine) drainOne(p *Proc) int64 {
-	e := p.SB.Pop()
+	return m.drainAt(p, 0)
+}
+
+// drainAt completes the pending store at FIFO position i, returning its
+// bus cost. Position 0 is the TSO drain; PSO class drains complete
+// mid-buffer entries (the oldest store of a younger address class).
+func (m *Machine) drainAt(p *Proc, i int) int64 {
+	e := p.SB.PopAt(i)
 	cost := m.Sys.Write(p.ID, e.Addr, e.Val)
 	p.Stats.Drains++
 	// Completing a guarded store clears its link (Section 3: "upon
@@ -224,6 +231,31 @@ func (m *Machine) DrainStep(pid arch.ProcID) {
 	p := m.Procs[pid]
 	m.remoteGuardBreaks = 0
 	m.drainOne(p)
+}
+
+// DrainClasses reports how many distinct-address drain classes
+// processor p's buffer currently exposes (see storebuf.DistinctAddrs).
+// Under PSO each class drains independently; under TSO only class 0
+// (the overall oldest entry) may complete.
+func (m *Machine) DrainClasses(pid arch.ProcID) int {
+	return m.Procs[pid].SB.DistinctAddrs()
+}
+
+// DrainClassStep completes the oldest pending store of processor p's
+// class-th distinct address (classes ordered by first occurrence in
+// the buffer). DrainClassStep(pid, 0) is exactly DrainStep(pid): the
+// first distinct address owns the overall oldest entry. Same-address
+// stores still complete in program order, which is what makes the
+// per-address buffer PSO rather than something weaker.
+func (m *Machine) DrainClassStep(pid arch.ProcID, class int) {
+	p := m.Procs[pid]
+	i := p.SB.ClassOldestIndex(class)
+	if i < 0 {
+		panic(fmt.Sprintf("tso: drain class %d of %v with %d classes pending",
+			class, pid, p.SB.DistinctAddrs()))
+	}
+	m.remoteGuardBreaks = 0
+	m.drainAt(p, i)
 }
 
 // Halted reports whether every processor has halted.
